@@ -1,0 +1,6 @@
+//! Runs the A1 ablation (each PA mechanism toggled individually).
+fn main() {
+    pa_bench::banner("A1 — ablation: one PA mechanism at a time");
+    let a = pa_sim::experiments::ablation::run();
+    println!("{}", a.render());
+}

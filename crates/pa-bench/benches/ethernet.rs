@@ -1,0 +1,6 @@
+//! Runs the network-speed comparison (§5's Ethernet remark).
+fn main() {
+    pa_bench::banner("§5/§1 — network speed and the value of masking");
+    let e = pa_sim::experiments::ethernet::run();
+    println!("{}", e.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (round-trip execution breakdown).
+fn main() {
+    pa_bench::banner("Figure 4 — round-trip execution breakdown");
+    let f = pa_sim::experiments::fig4::run();
+    println!("{}", f.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 (RTT vs offered round trips/s, two GC policies).
+fn main() {
+    pa_bench::banner("Figure 5 — round-trip latency vs round-trips/second");
+    let f = pa_sim::experiments::fig5::run();
+    println!("{}", f.render());
+}

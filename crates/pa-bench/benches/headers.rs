@@ -1,0 +1,6 @@
+//! Regenerates the §2 header-overhead accounting.
+fn main() {
+    pa_bench::banner("§2 — header overhead: packed vs traditional, cookie vs ident");
+    let h = pa_sim::experiments::headers::run();
+    println!("{}", h.render());
+}

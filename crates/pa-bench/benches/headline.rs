@@ -1,0 +1,6 @@
+//! Regenerates the headline comparison (PA vs no-PA baselines).
+fn main() {
+    pa_bench::banner("§1/§7 — headline: PA vs layered baselines");
+    let h = pa_sim::experiments::headline::run();
+    println!("{}", h.render());
+}

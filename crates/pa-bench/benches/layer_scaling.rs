@@ -1,0 +1,6 @@
+//! Regenerates the §5 layer-scaling measurement (window stacked twice).
+fn main() {
+    pa_bench::banner("§5 — per-layer overhead (window layer stacked 1-3×)");
+    let r = pa_sim::experiments::layer_scaling::run();
+    println!("{}", r.render());
+}

@@ -1,0 +1,6 @@
+//! Runs the §6 maximum-load analysis (client and CPU scaling).
+fn main() {
+    pa_bench::banner("§6 — maximum load: one server, N clients, M CPUs");
+    let m = pa_sim::experiments::max_load::run();
+    println!("{}", m.render());
+}

@@ -1,0 +1,204 @@
+//! Criterion microbenchmarks: real Rust-native costs of the PA
+//! mechanisms. These are *this implementation on this machine* — the
+//! interesting output is the relative shape (packed vs padded, compiled
+//! vs interpreted, fast vs slow path), mirroring the ablation knobs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pa_buf::{ByteOrder, Msg};
+use pa_core::{Connection, ConnectionParams, PaConfig};
+use pa_filter::{CompiledProgram, DigestKind, Frame, Op, ProgramBuilder};
+use pa_stack::StackSpec;
+use pa_wire::{Class, EndpointAddr, LayoutBuilder, LayoutMode, Preamble};
+
+fn bench_header_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("header_access");
+    for mode in [LayoutMode::Packed, LayoutMode::Traditional] {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("w");
+        let seq = b.add_field(Class::Protocol, "seq", 32, None).unwrap();
+        let ty = b.add_field(Class::Protocol, "mtype", 2, None).unwrap();
+        let ack = b.add_field(Class::Gossip, "ack", 32, None).unwrap();
+        let layout = b.compile(mode).unwrap();
+        let mut proto = vec![0u8; layout.class_len(Class::Protocol)];
+        let mut gossip = vec![0u8; layout.class_len(Class::Gossip)];
+        g.bench_function(format!("{mode:?}_write_read_3_fields"), |bench| {
+            bench.iter(|| {
+                layout.write_field(seq, &mut proto, ByteOrder::Big, black_box(12345));
+                layout.write_field(ty, &mut proto, ByteOrder::Big, black_box(1));
+                layout.write_field(ack, &mut gossip, ByteOrder::Big, black_box(99));
+                let a = layout.read_field(seq, &proto, ByteOrder::Big);
+                let b = layout.read_field(ty, &proto, ByteOrder::Big);
+                let c = layout.read_field(ack, &gossip, ByteOrder::Big);
+                black_box(a + b + c)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_layout_compile(c: &mut Criterion) {
+    c.bench_function("layout_compile_paper_stack", |bench| {
+        bench.iter(|| {
+            let mut b = LayoutBuilder::new();
+            for i in 0..4 {
+                b.begin_layer(&format!("l{i}"));
+                b.add_field(Class::Protocol, "a", 32, None).unwrap();
+                b.add_field(Class::Protocol, "b", 2, None).unwrap();
+                b.add_field(Class::Message, "c", 16, None).unwrap();
+                b.add_field(Class::Gossip, "d", 32, None).unwrap();
+            }
+            black_box(b.compile(LayoutMode::Packed).unwrap())
+        })
+    });
+}
+
+fn filter_fixture() -> (pa_wire::CompiledLayout, pa_filter::Program) {
+    let mut b = LayoutBuilder::new();
+    b.begin_layer("ck");
+    let len_f = b.add_field(Class::Message, "len", 16, None).unwrap();
+    let ck_f = b.add_field(Class::Message, "ck", 16, None).unwrap();
+    let layout = b.compile(LayoutMode::Packed).unwrap();
+    let mut pb = ProgramBuilder::new();
+    pb.extend(vec![
+        Op::PushField(len_f),
+        Op::PushSize,
+        Op::Ne,
+        Op::Abort(1),
+        Op::PushField(ck_f),
+        Op::Digest(DigestKind::InternetChecksum),
+        Op::Ne,
+        Op::Abort(2),
+        Op::Return(0),
+    ]);
+    (layout, pb.build().unwrap())
+}
+
+fn bench_filter_backends(c: &mut Criterion) {
+    let (layout, program) = filter_fixture();
+    let compiled = CompiledProgram::compile(&program, &layout);
+    let make_msg = || {
+        let mut m = Msg::from_payload(&[7u8; 64]);
+        m.push_front_zeroed(layout.class_len(Class::Message));
+        m
+    };
+    let mut g = c.benchmark_group("packet_filter");
+    g.bench_function("interpreted", |bench| {
+        let mut m = make_msg();
+        bench.iter(|| {
+            let mut f = Frame::new(&mut m, &layout, ByteOrder::Big);
+            black_box(pa_filter::run(&program, &mut f))
+        })
+    });
+    g.bench_function("pre_resolved", |bench| {
+        let mut m = make_msg();
+        bench.iter(|| black_box(compiled.run(program.slots(), &mut m, ByteOrder::Big)))
+    });
+    g.finish();
+}
+
+fn paper_conn(config: PaConfig, seed: u64) -> Connection {
+    Connection::new(
+        StackSpec::paper().build(),
+        config,
+        ConnectionParams::new(
+            EndpointAddr::from_parts(seed, 1),
+            EndpointAddr::from_parts(seed + 1, 1),
+            seed,
+        ),
+    )
+    .unwrap()
+}
+
+fn bench_send_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("send_path");
+    g.bench_function("fast_path", |bench| {
+        let mut conn = paper_conn(PaConfig::paper_default(), 1);
+        bench.iter(|| {
+            conn.send(black_box(&[7u8; 8]));
+            while conn.poll_transmit().is_some() {}
+            conn.process_pending();
+        })
+    });
+    g.bench_function("layered_slow_path", |bench| {
+        let mut conn = paper_conn(
+            PaConfig { predict: false, lazy_post: false, ..PaConfig::paper_default() },
+            3,
+        );
+        bench.iter(|| {
+            conn.send(black_box(&[7u8; 8]));
+            while conn.poll_transmit().is_some() {}
+        })
+    });
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    c.bench_function("engine_roundtrip_fast", |bench| {
+        let mk = |local: u64, peer: u64| {
+            Connection::new(
+                StackSpec::paper().build(),
+                PaConfig::paper_default(),
+                ConnectionParams::new(
+                    EndpointAddr::from_parts(local, 1),
+                    EndpointAddr::from_parts(peer, 1),
+                    local,
+                ),
+            )
+            .unwrap()
+        };
+        let mut a = mk(10, 11);
+        let mut b = mk(11, 10);
+        bench.iter(|| {
+            a.send(&[1u8; 8]);
+            while let Some(f) = a.poll_transmit() {
+                b.deliver_frame(f);
+            }
+            while b.poll_delivery().is_some() {}
+            while let Some(f) = b.poll_transmit() {
+                a.deliver_frame(f);
+            }
+            a.process_pending();
+            b.process_pending();
+        })
+    });
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let msgs: Vec<Msg> = (0..64).map(|i| Msg::from_payload(&[i as u8; 8])).collect();
+    let mut g = c.benchmark_group("packing");
+    g.bench_function("pack_64x8B", |bench| {
+        bench.iter(|| black_box(pa_core::packing::pack(black_box(&msgs))))
+    });
+    let packed = pa_core::packing::pack(&msgs);
+    g.bench_function("unpack_64x8B", |bench| {
+        bench.iter(|| {
+            let mut m = packed.clone();
+            let info = pa_core::PackInfo::pop_from(&mut m).unwrap();
+            black_box(pa_core::packing::unpack(&info, m).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_preamble(c: &mut Criterion) {
+    let p = Preamble::common(pa_wire::Cookie::from_raw(0x1234_5678), ByteOrder::Big);
+    c.bench_function("preamble_encode_decode", |bench| {
+        bench.iter(|| {
+            let e = black_box(&p).encode();
+            black_box(Preamble::decode(&e).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_header_access,
+        bench_layout_compile,
+        bench_filter_backends,
+        bench_send_paths,
+        bench_roundtrip,
+        bench_packing,
+        bench_preamble
+);
+criterion_main!(micro);

@@ -1,0 +1,6 @@
+//! Regenerates the §3.4 packing / streaming measurements.
+fn main() {
+    pa_bench::banner("§3.4/§5 — message packing: streaming and bandwidth");
+    let p = pa_sim::experiments::packing::run();
+    println!("{}", p.render());
+}

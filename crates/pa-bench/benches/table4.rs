@@ -1,0 +1,6 @@
+//! Regenerates Table 4 (basic performance).
+fn main() {
+    pa_bench::banner("Table 4 — basic performance of the stack with the PA");
+    let t = pa_sim::experiments::table4::run();
+    println!("{}", t.render());
+}

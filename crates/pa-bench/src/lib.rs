@@ -1,0 +1,17 @@
+//! Benchmark harnesses for the paper's tables and figures.
+//!
+//! Each `[[bench]]` target with `harness = false` regenerates one paper
+//! artifact by running the corresponding `pa_sim::experiments` driver
+//! and printing the paper-versus-measured table (see EXPERIMENTS.md).
+//! The `micro` bench is a conventional Criterion suite measuring the
+//! *real* Rust-native cost of each PA mechanism — packed vs padded
+//! header access, interpreted vs pre-resolved filters, fast path vs
+//! layered traversal, packing — the honest numbers for this
+//! implementation on today's hardware (shapes, not 1996 values).
+
+/// Prints a standard banner for a paper-artifact bench.
+pub fn banner(what: &str) {
+    println!("\n================================================================");
+    println!("  {what}");
+    println!("================================================================\n");
+}

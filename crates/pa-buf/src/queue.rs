@@ -1,0 +1,217 @@
+//! The PA backlog: a FIFO of messages with byte/length accounting.
+//!
+//! Two things queue up in the accelerator (§3.4): messages sent while the
+//! previous message's post-processing has not run yet, and messages sent
+//! while the predicted send header is disabled (e.g. a full sliding
+//! window). When the backlog drains, messages *of the same size* are
+//! packed into a single message, so the backlog tracks size runs to make
+//! "how many leading messages share a size?" O(1).
+
+use crate::msg::Msg;
+use std::collections::VecDeque;
+
+/// FIFO of messages awaiting processing, with accounting.
+#[derive(Debug, Default)]
+pub struct Backlog {
+    q: VecDeque<Msg>,
+    bytes: usize,
+    /// Highest queue length ever observed (for reporting).
+    high_water: usize,
+}
+
+impl Backlog {
+    /// Creates an empty backlog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a message.
+    pub fn push(&mut self, msg: Msg) {
+        self.bytes += msg.len();
+        self.q.push_back(msg);
+        self.high_water = self.high_water.max(self.q.len());
+    }
+
+    /// Removes the oldest message.
+    pub fn pop(&mut self) -> Option<Msg> {
+        let m = self.q.pop_front()?;
+        self.bytes -= m.len();
+        Some(m)
+    }
+
+    /// Puts a message back at the *front* (it will pop next). Used when a
+    /// drain attempt is aborted, e.g. the window closed mid-drain.
+    pub fn push_front(&mut self, msg: Msg) {
+        self.bytes += msg.len();
+        self.q.push_front(msg);
+        self.high_water = self.high_water.max(self.q.len());
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Total queued payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Highest length the queue ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Length of the message at the head, if any.
+    pub fn head_len(&self) -> Option<usize> {
+        self.q.front().map(Msg::len)
+    }
+
+    /// How many leading messages have exactly the same length as the
+    /// head. This is the run the same-size packer may combine (§3.4:
+    /// "Currently, the PA only packs together messages of the same
+    /// size").
+    pub fn same_size_run(&self) -> usize {
+        let Some(head) = self.q.front() else { return 0 };
+        let len = head.len();
+        self.q.iter().take_while(|m| m.len() == len).count()
+    }
+
+    /// Pops up to `max` leading messages of identical size. Always pops
+    /// at least one message if the backlog is non-empty.
+    pub fn pop_same_size_run(&mut self, max: usize) -> Vec<Msg> {
+        let n = self.same_size_run().min(max.max(1));
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            if let Some(m) = self.pop() {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Pops up to `max` leading messages regardless of size (for the
+    /// variable-size packer extension).
+    pub fn pop_run(&mut self, max: usize) -> Vec<Msg> {
+        let n = self.q.len().min(max.max(1));
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            if let Some(m) = self.pop() {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Iterates over queued messages, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Msg> {
+        self.q.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(len: usize) -> Msg {
+        Msg::from_payload(&vec![0xAB; len])
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut b = Backlog::new();
+        b.push(Msg::from_payload(b"1"));
+        b.push(Msg::from_payload(b"2"));
+        assert_eq!(b.pop().unwrap().as_slice(), b"1");
+        assert_eq!(b.pop().unwrap().as_slice(), b"2");
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_push_pop() {
+        let mut b = Backlog::new();
+        b.push(msg(10));
+        b.push(msg(20));
+        assert_eq!(b.bytes(), 30);
+        b.pop();
+        assert_eq!(b.bytes(), 20);
+        b.pop();
+        assert_eq!(b.bytes(), 0);
+    }
+
+    #[test]
+    fn push_front_restores_order_and_bytes() {
+        let mut b = Backlog::new();
+        b.push(Msg::from_payload(b"first"));
+        b.push(Msg::from_payload(b"second"));
+        let head = b.pop().unwrap();
+        b.push_front(head);
+        assert_eq!(b.bytes(), 11);
+        assert_eq!(b.pop().unwrap().as_slice(), b"first");
+    }
+
+    #[test]
+    fn same_size_run_counts_prefix_only() {
+        let mut b = Backlog::new();
+        for len in [8, 8, 8, 16, 8] {
+            b.push(msg(len));
+        }
+        assert_eq!(b.same_size_run(), 3, "run stops at the 16-byte message");
+    }
+
+    #[test]
+    fn pop_same_size_run_respects_max() {
+        let mut b = Backlog::new();
+        for _ in 0..5 {
+            b.push(msg(8));
+        }
+        let run = b.pop_same_size_run(3);
+        assert_eq!(run.len(), 3);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn pop_same_size_run_pops_at_least_one() {
+        let mut b = Backlog::new();
+        b.push(msg(8));
+        b.push(msg(9));
+        let run = b.pop_same_size_run(0);
+        assert_eq!(run.len(), 1);
+    }
+
+    #[test]
+    fn pop_run_ignores_sizes() {
+        let mut b = Backlog::new();
+        for len in [1, 2, 3] {
+            b.push(msg(len));
+        }
+        let run = b.pop_run(10);
+        assert_eq!(run.len(), 3);
+        assert_eq!(run.iter().map(Msg::len).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn high_water_is_monotone() {
+        let mut b = Backlog::new();
+        for _ in 0..4 {
+            b.push(msg(1));
+        }
+        b.pop();
+        b.pop();
+        assert_eq!(b.high_water(), 4);
+        b.push(msg(1));
+        assert_eq!(b.high_water(), 4, "does not reset when queue shrinks");
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let b = Backlog::new();
+        assert_eq!(b.same_size_run(), 0);
+        assert!(b.head_len().is_none());
+    }
+}

@@ -1,0 +1,1491 @@
+//! One connection's Protocol Accelerator — Figure 3 of the paper as an
+//! engine.
+//!
+//! The connection owns the protocol stack (bottom = index 0) and the two
+//! per-direction state tables of Table 3. Entry points:
+//!
+//! - [`Connection::send`] — the application send; takes the fast path
+//!   when prediction is enabled and nothing is pending, otherwise
+//!   backlogs or runs the layered pre-send traversal,
+//! - [`Connection::deliver_frame`] — a frame from the network; cookie
+//!   check, delivery filter, prediction comparison, fast delivery or the
+//!   layered pre-deliver traversal,
+//! - [`Connection::process_pending`] — the deferred post-processing
+//!   (§3.1): state updates, next-header prediction, layer-generated
+//!   control traffic, and the backlog drain with message packing (§3.4),
+//! - [`Connection::tick`] — host-driven time for retransmission timers.
+//!
+//! Outgoing frames and incoming application messages are pulled with
+//! [`Connection::poll_transmit`] / [`Connection::poll_delivery`], so the
+//! engine is host-agnostic: the same code runs under the virtual-time
+//! simulator, the UDP examples, and the unit tests.
+
+use crate::config::{FilterBackend, PaConfig};
+use crate::layer::{DeliverAction, Effects, InitCtx, Layer, LayerCtx, SendAction};
+use crate::packing::{self, PackInfo};
+use crate::predict::Prediction;
+use crate::stats::ConnStats;
+use crate::Nanos;
+use pa_buf::{Backlog, ByteOrder, Msg};
+use pa_filter::{CompiledProgram, Frame, Program, ProgramBuilder};
+use pa_wire::{Class, CompiledLayout, Cookie, EndpointAddr, LayoutBuilder, Preamble};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identity and environment of a connection.
+#[derive(Debug, Clone)]
+pub struct ConnectionParams {
+    /// Our endpoint address.
+    pub local: EndpointAddr,
+    /// The peer's endpoint address.
+    pub peer: EndpointAddr,
+    /// Seed for the connection's cookie (deterministic tests/sims pass
+    /// fixed seeds; production hosts pass entropy).
+    pub seed: u64,
+    /// Byte order this endpoint encodes headers in.
+    pub order: ByteOrder,
+}
+
+impl ConnectionParams {
+    /// Params with native byte order.
+    pub fn new(local: EndpointAddr, peer: EndpointAddr, seed: u64) -> ConnectionParams {
+        ConnectionParams { local, peer, seed, order: ByteOrder::native() }
+    }
+}
+
+/// Errors from connection construction.
+#[derive(Debug)]
+pub enum SetupError {
+    /// A layer declared an invalid field.
+    Layout(pa_wire::LayoutError),
+    /// A layer contributed an invalid filter fragment.
+    Filter(pa_filter::VerifyError),
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupError::Layout(e) => write!(f, "layout error: {e}"),
+            SetupError::Filter(e) => write!(f, "filter error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// What happened to a [`Connection::send`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Sent via the fast path: predicted headers + packet filter, no
+    /// layer was entered.
+    FastPath,
+    /// Sent via the layered pre-send traversal.
+    SlowPath,
+    /// Parked in the backlog (predicted header disabled, or
+    /// post-processing pending). Will leave — possibly packed — on a
+    /// later [`Connection::process_pending`].
+    Queued,
+    /// A layer rejected the message outright.
+    Rejected(&'static str),
+}
+
+/// What happened to a frame given to [`Connection::deliver_frame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverOutcome {
+    /// Fast path: filter + prediction matched; `msgs` application
+    /// messages were delivered (more than 1 if the frame was packed).
+    Fast {
+        /// Application messages unpacked and delivered.
+        msgs: usize,
+    },
+    /// Layered pre-deliver traversal ran; `msgs` messages were delivered
+    /// to the application (0 if consumed/buffered by a layer).
+    Slow {
+        /// Application messages delivered.
+        msgs: usize,
+    },
+    /// Frame dropped before reaching any layer (unknown cookie,
+    /// truncated headers, not-our connection identification).
+    Dropped(DropReason),
+}
+
+/// Why a frame was dropped by the PA itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Cookie not recognized and no connection identification present
+    /// (§2.2: "it is dropped").
+    UnknownCookie,
+    /// Connection identification present but not ours.
+    ForeignIdent,
+    /// Frame too short for preamble or class headers, or bad packing.
+    Malformed,
+}
+
+/// Summary of one [`Connection::process_pending`] call, used by the
+/// simulator's cost model to charge virtual CPU time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostWorkReport {
+    /// Frames whose post-send ran.
+    pub post_send_frames: u64,
+    /// Frames whose post-deliver ran.
+    pub post_deliver_frames: u64,
+    /// Post-send phases executed (one per layer per sent frame).
+    pub post_send_phases: u64,
+    /// Post-deliver phases executed.
+    pub post_deliver_phases: u64,
+    /// Frames sent as a side effect (backlog drains, control traffic).
+    pub frames_sent: u64,
+    /// Application messages drained from the backlog.
+    pub backlog_drained: u64,
+    /// True if the drained messages left in a single packed frame.
+    pub packed: bool,
+}
+
+impl PostWorkReport {
+    /// True if no work was done.
+    pub fn is_empty(&self) -> bool {
+        *self == PostWorkReport::default()
+    }
+}
+
+/// A deferred post-deliver work item: the frame image and the layer
+/// range that saw it.
+struct RecvPost {
+    msg: Msg,
+    start: usize,
+    stop: usize,
+}
+
+struct SendWork {
+    /// Next layer to run pre-send, or -1 for "hit the wire".
+    next: isize,
+    msg: Msg,
+    unusual: bool,
+}
+
+struct DeliverWork {
+    /// Next layer to run pre-deliver; == layer count means "deliver".
+    next: usize,
+    start: usize,
+    msg: Msg,
+}
+
+/// A point-to-point connection with its Protocol Accelerator.
+pub struct Connection {
+    config: PaConfig,
+    layout: CompiledLayout,
+    layers: Vec<Box<dyn Layer>>,
+    order: ByteOrder,
+    peer_order: ByteOrder,
+    peer_order_known: bool,
+    send_filter: Program,
+    send_compiled: CompiledProgram,
+    recv_filter: Program,
+    recv_compiled: CompiledProgram,
+    send_predict: Prediction,
+    recv_predict: Prediction,
+    backlog: Backlog,
+    pending_send: VecDeque<Msg>,
+    pending_recv: VecDeque<RecvPost>,
+    send_work: VecDeque<SendWork>,
+    deliver_work: VecDeque<DeliverWork>,
+    out: VecDeque<Msg>,
+    deliveries: VecDeque<Msg>,
+    cookie_local: Cookie,
+    cookie_peer: Option<Cookie>,
+    ident_local: Vec<u8>,
+    ident_peer: Vec<u8>,
+    ident_remaining: u32,
+    stats: ConnStats,
+    params: ConnectionParams,
+    field_names: crate::dissect::FieldNames,
+    now: Nanos,
+}
+
+impl Connection {
+    /// Builds a connection: runs every layer's `init` (field and filter
+    /// declarations), compiles the header layout and both filters, sizes
+    /// the predictions, and constructs the connection identification.
+    pub fn new(
+        mut layers: Vec<Box<dyn Layer>>,
+        config: PaConfig,
+        params: ConnectionParams,
+    ) -> Result<Connection, SetupError> {
+        let mut lb = LayoutBuilder::new();
+        let mut send_fb = ProgramBuilder::new();
+        let mut recv_fb = ProgramBuilder::new();
+
+        // The engine's own conn-ident contribution: the stack
+        // fingerprint (detects mismatched stacks at setup) and the
+        // endpoint addresses — realistic large identification, like the
+        // ~76 bytes Horus carries (§2.2).
+        lb.begin_layer("pa");
+        let f_src = lb
+            .add_field(Class::ConnId, "src_endpoint", (EndpointAddr::WIRE_LEN * 8) as u32, None)
+            .map_err(SetupError::Layout)?;
+        let f_dst = lb
+            .add_field(Class::ConnId, "dst_endpoint", (EndpointAddr::WIRE_LEN * 8) as u32, None)
+            .map_err(SetupError::Layout)?;
+        let f_fp = lb.add_field(Class::ConnId, "stack_fingerprint", 64, None).map_err(SetupError::Layout)?;
+
+        for layer in layers.iter_mut() {
+            lb.begin_layer(layer.name());
+            let mut ctx = InitCtx { layout: &mut lb, send_filter: &mut send_fb, recv_filter: &mut recv_fb };
+            layer.init(&mut ctx);
+        }
+
+        let mut field_names = crate::dissect::FieldNames::default();
+        for class in Class::ALL {
+            for name in lb.field_names(class) {
+                field_names.push(class, name);
+            }
+        }
+        let layout = lb.compile(config.layout_mode).map_err(SetupError::Layout)?;
+        let send_filter = send_fb.build().map_err(SetupError::Filter)?;
+        let recv_filter = recv_fb.build().map_err(SetupError::Filter)?;
+        let send_compiled = CompiledProgram::compile(&send_filter, &layout);
+        let recv_compiled = CompiledProgram::compile(&recv_filter, &layout);
+
+        // Connection identification: `local` is what we send, `peer`
+        // what we expect to receive. Always big-endian (compared as
+        // opaque bytes).
+        let ident_len = layout.class_len(Class::ConnId);
+        let mut ident_local = vec![0u8; ident_len];
+        let mut ident_peer = vec![0u8; ident_len];
+        layout.write_field_bytes(f_src, &mut ident_local, &params.local.encode());
+        layout.write_field_bytes(f_dst, &mut ident_local, &params.peer.encode());
+        layout.write_field(f_fp, &mut ident_local, ByteOrder::Big, layout.fingerprint());
+        layout.write_field_bytes(f_src, &mut ident_peer, &params.peer.encode());
+        layout.write_field_bytes(f_dst, &mut ident_peer, &params.local.encode());
+        layout.write_field(f_fp, &mut ident_peer, ByteOrder::Big, layout.fingerprint());
+        for layer in &layers {
+            layer.fill_ident(&layout, &mut ident_local, &mut ident_peer);
+        }
+
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let send_predict = Prediction::new(&layout, params.order);
+        let recv_predict = Prediction::new(&layout, params.order);
+
+        Ok(Connection {
+            cookie_local: Cookie::random(&mut rng),
+            cookie_peer: None,
+            config,
+            layers,
+            order: params.order,
+            peer_order: params.order,
+            peer_order_known: false,
+            send_filter,
+            send_compiled,
+            recv_filter,
+            recv_compiled,
+            send_predict,
+            recv_predict,
+            backlog: Backlog::new(),
+            pending_send: VecDeque::new(),
+            pending_recv: VecDeque::new(),
+            send_work: VecDeque::new(),
+            deliver_work: VecDeque::new(),
+            out: VecDeque::new(),
+            deliveries: VecDeque::new(),
+            ident_local,
+            ident_peer,
+            ident_remaining: config.ident_on_first,
+            stats: ConnStats::default(),
+            layout,
+            params,
+            field_names,
+            now: 0,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The compiled header layout.
+    pub fn layout(&self) -> &CompiledLayout {
+        &self.layout
+    }
+
+    /// This connection's configuration.
+    pub fn config(&self) -> &PaConfig {
+        &self.config
+    }
+
+    /// Our outgoing cookie.
+    pub fn local_cookie(&self) -> Cookie {
+        self.cookie_local
+    }
+
+    /// The peer's cookie, once learned from its first identified frame.
+    pub fn peer_cookie(&self) -> Option<Cookie> {
+        self.cookie_peer
+    }
+
+    /// The connection identification we expect on incoming frames.
+    pub fn expected_ident(&self) -> &[u8] {
+        &self.ident_peer
+    }
+
+    /// Per-connection counters.
+    pub fn stats(&self) -> &ConnStats {
+        &self.stats
+    }
+
+    /// Declared field names (for [`crate::dissect::dissect`]).
+    pub fn field_names(&self) -> &crate::dissect::FieldNames {
+        &self.field_names
+    }
+
+    /// Dissects a wire frame against this connection's layout.
+    pub fn dissect_frame(&self, frame: &Msg) -> String {
+        crate::dissect::dissect(frame, &self.layout, &self.field_names)
+    }
+
+    /// True if deferred post-processing is queued in either direction.
+    pub fn has_pending(&self) -> bool {
+        !self.pending_send.is_empty() || !self.pending_recv.is_empty()
+    }
+
+    /// True if send-side post-processing is queued (blocks new sends).
+    pub fn has_pending_send(&self) -> bool {
+        !self.pending_send.is_empty()
+    }
+
+    /// True if delivery-side post-processing is queued.
+    pub fn has_pending_recv(&self) -> bool {
+        !self.pending_recv.is_empty()
+    }
+
+    /// Number of messages waiting in the send backlog.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// The peer's endpoint address (frame routing).
+    pub fn peer_addr(&self) -> EndpointAddr {
+        self.params.peer
+    }
+
+    /// Our endpoint address.
+    pub fn local_addr(&self) -> EndpointAddr {
+        self.params.local
+    }
+
+    /// The send-side prediction (tests and diagnostics).
+    pub fn send_prediction(&self) -> &Prediction {
+        &self.send_predict
+    }
+
+    /// The delivery-side prediction (tests and diagnostics).
+    pub fn recv_prediction(&self) -> &Prediction {
+        &self.recv_predict
+    }
+
+    /// Updates the connection's clock (monotone; used by ticks and
+    /// timestamping layers).
+    pub fn set_now(&mut self, now: Nanos) {
+        self.now = self.now.max(now);
+    }
+
+    /// Records the peer's cookie (called by the router when an
+    /// identified frame re-binds it, and by greeting acceptance).
+    pub fn note_peer_cookie(&mut self, cookie: Cookie) {
+        self.cookie_peer = Some(cookie);
+    }
+
+    /// The connection identification we send (greeting export).
+    pub fn local_ident(&self) -> &[u8] {
+        &self.ident_local
+    }
+
+    /// Stops sending the identification on initial messages (the peer
+    /// already holds it via a greeting). Retransmissions still carry it.
+    pub fn suppress_ident(&mut self) {
+        self.ident_remaining = 0;
+    }
+
+    /// Pops the next frame to hand to the network, if any.
+    pub fn poll_transmit(&mut self) -> Option<Msg> {
+        self.out.pop_front()
+    }
+
+    /// Pops the next application message delivered by the stack, if any.
+    pub fn poll_delivery(&mut self) -> Option<Msg> {
+        self.deliveries.pop_front()
+    }
+
+    // ------------------------------------------------------------------
+    // Send path (Figure 3, send())
+    // ------------------------------------------------------------------
+
+    /// Sends `payload` to the peer.
+    pub fn send(&mut self, payload: &[u8]) -> SendOutcome {
+        // "if (con->send.disable > 0) { add_to_backlog; return; }" —
+        // plus the serialization rule of §3.4: a message may not be
+        // pre-processed until the post-processing of every previous
+        // message has completed.
+        if !self.send_predict.enabled() || !self.pending_send.is_empty() || !self.backlog.is_empty() {
+            self.stats.queued_sends += 1;
+            self.backlog.push(Msg::from_payload(payload));
+            if !self.config.lazy_post {
+                // Eager hosts never leave work pending.
+                self.process_pending();
+            }
+            return SendOutcome::Queued;
+        }
+        let body = {
+            let mut b = Msg::from_payload(payload);
+            b.push_front(&PackInfo::Single.encode());
+            b
+        };
+        let outcome = self.send_body(body);
+        if !self.config.lazy_post {
+            self.process_pending();
+        }
+        outcome
+    }
+
+    /// Sends a body that already carries its packing header. Used by
+    /// `send` (kind 0) and by the backlog drain (packed bodies).
+    fn send_body(&mut self, body: Msg) -> SendOutcome {
+        if self.config.predict {
+            self.fast_send(body)
+        } else {
+            self.stats.slow_sends += 1;
+            self.slow_send(body);
+            SendOutcome::SlowPath
+        }
+    }
+
+    /// The fast path: predicted headers + send filter, no layers.
+    fn fast_send(&mut self, mut msg: Msg) -> SendOutcome {
+        // Push predicted gossip, zeroed message-specific, predicted
+        // protocol header — building the Figure 1 frame front-to-back.
+        msg.push_front(self.send_predict.gossip());
+        msg.push_front_zeroed(self.layout.class_len(Class::Message));
+        msg.push_front(self.send_predict.proto());
+
+        let verdict = self.run_send_filter(&mut msg);
+        if verdict == pa_filter::PASS {
+            self.stats.fast_sends += 1;
+            self.wire_out(msg, false);
+            SendOutcome::FastPath
+        } else {
+            // Fall back: strip the speculative headers and run the
+            // layered pre-send on the original body.
+            let hdr = self.layout.class_len(Class::Protocol)
+                + self.layout.class_len(Class::Message)
+                + self.layout.class_len(Class::Gossip);
+            msg.skip_front(hdr);
+            self.stats.slow_sends += 1;
+            self.slow_send(msg);
+            SendOutcome::SlowPath
+        }
+    }
+
+    /// The layered pre-send traversal, top → bottom.
+    fn slow_send(&mut self, body: Msg) {
+        let msg = self.blank_frame_from_body(body);
+        let top = self.layers.len() as isize - 1;
+        self.send_work.push_back(SendWork { next: top, msg, unusual: false });
+        self.run_work();
+    }
+
+    /// Builds a frame (zeroed class headers) around a packing-prefixed
+    /// body.
+    fn blank_frame_from_body(&self, mut body: Msg) -> Msg {
+        let hdr = self.layout.class_len(Class::Protocol)
+            + self.layout.class_len(Class::Message)
+            + self.layout.class_len(Class::Gossip);
+        body.push_front_zeroed(hdr);
+        body
+    }
+
+    /// Runs the configured send-filter backend over `msg`'s frame.
+    fn run_send_filter(&mut self, msg: &mut Msg) -> pa_filter::Verdict {
+        match self.config.filter_backend {
+            FilterBackend::Interpreted => {
+                let mut frame = Frame::new(msg, &self.layout, self.order);
+                pa_filter::run(&self.send_filter, &mut frame)
+            }
+            FilterBackend::Compiled => {
+                self.send_compiled.run(self.send_filter.slots(), msg, self.order)
+            }
+        }
+    }
+
+    /// Runs the configured delivery-filter backend.
+    fn run_recv_filter(&mut self, msg: &mut Msg) -> pa_filter::Verdict {
+        match self.config.filter_backend {
+            FilterBackend::Interpreted => {
+                let mut frame = Frame::new(msg, &self.layout, self.peer_order);
+                pa_filter::run(&self.recv_filter, &mut frame)
+            }
+            FilterBackend::Compiled => {
+                self.recv_compiled.run(self.recv_filter.slots(), msg, self.peer_order)
+            }
+        }
+    }
+
+    /// Final send step: schedule post-processing, attach conn-ident if
+    /// due, push the cookie preamble, queue the frame for the network.
+    fn wire_out(&mut self, mut msg: Msg, unusual: bool) {
+        // Post-processing operates on the frame image (protocol header
+        // first), captured before preamble/ident are pushed.
+        self.pending_send.push_back(msg.clone());
+
+        let include_ident = !self.config.cookies || unusual || self.ident_remaining > 0;
+        if include_ident {
+            self.ident_remaining = self.ident_remaining.saturating_sub(1);
+            msg.push_front(&self.ident_local);
+            self.stats.ident_frames_out += 1;
+        }
+        let preamble = if include_ident {
+            Preamble::with_conn_ident(self.cookie_local, self.order)
+        } else {
+            Preamble::common(self.cookie_local, self.order)
+        };
+        preamble.push_onto(&mut msg);
+        self.stats.frames_out += 1;
+        self.out.push_back(msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery path (Figure 3, from_network())
+    // ------------------------------------------------------------------
+
+    /// Handles a raw frame from the network (single-connection hosts;
+    /// multi-connection hosts route via [`crate::Endpoint`] and call
+    /// [`Connection::handle_routed`]).
+    pub fn deliver_frame(&mut self, mut frame: Msg) -> DeliverOutcome {
+        self.stats.frames_in += 1;
+        let preamble = match Preamble::pop_from(&mut frame) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.drops_malformed += 1;
+                return DeliverOutcome::Dropped(DropReason::Malformed);
+            }
+        };
+        if preamble.conn_ident_present {
+            let ident_len = self.layout.class_len(Class::ConnId);
+            let Some(ident) = frame.pop_front(ident_len) else {
+                self.stats.drops_malformed += 1;
+                return DeliverOutcome::Dropped(DropReason::Malformed);
+            };
+            if ident != self.ident_peer {
+                self.stats.drops_unknown_cookie += 1;
+                return DeliverOutcome::Dropped(DropReason::ForeignIdent);
+            }
+            self.cookie_peer = Some(preamble.cookie);
+        } else {
+            if self.cookie_peer != Some(preamble.cookie) {
+                self.stats.drops_unknown_cookie += 1;
+                return DeliverOutcome::Dropped(DropReason::UnknownCookie);
+            }
+        }
+        self.handle_routed(preamble, frame)
+    }
+
+    /// Handles a frame whose preamble (and conn-ident, if present) have
+    /// been consumed by the router. `frame` starts at the protocol
+    /// header.
+    pub fn handle_routed(&mut self, preamble: Preamble, mut frame: Msg) -> DeliverOutcome {
+        // Correctness before speed: the *delivery-side* protocol state
+        // must be current before this message's headers are checked
+        // against it, so pending post-deliver work drains first. Pending
+        // post-*send* work stays deferred — the two directions have
+        // independent state (Table 3 keeps two tables), which is what
+        // lets Figure 4's sender run its post-processing after the
+        // reply has been delivered. Under saturation the next arrival
+        // pays for the drain — the dashed-line case of Figure 4.
+        if !self.pending_recv.is_empty() {
+            self.drain_recv_posts();
+        }
+
+        // Learn the peer's byte order from its preamble; re-encode the
+        // delivery prediction if needed.
+        if !self.peer_order_known || self.peer_order != preamble.byte_order {
+            self.peer_order = preamble.byte_order;
+            self.peer_order_known = true;
+            let layout = self.layout.clone();
+            self.recv_predict.reorder(&layout, self.peer_order);
+        }
+
+        if !Frame::fits(&frame, &self.layout) {
+            self.stats.drops_malformed += 1;
+            return DeliverOutcome::Dropped(DropReason::Malformed);
+        }
+
+        let filter_verdict = self.run_recv_filter(&mut frame);
+        let proto_len = self.layout.class_len(Class::Protocol);
+        let predicted = self.config.predict
+            && self.recv_predict.enabled()
+            && frame.get(0, proto_len).expect("fits checked") == self.recv_predict.proto();
+
+        if filter_verdict == pa_filter::PASS && predicted {
+            match self.fast_deliver(frame) {
+                Ok(n) => {
+                    self.stats.fast_deliveries += 1;
+                    self.finish_delivery();
+                    DeliverOutcome::Fast { msgs: n }
+                }
+                Err(out) => out,
+            }
+        } else {
+            if filter_verdict != pa_filter::PASS {
+                self.stats.recv_filter_misses += 1;
+            } else if self.config.predict {
+                self.stats.predict_misses += 1;
+            }
+            self.stats.slow_deliveries += 1;
+            let n = self.slow_deliver(frame);
+            self.finish_delivery();
+            DeliverOutcome::Slow { msgs: n }
+        }
+    }
+
+    fn finish_delivery(&mut self) {
+        if !self.config.lazy_post {
+            self.process_pending();
+        }
+    }
+
+    /// Fast delivery: strip headers, unpack, deliver; stack not entered.
+    fn fast_deliver(&mut self, frame: Msg) -> Result<usize, DeliverOutcome> {
+        let mut body = frame.clone();
+        let hdr = self.layout.class_len(Class::Protocol)
+            + self.layout.class_len(Class::Message)
+            + self.layout.class_len(Class::Gossip);
+        body.skip_front(hdr);
+        let info = match PackInfo::pop_from(&mut body) {
+            Ok(i) => i,
+            Err(_) => {
+                self.stats.drops_malformed += 1;
+                return Err(DeliverOutcome::Dropped(DropReason::Malformed));
+            }
+        };
+        let msgs = match packing::unpack(&info, body) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.drops_malformed += 1;
+                return Err(DeliverOutcome::Dropped(DropReason::Malformed));
+            }
+        };
+        let n = msgs.len();
+        self.stats.msgs_delivered += n as u64;
+        self.deliveries.extend(msgs);
+        let stop = self.layers.len().saturating_sub(1);
+        self.pending_recv.push_back(RecvPost { msg: frame, start: 0, stop });
+        Ok(n)
+    }
+
+    /// Layered pre-deliver traversal, bottom → top.
+    fn slow_deliver(&mut self, frame: Msg) -> usize {
+        let before = self.stats.msgs_delivered;
+        self.deliver_work.push_back(DeliverWork { next: 0, start: 0, msg: frame });
+        self.run_work();
+        (self.stats.msgs_delivered - before) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // The traversal engine
+    // ------------------------------------------------------------------
+
+    /// Drains the send/deliver work queues: the layered slow paths plus
+    /// any layer-emitted traffic.
+    fn run_work(&mut self) {
+        loop {
+            if let Some(work) = self.send_work.pop_front() {
+                self.step_send(work);
+                continue;
+            }
+            if let Some(work) = self.deliver_work.pop_front() {
+                self.step_deliver(work);
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn step_send(&mut self, work: SendWork) {
+        let SendWork { next, mut msg, unusual } = work;
+        if next < 0 {
+            // Below the bottom layer: filter, preamble, wire.
+            let verdict = self.run_send_filter(&mut msg);
+            if verdict != pa_filter::PASS {
+                // A message the stack let through but the filter refuses
+                // (oversized with no frag layer, etc.).
+                self.stats.drops_malformed += 1;
+                return;
+            }
+            self.wire_out(msg, unusual);
+            return;
+        }
+        let i = next as usize;
+        let (action, effects) = {
+            let mut effects = Effects::default();
+            let mut ctx = LayerCtx {
+                layout: &self.layout,
+                order: self.order,
+                now: self.now,
+                send_predict: &mut self.send_predict,
+                recv_predict: &mut self.recv_predict,
+                effects: &mut effects,
+            };
+            let action = self.layers[i].pre_send(&mut ctx, &mut msg);
+            (action, effects)
+        };
+        self.apply_effects(i, effects);
+        match action {
+            SendAction::Continue => {
+                self.send_work.push_back(SendWork { next: next - 1, msg, unusual });
+            }
+            SendAction::Split(parts) => {
+                for part in parts {
+                    self.send_work.push_back(SendWork { next: next - 1, msg: part, unusual });
+                }
+            }
+            SendAction::Buffered => {
+                // The layer took the contents (mem::take) and will
+                // re-emit via emit_down later.
+            }
+            SendAction::Reject(_) => {
+                self.stats.drops_malformed += 1;
+            }
+        }
+    }
+
+    fn step_deliver(&mut self, work: DeliverWork) {
+        let DeliverWork { next, start, mut msg } = work;
+        if next >= self.layers.len() {
+            // Above the top layer: strip headers, unpack, deliver.
+            let stop = self.layers.len().saturating_sub(1);
+            let frame_image = msg.clone();
+            let hdr = self.layout.class_len(Class::Protocol)
+                + self.layout.class_len(Class::Message)
+                + self.layout.class_len(Class::Gossip);
+            msg.skip_front(hdr);
+            match PackInfo::pop_from(&mut msg).and_then(|info| packing::unpack(&info, msg)) {
+                Ok(msgs) => {
+                    self.stats.msgs_delivered += msgs.len() as u64;
+                    self.deliveries.extend(msgs);
+                    self.pending_recv.push_back(RecvPost { msg: frame_image, start, stop });
+                }
+                Err(_) => {
+                    self.stats.drops_malformed += 1;
+                }
+            }
+            return;
+        }
+        let (action, effects) = {
+            let mut effects = Effects::default();
+            let mut ctx = LayerCtx {
+                layout: &self.layout,
+                order: self.peer_order,
+                now: self.now,
+                send_predict: &mut self.send_predict,
+                recv_predict: &mut self.recv_predict,
+                effects: &mut effects,
+            };
+            let action = self.layers[next].pre_deliver(&mut ctx, &mut msg);
+            (action, effects)
+        };
+        self.apply_effects(next, effects);
+        match action {
+            DeliverAction::Continue => {
+                self.deliver_work.push_back(DeliverWork { next: next + 1, start, msg });
+            }
+            DeliverAction::Consume => {
+                self.pending_recv.push_back(RecvPost { msg, start, stop: next });
+            }
+            DeliverAction::Drop(_) => {
+                self.stats.drops_by_layer += 1;
+                self.pending_recv.push_back(RecvPost { msg, start, stop: next });
+            }
+        }
+    }
+
+    /// Applies a layer's requested side effects. `layer_idx` is the
+    /// emitting layer; downward messages enter below it, upward ones
+    /// above it.
+    fn apply_effects(&mut self, layer_idx: usize, effects: Effects) {
+        for _ in 0..effects.disable_send.max(0) {
+            self.send_predict.disable();
+        }
+        for _ in 0..(-effects.disable_send).max(0) {
+            self.send_predict.enable();
+        }
+        for _ in 0..effects.disable_recv.max(0) {
+            self.recv_predict.disable();
+        }
+        for _ in 0..(-effects.disable_recv).max(0) {
+            self.recv_predict.enable();
+        }
+        for (slot, v) in effects.send_slot_patches {
+            self.send_filter.set_slot(slot, v);
+        }
+        for (slot, v) in effects.recv_slot_patches {
+            self.recv_filter.set_slot(slot, v);
+        }
+        for (msg, unusual) in effects.down {
+            self.stats.control_msgs += 1;
+            self.send_work.push_back(SendWork { next: layer_idx as isize - 1, msg, unusual });
+        }
+        for msg in effects.up {
+            self.deliver_work.push_back(DeliverWork { next: layer_idx + 1, start: layer_idx + 1, msg });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Post-processing (§3.1) and the backlog drain (§3.4)
+    // ------------------------------------------------------------------
+
+    /// Runs all deferred post-processing, then drains the backlog (with
+    /// packing) if the send path is usable again. Hosts call this when
+    /// the application is idle or blocked — "out of the critical path".
+    pub fn process_pending(&mut self) -> PostWorkReport {
+        let mut report = PostWorkReport::default();
+        let frames_before = self.stats.frames_out;
+
+        loop {
+            if let Some(msg) = self.pending_send.pop_front() {
+                self.run_post_send(&msg, &mut report);
+                continue;
+            }
+            if let Some(post) = self.pending_recv.pop_front() {
+                self.run_post_deliver(post, &mut report);
+                continue;
+            }
+            break;
+        }
+
+        // "After the post-processing of a send operation completes, the
+        // PA checks to see if there are messages waiting."
+        if !self.backlog.is_empty() && self.send_predict.enabled() {
+            let drained = self.drain_backlog();
+            report.backlog_drained = drained.0;
+            report.packed = drained.1;
+        }
+
+        report.frames_sent = self.stats.frames_out - frames_before;
+        report
+    }
+
+    /// Drains only the delivery-side post queue (called on arrival so
+    /// the receive state is current; send-side posts stay deferred).
+    /// Returns the work done for cost accounting.
+    pub fn drain_recv_posts(&mut self) -> PostWorkReport {
+        let mut report = PostWorkReport::default();
+        while let Some(post) = self.pending_recv.pop_front() {
+            self.run_post_deliver(post, &mut report);
+        }
+        report
+    }
+
+    /// Runs post-send phases for one wired frame, top → bottom
+    /// (mirroring pre-send).
+    fn run_post_send(&mut self, msg: &Msg, report: &mut PostWorkReport) {
+        report.post_send_phases += self.layers.len() as u64;
+        report.post_send_frames += 1;
+        self.stats.post_sends += 1;
+        for i in (0..self.layers.len()).rev() {
+            let effects = {
+                let mut effects = Effects::default();
+                let mut ctx = LayerCtx {
+                    layout: &self.layout,
+                    order: self.order,
+                    now: self.now,
+                    send_predict: &mut self.send_predict,
+                    recv_predict: &mut self.recv_predict,
+                    effects: &mut effects,
+                };
+                self.layers[i].post_send(&mut ctx, msg);
+                effects
+            };
+            self.apply_effects(i, effects);
+        }
+        self.run_work();
+    }
+
+    /// Runs post-deliver phases for one received frame, bottom → top.
+    fn run_post_deliver(&mut self, post: RecvPost, report: &mut PostWorkReport) {
+        let RecvPost { msg, start, stop } = post;
+        if start > stop {
+            // A message emitted upward by the top layer has no layers
+            // left to post-process.
+            return;
+        }
+        report.post_deliver_phases += (stop - start + 1) as u64;
+        report.post_deliver_frames += 1;
+        self.stats.post_delivers += 1;
+        for i in start..=stop {
+            let effects = {
+                let mut effects = Effects::default();
+                let mut ctx = LayerCtx {
+                    layout: &self.layout,
+                    order: self.peer_order,
+                    now: self.now,
+                    send_predict: &mut self.send_predict,
+                    recv_predict: &mut self.recv_predict,
+                    effects: &mut effects,
+                };
+                self.layers[i].post_deliver(&mut ctx, &msg);
+                effects
+            };
+            self.apply_effects(i, effects);
+        }
+        self.run_work();
+    }
+
+    /// Drains one frame's worth of backlog; returns (messages, packed?).
+    fn drain_backlog(&mut self) -> (u64, bool) {
+        let run = if self.config.packing {
+            if self.config.variable_packing {
+                self.backlog.pop_run(self.config.max_pack)
+            } else {
+                self.backlog.pop_same_size_run(self.config.max_pack)
+            }
+        } else {
+            self.backlog.pop_run(1)
+        };
+        if run.is_empty() {
+            return (0, false);
+        }
+        let n = run.len() as u64;
+        let packed = run.len() > 1;
+        if packed {
+            self.stats.packed_frames += 1;
+            self.stats.packed_msgs += n;
+        }
+        let body = packing::pack(&run);
+        self.send_body(body);
+        (n, packed)
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Advances time and gives every layer a timer callback
+    /// (retransmission, keepalives). Bottom → top.
+    pub fn tick(&mut self, now: Nanos) {
+        self.set_now(now);
+        for i in 0..self.layers.len() {
+            let effects = {
+                let mut effects = Effects::default();
+                let mut ctx = LayerCtx {
+                    layout: &self.layout,
+                    order: self.order,
+                    now: self.now,
+                    send_predict: &mut self.send_predict,
+                    recv_predict: &mut self.recv_predict,
+                    effects: &mut effects,
+                };
+                self.layers[i].on_tick(&mut ctx, now);
+                effects
+            };
+            self.apply_effects(i, effects);
+        }
+        self.run_work();
+        if !self.config.lazy_post {
+            self.process_pending();
+        }
+    }
+}
+
+impl fmt::Debug for Connection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Connection")
+            .field("local", &self.params.local)
+            .field("peer", &self.params.peer)
+            .field("cookie", &self.cookie_local)
+            .field("layers", &self.layers.len())
+            .field("pending_send", &self.pending_send.len())
+            .field("pending_recv", &self.pending_recv.len())
+            .field("backlog", &self.backlog.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::NullLayer;
+    use pa_filter::{DigestKind, Op};
+    use pa_wire::Field;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// A sequence-number layer instrumented with call counters —
+    /// exercises fields, filters, prediction, disable, and the
+    /// canonical-form split.
+    struct SeqLayer {
+        seq_f: Option<Field>,
+        len_f: Option<Field>,
+        ck_f: Option<Field>,
+        next_send: u64,
+        next_recv: u64,
+        pre_sends: Rc<Cell<u32>>,
+        post_sends: Rc<Cell<u32>>,
+        pre_delivers: Rc<Cell<u32>>,
+        post_delivers: Rc<Cell<u32>>,
+    }
+
+    struct Counters {
+        pre_sends: Rc<Cell<u32>>,
+        post_sends: Rc<Cell<u32>>,
+        pre_delivers: Rc<Cell<u32>>,
+        post_delivers: Rc<Cell<u32>>,
+    }
+
+    fn seq_layer() -> (SeqLayer, Counters) {
+        let c = Counters {
+            pre_sends: Rc::new(Cell::new(0)),
+            post_sends: Rc::new(Cell::new(0)),
+            pre_delivers: Rc::new(Cell::new(0)),
+            post_delivers: Rc::new(Cell::new(0)),
+        };
+        let l = SeqLayer {
+            seq_f: None,
+            len_f: None,
+            ck_f: None,
+            next_send: 0,
+            next_recv: 0,
+            pre_sends: c.pre_sends.clone(),
+            post_sends: c.post_sends.clone(),
+            pre_delivers: c.pre_delivers.clone(),
+            post_delivers: c.post_delivers.clone(),
+        };
+        (l, c)
+    }
+
+    impl Layer for SeqLayer {
+        fn name(&self) -> &'static str {
+            "seq-test"
+        }
+
+        fn init(&mut self, ctx: &mut InitCtx<'_>) {
+            let seq = ctx.layout.add_field(Class::Protocol, "seq", 32, None).unwrap();
+            let len = ctx.layout.add_field(Class::Message, "len", 16, None).unwrap();
+            let ck = ctx.layout.add_field(Class::Message, "ck", 16, None).unwrap();
+            self.seq_f = Some(seq);
+            self.len_f = Some(len);
+            self.ck_f = Some(ck);
+            ctx.send_filter.extend(vec![
+                Op::PushSize,
+                Op::PopField(len),
+                Op::Digest(DigestKind::InternetChecksum),
+                Op::PopField(ck),
+            ]);
+            ctx.recv_filter.extend(vec![
+                Op::PushField(len),
+                Op::PushSize,
+                Op::Ne,
+                Op::Abort(1),
+                Op::PushField(ck),
+                Op::Digest(DigestKind::InternetChecksum),
+                Op::Ne,
+                Op::Abort(2),
+            ]);
+        }
+
+        fn pre_send(&mut self, ctx: &mut LayerCtx<'_>, msg: &mut Msg) -> SendAction {
+            self.pre_sends.set(self.pre_sends.get() + 1);
+            let f = self.seq_f.unwrap();
+            ctx.frame(msg).write(f, self.next_send);
+            SendAction::Continue
+        }
+
+        fn post_send(&mut self, ctx: &mut LayerCtx<'_>, _msg: &Msg) {
+            self.post_sends.set(self.post_sends.get() + 1);
+            self.next_send += 1;
+            let f = self.seq_f.unwrap();
+            ctx.send_predict.set(ctx.layout, f, self.next_send);
+        }
+
+        fn pre_deliver(&mut self, ctx: &mut LayerCtx<'_>, msg: &mut Msg) -> DeliverAction {
+            self.pre_delivers.set(self.pre_delivers.get() + 1);
+            let f = self.seq_f.unwrap();
+            let seq = ctx.frame(msg).read(f);
+            if seq == self.next_recv {
+                DeliverAction::Continue
+            } else {
+                DeliverAction::Drop("out of sequence")
+            }
+        }
+
+        fn post_deliver(&mut self, ctx: &mut LayerCtx<'_>, msg: &Msg) {
+            self.post_delivers.set(self.post_delivers.get() + 1);
+            let f = self.seq_f.unwrap();
+            let mut m = msg.clone();
+            let seq = ctx.frame(&mut m).read(f);
+            if seq == self.next_recv {
+                self.next_recv += 1;
+                ctx.recv_predict.set(ctx.layout, f, self.next_recv);
+            }
+        }
+    }
+
+    fn pair(config: PaConfig) -> (Connection, Connection, Counters, Counters) {
+        let (la, ca) = seq_layer();
+        let (lb, cb) = seq_layer();
+        let a = Connection::new(
+            vec![Box::new(la)],
+            config,
+            ConnectionParams::new(EndpointAddr::from_parts(1, 7), EndpointAddr::from_parts(2, 7), 1),
+        )
+        .unwrap();
+        let b = Connection::new(
+            vec![Box::new(lb)],
+            config,
+            ConnectionParams::new(EndpointAddr::from_parts(2, 7), EndpointAddr::from_parts(1, 7), 2),
+        )
+        .unwrap();
+        (a, b, ca, cb)
+    }
+
+    /// Shuttles all queued frames from `from` to `to`, returning
+    /// delivered payloads.
+    fn shuttle(from: &mut Connection, to: &mut Connection) -> Vec<Vec<u8>> {
+        while let Some(frame) = from.poll_transmit() {
+            to.deliver_frame(frame);
+        }
+        let mut out = Vec::new();
+        while let Some(m) = to.poll_delivery() {
+            out.push(m.to_wire());
+        }
+        out
+    }
+
+    #[test]
+    fn first_send_is_fast_and_carries_ident() {
+        let (mut a, mut b, ca, _cb) = pair(PaConfig::paper_default());
+        assert_eq!(a.send(b"m0"), SendOutcome::FastPath);
+        assert_eq!(ca.pre_sends.get(), 0, "fast path entered no layer");
+        assert_eq!(a.stats().ident_frames_out, 1);
+        let got = shuttle(&mut a, &mut b);
+        assert_eq!(got, vec![b"m0".to_vec()]);
+    }
+
+    #[test]
+    fn fast_path_sequence_with_lazy_posts() {
+        let (mut a, mut b, ca, cb) = pair(PaConfig::paper_default());
+        for i in 0..5u8 {
+            let outcome = a.send(&[i]);
+            assert_eq!(outcome, SendOutcome::FastPath, "send {i}");
+            let got = shuttle(&mut a, &mut b);
+            assert_eq!(got, vec![vec![i]]);
+            // Posts are lazy: run them now, out of the "critical path".
+            a.process_pending();
+            b.process_pending();
+        }
+        assert_eq!(ca.pre_sends.get(), 0);
+        assert_eq!(ca.post_sends.get(), 5);
+        assert_eq!(cb.pre_delivers.get(), 0, "all deliveries predicted");
+        assert_eq!(cb.post_delivers.get(), 5);
+        assert_eq!(b.stats().fast_deliveries, 5);
+    }
+
+    #[test]
+    fn sends_without_post_processing_backlog_and_pack() {
+        let (mut a, mut b, _ca, _cb) = pair(PaConfig::paper_default());
+        assert_eq!(a.send(b"aaaa"), SendOutcome::FastPath);
+        // Post-processing hasn't run: these must queue.
+        assert_eq!(a.send(b"bbbb"), SendOutcome::Queued);
+        assert_eq!(a.send(b"cccc"), SendOutcome::Queued);
+        assert_eq!(a.send(b"dddd"), SendOutcome::Queued);
+        assert_eq!(a.backlog_len(), 3);
+
+        let report = a.process_pending();
+        assert_eq!(report.backlog_drained, 3);
+        assert!(report.packed, "same-size run packs into one frame");
+        assert_eq!(a.stats().packed_frames, 1);
+        assert_eq!(a.stats().frames_out, 2, "one plain + one packed frame");
+
+        let got = shuttle(&mut a, &mut b);
+        assert_eq!(got, vec![b"aaaa".to_vec(), b"bbbb".to_vec(), b"cccc".to_vec(), b"dddd".to_vec()]);
+        assert_eq!(b.stats().msgs_delivered, 4);
+    }
+
+    #[test]
+    fn different_size_backlog_drains_same_size_runs() {
+        let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+        a.send(b"x");
+        a.send(b"yy");       // queued, size 2
+        a.send(b"zz");       // queued, size 2
+        a.send(b"w");        // queued, size 1
+        a.process_pending(); // drains the [yy,zz] run packed
+        a.process_pending(); // drains [w]
+        a.process_pending();
+        let got = shuttle(&mut a, &mut b);
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[1], b"yy".to_vec());
+        assert_eq!(got[3], b"w".to_vec());
+    }
+
+    #[test]
+    fn variable_packing_packs_mixed_sizes() {
+        let cfg = PaConfig { variable_packing: true, ..PaConfig::paper_default() };
+        let (mut a, mut b, ..) = pair(cfg);
+        a.send(b"x");
+        a.send(b"yy");
+        a.send(b"z");
+        let report = a.process_pending();
+        assert_eq!(report.backlog_drained, 2);
+        assert!(report.packed);
+        a.process_pending();
+        let got = shuttle(&mut a, &mut b);
+        assert_eq!(got, vec![b"x".to_vec(), b"yy".to_vec(), b"z".to_vec()]);
+    }
+
+    #[test]
+    fn eager_mode_never_queues() {
+        let cfg = PaConfig { lazy_post: false, ..PaConfig::paper_default() };
+        let (mut a, mut b, ca, _cb) = pair(cfg);
+        for i in 0..4u8 {
+            let outcome = a.send(&[i; 8]);
+            assert!(
+                matches!(outcome, SendOutcome::FastPath | SendOutcome::Queued),
+                "{outcome:?}"
+            );
+            assert!(!a.has_pending(), "eager mode drains immediately");
+        }
+        assert_eq!(ca.post_sends.get(), 4);
+        let got = shuttle(&mut a, &mut b);
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn no_predict_takes_slow_path() {
+        let cfg = PaConfig { predict: false, lazy_post: false, ..PaConfig::paper_default() };
+        let (mut a, mut b, ca, cb) = pair(cfg);
+        a.send(b"slow");
+        assert_eq!(ca.pre_sends.get(), 1, "layer entered");
+        let got = shuttle(&mut a, &mut b);
+        assert_eq!(got, vec![b"slow".to_vec()]);
+        assert!(cb.pre_delivers.get() >= 1);
+        assert_eq!(a.stats().slow_sends, 1);
+    }
+
+    #[test]
+    fn baseline_config_works_end_to_end() {
+        let (mut a, mut b, ..) = pair(PaConfig::no_pa_baseline());
+        for i in 0..3u8 {
+            a.send(&[i]);
+            let got = shuttle(&mut a, &mut b);
+            assert_eq!(got, vec![vec![i]]);
+        }
+        assert_eq!(a.stats().fast_sends, 0);
+        assert_eq!(b.stats().fast_deliveries, 0);
+        assert_eq!(a.stats().ident_frames_out, 3, "ident on every frame");
+    }
+
+    #[test]
+    fn corrupted_frame_rejected_by_filter_then_layer() {
+        let (mut a, mut b, _ca, cb) = pair(PaConfig::paper_default());
+        a.send(b"fragile payload");
+        let mut frame = a.poll_transmit().unwrap();
+        let n = frame.len() - 1;
+        frame.set_byte_at(n, frame.byte_at(n) ^ 0xFF);
+        let out = b.deliver_frame(frame);
+        // The delivery filter catches the checksum mismatch, forcing the
+        // slow path; the layer (which has no checksum logic) continues,
+        // so the corrupt message is delivered by this minimal stack —
+        // what matters here is the path taken.
+        assert!(matches!(out, DeliverOutcome::Slow { .. }), "{out:?}");
+        assert_eq!(b.stats().recv_filter_misses, 1);
+        let _ = cb;
+    }
+
+    #[test]
+    fn out_of_order_sequence_dropped_by_layer() {
+        let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+        // First frame delivered normally (teaches b the cookie).
+        a.send(b"first");
+        shuttle(&mut a, &mut b);
+        a.process_pending();
+        b.process_pending();
+        // Second frame lost; third arrives out of sequence.
+        a.send(b"second");
+        a.process_pending();
+        a.send(b"third");
+        let _lost = a.poll_transmit().unwrap();
+        let frame = a.poll_transmit().unwrap();
+        let out = b.deliver_frame(frame);
+        assert!(matches!(out, DeliverOutcome::Slow { msgs: 0 }), "{out:?}");
+        assert_eq!(b.stats().predict_misses, 1);
+        assert_eq!(b.stats().drops_by_layer, 1);
+        assert!(b.poll_delivery().is_none());
+    }
+
+    #[test]
+    fn arrival_defers_send_posts_but_drains_recv_posts() {
+        let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+        // b sends something so it has pending *send-side* post work.
+        b.send(b"outbound");
+        assert!(b.has_pending_send());
+        // Two inbound frames: the second arrival must drain the first
+        // frame's post-deliver (receive state currency) while leaving
+        // b's post-send deferred (Figure 4's sender-side laziness).
+        a.send(b"inbound-1");
+        let f1 = a.poll_transmit().unwrap();
+        b.deliver_frame(f1);
+        assert!(b.has_pending_recv());
+        assert_eq!(b.stats().post_sends, 0, "send post still deferred");
+        a.process_pending();
+        a.send(b"inbound-2");
+        let f2 = a.poll_transmit().unwrap();
+        b.deliver_frame(f2);
+        assert_eq!(b.stats().post_delivers, 1, "first recv post drained");
+        assert_eq!(b.stats().post_sends, 0, "send post still deferred");
+        b.process_pending();
+        assert_eq!(b.stats().post_sends, 1);
+        assert_eq!(b.poll_delivery().unwrap().as_slice(), b"inbound-1");
+        assert_eq!(b.poll_delivery().unwrap().as_slice(), b"inbound-2");
+    }
+
+    #[test]
+    fn cross_byte_order_peers_interoperate() {
+        let (la, _ca) = seq_layer();
+        let (lb, _cb) = seq_layer();
+        let mut a = Connection::new(
+            vec![Box::new(la)],
+            PaConfig::paper_default(),
+            ConnectionParams {
+                local: EndpointAddr::from_parts(1, 7),
+                peer: EndpointAddr::from_parts(2, 7),
+                seed: 1,
+                order: ByteOrder::Little,
+            },
+        )
+        .unwrap();
+        let mut b = Connection::new(
+            vec![Box::new(lb)],
+            PaConfig::paper_default(),
+            ConnectionParams {
+                local: EndpointAddr::from_parts(2, 7),
+                peer: EndpointAddr::from_parts(1, 7),
+                seed: 2,
+                order: ByteOrder::Big,
+            },
+        )
+        .unwrap();
+        for i in 0..3u8 {
+            a.send(&[i, i]);
+            let got = shuttle(&mut a, &mut b);
+            assert_eq!(got, vec![vec![i, i]], "message {i}");
+            a.process_pending();
+            b.process_pending();
+        }
+        // After the first (ident-carrying, slow-ish) message, fast
+        // deliveries should kick in despite the order difference.
+        assert!(b.stats().fast_deliveries >= 2, "{:?}", b.stats());
+    }
+
+    #[test]
+    fn null_stack_connection_works() {
+        let mut a = Connection::new(
+            vec![Box::new(NullLayer)],
+            PaConfig::paper_default(),
+            ConnectionParams::new(EndpointAddr::from_parts(1, 1), EndpointAddr::from_parts(2, 1), 5),
+        )
+        .unwrap();
+        let mut b = Connection::new(
+            vec![Box::new(NullLayer)],
+            PaConfig::paper_default(),
+            ConnectionParams::new(EndpointAddr::from_parts(2, 1), EndpointAddr::from_parts(1, 1), 6),
+        )
+        .unwrap();
+        a.send(b"empty stack");
+        let got = shuttle(&mut a, &mut b);
+        assert_eq!(got, vec![b"empty stack".to_vec()]);
+    }
+
+    #[test]
+    fn stack_fingerprint_mismatch_drops_frames() {
+        // A peer with a different stack computes a different layout
+        // fingerprint, hence a different conn-ident: frames don't match.
+        let (la, _) = seq_layer();
+        let mut a = Connection::new(
+            vec![Box::new(la)],
+            PaConfig::paper_default(),
+            ConnectionParams::new(EndpointAddr::from_parts(1, 1), EndpointAddr::from_parts(2, 1), 5),
+        )
+        .unwrap();
+        let mut b = Connection::new(
+            vec![Box::new(NullLayer)], // different stack!
+            PaConfig::paper_default(),
+            ConnectionParams::new(EndpointAddr::from_parts(2, 1), EndpointAddr::from_parts(1, 1), 6),
+        )
+        .unwrap();
+        a.send(b"hello?");
+        let frame = a.poll_transmit().unwrap();
+        let out = b.deliver_frame(frame);
+        assert!(matches!(out, DeliverOutcome::Dropped(_)), "{out:?}");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+        a.send(b"");
+        let got = shuttle(&mut a, &mut b);
+        assert_eq!(got, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn large_payload_without_frag_layer_still_travels() {
+        // The SeqLayer stack has no fragmentation and no size filter, so
+        // a large message simply rides a large frame.
+        let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+        let big = vec![0x5Au8; 10_000];
+        a.send(&big);
+        let got = shuttle(&mut a, &mut b);
+        assert_eq!(got, vec![big]);
+    }
+
+    #[test]
+    fn interleaved_bidirectional_fast_paths() {
+        let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+        for i in 0..10u8 {
+            a.send(&[b'a', i]);
+            b.send(&[b'b', i]);
+            // Exchange both directions.
+            while let Some(f) = a.poll_transmit() {
+                b.deliver_frame(f);
+            }
+            while let Some(f) = b.poll_transmit() {
+                a.deliver_frame(f);
+            }
+            a.process_pending();
+            b.process_pending();
+        }
+        let mut got_b = Vec::new();
+        while let Some(m) = b.poll_delivery() {
+            got_b.push(m.to_wire());
+        }
+        let mut got_a = Vec::new();
+        while let Some(m) = a.poll_delivery() {
+            got_a.push(m.to_wire());
+        }
+        assert_eq!(got_b.len(), 10);
+        assert_eq!(got_a.len(), 10);
+        assert!(a.stats().fast_send_ratio() > 0.8);
+        assert!(b.stats().fast_send_ratio() > 0.8);
+    }
+
+    #[test]
+    fn stats_fast_ratio_reflects_paths() {
+        let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+        for _ in 0..10 {
+            a.send(b"payload!");
+            shuttle(&mut a, &mut b);
+            a.process_pending();
+            b.process_pending();
+        }
+        assert!(a.stats().fast_send_ratio() > 0.9);
+        assert!(b.stats().fast_delivery_ratio() > 0.9);
+    }
+}

@@ -1,0 +1,215 @@
+//! Cookie pre-agreement (§6's proposed fix for first-message loss).
+//!
+//! §2.2: "if the first message is lost, the next message will be
+//! dropped as well because the cookie is unknown … Perhaps a better
+//! solution would be to agree on a cookie before starting to use it."
+//!
+//! A [`Greeting`] is that agreement: a small out-of-band blob each side
+//! exports and hands to the other (over whatever bootstrap channel
+//! created the connection — a rendezvous service, the group membership
+//! protocol, a config file). Accepting a greeting binds the peer's
+//! cookie *before* any data flows, so:
+//!
+//! - the first data message no longer needs to carry the ~75-byte
+//!   identification,
+//! - a lost or reordered first message no longer wedges the stream, and
+//! - the greeting carries the stack fingerprint, so mismatched stacks
+//!   fail at setup with a diagnosis instead of dropping frames.
+
+use crate::conn::Connection;
+use pa_wire::Cookie;
+use std::fmt;
+
+/// Magic prefix of a serialized greeting.
+const MAGIC: &[u8; 4] = b"PAg1";
+
+/// The out-of-band cookie agreement blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Greeting {
+    /// The sender's outgoing cookie.
+    pub cookie: Cookie,
+    /// The sender's connection identification (as it would appear on
+    /// the wire).
+    pub ident: Vec<u8>,
+}
+
+/// Errors from accepting a greeting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GreetingError {
+    /// Not a greeting blob at all.
+    BadMagic,
+    /// Truncated blob.
+    Truncated,
+    /// The peer's identification is not the one this connection
+    /// expects (wrong peer, wrong epoch, or mismatched stack
+    /// fingerprint).
+    IdentMismatch,
+}
+
+impl fmt::Display for GreetingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GreetingError::BadMagic => write!(f, "not a PA greeting"),
+            GreetingError::Truncated => write!(f, "truncated greeting"),
+            GreetingError::IdentMismatch => {
+                write!(f, "peer identification mismatch (wrong peer, epoch, or stack)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GreetingError {}
+
+impl Greeting {
+    /// Serializes: magic, cookie, ident length, ident bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 + 2 + self.ident.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.cookie.raw().to_be_bytes());
+        out.extend_from_slice(&(self.ident.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.ident);
+        out
+    }
+
+    /// Deserializes a greeting blob.
+    pub fn decode(bytes: &[u8]) -> Result<Greeting, GreetingError> {
+        if bytes.len() < 4 {
+            return Err(GreetingError::Truncated);
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(GreetingError::BadMagic);
+        }
+        if bytes.len() < 14 {
+            return Err(GreetingError::Truncated);
+        }
+        let cookie = Cookie::from_raw(u64::from_be_bytes(bytes[4..12].try_into().expect("8")));
+        let len = u16::from_be_bytes([bytes[12], bytes[13]]) as usize;
+        if bytes.len() < 14 + len {
+            return Err(GreetingError::Truncated);
+        }
+        Ok(Greeting { cookie, ident: bytes[14..14 + len].to_vec() })
+    }
+}
+
+impl Connection {
+    /// Exports this connection's greeting for out-of-band delivery to
+    /// the peer.
+    pub fn export_greeting(&self) -> Greeting {
+        Greeting { cookie: self.local_cookie(), ident: self.local_ident().to_vec() }
+    }
+
+    /// Accepts the peer's greeting: verifies the identification and
+    /// binds the cookie, so no data frame ever needs to carry the
+    /// identification and a lost first frame cannot wedge the stream.
+    pub fn accept_greeting(&mut self, g: &Greeting) -> Result<(), GreetingError> {
+        if g.ident != self.expected_ident() {
+            return Err(GreetingError::IdentMismatch);
+        }
+        self.note_peer_cookie(g.cookie);
+        self.suppress_ident();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PaConfig;
+    use crate::conn::{ConnectionParams, DeliverOutcome};
+    use crate::layer::NullLayer;
+    use pa_wire::EndpointAddr;
+
+    fn pair() -> (Connection, Connection) {
+        let mk = |l: u64, p: u64, s: u64| {
+            Connection::new(
+                vec![Box::new(NullLayer)],
+                PaConfig::paper_default(),
+                ConnectionParams::new(
+                    EndpointAddr::from_parts(l, 2),
+                    EndpointAddr::from_parts(p, 2),
+                    s,
+                ),
+            )
+            .unwrap()
+        };
+        (mk(1, 2, 81), mk(2, 1, 82))
+    }
+
+    #[test]
+    fn greeting_roundtrips() {
+        let (a, _) = pair();
+        let g = a.export_greeting();
+        assert_eq!(Greeting::decode(&g.encode()).unwrap(), g);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Greeting::decode(b""), Err(GreetingError::Truncated));
+        assert_eq!(Greeting::decode(b"nope-not-a-greeting"), Err(GreetingError::BadMagic));
+        let (a, _) = pair();
+        let mut e = a.export_greeting().encode();
+        e.truncate(e.len() - 1);
+        assert_eq!(Greeting::decode(&e), Err(GreetingError::Truncated));
+    }
+
+    #[test]
+    fn mutual_greetings_bind_cookies() {
+        let (mut a, mut b) = pair();
+        let ga = a.export_greeting();
+        let gb = b.export_greeting();
+        a.accept_greeting(&gb).unwrap();
+        b.accept_greeting(&ga).unwrap();
+        assert_eq!(a.peer_cookie(), Some(gb.cookie));
+        assert_eq!(b.peer_cookie(), Some(ga.cookie));
+    }
+
+    #[test]
+    fn first_frame_after_greeting_needs_no_ident() {
+        let (mut a, mut b) = pair();
+        let gb = b.export_greeting();
+        let ga = a.export_greeting();
+        a.accept_greeting(&gb).unwrap();
+        b.accept_greeting(&ga).unwrap();
+        a.send(b"lean first frame");
+        let frame = a.poll_transmit().unwrap();
+        let p = pa_wire::Preamble::decode(frame.as_slice()).unwrap();
+        assert!(!p.conn_ident_present, "identification pre-agreed, not resent");
+        assert!(matches!(b.deliver_frame(frame), DeliverOutcome::Fast { msgs: 1 }));
+    }
+
+    #[test]
+    fn lost_first_frame_no_longer_wedges() {
+        let (mut a, mut b) = pair();
+        let gb = b.export_greeting();
+        let ga = a.export_greeting();
+        a.accept_greeting(&gb).unwrap();
+        b.accept_greeting(&ga).unwrap();
+        a.send(b"lost");
+        let _lost = a.poll_transmit().unwrap();
+        a.process_pending();
+        a.send(b"arrives");
+        let frame = a.poll_transmit().unwrap();
+        // Without the greeting, this cookie-only frame would be dropped
+        // (§2.2). With it, the cookie is known. (The NullLayer stack has
+        // no sequencing, so the payload just arrives.)
+        let out = b.deliver_frame(frame);
+        assert!(
+            matches!(out, DeliverOutcome::Fast { .. } | DeliverOutcome::Slow { .. }),
+            "{out:?}"
+        );
+        assert_eq!(b.poll_delivery().unwrap().as_slice(), b"arrives");
+    }
+
+    #[test]
+    fn wrong_peer_greeting_rejected() {
+        let (mut a, _) = pair();
+        let stranger = Connection::new(
+            vec![Box::new(NullLayer)],
+            PaConfig::paper_default(),
+            ConnectionParams::new(EndpointAddr::from_parts(9, 2), EndpointAddr::from_parts(1, 2), 99),
+        )
+        .unwrap();
+        let g = stranger.export_greeting();
+        assert_eq!(a.accept_greeting(&g), Err(GreetingError::IdentMismatch));
+    }
+}

@@ -1,0 +1,334 @@
+//! The protocol-layer interface, in canonical pre/post form (§3.1).
+//!
+//! "The send and delivery processing of a protocol layer can be done in
+//! two phases: a pre-processing phase [that] builds (sending) or checks
+//! (delivery) the message header but leaves the protocol state
+//! untouched, and a post-processing phase [that] updates the protocol
+//! state." Every layer in this framework is written that way from the
+//! start; the engine exploits it by running pre phases on the critical
+//! path (when the fast path cannot be used at all) and deferring post
+//! phases until the host is idle.
+//!
+//! Layer stacking: index 0 is the **bottom** (closest to the network),
+//! index `n-1` the **top** (closest to the application). Pre-send runs
+//! top → bottom, pre-deliver bottom → top; post phases run in the same
+//! direction as their pre phase.
+//!
+//! Layers never call each other. They communicate through the engine via
+//! [`LayerCtx`]: emitting messages downward (acknowledgements,
+//! retransmissions, drained window buffers), emitting upward
+//! (reassembled or reordered messages), and toggling the predicted
+//! headers' disable counters.
+
+use crate::predict::Prediction;
+use crate::Nanos;
+use pa_buf::{ByteOrder, Msg};
+use pa_filter::{Frame, ProgramBuilder};
+use pa_wire::{CompiledLayout, LayoutBuilder};
+
+/// Verdict of a layer's pre-send phase.
+#[derive(Debug)]
+pub enum SendAction {
+    /// Header fields written; continue to the layer below.
+    Continue,
+    /// The layer consumed the message (e.g. window full; it took the
+    /// contents with `std::mem::take` and will re-emit later).
+    Buffered,
+    /// The message was replaced by these (fragmentation). Each continues
+    /// from the layer below.
+    Split(Vec<Msg>),
+    /// Refuse to send (protocol error); the message is discarded.
+    Reject(&'static str),
+}
+
+/// Verdict of a layer's pre-deliver phase.
+#[derive(Debug)]
+pub enum DeliverAction {
+    /// Checks passed; continue to the layer above.
+    Continue,
+    /// The layer owns this message (control message, out-of-order
+    /// stash, partial reassembly). Post-deliver will run for it; the
+    /// application sees nothing now.
+    Consume,
+    /// Discard (duplicate, corrupt). Post-deliver still runs so the
+    /// layer can, e.g., re-acknowledge a duplicate.
+    Drop(&'static str),
+}
+
+/// Context handed to layer initialization.
+///
+/// Layers use it to declare header fields (§2.1's `add_field`) and to
+/// contribute packet-filter fragments (§3.3).
+pub struct InitCtx<'a> {
+    /// Field declarations — the layer must call
+    /// [`LayoutBuilder::begin_layer`]'s successor methods through this.
+    pub layout: &'a mut LayoutBuilder,
+    /// Send-filter fragment accumulator.
+    pub send_filter: &'a mut ProgramBuilder,
+    /// Delivery-filter fragment accumulator.
+    pub recv_filter: &'a mut ProgramBuilder,
+}
+
+/// Side effects a layer may request during pre/post phases and ticks.
+///
+/// The engine drains these after each callback; `down` messages re-enter
+/// the send path *below* the emitting layer, `up` messages re-enter the
+/// delivery path *above* it.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Messages to send downward: `(msg, unusual)`. `unusual` marks
+    /// retransmissions and similar — the PA includes the connection
+    /// identification on those (§2.2).
+    pub down: Vec<(Msg, bool)>,
+    /// Messages to hand upward (reassembled / released from reordering).
+    pub up: Vec<Msg>,
+    /// Net change to the send prediction's disable counter.
+    pub disable_send: i32,
+    /// Net change to the delivery prediction's disable counter.
+    pub disable_recv: i32,
+    /// Send-filter slot rewrites (§3.3: "part of the packet filter
+    /// program may be rewritten when the protocol state is updated in
+    /// the post-processing phase").
+    pub send_slot_patches: Vec<(pa_filter::SlotId, i64)>,
+    /// Delivery-filter slot rewrites.
+    pub recv_slot_patches: Vec<(pa_filter::SlotId, i64)>,
+}
+
+impl Effects {
+    /// True if nothing was requested.
+    pub fn is_empty(&self) -> bool {
+        self.down.is_empty()
+            && self.up.is_empty()
+            && self.disable_send == 0
+            && self.disable_recv == 0
+            && self.send_slot_patches.is_empty()
+            && self.recv_slot_patches.is_empty()
+    }
+}
+
+/// Context handed to every pre/post phase and tick.
+pub struct LayerCtx<'a> {
+    /// The compiled header layout.
+    pub layout: &'a CompiledLayout,
+    /// Byte order of the message frame currently being processed (ours
+    /// on the send side, the peer's on the delivery side).
+    pub order: ByteOrder,
+    /// Host-supplied current time.
+    pub now: Nanos,
+    /// Predicted headers for the next send (layers update their fields
+    /// here during post phases).
+    pub send_predict: &'a mut Prediction,
+    /// Predicted protocol header expected on the next delivery.
+    pub recv_predict: &'a mut Prediction,
+    /// Side-effect accumulator.
+    pub effects: &'a mut Effects,
+}
+
+impl<'a> LayerCtx<'a> {
+    /// A field view over `msg`'s frame (headers start at byte 0).
+    pub fn frame<'m>(&self, msg: &'m mut Msg) -> Frame<'m>
+    where
+        'a: 'm,
+    {
+        Frame::new(msg, self.layout, self.order)
+    }
+
+    /// Builds a fresh frame for a layer-generated message (ack, nak,
+    /// heartbeat): zeroed class headers around a single-message body.
+    /// The layer writes its fields through [`LayerCtx::frame`]; layers
+    /// *below* fill theirs when the frame passes their pre-send.
+    pub fn control_frame(&self, payload: &[u8]) -> Msg {
+        use pa_wire::Class;
+        let mut m = Msg::from_payload(payload);
+        m.push_front(&crate::packing::PackInfo::Single.encode());
+        let hdr = self.layout.class_len(Class::Protocol)
+            + self.layout.class_len(Class::Message)
+            + self.layout.class_len(Class::Gossip);
+        m.push_front_zeroed(hdr);
+        m
+    }
+
+    /// Queues `msg` to be sent, entering the stack below the calling
+    /// layer. Used for acknowledgements and drained window buffers.
+    pub fn emit_down(&mut self, msg: Msg) {
+        self.effects.down.push((msg, false));
+    }
+
+    /// Like [`LayerCtx::emit_down`] but marks the message *unusual* so
+    /// the connection identification rides along (retransmissions).
+    pub fn emit_down_unusual(&mut self, msg: Msg) {
+        self.effects.down.push((msg, true));
+    }
+
+    /// Hands `msg` upward, entering the stack above the calling layer
+    /// (released reorder-buffer entries, completed reassemblies).
+    pub fn emit_up(&mut self, msg: Msg) {
+        self.effects.up.push(msg);
+    }
+
+    /// Disables the predicted send header (e.g. window full).
+    pub fn disable_send(&mut self) {
+        self.effects.disable_send += 1;
+    }
+
+    /// Re-enables the predicted send header.
+    pub fn enable_send(&mut self) {
+        self.effects.disable_send -= 1;
+    }
+
+    /// Disables the predicted delivery header.
+    pub fn disable_recv(&mut self) {
+        self.effects.disable_recv += 1;
+    }
+
+    /// Re-enables the predicted delivery header.
+    pub fn enable_recv(&mut self) {
+        self.effects.disable_recv -= 1;
+    }
+
+    /// Rewrites a patchable constant in the send filter (applied by the
+    /// engine after this callback returns).
+    pub fn patch_send_slot(&mut self, slot: pa_filter::SlotId, value: i64) {
+        self.effects.send_slot_patches.push((slot, value));
+    }
+
+    /// Rewrites a patchable constant in the delivery filter.
+    pub fn patch_recv_slot(&mut self, slot: pa_filter::SlotId, value: i64) {
+        self.effects.recv_slot_patches.push((slot, value));
+    }
+}
+
+/// A protocol layer in canonical form.
+///
+/// All methods take the layer by `&mut self`, but the canonical-form
+/// contract is semantic: **pre phases must not change protocol state
+/// that later pre phases could observe** — they may only read state and
+/// write message headers. State changes belong in post phases (and in
+/// emissions, which are post-style by construction). The engine's
+/// correctness tests include a checker layer that asserts this.
+pub trait Layer {
+    /// Short name for reports and layouts.
+    fn name(&self) -> &'static str;
+
+    /// Declare header fields and filter fragments. Called exactly once,
+    /// in stacking order (bottom first); the engine has already called
+    /// `begin_layer` for this layer.
+    fn init(&mut self, ctx: &mut InitCtx<'_>);
+
+    /// Fills this layer's conn-ident fields. `local` is the
+    /// identification we send; `peer` the one we expect to receive.
+    /// Conn-ident is always encoded big-endian (it is compared as opaque
+    /// bytes). Default: nothing to contribute.
+    fn fill_ident(&self, _layout: &CompiledLayout, _local: &mut [u8], _peer: &mut [u8]) {}
+
+    /// Pre-send: write header fields for `msg`; do not touch state.
+    fn pre_send(&mut self, ctx: &mut LayerCtx<'_>, msg: &mut Msg) -> SendAction;
+
+    /// Post-send: update state for a message that reached the wire;
+    /// update the send prediction for the next message.
+    fn post_send(&mut self, ctx: &mut LayerCtx<'_>, msg: &Msg);
+
+    /// Pre-deliver: check header fields of `msg`; do not touch state.
+    fn pre_deliver(&mut self, ctx: &mut LayerCtx<'_>, msg: &mut Msg) -> DeliverAction;
+
+    /// Post-deliver: update state for a received message (including
+    /// consumed and dropped ones); update the delivery prediction.
+    fn post_deliver(&mut self, ctx: &mut LayerCtx<'_>, msg: &Msg);
+
+    /// Periodic timer (retransmission, keepalive). Default: nothing.
+    fn on_tick(&mut self, _ctx: &mut LayerCtx<'_>, _now: Nanos) {}
+}
+
+/// A transparent layer that does nothing — useful as a stack filler in
+/// tests and in the layer-scaling experiment (E4 adds copies of a layer
+/// to measure per-layer cost).
+#[derive(Debug, Default)]
+pub struct NullLayer;
+
+impl Layer for NullLayer {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn init(&mut self, _ctx: &mut InitCtx<'_>) {}
+
+    fn pre_send(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &mut Msg) -> SendAction {
+        SendAction::Continue
+    }
+
+    fn post_send(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &Msg) {}
+
+    fn pre_deliver(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &mut Msg) -> DeliverAction {
+        DeliverAction::Continue
+    }
+
+    fn post_deliver(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &Msg) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_wire::LayoutMode;
+
+    #[test]
+    fn effects_emptiness() {
+        let mut e = Effects::default();
+        assert!(e.is_empty());
+        e.disable_send += 1;
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn ctx_accumulates_effects() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("t");
+        b.add_field(pa_wire::Class::Protocol, "x", 8, None).unwrap();
+        let layout = b.compile(LayoutMode::Packed).unwrap();
+        let mut sp = Prediction::new(&layout, ByteOrder::Big);
+        let mut rp = Prediction::new(&layout, ByteOrder::Big);
+        let mut effects = Effects::default();
+        let mut ctx = LayerCtx {
+            layout: &layout,
+            order: ByteOrder::Big,
+            now: 0,
+            send_predict: &mut sp,
+            recv_predict: &mut rp,
+            effects: &mut effects,
+        };
+        ctx.emit_down(Msg::from_payload(b"ack"));
+        ctx.emit_down_unusual(Msg::from_payload(b"rexmit"));
+        ctx.emit_up(Msg::from_payload(b"reassembled"));
+        ctx.disable_send();
+        ctx.disable_send();
+        ctx.enable_send();
+        assert_eq!(effects.down.len(), 2);
+        assert!(effects.down[1].1, "retransmission marked unusual");
+        assert_eq!(effects.up.len(), 1);
+        assert_eq!(effects.disable_send, 1);
+        assert_eq!(effects.disable_recv, 0);
+    }
+
+    #[test]
+    fn null_layer_is_transparent() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("null");
+        let layout = b.compile(LayoutMode::Packed).unwrap();
+        let mut sp = Prediction::new(&layout, ByteOrder::Big);
+        let mut rp = Prediction::new(&layout, ByteOrder::Big);
+        let mut effects = Effects::default();
+        let mut ctx = LayerCtx {
+            layout: &layout,
+            order: ByteOrder::Big,
+            now: 0,
+            send_predict: &mut sp,
+            recv_predict: &mut rp,
+            effects: &mut effects,
+        };
+        let mut l = NullLayer;
+        let mut m = Msg::from_payload(b"data");
+        assert!(matches!(l.pre_send(&mut ctx, &mut m), SendAction::Continue));
+        assert!(matches!(l.pre_deliver(&mut ctx, &mut m), DeliverAction::Continue));
+        assert_eq!(m.as_slice(), b"data");
+        assert!(effects.is_empty());
+    }
+}

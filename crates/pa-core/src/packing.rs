@@ -1,0 +1,331 @@
+//! Message packing (§3.4) — the Packing header and pack/unpack.
+//!
+//! When messages back up (post-processing not yet run, or the predicted
+//! send header disabled), the PA drains the backlog by packing several
+//! messages into a single protocol message: one pre-processing and one
+//! post-processing phase amortized over the whole run. On delivery the
+//! packed message is split and the pieces handed to the application
+//! individually.
+//!
+//! Wire format of the packing header (always big-endian — it is parsed
+//! by `deliver()` itself, not through the layout):
+//!
+//! ```text
+//! kind 0:  [0u8]                                 single message
+//! kind 1:  [1u8][count:u16][size:u32]            same-size pack (paper)
+//! kind 2:  [2u8][count:u16][size:u32 × count]    variable-size pack
+//! ```
+//!
+//! Kind 2 is the "more sophisticated header, such as used in the
+//! original Horus system, so that any list of messages may be packed"
+//! extension; it is off by default
+//! ([`crate::PaConfig::variable_packing`]).
+
+use pa_buf::Msg;
+use std::fmt;
+
+/// Decoded packing header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackInfo {
+    /// A single, unpacked message.
+    Single,
+    /// `count` messages of `size` bytes each.
+    SameSize {
+        /// Number of packed messages.
+        count: u16,
+        /// Size of every packed message.
+        size: u32,
+    },
+    /// Messages with the given individual sizes.
+    Variable {
+        /// Per-message sizes, in order.
+        sizes: Vec<u32>,
+    },
+}
+
+/// Error decoding a packing header or unpacking a body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// The header bytes were truncated or the kind byte unknown.
+    BadHeader,
+    /// The body length does not match what the header promises.
+    LengthMismatch {
+        /// Bytes the header promises.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::BadHeader => write!(f, "malformed packing header"),
+            PackError::LengthMismatch { expected, actual } => {
+                write!(f, "packed body length mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+impl PackInfo {
+    /// Number of application messages this header describes.
+    pub fn count(&self) -> usize {
+        match self {
+            PackInfo::Single => 1,
+            PackInfo::SameSize { count, .. } => *count as usize,
+            PackInfo::Variable { sizes } => sizes.len(),
+        }
+    }
+
+    /// Total body bytes the header promises.
+    pub fn body_len(&self) -> usize {
+        match self {
+            PackInfo::Single => usize::MAX, // unknown: single takes the rest
+            PackInfo::SameSize { count, size } => *count as usize * *size as usize,
+            PackInfo::Variable { sizes } => sizes.iter().map(|&s| s as usize).sum(),
+        }
+    }
+
+    /// Encoded wire length of this header.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            PackInfo::Single => 1,
+            PackInfo::SameSize { .. } => 7,
+            PackInfo::Variable { sizes } => 3 + 4 * sizes.len(),
+        }
+    }
+
+    /// Encodes the header.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            PackInfo::Single => vec![0],
+            PackInfo::SameSize { count, size } => {
+                let mut v = vec![1];
+                v.extend_from_slice(&count.to_be_bytes());
+                v.extend_from_slice(&size.to_be_bytes());
+                v
+            }
+            PackInfo::Variable { sizes } => {
+                let mut v = vec![2];
+                v.extend_from_slice(&(sizes.len() as u16).to_be_bytes());
+                for s in sizes {
+                    v.extend_from_slice(&s.to_be_bytes());
+                }
+                v
+            }
+        }
+    }
+
+    /// Decodes a header from the front of `bytes`, returning it and the
+    /// number of bytes consumed.
+    pub fn decode(bytes: &[u8]) -> Result<(PackInfo, usize), PackError> {
+        match bytes.first() {
+            Some(0) => Ok((PackInfo::Single, 1)),
+            Some(1) => {
+                if bytes.len() < 7 {
+                    return Err(PackError::BadHeader);
+                }
+                let count = u16::from_be_bytes([bytes[1], bytes[2]]);
+                let size = u32::from_be_bytes([bytes[3], bytes[4], bytes[5], bytes[6]]);
+                if count == 0 {
+                    return Err(PackError::BadHeader);
+                }
+                Ok((PackInfo::SameSize { count, size }, 7))
+            }
+            Some(2) => {
+                if bytes.len() < 3 {
+                    return Err(PackError::BadHeader);
+                }
+                let count = u16::from_be_bytes([bytes[1], bytes[2]]) as usize;
+                let need = 3 + 4 * count;
+                if count == 0 || bytes.len() < need {
+                    return Err(PackError::BadHeader);
+                }
+                let sizes = (0..count)
+                    .map(|i| {
+                        let o = 3 + 4 * i;
+                        u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]])
+                    })
+                    .collect();
+                Ok((PackInfo::Variable { sizes }, need))
+            }
+            _ => Err(PackError::BadHeader),
+        }
+    }
+
+    /// Pops and decodes a packing header from the front of `msg`.
+    pub fn pop_from(msg: &mut Msg) -> Result<PackInfo, PackError> {
+        let (info, used) = PackInfo::decode(msg.as_slice())?;
+        msg.skip_front(used);
+        Ok(info)
+    }
+}
+
+/// Packs `msgs` (payload-only messages) into one body with its packing
+/// header. Chooses the same-size header when possible, the variable
+/// header otherwise (caller has already decided packing is allowed).
+pub fn pack(msgs: &[Msg]) -> Msg {
+    debug_assert!(!msgs.is_empty());
+    if msgs.len() == 1 {
+        let mut m = msgs[0].clone();
+        m.push_front(&PackInfo::Single.encode());
+        return m;
+    }
+    let first_len = msgs[0].len();
+    let info = if msgs.iter().all(|m| m.len() == first_len) {
+        PackInfo::SameSize { count: msgs.len() as u16, size: first_len as u32 }
+    } else {
+        PackInfo::Variable { sizes: msgs.iter().map(|m| m.len() as u32).collect() }
+    };
+    let mut body = Msg::with_headroom(&[], 128 + info.wire_len());
+    for m in msgs {
+        body.push_back(m.as_slice());
+    }
+    body.push_front(&info.encode());
+    body
+}
+
+/// Splits a packed body (packing header already popped) into individual
+/// application messages.
+pub fn unpack(info: &PackInfo, mut body: Msg) -> Result<Vec<Msg>, PackError> {
+    match info {
+        PackInfo::Single => Ok(vec![body]),
+        PackInfo::SameSize { count, size } => {
+            let expected = *count as usize * *size as usize;
+            if body.len() != expected {
+                return Err(PackError::LengthMismatch { expected, actual: body.len() });
+            }
+            let mut out = Vec::with_capacity(*count as usize);
+            for _ in 0..*count {
+                let piece = body.pop_front(*size as usize).expect("length checked");
+                out.push(Msg::from_payload(&piece));
+            }
+            Ok(out)
+        }
+        PackInfo::Variable { sizes } => {
+            let expected: usize = sizes.iter().map(|&s| s as usize).sum();
+            if body.len() != expected {
+                return Err(PackError::LengthMismatch { expected, actual: body.len() });
+            }
+            let mut out = Vec::with_capacity(sizes.len());
+            for &s in sizes {
+                let piece = body.pop_front(s as usize).expect("length checked");
+                out.push(Msg::from_payload(&piece));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msgs(sizes: &[usize]) -> Vec<Msg> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Msg::from_payload(&vec![i as u8; s]))
+            .collect()
+    }
+
+    #[test]
+    fn single_roundtrip() {
+        let one = msgs(&[5]);
+        let mut packed = pack(&one);
+        let info = PackInfo::pop_from(&mut packed).unwrap();
+        assert_eq!(info, PackInfo::Single);
+        let out = unpack(&info, packed).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].as_slice(), &[0u8; 5]);
+    }
+
+    #[test]
+    fn same_size_roundtrip() {
+        let three = msgs(&[8, 8, 8]);
+        let mut packed = pack(&three);
+        let info = PackInfo::pop_from(&mut packed).unwrap();
+        assert_eq!(info, PackInfo::SameSize { count: 3, size: 8 });
+        let out = unpack(&info, packed).unwrap();
+        assert_eq!(out.len(), 3);
+        for (i, m) in out.iter().enumerate() {
+            assert_eq!(m.as_slice(), &vec![i as u8; 8][..]);
+        }
+    }
+
+    #[test]
+    fn variable_size_roundtrip() {
+        let mixed = msgs(&[3, 10, 0, 7]);
+        let mut packed = pack(&mixed);
+        let info = PackInfo::pop_from(&mut packed).unwrap();
+        assert_eq!(info.count(), 4);
+        let out = unpack(&info, packed).unwrap();
+        assert_eq!(out.iter().map(Msg::len).collect::<Vec<_>>(), vec![3, 10, 0, 7]);
+        assert_eq!(out[3].as_slice(), &[3u8; 7][..]);
+    }
+
+    #[test]
+    fn header_sizes_match_wire_len() {
+        for info in [
+            PackInfo::Single,
+            PackInfo::SameSize { count: 4, size: 100 },
+            PackInfo::Variable { sizes: vec![1, 2, 3] },
+        ] {
+            assert_eq!(info.encode().len(), info.wire_len());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(PackInfo::decode(&[]), Err(PackError::BadHeader));
+        assert_eq!(PackInfo::decode(&[9]), Err(PackError::BadHeader));
+        assert_eq!(PackInfo::decode(&[1, 0, 1]), Err(PackError::BadHeader), "truncated");
+        assert_eq!(PackInfo::decode(&[1, 0, 0, 0, 0, 0, 8]), Err(PackError::BadHeader), "count 0");
+        assert_eq!(PackInfo::decode(&[2, 0, 0]), Err(PackError::BadHeader), "count 0 variable");
+    }
+
+    #[test]
+    fn unpack_length_mismatch_detected() {
+        let info = PackInfo::SameSize { count: 2, size: 8 };
+        let short = Msg::from_payload(&[0u8; 15]);
+        assert!(matches!(unpack(&info, short), Err(PackError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn zero_length_messages_pack() {
+        let zeroes = msgs(&[0, 0, 0]);
+        let mut packed = pack(&zeroes);
+        let info = PackInfo::pop_from(&mut packed).unwrap();
+        assert_eq!(info, PackInfo::SameSize { count: 3, size: 0 });
+        let out = unpack(&info, packed).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(Msg::is_empty));
+    }
+
+    #[test]
+    fn same_size_header_is_7_bytes_regardless_of_count() {
+        // The amortization the paper relies on: header cost is O(1) in
+        // the number of packed messages (for the same-size case).
+        let few = pack(&msgs(&[8, 8]));
+        let many = pack(&msgs(&[8; 50]));
+        assert_eq!(few.len() - 2 * 8, 7);
+        assert_eq!(many.len() - 50 * 8, 7);
+    }
+
+    #[test]
+    fn pop_from_leaves_body_only() {
+        let mut packed = pack(&msgs(&[4, 4]));
+        let _ = PackInfo::pop_from(&mut packed).unwrap();
+        assert_eq!(packed.len(), 8);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PackError::LengthMismatch { expected: 10, actual: 3 }
+            .to_string()
+            .contains("expected 10"));
+    }
+}

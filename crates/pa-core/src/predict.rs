@@ -1,0 +1,252 @@
+//! Header prediction (§3.2).
+//!
+//! "Each connection maintains a predicted protocol-specific header for
+//! the next send operation, and another for the next delivery (much like
+//! a read-ahead strategy in a file system). For sending, the gossip
+//! information can be predicted as well."
+//!
+//! A [`Prediction`] is the byte image of the predicted protocol header
+//! (plus, on the send side, the gossip header), encoded in a fixed byte
+//! order: the connection's own order for the send prediction, the
+//! *peer's* order for the delivery prediction — so that an incoming
+//! header can be compared byte-for-byte, the cheapest possible check.
+//!
+//! The disable counter implements §3.2's guard: "Each layer can disable
+//! the predicted send or delivery header (e.g., when the send window of
+//! a sliding window protocol is full). … By incrementing the counter, a
+//! layer disables the header. The layer eventually has to decrement the
+//! counter."
+
+use pa_buf::ByteOrder;
+use pa_wire::{Class, CompiledLayout, Field};
+
+/// The predicted headers for one direction, plus the disable counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prediction {
+    proto: Vec<u8>,
+    gossip: Vec<u8>,
+    order: ByteOrder,
+    disable: u32,
+}
+
+impl Prediction {
+    /// Creates a zeroed prediction sized for `layout`, encoding fields
+    /// in `order`.
+    pub fn new(layout: &CompiledLayout, order: ByteOrder) -> Prediction {
+        Prediction {
+            proto: vec![0; layout.class_len(Class::Protocol)],
+            gossip: vec![0; layout.class_len(Class::Gossip)],
+            order,
+            disable: 0,
+        }
+    }
+
+    /// The predicted protocol-specific header bytes.
+    pub fn proto(&self) -> &[u8] {
+        &self.proto
+    }
+
+    /// The predicted gossip header bytes (send side only; delivery
+    /// ignores gossip, §3.2).
+    pub fn gossip(&self) -> &[u8] {
+        &self.gossip
+    }
+
+    /// The byte order predictions are encoded in.
+    pub fn order(&self) -> ByteOrder {
+        self.order
+    }
+
+    /// Re-encodes the prediction buffers in a new byte order (used once,
+    /// when the peer's byte order is learned from its first preamble).
+    /// Field *values* are preserved.
+    pub fn reorder(&mut self, layout: &CompiledLayout, new_order: ByteOrder) {
+        if new_order == self.order {
+            return;
+        }
+        let mut new_proto = vec![0u8; self.proto.len()];
+        let mut new_gossip = vec![0u8; self.gossip.len()];
+        for (class, old, new) in [
+            (Class::Protocol, &self.proto, &mut new_proto),
+            (Class::Gossip, &self.gossip, &mut new_gossip),
+        ] {
+            let n = field_count(layout, class);
+            for i in 0..n {
+                let f = Field::new(class, i);
+                if layout.field_bits(f) <= 64 {
+                    let v = layout.read_field(f, old, self.order);
+                    layout.write_field(f, new, new_order, v);
+                } else {
+                    let bytes = layout.read_field_bytes(f, old).to_vec();
+                    layout.write_field_bytes(f, new, &bytes);
+                }
+            }
+        }
+        self.proto = new_proto;
+        self.gossip = new_gossip;
+        self.order = new_order;
+    }
+
+    /// Writes a predicted field value (called by layers during
+    /// post-processing: "we found it more convenient to have the
+    /// post-processing phase of the previous message predict the next
+    /// protocol header immediately").
+    ///
+    /// # Panics
+    /// If the field is not in the protocol or gossip class.
+    pub fn set(&mut self, layout: &CompiledLayout, field: Field, value: u64) {
+        let buf = match field.class {
+            Class::Protocol => &mut self.proto,
+            Class::Gossip => &mut self.gossip,
+            other => panic!("prediction covers protocol/gossip fields only, got {other}"),
+        };
+        layout.write_field(field, buf, self.order, value);
+    }
+
+    /// Reads back a predicted field value.
+    pub fn get(&self, layout: &CompiledLayout, field: Field) -> u64 {
+        let buf = match field.class {
+            Class::Protocol => &self.proto,
+            Class::Gossip => &self.gossip,
+            other => panic!("prediction covers protocol/gossip fields only, got {other}"),
+        };
+        layout.read_field(field, buf, self.order)
+    }
+
+    /// True if the predicted header is currently usable.
+    pub fn enabled(&self) -> bool {
+        self.disable == 0
+    }
+
+    /// Increments the disable counter (layer blocks the fast path).
+    pub fn disable(&mut self) {
+        self.disable += 1;
+    }
+
+    /// Decrements the disable counter. "When all layers have done so,
+    /// the header is automatically re-enabled."
+    ///
+    /// # Panics
+    /// On underflow — a layer enabling more than it disabled is a
+    /// protocol-stack bug worth failing loudly on.
+    pub fn enable(&mut self) {
+        assert!(self.disable > 0, "enable without matching disable");
+        self.disable -= 1;
+    }
+
+    /// Current disable count (diagnostics).
+    pub fn disable_count(&self) -> u32 {
+        self.disable
+    }
+}
+
+fn field_count(layout: &CompiledLayout, class: Class) -> usize {
+    layout.class(class).field_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_wire::{LayoutBuilder, LayoutMode};
+
+    fn layout() -> (CompiledLayout, Field, Field, Field) {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("w");
+        let seq = b.add_field(Class::Protocol, "seq", 32, None).unwrap();
+        let ty = b.add_field(Class::Protocol, "type", 2, None).unwrap();
+        let ack = b.add_field(Class::Gossip, "ack", 32, None).unwrap();
+        (b.compile(LayoutMode::Packed).unwrap(), seq, ty, ack)
+    }
+
+    #[test]
+    fn starts_zeroed_and_enabled() {
+        let (l, seq, ..) = layout();
+        let p = Prediction::new(&l, ByteOrder::Big);
+        assert!(p.enabled());
+        assert_eq!(p.get(&l, seq), 0);
+        assert!(p.proto().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let (l, seq, ty, ack) = layout();
+        let mut p = Prediction::new(&l, ByteOrder::Little);
+        p.set(&l, seq, 17);
+        p.set(&l, ty, 2);
+        p.set(&l, ack, 16);
+        assert_eq!(p.get(&l, seq), 17);
+        assert_eq!(p.get(&l, ty), 2);
+        assert_eq!(p.get(&l, ack), 16);
+    }
+
+    #[test]
+    fn proto_bytes_match_a_frame_written_the_same_way() {
+        // The fast-path check is byte equality between the predicted
+        // header and the incoming one; both sides must encode alike.
+        let (l, seq, ty, _) = layout();
+        let mut p = Prediction::new(&l, ByteOrder::Big);
+        p.set(&l, seq, 5);
+        p.set(&l, ty, 1);
+        let mut hdr = vec![0u8; l.class_len(Class::Protocol)];
+        l.write_field(seq, &mut hdr, ByteOrder::Big, 5);
+        l.write_field(ty, &mut hdr, ByteOrder::Big, 1);
+        assert_eq!(p.proto(), &hdr[..]);
+    }
+
+    #[test]
+    fn disable_counts_nest() {
+        let (l, ..) = layout();
+        let mut p = Prediction::new(&l, ByteOrder::Big);
+        p.disable();
+        p.disable();
+        assert!(!p.enabled());
+        p.enable();
+        assert!(!p.enabled(), "still disabled until all layers re-enable");
+        p.enable();
+        assert!(p.enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "enable without matching disable")]
+    fn enable_underflow_panics() {
+        let (l, ..) = layout();
+        let mut p = Prediction::new(&l, ByteOrder::Big);
+        p.enable();
+    }
+
+    #[test]
+    fn reorder_preserves_values() {
+        let (l, seq, ty, ack) = layout();
+        let mut p = Prediction::new(&l, ByteOrder::Big);
+        p.set(&l, seq, 0xAABBCCDD);
+        p.set(&l, ty, 3);
+        p.set(&l, ack, 7);
+        p.reorder(&l, ByteOrder::Little);
+        assert_eq!(p.order(), ByteOrder::Little);
+        assert_eq!(p.get(&l, seq), 0xAABBCCDD);
+        assert_eq!(p.get(&l, ty), 3);
+        assert_eq!(p.get(&l, ack), 7);
+    }
+
+    #[test]
+    fn reorder_same_order_is_noop() {
+        let (l, seq, ..) = layout();
+        let mut p = Prediction::new(&l, ByteOrder::Big);
+        p.set(&l, seq, 9);
+        let before = p.proto().to_vec();
+        p.reorder(&l, ByteOrder::Big);
+        assert_eq!(p.proto(), &before[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol/gossip")]
+    fn message_class_fields_rejected() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        let ck = b.add_field(Class::Message, "ck", 16, None).unwrap();
+        b.add_field(Class::Protocol, "seq", 8, None).unwrap();
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        let mut p = Prediction::new(&l, ByteOrder::Big);
+        p.set(&l, ck, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-connection counters.
+//!
+//! The experiments and tests reason about *which path* messages took —
+//! the whole point of the PA is moving traffic from the slow path to the
+//! fast path — so the engine counts every outcome.
+
+/// Counters kept by each [`crate::Connection`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Sends that took the fast path (predicted header + filter).
+    pub fast_sends: u64,
+    /// Sends that went through the layered pre-send traversal.
+    pub slow_sends: u64,
+    /// Sends parked in the backlog (disable or pending post-processing).
+    pub queued_sends: u64,
+    /// Application messages that left in packed frames.
+    pub packed_msgs: u64,
+    /// Packed frames produced by backlog drains.
+    pub packed_frames: u64,
+    /// Frames actually handed to the network.
+    pub frames_out: u64,
+    /// Frames received from the network.
+    pub frames_in: u64,
+    /// Deliveries that took the fast path.
+    pub fast_deliveries: u64,
+    /// Deliveries that went through the layered pre-deliver traversal.
+    pub slow_deliveries: u64,
+    /// Application messages delivered (after unpacking).
+    pub msgs_delivered: u64,
+    /// Frames dropped: unknown cookie and no conn-ident present.
+    pub drops_unknown_cookie: u64,
+    /// Frames dropped by a layer's pre-deliver verdict.
+    pub drops_by_layer: u64,
+    /// Frames dropped as malformed (truncated headers, bad packing).
+    pub drops_malformed: u64,
+    /// Delivery-filter rejections (forced the slow path).
+    pub recv_filter_misses: u64,
+    /// Prediction mismatches on delivery (forced the slow path).
+    pub predict_misses: u64,
+    /// Post-send phases executed.
+    pub post_sends: u64,
+    /// Post-deliver phases executed.
+    pub post_delivers: u64,
+    /// Control messages emitted by layers (acks, retransmissions).
+    pub control_msgs: u64,
+    /// Frames that carried the connection identification.
+    pub ident_frames_out: u64,
+}
+
+impl ConnStats {
+    /// Total send operations observed (fast + slow + queued).
+    pub fn total_sends(&self) -> u64 {
+        self.fast_sends + self.slow_sends + self.queued_sends
+    }
+
+    /// Fraction of non-queued sends that took the fast path.
+    pub fn fast_send_ratio(&self) -> f64 {
+        let denom = (self.fast_sends + self.slow_sends) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.fast_sends as f64 / denom
+    }
+
+    /// Fraction of deliveries that took the fast path.
+    pub fn fast_delivery_ratio(&self) -> f64 {
+        let denom = (self.fast_deliveries + self.slow_deliveries) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.fast_deliveries as f64 / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero() {
+        let s = ConnStats::default();
+        assert_eq!(s.fast_send_ratio(), 0.0);
+        assert_eq!(s.fast_delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = ConnStats { fast_sends: 9, slow_sends: 1, fast_deliveries: 3, slow_deliveries: 1, ..Default::default() };
+        assert!((s.fast_send_ratio() - 0.9).abs() < 1e-12);
+        assert!((s.fast_delivery_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(s.total_sends(), 10);
+    }
+}

@@ -1,0 +1,202 @@
+//! Message digests for the `DIGEST` filter instruction.
+//!
+//! Table 2 gives `DIGEST` a function pointer; we give it a small closed
+//! set of algorithms so programs stay comparable, printable and
+//! verifiable. All digests run over the *body* region of the frame —
+//! everything after the gossip header (packing header + application
+//! data) — which is the region whose integrity the message-specific
+//! checksum protects. (The class headers themselves cannot be covered:
+//! the checksum field lives inside one of them.)
+
+use std::fmt;
+
+/// Digest algorithm selector carried by [`crate::Op::Digest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DigestKind {
+    /// RFC 1071 one's-complement 16-bit sum (the Internet checksum).
+    InternetChecksum,
+    /// CRC-32 (IEEE 802.3 polynomial, bit-reflected).
+    Crc32,
+    /// XOR of all bytes — the cheapest possible integrity hint.
+    Xor8,
+}
+
+impl DigestKind {
+    /// Computes this digest over `data`.
+    pub fn compute(self, data: &[u8]) -> u64 {
+        self.compute_multi(&[data])
+    }
+
+    /// Computes this digest over the concatenation of `parts` without
+    /// materializing it (used by `DIGEST_HEADERS`, which covers the
+    /// protocol header + gossip header + body).
+    pub fn compute_multi(self, parts: &[&[u8]]) -> u64 {
+        match self {
+            DigestKind::InternetChecksum => {
+                // Streaming one's-complement sum with global byte-
+                // position parity across part boundaries.
+                let mut sum = 0u32;
+                let mut odd = false;
+                for part in parts {
+                    for &b in *part {
+                        sum += if odd { b as u32 } else { (b as u32) << 8 };
+                        odd = !odd;
+                    }
+                }
+                while sum >> 16 != 0 {
+                    sum = (sum & 0xFFFF) + (sum >> 16);
+                }
+                (!(sum as u16)) as u64
+            }
+            DigestKind::Crc32 => {
+                let mut crc = 0xFFFF_FFFFu32;
+                for part in parts {
+                    for &b in *part {
+                        crc ^= b as u32;
+                        for _ in 0..8 {
+                            let lsb = crc & 1;
+                            crc >>= 1;
+                            if lsb != 0 {
+                                crc ^= 0xEDB8_8320;
+                            }
+                        }
+                    }
+                }
+                (!crc) as u64
+            }
+            DigestKind::Xor8 => {
+                parts.iter().flat_map(|p| p.iter()).fold(0u8, |a, &b| a ^ b) as u64
+            }
+        }
+    }
+}
+
+impl fmt::Display for DigestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DigestKind::InternetChecksum => "inet16",
+            DigestKind::Crc32 => "crc32",
+            DigestKind::Xor8 => "xor8",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// RFC 1071 Internet checksum (one's-complement sum of 16-bit words,
+/// odd trailing byte padded with zero).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Bit-reflected CRC-32 (polynomial 0xEDB88320), tableless.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internet_checksum_rfc1071_example() {
+        // The classic example from RFC 1071 §3: words 0x0001, 0xf203,
+        // 0xf4f5, 0xf6f7 sum to 0xddf2 before complement.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn internet_checksum_odd_length() {
+        // Odd byte is padded with zero on the right.
+        assert_eq!(internet_checksum(&[0xAB]), !0xAB00u16);
+    }
+
+    #[test]
+    fn internet_checksum_detects_flips() {
+        let a = internet_checksum(b"hello world");
+        let b = internet_checksum(b"hellp world");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn internet_checksum_verification_property() {
+        // Appending the checksum and re-summing yields 0 (all-ones
+        // before complement) — the standard verification identity.
+        let data = b"The quick brown fox!"; // even length
+        let ck = internet_checksum(data);
+        let mut with = data.to_vec();
+        with.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(internet_checksum(&with), 0);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical "123456789" check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn xor8_is_order_insensitive_but_cheap() {
+        assert_eq!(DigestKind::Xor8.compute(b"ab"), (b'a' ^ b'b') as u64);
+        assert_eq!(DigestKind::Xor8.compute(b""), 0);
+    }
+
+    #[test]
+    fn compute_dispatch() {
+        let d = b"data";
+        assert_eq!(DigestKind::Crc32.compute(d), crc32(d) as u64);
+        assert_eq!(
+            DigestKind::InternetChecksum.compute(d),
+            internet_checksum(d) as u64
+        );
+    }
+
+    #[test]
+    fn compute_multi_equals_concatenation() {
+        let parts: [&[u8]; 3] = [b"odd", b"", b"length parts!"];
+        let concat: Vec<u8> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+        for kind in [DigestKind::InternetChecksum, DigestKind::Crc32, DigestKind::Xor8] {
+            assert_eq!(kind.compute_multi(&parts), kind.compute(&concat), "{kind}");
+        }
+    }
+
+    #[test]
+    fn compute_multi_detects_cross_part_flips() {
+        let a = DigestKind::InternetChecksum.compute_multi(&[b"abc", b"def"]);
+        let b = DigestKind::InternetChecksum.compute_multi(&[b"abd", b"def"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DigestKind::Crc32.to_string(), "crc32");
+        assert_eq!(DigestKind::InternetChecksum.to_string(), "inet16");
+    }
+}

@@ -1,0 +1,55 @@
+//! Packet filters for the Protocol Accelerator (§3.3, Table 2).
+//!
+//! Not all header information can be predicted — checksums, lengths,
+//! timestamps depend on the message itself. The PA therefore runs a
+//! small *packet filter* program in **both** the send and the delivery
+//! path. The send filter is unusual in that it can *update* headers
+//! (filling in the message-specific and gossip fields); the delivery
+//! filter checks the message-specific information for correctness rather
+//! than demultiplexing (demux is the cookie's job).
+//!
+//! The filter is a stack machine in the Mogul/Rashid/Accetta tradition:
+//!
+//! - no loops and no function calls, so a program can be **verified in
+//!   advance** and its exact stack requirement computed
+//!   ([`Program::verify`]),
+//! - layers contribute instruction fragments at stack-initialization
+//!   time ([`ProgramBuilder`]); fragments concatenate in layer order,
+//! - programs may contain *patchable slots* — the paper's "part of the
+//!   packet filter program may be rewritten when the protocol state is
+//!   updated in the post-processing phase" ([`Program::set_slot`]),
+//! - two execution backends: a plain interpreter, and a *pre-resolved*
+//!   backend ([`compiled::CompiledProgram`]) with field offsets baked
+//!   in — our stand-in for the Exokernel-style compilation to machine
+//!   code the paper says it intends to adopt.
+//!
+//! Return-value convention: **0 means pass** (take the fast path);
+//! any non-zero value is a failure code that sends the message down the
+//! ordinary pre-processing path. `ABORT n` encodes "return `n` if the
+//! top of stack is non-zero", so checks read naturally:
+//! compute-compare-abort. (The paper's pseudocode uses the opposite
+//! truthiness; the semantics — fast path iff the filter is happy — are
+//! identical.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiled;
+pub mod digest;
+pub mod frame;
+pub mod interp;
+pub mod op;
+pub mod program;
+
+pub use compiled::CompiledProgram;
+pub use digest::DigestKind;
+pub use frame::Frame;
+pub use interp::run;
+pub use op::{Op, SlotId};
+pub use program::{Program, ProgramBuilder, VerifyError};
+
+/// Verdict returned by a filter run: zero passes.
+pub type Verdict = i64;
+
+/// The verdict meaning "take the fast path".
+pub const PASS: Verdict = 0;

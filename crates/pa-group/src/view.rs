@@ -1,0 +1,100 @@
+//! Group views: who is in the group, and who sequences.
+
+use std::fmt;
+
+/// A group view: a numbered membership snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// Monotonically increasing view number.
+    pub id: u64,
+    /// Member identifiers, deduplicated and sorted.
+    members: Vec<u32>,
+}
+
+impl View {
+    /// Creates view `id` over `members` (sorted, deduplicated).
+    pub fn new(id: u64, members: impl IntoIterator<Item = u32>) -> View {
+        let mut m: Vec<u32> = members.into_iter().collect();
+        m.sort_unstable();
+        m.dedup();
+        View { id, members: m }
+    }
+
+    /// The members, ranked.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True if `id` is a member.
+    pub fn contains(&self, id: u32) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// The view's sequencer: the lowest-ranked member (the fixed-
+    /// sequencer convention; when it fails, the next view's lowest
+    /// member takes over automatically).
+    pub fn sequencer(&self) -> Option<u32> {
+        self.members.first().copied()
+    }
+
+    /// The next view with `dead` removed.
+    pub fn without(&self, dead: u32) -> View {
+        View::new(self.id + 1, self.members.iter().copied().filter(|&m| m != dead))
+    }
+
+    /// The next view with `joiner` added.
+    pub fn with(&self, joiner: u32) -> View {
+        View::new(self.id + 1, self.members.iter().copied().chain([joiner]))
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view#{}{:?}", self.id, self.members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_sorted_and_deduped() {
+        let v = View::new(1, [3, 1, 2, 1]);
+        assert_eq!(v.members(), &[1, 2, 3]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn sequencer_is_lowest_rank() {
+        assert_eq!(View::new(1, [5, 2, 9]).sequencer(), Some(2));
+        assert_eq!(View::new(1, []).sequencer(), None);
+    }
+
+    #[test]
+    fn without_advances_view_and_reelects() {
+        let v = View::new(1, [1, 2, 3]);
+        let v2 = v.without(1);
+        assert_eq!(v2.id, 2);
+        assert_eq!(v2.members(), &[2, 3]);
+        assert_eq!(v2.sequencer(), Some(2), "new sequencer after failure");
+    }
+
+    #[test]
+    fn with_adds_joiner() {
+        let v = View::new(1, [1, 3]).with(2);
+        assert_eq!(v.members(), &[1, 2, 3]);
+        assert!(v.contains(2));
+        assert!(!v.contains(9));
+    }
+}

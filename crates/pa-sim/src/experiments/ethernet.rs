@@ -1,0 +1,149 @@
+//! §5's closing remark, measured: "On slower networks, such as
+//! Ethernet, post-processing and garbage collection could be done
+//! between round-trips as well."
+//!
+//! Over U-Net/ATM the 130 µs of post phases plus a ~300 µs collection
+//! dwarf the 70 µs the network spends on a round trip — which is why
+//! Figure 5's solid line saturates at ~1900 rt/s. Over 10 Mbit/s
+//! Ethernet the wire legs alone take a millisecond; the same
+//! post-processing and GC vanish into the waiting. Two consequences to
+//! verify:
+//!
+//! 1. the closed-loop ceiling on Ethernet is set by the *network*, not
+//!    by GC policy — the two GC policies converge, and
+//! 2. the PA's latency win over the no-PA baseline shrinks (CPU is a
+//!    smaller slice of a slower network's round trip) — layering
+//!    overhead matters most on fast networks, the paper's opening
+//!    argument.
+
+use crate::cost::CostModel;
+use crate::gc::GcPolicy;
+use crate::metrics::{us_f, Table};
+use crate::node::PostSchedule;
+use crate::sim::{SimConfig, TwoNodeSim};
+use pa_core::PaConfig;
+use pa_unet::LinkProfile;
+
+/// One network × configuration measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetPoint {
+    /// Label.
+    pub name: &'static str,
+    /// Typical round trip, ns.
+    pub rtt: f64,
+    /// Closed-loop ceiling, rt/s.
+    pub max_rate: f64,
+}
+
+/// The Ethernet-vs-ATM comparison.
+#[derive(Debug, Clone)]
+pub struct Ethernet {
+    /// ATM and Ethernet, PA on (both GC policies), plus no-PA baselines.
+    pub points: Vec<NetPoint>,
+}
+
+fn measure(name: &'static str, cfg: &SimConfig) -> NetPoint {
+    // Typical RTT: spaced round trips after warm-up.
+    let mut sim = TwoNodeSim::new(cfg);
+    sim.set_behavior(0, crate::sim::AppBehavior::Sink);
+    sim.set_behavior(1, crate::sim::AppBehavior::Echo);
+    sim.schedule_send(0, 0, 8); // warm-up
+    for i in 1..=8u64 {
+        sim.schedule_send(0, i * 20_000_000, 8);
+    }
+    sim.run_until(400_000_000);
+    let rtt = sim.rtt.summary().p50;
+
+    // Closed-loop ceiling.
+    let mut sim = TwoNodeSim::new(cfg);
+    sim.nodes[0].schedule = PostSchedule::WhenIdle;
+    sim.arm_closed_loop(300, 8, 0);
+    sim.run_until(4_000_000_000);
+    let max_rate = sim.round_trips as f64 / (sim.now() as f64 / 1e9);
+
+    NetPoint { name, rtt, max_rate }
+}
+
+/// Runs the comparison.
+pub fn run() -> Ethernet {
+    let atm_every = SimConfig::paper();
+
+    let mut atm_occasional = SimConfig::paper();
+    atm_occasional.gc = [GcPolicy::EveryN(64); 2];
+
+    let mut eth_every = SimConfig::paper();
+    eth_every.profile = LinkProfile::ethernet_10m();
+
+    let mut eth_occasional = eth_every.clone();
+    eth_occasional.gc = [GcPolicy::EveryN(64); 2];
+
+    let mut eth_baseline = eth_every.clone();
+    eth_baseline.pa = PaConfig::no_pa_baseline();
+    eth_baseline.cost = CostModel::paper_c;
+    eth_baseline.baseline = true;
+
+    let mut atm_baseline = SimConfig::paper();
+    atm_baseline.pa = PaConfig::no_pa_baseline();
+    atm_baseline.cost = CostModel::paper_c;
+    atm_baseline.baseline = true;
+
+    Ethernet {
+        points: vec![
+            measure("ATM + PA, GC every rt", &atm_every),
+            measure("ATM + PA, occasional GC", &atm_occasional),
+            measure("ATM, no PA (C)", &atm_baseline),
+            measure("Ethernet + PA, GC every rt", &eth_every),
+            measure("Ethernet + PA, occasional GC", &eth_occasional),
+            measure("Ethernet, no PA (C)", &eth_baseline),
+        ],
+    }
+}
+
+impl Ethernet {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["configuration", "typical RTT µs", "max rt/s"]);
+        for p in &self.points {
+            t.row(&[p.name.into(), us_f(p.rtt), format!("{:.0}", p.max_rate)]);
+        }
+        format!(
+            "Network speed and the value of masking (§5: on Ethernet the post-processing\nand GC hide between round trips; §1: masking matters most on fast networks)\n\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_policies_converge_on_ethernet() {
+        let e = run();
+        let every = e.points.iter().find(|p| p.name.contains("Ethernet + PA, GC every")).unwrap();
+        let occ =
+            e.points.iter().find(|p| p.name.contains("Ethernet + PA, occasional")).unwrap();
+        // On ATM the policies differ ~2.7×; on Ethernet the network
+        // dominates and they must land within ~20% of each other.
+        let ratio = occ.max_rate / every.max_rate;
+        assert!(ratio < 1.3, "Ethernet ceilings converge: {ratio:.2}");
+    }
+
+    #[test]
+    fn ethernet_rtt_is_wire_dominated() {
+        let e = run();
+        let pa = e.points.iter().find(|p| p.name.contains("Ethernet + PA, GC every")).unwrap();
+        // 2 × (25 + 500 + 25) µs ≈ 1.1 ms.
+        assert!((1_000_000.0..=1_300_000.0).contains(&pa.rtt), "{}", pa.rtt);
+    }
+
+    #[test]
+    fn pa_speedup_shrinks_on_slow_networks() {
+        let e = run();
+        let f = |n: &str| e.points.iter().find(|p| p.name == n).unwrap();
+        let atm_win = f("ATM, no PA (C)").rtt / f("ATM + PA, GC every rt").rtt;
+        let eth_win = f("Ethernet, no PA (C)").rtt / f("Ethernet + PA, GC every rt").rtt;
+        assert!(atm_win > 5.0, "ATM win {atm_win:.1}×");
+        assert!(eth_win < atm_win / 2.0, "Ethernet win {eth_win:.1}× — masking matters most on fast networks");
+    }
+}

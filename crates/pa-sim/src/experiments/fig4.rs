@@ -1,0 +1,165 @@
+//! Figure 4 — "A breakdown of the round-trip execution."
+//!
+//! The paper's figure shows, on two vertical timelines (sender right,
+//! receiver left): SEND at 0, the message handed to U-Net at ~25 µs,
+//! received 35 µs later, DELIVER done at ~85 µs, the reply's DELIVER at
+//! ~170 µs, then POSTSEND DONE, POSTDELIVER DONE and GARBAGE COLLECTED
+//! marching down to ~600–700 µs. A dashed second round trip depicts the
+//! saturated case, where the next round trip waits on the
+//! post-processing and collection of the previous one.
+//!
+//! We reproduce both: a timeline of one isolated round trip, and the
+//! mean latency/period of back-to-back round trips.
+
+use crate::metrics::us;
+use crate::node::NodeEvent;
+use crate::sim::{SimConfig, TimelineEvent, TwoNodeSim};
+
+/// The Figure 4 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Timeline of a single, isolated round trip.
+    pub typical: Vec<TimelineEvent>,
+    /// Round-trip latency of the isolated case, ns.
+    pub typical_rtt: f64,
+    /// Mean round-trip latency when driven back to back, ns.
+    pub saturated_rtt: f64,
+    /// Worst observed back-to-back latency, ns.
+    pub saturated_worst: f64,
+    /// Achieved back-to-back rate, rt/s.
+    pub saturated_rate: f64,
+}
+
+/// Runs both cases.
+pub fn run() -> Fig4 {
+    // One isolated round trip — after a warm-up round trip, because the
+    // paper's 170 µs is the steady state: the first message carries the
+    // ~75-byte connection identification and runs the slow path.
+    let mut sim = TwoNodeSim::new(&SimConfig::paper());
+    sim.arm_closed_loop(1, 8, 0);
+    sim.run_until(20_000_000);
+    sim.reset_measurements();
+    // Leave slack past the warm-up's trailing GC (the clock rests at
+    // the last dispatch, but CPUs may still be busy).
+    let t0 = sim.now() + 2_000_000;
+    sim.schedule_send(0, t0, 8);
+    sim.run_until(t0 + 20_000_000);
+    let typical: Vec<TimelineEvent> = sim
+        .timeline()
+        .into_iter()
+        .map(|mut e| {
+            e.at -= t0; // renormalize to the figure's t = 0
+            e
+        })
+        .collect();
+    let typical_rtt = sim.rtt.summary().mean;
+
+    // Back to back ("if the system is pushed to its limits"). The
+    // saturated client overlaps post-processing with network flight.
+    let mut sim = TwoNodeSim::new(&SimConfig::paper());
+    sim.nodes[0].schedule = crate::node::PostSchedule::WhenIdle;
+    sim.arm_closed_loop(500, 8, 0);
+    sim.run_until(2_000_000_000);
+    let s = sim.rtt.summary();
+    Fig4 {
+        typical,
+        typical_rtt,
+        saturated_rtt: s.mean,
+        saturated_worst: s.max,
+        saturated_rate: sim.round_trips as f64 / (sim.now() as f64 / 1e9),
+    }
+}
+
+fn event_name(e: NodeEvent) -> &'static str {
+    match e {
+        NodeEvent::Send(_) => "SEND()",
+        NodeEvent::WireOut => "TO U-NET",
+        NodeEvent::Deliver(_) => "DELIVER()",
+        NodeEvent::PostDone => "POST DONE",
+        NodeEvent::GcDone => "GARBAGE COLLECTED",
+    }
+}
+
+impl Fig4 {
+    /// Renders the two-column timeline (receiver left, sender right —
+    /// matching the figure) plus the saturated summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Figure 4: round-trip execution breakdown (times in µs)\n\n");
+        out.push_str(&format!("{:>10}  {:<28} {:<28}\n", "t (µs)", "RECEIVER (node 1)", "SENDER (node 0)"));
+        out.push_str(&format!("{}\n", "-".repeat(70)));
+        for e in &self.typical {
+            let name = event_name(e.event);
+            if e.node == 1 {
+                out.push_str(&format!("{:>10}  {:<28} {:<28}\n", us(e.at), name, ""));
+            } else {
+                out.push_str(&format!("{:>10}  {:<28} {:<28}\n", us(e.at), "", name));
+            }
+        }
+        out.push_str(&format!(
+            "\ntypical RTT: {} µs (paper: ~170 µs)\n",
+            crate::metrics::us_f(self.typical_rtt)
+        ));
+        out.push_str(&format!(
+            "saturated:   mean {} µs, worst {} µs at {:.0} rt/s (paper: ~400 µs avg, ~550 worst, ~1900 rt/s)\n",
+            crate::metrics::us_f(self.saturated_rtt),
+            crate::metrics::us_f(self.saturated_worst),
+            self.saturated_rate,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_round_trip_breakdown() {
+        let f = run();
+        assert!((160_000.0..=185_000.0).contains(&f.typical_rtt), "{}", f.typical_rtt);
+        // The sender's first wire handoff is at ~25 µs.
+        let first_wire = f
+            .typical
+            .iter()
+            .find(|e| e.node == 0 && matches!(e.event, NodeEvent::WireOut))
+            .expect("sender wired a frame");
+        assert_eq!(first_wire.at, 25_000);
+        // The receiver's delivery completes at ~85 µs.
+        let deliver = f
+            .typical
+            .iter()
+            .find(|e| e.node == 1 && matches!(e.event, NodeEvent::Deliver(_)))
+            .expect("receiver delivered");
+        assert!((80_000..=95_000).contains(&deliver.at), "{}", deliver.at);
+        // Garbage collection lands somewhere in 300–800 µs.
+        let gc = f
+            .typical
+            .iter()
+            .find(|e| matches!(e.event, NodeEvent::GcDone))
+            .expect("a collection ran");
+        assert!((250_000..=900_000).contains(&gc.at), "{}", gc.at);
+    }
+
+    #[test]
+    fn saturated_case_matches_paper_shape() {
+        let f = run();
+        assert!(
+            f.saturated_rtt > f.typical_rtt * 1.5,
+            "saturated {} vs typical {}",
+            f.saturated_rtt,
+            f.typical_rtt
+        );
+        assert!((1_200.0..=2_600.0).contains(&f.saturated_rate), "{}", f.saturated_rate);
+        assert!(f.saturated_worst >= f.saturated_rtt);
+    }
+
+    #[test]
+    fn render_mentions_all_phases() {
+        let f = run();
+        let r = f.render();
+        assert!(r.contains("SEND()"));
+        assert!(r.contains("DELIVER()"));
+        assert!(r.contains("GARBAGE COLLECTED"));
+    }
+}

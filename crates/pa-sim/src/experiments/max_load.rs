@@ -1,0 +1,107 @@
+//! §6 "Maximum Load" — the server-capacity analysis, measured.
+//!
+//! "the maximum number of Remote Procedure Calls that an individual
+//! client may do is limited to 6000 per second. Even with multiple
+//! clients, a server cannot process more than 6000 requests per second
+//! total, because the post-processing will consume all the server's
+//! available CPU cycles. … [on a multiprocessor] the protocol stacks
+//! for different connections may be divided among the processors …
+//! the maximum number of RPCs per second is multiplied by the number
+//! of processors."
+
+use crate::metrics::{us_f, Table};
+use crate::multi::ClusterSim;
+
+/// One cluster configuration's measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Number of server processors.
+    pub cpus: usize,
+    /// Total completed requests per second.
+    pub total_rate: f64,
+    /// Mean request latency, ns.
+    pub mean_rtt: f64,
+}
+
+/// The max-load experiment.
+#[derive(Debug, Clone)]
+pub struct MaxLoad {
+    /// Sweep over (clients, cpus).
+    pub points: Vec<LoadPoint>,
+}
+
+fn measure(clients: usize, cpus: usize) -> LoadPoint {
+    let cfg = ClusterSim::paper_occasional_gc();
+    let mut c = ClusterSim::new(&cfg, clients, cpus);
+    c.run(250, 60_000_000_000);
+    LoadPoint { clients, cpus, total_rate: c.rate(), mean_rtt: c.rtt.summary().mean }
+}
+
+/// Runs the sweep: client scaling on one CPU, then CPU scaling.
+pub fn run() -> MaxLoad {
+    MaxLoad {
+        points: vec![
+            measure(1, 1),
+            measure(2, 1),
+            measure(4, 1),
+            measure(8, 1),
+            measure(4, 2),
+            measure(8, 4),
+        ],
+    }
+}
+
+impl MaxLoad {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["clients", "server CPUs", "total rpc/s", "per-client rpc/s", "mean RTT µs"]);
+        for p in &self.points {
+            t.row(&[
+                p.clients.to_string(),
+                p.cpus.to_string(),
+                format!("{:.0}", p.total_rate),
+                format!("{:.0}", p.total_rate / p.clients as f64),
+                us_f(p.mean_rtt),
+            ]);
+        }
+        format!(
+            "Maximum load (§6: one CPU caps near 6000 rpc/s total no matter how many clients;\nprocessors multiply the ceiling)\n\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cpu_total_is_flat_in_client_count() {
+        let one = measure(1, 1);
+        let eight = measure(8, 1);
+        // §6: the ceiling is per-server-CPU, not per-client.
+        assert!(
+            eight.total_rate < one.total_rate * 1.7,
+            "1 client {} vs 8 clients {}",
+            one.total_rate,
+            eight.total_rate
+        );
+        assert!((3_500.0..=7_500.0).contains(&one.total_rate), "{}", one.total_rate);
+    }
+
+    #[test]
+    fn latency_degrades_as_clients_contend() {
+        let one = measure(1, 1);
+        let eight = measure(8, 1);
+        assert!(eight.mean_rtt > one.mean_rtt * 2.0, "{} vs {}", eight.mean_rtt, one.mean_rtt);
+    }
+
+    #[test]
+    fn cpus_multiply_the_ceiling() {
+        let uni = measure(4, 1);
+        let duo = measure(4, 2);
+        assert!(duo.total_rate > uni.total_rate * 1.5, "{} vs {}", duo.total_rate, uni.total_rate);
+    }
+}

@@ -1,0 +1,29 @@
+//! One driver per table/figure of the paper (plus the ablation).
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table4`] | Table 4 — basic performance of the O'Caml stack with the PA |
+//! | [`fig4`] | Figure 4 — round-trip execution breakdown |
+//! | [`fig5`] | Figure 5 — round-trip latency vs. offered round trips/s |
+//! | [`layer_scaling`] | §5 — the sliding-window layer stacked twice |
+//! | [`headers`] | §2 — header sizes: packed vs. traditional, cookie vs. ident |
+//! | [`headline`] | §1/§7 — PA-ML vs. no-PA C Horus vs. no-PA ML |
+//! | [`packing`] | §3.4/§5 — message packing: streaming and bandwidth |
+//! | [`max_load`] | §6 — server capacity: client scaling and multiprocessor scaling |
+//! | [`ethernet`] | §5/§1 — slow networks hide the post costs; masking matters most on fast ones |
+//! | [`ablation`] | DESIGN.md A1 — each PA mechanism toggled individually |
+//!
+//! Every driver returns a plain result struct with a `render()` method;
+//! the `pa-bench` harnesses print those, and EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+
+pub mod ablation;
+pub mod ethernet;
+pub mod fig4;
+pub mod fig5;
+pub mod headers;
+pub mod headline;
+pub mod layer_scaling;
+pub mod max_load;
+pub mod packing;
+pub mod table4;

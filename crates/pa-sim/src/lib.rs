@@ -1,0 +1,49 @@
+//! Virtual-time simulation of the paper's evaluation environment.
+//!
+//! The paper measures the PA on two SPARCstation-20s under SunOS 4.1.3
+//! over U-Net/ATM, with the protocol stack in O'Caml. None of that
+//! hardware exists on this side of three decades, so the evaluation is
+//! reproduced under a **calibrated cost model** in virtual time:
+//!
+//! - [`cost::CostModel`] — CPU costs of every PA/stack operation,
+//!   calibrated to §5's measurements (25 µs fast send/deliver, 80 µs
+//!   post-send, 50 µs post-deliver for the four-layer stack, +15 µs per
+//!   extra window layer),
+//! - [`gc::GcModel`] — the O'Caml stop-and-collect pauses (150–450 µs,
+//!   ~300 µs mean) under selectable policies (§5 triggers a collection
+//!   after every message reception; §6 discusses occasional collection
+//!   and explicit pools),
+//! - [`node::NodeSim`] — one host: a real [`pa_core::Connection`] (the
+//!   actual engine decides fast/slow paths; nothing about behaviour is
+//!   simulated) plus a virtual CPU that charges model costs,
+//! - [`sim::TwoNodeSim`] — two nodes over a [`pa_unet::SimNet`], with
+//!   an event queue, application behaviours (ping-pong, streaming), and
+//!   a timeline recorder for Figure 4,
+//! - [`experiments`] — one driver per table/figure; see EXPERIMENTS.md.
+//!
+//! The point of this design: the *protocol* is real (every frame runs
+//! through the same engine the unit tests exercise), only *time* is
+//! modeled. Who takes which path is decided by the actual code paths;
+//! the cost model only prices them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod experiments;
+pub mod gc;
+pub mod metrics;
+pub mod multi;
+pub mod node;
+pub mod sim;
+
+pub use cost::{CostModel, Language};
+pub use gc::{GcModel, GcPolicy};
+pub use metrics::{Series, Summary};
+pub use node::NodeSim;
+pub use multi::ClusterSim;
+pub use node::{NodeEvent, PostSchedule};
+pub use sim::{AppBehavior, SimConfig, TimelineEvent, TwoNodeSim};
+
+/// Virtual time in nanoseconds.
+pub type Nanos = u64;

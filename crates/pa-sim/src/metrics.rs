@@ -1,0 +1,197 @@
+//! Measurement collection and report formatting.
+
+use crate::Nanos;
+use std::fmt::Write as _;
+
+/// A set of scalar samples (latencies, intervals).
+#[derive(Debug, Default, Clone)]
+pub struct Series {
+    samples: Vec<f64>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Series {
+        Series::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Adds a nanosecond sample.
+    pub fn push_nanos(&mut self, v: Nanos) {
+        self.samples.push(v as f64);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summary statistics.
+    pub fn summary(&self) -> Summary {
+        if self.samples.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let n = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / n as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let pick = |q: f64| sorted[((q * (n - 1) as f64).round() as usize).min(n - 1)];
+        Summary {
+            count: n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p99: pick(0.99),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Summary statistics of a [`Series`].
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Formats nanoseconds as microseconds with one decimal.
+pub fn us(ns: Nanos) -> String {
+    format!("{:.1}", ns as f64 / 1000.0)
+}
+
+/// Formats a float of nanoseconds as microseconds.
+pub fn us_f(ns: f64) -> String {
+    format!("{:.1}", ns / 1000.0)
+}
+
+/// A fixed-width text table for the paper-style reports.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}", c, w = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().max(ncol)));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Series::new();
+        assert!(s.is_empty());
+        assert_eq!(s.summary().count, 0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Series::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.push(v);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.count, 5);
+        assert_eq!(sum.mean, 3.0);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 5.0);
+        assert_eq!(sum.p50, 3.0);
+        assert!((sum.stddev - 1.4142).abs() < 0.01);
+    }
+
+    #[test]
+    fn percentiles_on_skewed_data() {
+        let mut s = Series::new();
+        for i in 0..100 {
+            s.push(i as f64);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.p90, 89.0);
+        assert_eq!(sum.p99, 98.0);
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert_eq!(us(170_000), "170.0");
+        assert_eq!(us_f(85_500.0), "85.5");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["what", "value"]);
+        t.row(&["one-way latency".into(), "85 µs".into()]);
+        t.row(&["throughput".into(), "80000 msgs/s".into()]);
+        let r = t.render();
+        assert!(r.contains("one-way latency"));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+}

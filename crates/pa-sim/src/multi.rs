@@ -1,0 +1,369 @@
+//! Multi-client simulation: one server, N clients (§6, "Maximum
+//! Load").
+//!
+//! "Consider a server that uses a PA for each client … Even with
+//! multiple clients, a server cannot process more than 6000 requests
+//! per second total, because the post-processing will consume all the
+//! server's available CPU cycles." And the proposed remedy: "modern
+//! servers are likely to be multi-processors. The protocol stacks for
+//! different connections may be divided among the processors. Since the
+//! protocol stacks are independent, there will be no synchronization
+//! necessary."
+//!
+//! [`ServerSim`] holds one real [`Connection`] per client and one or
+//! more virtual CPUs; each connection is pinned to a CPU (`conn_index
+//! mod cpus`), exactly the §6 partitioning argument.
+
+use crate::cost::CostModel;
+use crate::gc::{GcModel, GcPolicy};
+use crate::metrics::Series;
+use crate::node::{NodeSim, PostSchedule};
+use crate::sim::SimConfig;
+use crate::Nanos;
+use pa_core::{Connection, ConnectionParams};
+use pa_unet::{Netif, SimNet};
+use pa_wire::EndpointAddr;
+use std::collections::HashMap;
+
+/// The multi-connection server host.
+pub struct ServerSim {
+    conns: Vec<Connection>,
+    by_peer: HashMap<EndpointAddr, usize>,
+    cost: CostModel,
+    gc: GcModel,
+    /// One `cpu_free_at` per processor; connection `i` runs on
+    /// `i % cpus.len()`.
+    cpus: Vec<Nanos>,
+    /// Pending post-processing wake-up per connection.
+    wakeups: Vec<Option<Nanos>>,
+    gc_due: Vec<u32>,
+    addr: EndpointAddr,
+}
+
+impl ServerSim {
+    fn new(addr: EndpointAddr, n_cpus: usize, cost: CostModel, gc: GcModel) -> ServerSim {
+        ServerSim {
+            conns: Vec::new(),
+            by_peer: HashMap::new(),
+            cost,
+            gc,
+            cpus: vec![0; n_cpus.max(1)],
+            wakeups: Vec::new(),
+            gc_due: Vec::new(),
+            addr,
+        }
+    }
+
+    fn add_conn(&mut self, conn: Connection) {
+        self.by_peer.insert(conn.peer_addr(), self.conns.len());
+        self.conns.push(conn);
+        self.wakeups.push(None);
+        self.gc_due.push(0);
+    }
+
+    fn cpu_of(&self, conn_idx: usize) -> usize {
+        conn_idx % self.cpus.len()
+    }
+
+    fn charge(&mut self, conn_idx: usize, t: Nanos, before: pa_core::ConnStats) -> Nanos {
+        let after = *self.conns[conn_idx].stats();
+        let cost = crate::node::price_delta(&self.cost, &before, &after);
+        let cpu = self.cpu_of(conn_idx);
+        let start = t.max(self.cpus[cpu]);
+        self.cpus[cpu] = start + cost;
+        self.cpus[cpu]
+    }
+
+    fn flush(&mut self, conn_idx: usize, net: &mut SimNet) {
+        let at = self.cpus[self.cpu_of(conn_idx)];
+        let addr = self.addr;
+        let peer = self.conns[conn_idx].peer_addr();
+        while let Some(f) = self.conns[conn_idx].poll_transmit() {
+            net.send(addr, peer, f, at);
+        }
+    }
+
+    /// Handles a client frame: deliver, echo every message, schedule
+    /// post-processing on this connection's CPU.
+    fn on_frame(&mut self, t: Nanos, from: EndpointAddr, frame: pa_buf::Msg, net: &mut SimNet) {
+        let Some(&idx) = self.by_peer.get(&from) else { return };
+        let cpu = self.cpu_of(idx);
+        let start = t.max(self.cpus[cpu]);
+        self.conns[idx].set_now(start);
+        let before = *self.conns[idx].stats();
+        self.conns[idx].deliver_frame(frame);
+        let done = self.charge(idx, start, before);
+        self.gc_due[idx] += 1;
+
+        // Echo all deliveries.
+        let mut replies = Vec::new();
+        while let Some(m) = self.conns[idx].poll_delivery() {
+            replies.push(m);
+        }
+        for m in replies {
+            let before = *self.conns[idx].stats();
+            self.conns[idx].send(m.as_slice());
+            self.charge(idx, done, before);
+        }
+        self.flush(idx, net);
+        if self.wakeups[idx].is_none() {
+            self.wakeups[idx] = Some(self.cpus[cpu]);
+        }
+    }
+
+    fn run_wakeup(&mut self, idx: usize, t: Nanos, net: &mut SimNet) {
+        self.wakeups[idx] = None;
+        let cpu = self.cpu_of(idx);
+        let start = t.max(self.cpus[cpu]);
+        let before = *self.conns[idx].stats();
+        self.conns[idx].process_pending();
+        self.charge(idx, start, before);
+        self.flush(idx, net);
+        for _ in 0..std::mem::take(&mut self.gc_due[idx]) {
+            if let Some(pause) = self.gc.on_reception() {
+                self.cpus[cpu] += pause;
+            }
+        }
+        if self.conns[idx].has_pending()
+            || (self.conns[idx].backlog_len() > 0 && self.conns[idx].send_prediction().enabled())
+        {
+            self.wakeups[idx] = Some(self.cpus[cpu]);
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<(usize, Nanos)> {
+        self.wakeups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.map(|t| (i, t)))
+            .min_by_key(|&(_, t)| t)
+    }
+}
+
+/// One server, N closed-loop clients.
+pub struct ClusterSim {
+    /// The server.
+    pub server: ServerSim,
+    /// The clients (NodeSim each, closed-loop driven by the cluster).
+    pub clients: Vec<NodeSim>,
+    /// The shared network.
+    pub net: SimNet,
+    clock: Nanos,
+    remaining: Vec<u64>,
+    next_id: u64,
+    sent_at: HashMap<u64, (Nanos, usize)>,
+    /// Completed request latencies.
+    pub rtt: Series,
+    /// Total completed requests.
+    pub completed: u64,
+}
+
+impl ClusterSim {
+    /// Builds a cluster: `n_clients` clients, a server with `n_cpus`
+    /// processors, everything from `cfg` (stack, PA config, costs, GC).
+    pub fn new(cfg: &SimConfig, n_clients: usize, n_cpus: usize) -> ClusterSim {
+        let server_addr = EndpointAddr::from_parts(1000, 7);
+        let names: Vec<String> =
+            cfg.stack.build().iter().map(|l| l.name().to_string()).collect();
+        let mk_cost = || {
+            let mut c = (cfg.cost)(names.clone());
+            c.baseline_framework = cfg.baseline;
+            c.compiled_filter = cfg.compiled_filter;
+            c
+        };
+        let mut server =
+            ServerSim::new(server_addr, n_cpus, mk_cost(), GcModel::paper(cfg.gc[1], 4242));
+        let mut clients = Vec::new();
+        for k in 0..n_clients {
+            let caddr = EndpointAddr::from_parts(1 + k as u64, 7);
+            server.add_conn(
+                Connection::new(
+                    cfg.stack.build(),
+                    cfg.pa,
+                    ConnectionParams::new(server_addr, caddr, 5000 + k as u64),
+                )
+                .expect("valid stack"),
+            );
+            let conn = Connection::new(
+                cfg.stack.build(),
+                cfg.pa,
+                ConnectionParams::new(caddr, server_addr, 6000 + k as u64),
+            )
+            .expect("valid stack");
+            let mut node = NodeSim::new(
+                conn,
+                mk_cost(),
+                GcModel::paper(cfg.gc[0], 7000 + k as u64),
+                PostSchedule::WhenIdle,
+            );
+            node.record_log = false;
+            clients.push(node);
+        }
+        ClusterSim {
+            server,
+            clients,
+            net: SimNet::new(cfg.profile, cfg.faults),
+            clock: 0,
+            remaining: vec![0; n_clients],
+            next_id: 1,
+            sent_at: HashMap::new(),
+            rtt: Series::new(),
+            completed: 0,
+        }
+    }
+
+    /// Convenience: the paper's config with occasional GC (the §6
+    /// 6000 rpc/s analysis assumes the higher ceiling).
+    pub fn paper_occasional_gc() -> SimConfig {
+        let mut cfg = SimConfig::paper();
+        cfg.gc = [GcPolicy::EveryN(64); 2];
+        cfg
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.clock
+    }
+
+    fn client_send(&mut self, k: usize, t: Nanos) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut payload = vec![0u8; 8];
+        payload.copy_from_slice(&id.to_be_bytes());
+        self.sent_at.insert(id, (t.max(self.clients[k].cpu_free_at), k));
+        let local = self.clients[k].addr();
+        self.clients[k].app_send(t, &payload, &mut self.net, local);
+    }
+
+    /// Runs `per_client` closed-loop requests on every client.
+    pub fn run(&mut self, per_client: u64, horizon: Nanos) {
+        for k in 0..self.clients.len() {
+            self.remaining[k] = per_client.saturating_sub(1);
+            self.client_send(k, 0);
+        }
+        loop {
+            let mut t_next = Nanos::MAX;
+            if let Some(t) = self.net.next_arrival_at() {
+                t_next = t_next.min(t);
+            }
+            for c in &self.clients {
+                if let Some(w) = c.wakeup_at {
+                    t_next = t_next.min(w);
+                }
+            }
+            if let Some((_, w)) = self.server.next_wakeup() {
+                t_next = t_next.min(w);
+            }
+            if t_next == Nanos::MAX {
+                break;
+            }
+            if t_next > horizon {
+                self.clock = horizon;
+                break;
+            }
+            self.clock = self.clock.max(t_next);
+            let now = self.clock;
+
+            while let Some(arr) = self.net.poll_arrival(now) {
+                if arr.to == self.server.addr {
+                    self.server.on_frame(arr.at, arr.from, arr.frame, &mut self.net);
+                } else {
+                    let k = (arr.to.host_id() - 1) as usize;
+                    let local = self.clients[k].addr();
+                    let (done, delivered) =
+                        self.clients[k].on_frame(arr.at, arr.frame, &mut self.net, local);
+                    for m in delivered {
+                        let id = m
+                            .get(0, 8)
+                            .map(|b| u64::from_be_bytes(b.try_into().expect("8 bytes")))
+                            .unwrap_or(0);
+                        if let Some((t0, origin)) = self.sent_at.remove(&id) {
+                            debug_assert_eq!(origin, k);
+                            self.rtt.push_nanos(done - t0);
+                            self.completed += 1;
+                            if self.remaining[k] > 0 {
+                                self.remaining[k] -= 1;
+                                self.client_send(k, done);
+                            }
+                        }
+                    }
+                }
+            }
+            for k in 0..self.clients.len() {
+                if self.clients[k].wakeup_at.map_or(false, |w| w <= now) {
+                    let local = self.clients[k].addr();
+                    self.clients[k].run_wakeup(now, &mut self.net, local);
+                }
+            }
+            while let Some((idx, w)) = self.server.next_wakeup() {
+                if w > now {
+                    break;
+                }
+                self.server.run_wakeup(idx, now, &mut self.net);
+            }
+        }
+    }
+
+    /// Total completed requests per second of virtual time.
+    pub fn rate(&self) -> f64 {
+        if self.clock == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.clock as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cluster(n_clients: usize, n_cpus: usize, per_client: u64) -> ClusterSim {
+        let cfg = ClusterSim::paper_occasional_gc();
+        let mut c = ClusterSim::new(&cfg, n_clients, n_cpus);
+        c.run(per_client, 30_000_000_000);
+        c
+    }
+
+    #[test]
+    fn single_client_matches_two_node_rate() {
+        let c = run_cluster(1, 1, 300);
+        assert_eq!(c.completed, 300);
+        assert!((4_000.0..=7_000.0).contains(&c.rate()), "{}", c.rate());
+    }
+
+    #[test]
+    fn total_rate_is_capped_by_the_server_cpu() {
+        // §6: "Even with multiple clients, a server cannot process more
+        // than 6000 requests per second total."
+        let one = run_cluster(1, 1, 200);
+        let four = run_cluster(4, 1, 200);
+        assert_eq!(four.completed, 800);
+        assert!(
+            four.rate() < one.rate() * 1.6,
+            "4 clients: {} vs 1 client: {} — no magic capacity",
+            four.rate(),
+            one.rate()
+        );
+    }
+
+    #[test]
+    fn multiprocessor_server_scales() {
+        // §6: "the maximum number of RPCs per second is multiplied by
+        // the number of processors."
+        let uni = run_cluster(4, 1, 150);
+        let quad = run_cluster(4, 4, 150);
+        assert!(
+            quad.rate() > uni.rate() * 2.0,
+            "4 cpus {} vs 1 cpu {}",
+            quad.rate(),
+            uni.rate()
+        );
+    }
+
+    #[test]
+    fn every_request_answered_under_load() {
+        let c = run_cluster(8, 2, 100);
+        assert_eq!(c.completed, 800);
+        assert_eq!(c.rtt.len(), 800);
+    }
+}

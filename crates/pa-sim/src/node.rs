@@ -1,0 +1,346 @@
+//! One simulated host: a real PA connection plus a virtual CPU.
+//!
+//! The connection is the genuine [`pa_core::Connection`] — the engine
+//! decides fast versus slow paths, packs backlogs, drains posts. The
+//! node's job is to *price* what the engine did: it snapshots the
+//! connection's counters around each operation and charges the cost
+//! model for the difference, advancing a per-node `cpu_free_at` clock.
+//! Frames leave for the network at the moment the CPU finishes the
+//! operation that produced them.
+
+use crate::cost::CostModel;
+use crate::gc::GcModel;
+use crate::Nanos;
+use pa_core::{ConnStats, Connection, DeliverOutcome, SendOutcome};
+use pa_buf::Msg;
+use pa_unet::Netif;
+use pa_wire::EndpointAddr;
+
+/// When deferred post-processing gets scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostSchedule {
+    /// Only after a delivery completes — §5: "post-processing and
+    /// garbage collection are scheduled to occur after message
+    /// deliveries" (because on U-Net they take longer than a round
+    /// trip). Pure senders must combine this with explicit idle calls.
+    AfterDelivery,
+    /// After any operation that leaves work pending (right for
+    /// streaming senders and slower networks — §5's Ethernet remark).
+    WhenIdle,
+}
+
+/// Events a node reports for the Figure 4 timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// Application invoked send (time = completion of the send op).
+    Send(SendOutcome),
+    /// A frame was handed to the network.
+    WireOut,
+    /// Application messages were delivered.
+    Deliver(usize),
+    /// Deferred post-processing finished.
+    PostDone,
+    /// A garbage collection finished.
+    GcDone,
+}
+
+/// A timestamped node event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp {
+    /// Completion time of the event.
+    pub at: Nanos,
+    /// What happened.
+    pub event: NodeEvent,
+}
+
+/// One simulated host.
+pub struct NodeSim {
+    /// The real protocol engine.
+    pub conn: Connection,
+    /// The cost model pricing its operations.
+    pub cost: CostModel,
+    /// The GC model (reception-triggered).
+    pub gc: GcModel,
+    /// Post-processing scheduling policy.
+    pub schedule: PostSchedule,
+    /// Time the virtual CPU becomes free.
+    pub cpu_free_at: Nanos,
+    /// Scheduled post-processing wake-up, if any.
+    pub wakeup_at: Option<Nanos>,
+    /// Receptions whose GC trigger hasn't been charged yet.
+    gc_due: u32,
+    /// Event log (drained by the sim's timeline).
+    pub log: Vec<Stamp>,
+    /// Whether to record events (disable for long sweeps).
+    pub record_log: bool,
+    /// Total CPU time charged.
+    pub cpu_busy: Nanos,
+}
+
+/// Prices the counter movement between two stats snapshots under a
+/// cost model (shared by [`NodeSim`] and the multi-connection server).
+pub fn price_delta(cost: &CostModel, before: &ConnStats, after: &ConnStats) -> Nanos {
+    let d = |f: fn(&ConnStats) -> u64| f(after) - f(before);
+    let mut ns = 0;
+    ns += d(|s| s.fast_sends) * cost.fast_send();
+    ns += d(|s| s.slow_sends) * cost.slow_send();
+    ns += d(|s| s.queued_sends) * cost.backlog_push;
+    ns += d(|s| s.fast_deliveries) * cost.fast_deliver();
+    ns += d(|s| s.slow_deliveries) * cost.slow_deliver();
+    ns += d(|s| s.post_sends) * cost.post_send_frame();
+    ns += d(|s| s.post_delivers) * cost.post_deliver_frame();
+    ns += d(|s| s.packed_msgs) * cost.pack_per_msg;
+    ns += d(|s| s.control_msgs) * cost.control_send();
+    // Unpacking: per delivered message beyond one per frame.
+    let frames = d(|s| s.fast_deliveries) + d(|s| s.slow_deliveries);
+    let msgs = d(|s| s.msgs_delivered);
+    ns += msgs.saturating_sub(frames) * cost.unpack_per_msg;
+    ns
+}
+
+impl NodeSim {
+    /// Wraps a connection with its models.
+    pub fn new(conn: Connection, cost: CostModel, gc: GcModel, schedule: PostSchedule) -> NodeSim {
+        NodeSim {
+            conn,
+            cost,
+            gc,
+            schedule,
+            cpu_free_at: 0,
+            wakeup_at: None,
+            gc_due: 0,
+            log: Vec::new(),
+            record_log: true,
+            cpu_busy: 0,
+        }
+    }
+
+    fn run_op<R>(&mut self, t: Nanos, op: impl FnOnce(&mut Connection) -> R) -> (Nanos, R) {
+        let start = t.max(self.cpu_free_at);
+        self.conn.set_now(start);
+        let before = *self.conn.stats();
+        let r = op(&mut self.conn);
+        let after = *self.conn.stats();
+        let cost = price_delta(&self.cost, &before, &after);
+        self.cpu_busy += cost;
+        self.cpu_free_at = start + cost;
+        (self.cpu_free_at, r)
+    }
+
+    fn flush_frames(&mut self, net: &mut dyn Netif, local: EndpointAddr) {
+        let peer = self.conn.peer_addr();
+        let at = self.cpu_free_at;
+        let mut any = false;
+        while let Some(frame) = self.conn.poll_transmit() {
+            net.send(local, peer, frame, at);
+            any = true;
+        }
+        if any && self.record_log {
+            self.log.push(Stamp { at, event: NodeEvent::WireOut });
+        }
+    }
+
+    fn maybe_schedule_wakeup(&mut self, after_delivery: bool) {
+        let due = match self.schedule {
+            PostSchedule::AfterDelivery => after_delivery,
+            PostSchedule::WhenIdle => true,
+        };
+        // A backlog blocked behind a disabled predicted header cannot
+        // be drained by a wake-up — only an acknowledgement can reopen
+        // the window — so it must not keep a wake-up armed (that would
+        // spin the simulator at one instant in virtual time).
+        let drainable_backlog =
+            self.conn.backlog_len() > 0 && self.conn.send_prediction().enabled();
+        if due
+            && (self.conn.has_pending() || drainable_backlog || self.gc_due > 0)
+            && self.wakeup_at.is_none()
+        {
+            self.wakeup_at = Some(self.cpu_free_at);
+        }
+    }
+
+    /// Application send at time `t`. Returns completion time.
+    pub fn app_send(
+        &mut self,
+        t: Nanos,
+        payload: &[u8],
+        net: &mut dyn Netif,
+        local: EndpointAddr,
+    ) -> (Nanos, SendOutcome) {
+        let (done, outcome) = self.run_op(t, |c| c.send(payload));
+        if self.record_log {
+            self.log.push(Stamp { at: done, event: NodeEvent::Send(outcome) });
+        }
+        self.flush_frames(net, local);
+        self.maybe_schedule_wakeup(false);
+        (done, outcome)
+    }
+
+    /// A frame arrived at time `t`. Returns completion time and the
+    /// payloads delivered to the application.
+    pub fn on_frame(
+        &mut self,
+        t: Nanos,
+        frame: Msg,
+        net: &mut dyn Netif,
+        local: EndpointAddr,
+    ) -> (Nanos, Vec<Msg>) {
+        let (done, outcome) = self.run_op(t, |c| c.deliver_frame(frame));
+        let mut delivered = Vec::new();
+        while let Some(m) = self.conn.poll_delivery() {
+            delivered.push(m);
+        }
+        if matches!(outcome, DeliverOutcome::Fast { .. } | DeliverOutcome::Slow { .. }) {
+            self.gc_due += 1;
+            if self.record_log {
+                self.log.push(Stamp { at: done, event: NodeEvent::Deliver(delivered.len()) });
+            }
+        }
+        self.flush_frames(net, local);
+        self.maybe_schedule_wakeup(true);
+        (done, delivered)
+    }
+
+    /// Runs the deferred post-processing (and any due GC) at `t`.
+    pub fn run_wakeup(&mut self, t: Nanos, net: &mut dyn Netif, local: EndpointAddr) -> Nanos {
+        self.wakeup_at = None;
+        let (mut done, _report) = self.run_op(t, |c| c.process_pending());
+        if self.record_log {
+            self.log.push(Stamp { at: done, event: NodeEvent::PostDone });
+        }
+        self.flush_frames(net, local);
+        // GC triggers owed for receptions processed up to now (§5:
+        // "triggered garbage collection after every message reception").
+        let due = std::mem::take(&mut self.gc_due);
+        for _ in 0..due {
+            if let Some(pause) = self.gc.on_reception() {
+                self.cpu_free_at += pause;
+                self.cpu_busy += pause;
+                done = self.cpu_free_at;
+                if self.record_log {
+                    self.log.push(Stamp { at: done, event: NodeEvent::GcDone });
+                }
+            }
+        }
+        // More work may have appeared (backlog drains leave fresh
+        // post-send items).
+        self.maybe_schedule_wakeup(true);
+        done
+    }
+
+    /// Timer tick (retransmissions).
+    pub fn tick(&mut self, t: Nanos, net: &mut dyn Netif, local: EndpointAddr) {
+        let (_done, ()) = self.run_op(t, |c| c.tick(t));
+        self.flush_frames(net, local);
+        self.maybe_schedule_wakeup(false);
+    }
+
+    /// Our address.
+    pub fn addr(&self) -> EndpointAddr {
+        self.conn.local_addr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gc::GcPolicy;
+    use pa_core::{ConnectionParams, PaConfig};
+    use pa_stack::StackSpec;
+    use pa_unet::{LoopbackNet, SimNet};
+
+    fn node(addr: u64, peer: u64, schedule: PostSchedule) -> NodeSim {
+        let spec = StackSpec::paper();
+        let conn = Connection::new(
+            spec.build(),
+            PaConfig::paper_default(),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(addr, 1),
+                EndpointAddr::from_parts(peer, 1),
+                addr,
+            ),
+        )
+        .unwrap();
+        let names: Vec<String> = spec.build().iter().map(|l| l.name().to_string()).collect();
+        NodeSim::new(
+            conn,
+            CostModel::paper_ml(names),
+            GcModel::paper(GcPolicy::EveryReception, addr),
+            schedule,
+        )
+    }
+
+    #[test]
+    fn fast_send_costs_25us() {
+        let mut n = node(1, 2, PostSchedule::AfterDelivery);
+        let mut net = LoopbackNet::new();
+        let (done, outcome) = n.app_send(1000, &[1u8; 8], &mut net, n.addr());
+        assert_eq!(outcome, SendOutcome::FastPath);
+        assert_eq!(done, 1000 + 25_000, "the paper's ~25 µs to U-Net handoff");
+        assert_eq!(net.in_flight(), 1);
+        assert_eq!(n.wakeup_at, None, "post deferred until a delivery");
+    }
+
+    #[test]
+    fn busy_cpu_delays_the_operation() {
+        let mut n = node(1, 2, PostSchedule::AfterDelivery);
+        let mut net = LoopbackNet::new();
+        n.cpu_free_at = 50_000;
+        let (done, _) = n.app_send(1000, &[1u8; 8], &mut net, n.addr());
+        assert_eq!(done, 50_000 + 25_000);
+    }
+
+    #[test]
+    fn one_way_delivery_costs_25us_and_schedules_posts() {
+        let mut a = node(1, 2, PostSchedule::AfterDelivery);
+        let mut b = node(2, 1, PostSchedule::AfterDelivery);
+        let mut net = SimNet::atm();
+        a.app_send(0, &[7u8; 8], &mut net, a.addr());
+        let arr = net.poll_arrival(u64::MAX).unwrap();
+        let (done, delivered) = b.on_frame(arr.at, arr.frame, &mut net, b.addr());
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(done - arr.at, 25_000);
+        assert!(b.wakeup_at.is_some(), "posts scheduled after delivery");
+        // Table 4's one-way: 25 (send) + 35+ (wire) + 25 (deliver).
+        assert!(done >= 85_000, "one-way ≈ 85 µs, got {done}");
+    }
+
+    #[test]
+    fn wakeup_charges_posts_and_gc() {
+        let mut a = node(1, 2, PostSchedule::AfterDelivery);
+        let mut b = node(2, 1, PostSchedule::AfterDelivery);
+        let mut net = SimNet::atm();
+        a.app_send(0, &[7u8; 8], &mut net, a.addr());
+        let arr = net.poll_arrival(u64::MAX).unwrap();
+        let (done, _) = b.on_frame(arr.at, arr.frame, &mut net, b.addr());
+        let wake = b.wakeup_at.unwrap();
+        let after = b.run_wakeup(wake, &mut net, b.addr());
+        // post-deliver 50 µs + one GC pause 150–450 µs. (No post-send:
+        // b hasn't sent.) Control-msg acks may add a little.
+        let cost = after - done;
+        assert!((200_000..=600_000).contains(&cost), "wakeup cost {cost}");
+        assert_eq!(b.gc.collections(), 1);
+    }
+
+    #[test]
+    fn when_idle_schedule_wakes_after_send() {
+        let mut n = node(1, 2, PostSchedule::WhenIdle);
+        let mut net = LoopbackNet::new();
+        n.app_send(0, &[1u8; 8], &mut net, n.addr());
+        assert!(n.wakeup_at.is_some());
+        let wake = n.wakeup_at.unwrap();
+        let done = n.run_wakeup(wake, &mut net, n.addr());
+        // post-send of the 4-layer stack = 80 µs.
+        assert_eq!(done - wake, 80_000);
+    }
+
+    #[test]
+    fn cpu_busy_accumulates() {
+        let mut n = node(1, 2, PostSchedule::WhenIdle);
+        let mut net = LoopbackNet::new();
+        n.app_send(0, &[1u8; 8], &mut net, n.addr());
+        let w = n.wakeup_at.unwrap();
+        n.run_wakeup(w, &mut net, n.addr());
+        assert_eq!(n.cpu_busy, 25_000 + 80_000);
+    }
+}

@@ -1,0 +1,140 @@
+//! A transparent traffic meter.
+//!
+//! Declares no fields and never diverts a message; counts frames and
+//! bytes in both directions, and how many of each phase ran. Useful as
+//! (a) observability for applications, (b) a canonical-form compliance
+//! probe in tests (its pre counters tell you exactly how often the slow
+//! path ran), and (c) stack filler for the E4 layer-scaling experiment.
+
+use pa_buf::Msg;
+use pa_core::{DeliverAction, InitCtx, Layer, LayerCtx, SendAction};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared counter block read by the application while the layer is
+/// owned by the connection.
+#[derive(Debug, Default)]
+pub struct MeterCounters {
+    /// Pre-send phases run (slow-path sends through this layer).
+    pub pre_sends: Cell<u64>,
+    /// Post-send phases run (every sent frame).
+    pub post_sends: Cell<u64>,
+    /// Pre-deliver phases run (slow-path deliveries).
+    pub pre_delivers: Cell<u64>,
+    /// Post-deliver phases run (every received frame).
+    pub post_delivers: Cell<u64>,
+    /// Bytes observed leaving (frame sizes at this layer).
+    pub bytes_out: Cell<u64>,
+    /// Bytes observed arriving.
+    pub bytes_in: Cell<u64>,
+}
+
+/// The meter layer.
+#[derive(Debug, Default)]
+pub struct MeterLayer {
+    counters: Rc<MeterCounters>,
+}
+
+impl MeterLayer {
+    /// Creates a meter and returns it with a handle to its counters.
+    pub fn new() -> (MeterLayer, Rc<MeterCounters>) {
+        let layer = MeterLayer::default();
+        let counters = layer.counters.clone();
+        (layer, counters)
+    }
+}
+
+impl Layer for MeterLayer {
+    fn name(&self) -> &'static str {
+        "meter"
+    }
+
+    fn init(&mut self, _ctx: &mut InitCtx<'_>) {}
+
+    fn pre_send(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &mut Msg) -> SendAction {
+        self.counters.pre_sends.set(self.counters.pre_sends.get() + 1);
+        SendAction::Continue
+    }
+
+    fn post_send(&mut self, _ctx: &mut LayerCtx<'_>, msg: &Msg) {
+        self.counters.post_sends.set(self.counters.post_sends.get() + 1);
+        self.counters.bytes_out.set(self.counters.bytes_out.get() + msg.len() as u64);
+    }
+
+    fn pre_deliver(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &mut Msg) -> DeliverAction {
+        self.counters.pre_delivers.set(self.counters.pre_delivers.get() + 1);
+        DeliverAction::Continue
+    }
+
+    fn post_deliver(&mut self, _ctx: &mut LayerCtx<'_>, msg: &Msg) {
+        self.counters.post_delivers.set(self.counters.post_delivers.get() + 1);
+        self.counters.bytes_in.set(self.counters.bytes_in.get() + msg.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_core::{Connection, ConnectionParams, PaConfig};
+    use pa_wire::EndpointAddr;
+
+    fn pair() -> (Connection, Rc<MeterCounters>, Connection, Rc<MeterCounters>) {
+        let (ml_a, ca) = MeterLayer::new();
+        let (ml_b, cb) = MeterLayer::new();
+        let mk = |layer: MeterLayer, l: u64, p: u64, s: u64| {
+            Connection::new(
+                vec![Box::new(layer)],
+                PaConfig::paper_default(),
+                ConnectionParams::new(
+                    EndpointAddr::from_parts(l, 6),
+                    EndpointAddr::from_parts(p, 6),
+                    s,
+                ),
+            )
+            .unwrap()
+        };
+        (mk(ml_a, 1, 2, 51), ca, mk(ml_b, 2, 1, 52), cb)
+    }
+
+    #[test]
+    fn fast_paths_skip_pre_but_not_post() {
+        let (mut a, ca, mut b, cb) = pair();
+        for _ in 0..5 {
+            a.send(b"metered");
+            let f = a.poll_transmit().unwrap();
+            b.deliver_frame(f);
+            a.process_pending();
+            b.process_pending();
+        }
+        assert_eq!(ca.pre_sends.get(), 0, "all sends fast");
+        assert_eq!(ca.post_sends.get(), 5, "post always runs");
+        assert_eq!(cb.pre_delivers.get(), 0, "all deliveries fast");
+        assert_eq!(cb.post_delivers.get(), 5);
+    }
+
+    #[test]
+    fn byte_counters_accumulate() {
+        let (mut a, ca, mut b, cb) = pair();
+        a.send(&[0u8; 100]);
+        let f = a.poll_transmit().unwrap();
+        b.deliver_frame(f);
+        a.process_pending();
+        b.process_pending();
+        assert!(ca.bytes_out.get() >= 100);
+        assert_eq!(ca.bytes_out.get(), cb.bytes_in.get(), "same frame image both sides");
+    }
+
+    #[test]
+    fn slow_path_increments_pre() {
+        let (ml, c) = MeterLayer::new();
+        let mut a = Connection::new(
+            vec![Box::new(ml)],
+            PaConfig { predict: false, lazy_post: false, ..PaConfig::paper_default() },
+            ConnectionParams::new(EndpointAddr::from_parts(1, 6), EndpointAddr::from_parts(2, 6), 5),
+        )
+        .unwrap();
+        a.send(b"slow");
+        assert_eq!(c.pre_sends.get(), 1);
+        assert_eq!(c.post_sends.get(), 1);
+    }
+}

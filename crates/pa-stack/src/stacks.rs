@@ -1,0 +1,286 @@
+//! Stack assembly: the paper's four-layer stack and variants.
+//!
+//! §5: "four layers have been stacked together to implement a basic
+//! sliding window protocol." Bottom to top, ours is:
+//!
+//! ```text
+//!   3  frag       fragmentation / reassembly (§6)
+//!   2  window     sliding window, w=16, retransmission, acks
+//!   1  checksum   length + digest, filter-driven
+//!   0  bottom     connection identification, epoch, version
+//! ```
+//!
+//! §5 also measures "a stack where the layer that actually implemented
+//! the sliding window was stacked twice" — [`StackSpec::window_copies`]
+//! reproduces that (the copies above the first are transparent
+//! followers: they sequence-check their own fields so they cost real
+//! work per phase, like the paper's doubled 200-line O'Caml layer).
+
+use crate::bottom::BottomLayer;
+use crate::checksum::ChecksumLayer;
+use crate::frag::FragLayer;
+use crate::heartbeat::{HeartbeatConfig, HeartbeatLayer};
+use crate::window::{WindowConfig, WindowLayer};
+use pa_core::layer::NullLayer;
+use pa_core::Layer;
+use pa_filter::DigestKind;
+
+/// Declarative description of a protocol stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackSpec {
+    /// Include the bottom identification layer.
+    pub bottom: bool,
+    /// Include the checksum layer, with this digest.
+    pub checksum: Option<DigestKind>,
+    /// Number of window layers to stack (1 = the paper's stack; 2 = the
+    /// layer-scaling measurement of §5).
+    pub window_copies: usize,
+    /// Window configuration (applies to every copy).
+    pub window: WindowConfig,
+    /// Include the fragmentation layer with this body MTU.
+    pub frag_mtu: Option<usize>,
+    /// Include the heartbeat layer.
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Include the timestamp layer (patchable-slot stamping).
+    pub timestamp: bool,
+    /// Extra transparent layers on top (stack-depth experiments).
+    pub null_fill: usize,
+}
+
+impl StackSpec {
+    /// The stack evaluated in §5 of the paper: bottom, checksum, a
+    /// 16-entry sliding window, fragmentation — four layers.
+    pub fn paper() -> StackSpec {
+        StackSpec {
+            bottom: true,
+            checksum: Some(DigestKind::InternetChecksum),
+            window_copies: 1,
+            window: WindowConfig::default(),
+            frag_mtu: Some(4096),
+            heartbeat: None,
+            timestamp: false,
+            null_fill: 0,
+        }
+    }
+
+    /// The §5 layer-scaling variant: the window layer stacked twice.
+    pub fn paper_doubled_window() -> StackSpec {
+        StackSpec { window_copies: 2, ..StackSpec::paper() }
+    }
+
+    /// A fuller stack with heartbeats and timestamps (the
+    /// group-communication flavor).
+    pub fn extended() -> StackSpec {
+        StackSpec {
+            heartbeat: Some(HeartbeatConfig::default()),
+            timestamp: true,
+            ..StackSpec::paper()
+        }
+    }
+
+    /// Just a window layer — the minimal reliable stack.
+    pub fn minimal() -> StackSpec {
+        StackSpec {
+            bottom: false,
+            checksum: None,
+            window_copies: 1,
+            window: WindowConfig::default(),
+            frag_mtu: None,
+            heartbeat: None,
+            timestamp: false,
+            null_fill: 0,
+        }
+    }
+
+    /// Number of layers this spec builds.
+    pub fn layer_count(&self) -> usize {
+        self.bottom as usize
+            + self.checksum.is_some() as usize
+            + self.window_copies
+            + self.frag_mtu.is_some() as usize
+            + self.heartbeat.is_some() as usize
+            + self.timestamp as usize
+            + self.null_fill
+    }
+
+    /// Materializes the stack, bottom first.
+    pub fn build(&self) -> Vec<Box<dyn Layer>> {
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        if self.bottom {
+            layers.push(Box::new(BottomLayer::default()));
+        }
+        if let Some(kind) = self.checksum {
+            layers.push(Box::new(ChecksumLayer::new(kind)));
+        }
+        if let Some(hb) = self.heartbeat {
+            layers.push(Box::new(HeartbeatLayer::new(hb)));
+        }
+        if self.timestamp {
+            layers.push(Box::new(crate::timestamp::TimestampLayer::new()));
+        }
+        for _ in 0..self.window_copies {
+            layers.push(Box::new(WindowLayer::new(self.window)));
+        }
+        if let Some(mtu) = self.frag_mtu {
+            layers.push(Box::new(FragLayer::new(mtu)));
+        }
+        for _ in 0..self.null_fill {
+            layers.push(Box::new(NullLayer));
+        }
+        layers
+    }
+}
+
+/// Convenience: the paper's four-layer stack.
+pub fn paper_stack() -> Vec<Box<dyn Layer>> {
+    StackSpec::paper().build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_core::{Connection, ConnectionParams, PaConfig, SendOutcome};
+    use pa_wire::{Class, EndpointAddr};
+
+    fn pair(spec: &StackSpec, config: PaConfig) -> (Connection, Connection) {
+        let mk = |l: u64, p: u64, s: u64| {
+            Connection::new(
+                spec.build(),
+                config,
+                ConnectionParams::new(
+                    EndpointAddr::from_parts(l, 8),
+                    EndpointAddr::from_parts(p, 8),
+                    s,
+                ),
+            )
+            .unwrap()
+        };
+        (mk(1, 2, 61), mk(2, 1, 62))
+    }
+
+    fn converge(a: &mut Connection, b: &mut Connection) -> Vec<Vec<u8>> {
+        let mut got = Vec::new();
+        for _ in 0..256 {
+            let mut moved = false;
+            while let Some(f) = a.poll_transmit() {
+                b.deliver_frame(f);
+                moved = true;
+            }
+            while let Some(f) = b.poll_transmit() {
+                a.deliver_frame(f);
+                moved = true;
+            }
+            a.process_pending();
+            b.process_pending();
+            if !moved && !a.has_pending() && !b.has_pending() {
+                break;
+            }
+        }
+        while let Some(m) = b.poll_delivery() {
+            got.push(m.to_wire());
+        }
+        got
+    }
+
+    #[test]
+    fn paper_stack_is_four_layers() {
+        assert_eq!(StackSpec::paper().layer_count(), 4);
+        assert_eq!(paper_stack().len(), 4);
+    }
+
+    #[test]
+    fn paper_stack_roundtrip_fast_path() {
+        let (mut a, mut b) = pair(&StackSpec::paper(), PaConfig::paper_default());
+        // Warm up (first message carries ident).
+        a.send(b"warmup~~");
+        converge(&mut a, &mut b);
+        for i in 0..20u8 {
+            let out = a.send(&[i; 8]);
+            assert_eq!(out, SendOutcome::FastPath, "message {i}");
+            let got = converge(&mut a, &mut b);
+            assert_eq!(got, vec![vec![i; 8]]);
+        }
+        assert!(b.stats().fast_delivery_ratio() > 0.8, "{:?}", b.stats());
+    }
+
+    #[test]
+    fn per_message_headers_well_under_40_bytes() {
+        // §1: headers must fit U-Net's 40-byte single-cell budget with
+        // room for 8 bytes of user data + the 8-byte preamble.
+        let (a, _b) = pair(&StackSpec::paper(), PaConfig::paper_default());
+        let hdrs = a.layout().per_message_header_bytes();
+        // preamble 8 + headers + packing 1 + payload 8 ≤ 40
+        assert!(8 + hdrs + 1 + 8 <= 40, "per-message overhead too big: {hdrs}");
+    }
+
+    #[test]
+    fn traditional_layout_blows_the_budget() {
+        let cfg = PaConfig::no_pa_baseline();
+        let (a, _b) = pair(&StackSpec::paper(), cfg);
+        let hdrs = a.layout().per_message_header_bytes();
+        let ident = a.layout().class_len(Class::ConnId);
+        // Without the PA the ident rides on every message too.
+        assert!(8 + hdrs + ident + 1 + 8 > 40, "baseline should exceed one cell");
+    }
+
+    #[test]
+    fn doubled_window_stack_works() {
+        let (mut a, mut b) = pair(&StackSpec::paper_doubled_window(), PaConfig::paper_default());
+        for i in 0..10u8 {
+            a.send(&[i; 4]);
+            let got = converge(&mut a, &mut b);
+            assert_eq!(got, vec![vec![i; 4]], "message {i}");
+        }
+    }
+
+    #[test]
+    fn extended_stack_with_heartbeat_works() {
+        let (mut a, mut b) = pair(&StackSpec::extended(), PaConfig::paper_default());
+        a.send(b"alive?");
+        let got = converge(&mut a, &mut b);
+        assert_eq!(got, vec![b"alive?".to_vec()]);
+        // Idle ticks produce heartbeats that b consumes silently.
+        a.tick(1_000_000_000);
+        let got = converge(&mut a, &mut b);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn minimal_stack_works() {
+        let (mut a, mut b) = pair(&StackSpec::minimal(), PaConfig::paper_default());
+        a.send(b"tiny");
+        let got = converge(&mut a, &mut b);
+        assert_eq!(got, vec![b"tiny".to_vec()]);
+    }
+
+    #[test]
+    fn deep_null_filled_stack_works() {
+        let spec = StackSpec { null_fill: 6, ..StackSpec::paper() };
+        assert_eq!(spec.layer_count(), 10);
+        let (mut a, mut b) = pair(&spec, PaConfig::paper_default());
+        a.send(b"deep stack");
+        let got = converge(&mut a, &mut b);
+        assert_eq!(got, vec![b"deep stack".to_vec()]);
+    }
+
+    #[test]
+    fn baseline_config_full_stack_interop() {
+        let (mut a, mut b) = pair(&StackSpec::paper(), PaConfig::no_pa_baseline());
+        for i in 0..5u8 {
+            a.send(&[i; 16]);
+            let got = converge(&mut a, &mut b);
+            assert_eq!(got, vec![vec![i; 16]], "message {i}");
+        }
+        assert_eq!(a.stats().fast_sends, 0);
+    }
+
+    #[test]
+    fn large_transfer_through_paper_stack() {
+        let spec = StackSpec { frag_mtu: Some(64), ..StackSpec::paper() };
+        let (mut a, mut b) = pair(&spec, PaConfig::paper_default());
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        a.send(&payload);
+        let got = converge(&mut a, &mut b);
+        assert_eq!(got, vec![payload]);
+    }
+}

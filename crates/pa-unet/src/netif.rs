@@ -1,0 +1,39 @@
+//! The network-interface abstraction.
+
+use crate::Nanos;
+use pa_buf::Msg;
+use pa_wire::EndpointAddr;
+
+/// A frame that has arrived at an endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Sender address.
+    pub from: EndpointAddr,
+    /// Receiver address.
+    pub to: EndpointAddr,
+    /// The frame bytes.
+    pub frame: Msg,
+    /// Time the frame became available at the receiver.
+    pub at: Nanos,
+}
+
+/// A host-polled frame transport.
+///
+/// Implementations are *unreliable* by assumption — like U-Net, they
+/// "provide unreliable communication"; reliability is the protocol
+/// stack's job. Hosts drive time explicitly: `send` stamps departure,
+/// `poll_arrival` releases frames whose arrival time has passed.
+pub trait Netif {
+    /// Injects a frame for delivery to `to`.
+    fn send(&mut self, from: EndpointAddr, to: EndpointAddr, frame: Msg, now: Nanos);
+
+    /// Pops the next frame whose arrival time is ≤ `now`.
+    fn poll_arrival(&mut self, now: Nanos) -> Option<Arrival>;
+
+    /// Time of the earliest undelivered frame, if any (lets a
+    /// discrete-event host jump the clock instead of busy-polling).
+    fn next_arrival_at(&self) -> Option<Nanos>;
+
+    /// Frames currently in flight.
+    fn in_flight(&self) -> usize;
+}

@@ -1,0 +1,143 @@
+//! A libpcap-format trace writer.
+//!
+//! smoltcp's examples all take a `--pcap` option, and for good reason:
+//! when a protocol test fails, the first question is "what was actually
+//! on the wire?". [`PcapWriter`] records frames in the classic libpcap
+//! format (DLT_USER0, since PA frames are their own link type), so
+//! Wireshark — or our own [`pa_core::dissect`] fed from a replay —
+//! can answer it. Timestamps come from the virtual clock, which makes
+//! simulated traces exactly reproducible.
+
+use crate::Nanos;
+use std::io::{self, Write};
+
+/// Link type: DLT_USER0 (private use; PA frames are not Ethernet).
+const LINKTYPE_USER0: u32 = 147;
+
+/// Classic libpcap magic (microsecond timestamps).
+const MAGIC: u32 = 0xA1B2_C3D4;
+
+/// Writes frames to any `Write` sink in libpcap format.
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    frames: u64,
+    snaplen: u32,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer and emits the global header.
+    pub fn new(mut sink: W) -> io::Result<PcapWriter<W>> {
+        let snaplen: u32 = 65_535;
+        sink.write_all(&MAGIC.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&snaplen.to_le_bytes())?;
+        sink.write_all(&LINKTYPE_USER0.to_le_bytes())?;
+        Ok(PcapWriter { sink, frames: 0, snaplen })
+    }
+
+    /// Records one frame observed at virtual time `at`.
+    pub fn record(&mut self, at: Nanos, frame: &[u8]) -> io::Result<()> {
+        let secs = (at / 1_000_000_000) as u32;
+        let usecs = ((at % 1_000_000_000) / 1_000) as u32;
+        let cap = (frame.len() as u32).min(self.snaplen);
+        self.sink.write_all(&secs.to_le_bytes())?;
+        self.sink.write_all(&usecs.to_le_bytes())?;
+        self.sink.write_all(&cap.to_le_bytes())?;
+        self.sink.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&frame[..cap as usize])?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Frames recorded so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Flushes and returns the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Parses a pcap byte buffer back into `(timestamp_ns, frame)` records
+/// (testing and replay; classic format, either byte order).
+pub fn parse(bytes: &[u8]) -> Option<Vec<(Nanos, Vec<u8>)>> {
+    if bytes.len() < 24 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[..4].try_into().expect("4"));
+    if magic != MAGIC {
+        return None; // we only write (and read back) LE classic pcap
+    }
+    let mut out = Vec::new();
+    let mut off = 24;
+    while off + 16 <= bytes.len() {
+        let secs = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4")) as u64;
+        let usecs = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4")) as u64;
+        let cap = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().expect("4")) as usize;
+        off += 16;
+        if off + cap > bytes.len() {
+            return None;
+        }
+        out.push((secs * 1_000_000_000 + usecs * 1_000, bytes[off..off + cap].to_vec()));
+        off += cap;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_header_is_wireshark_compatible() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), 24);
+        assert_eq!(&buf[..4], &MAGIC.to_le_bytes());
+        assert_eq!(u16::from_le_bytes([buf[4], buf[5]]), 2);
+        assert_eq!(u16::from_le_bytes([buf[6], buf[7]]), 4);
+        assert_eq!(
+            u32::from_le_bytes([buf[20], buf[21], buf[22], buf[23]]),
+            LINKTYPE_USER0
+        );
+    }
+
+    #[test]
+    fn frames_roundtrip_through_parse() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.record(1_500_000, b"first frame").unwrap();
+        w.record(2_000_500_000, b"second, later frame").unwrap();
+        assert_eq!(w.frames(), 2);
+        let buf = w.finish().unwrap();
+        let records = parse(&buf).expect("valid pcap");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], (1_500_000, b"first frame".to_vec()));
+        // Timestamps quantize to microseconds in classic pcap.
+        assert_eq!(records[1], (2_000_500_000, b"second, later frame".to_vec()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_truncation() {
+        assert!(parse(b"short").is_none());
+        assert!(parse(&[0u8; 24]).is_none(), "bad magic");
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.record(0, &[1, 2, 3, 4]).unwrap();
+        let mut buf = w.finish().unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(parse(&buf).is_none(), "truncated record");
+    }
+
+    #[test]
+    fn empty_capture_parses_empty() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(parse(&buf).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,130 @@
+//! A real transport: UDP sockets.
+//!
+//! Maps [`EndpointAddr`]s to UDP socket addresses so the examples can
+//! run the PA between actual OS processes. UDP is a faithful stand-in
+//! for U-Net's service model: unreliable, unordered datagrams — the
+//! sliding-window stack on top provides the reliability, exactly as in
+//! the paper.
+
+use crate::netif::{Arrival, Netif};
+use crate::Nanos;
+use pa_buf::Msg;
+use pa_wire::EndpointAddr;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// Maximum datagram we expect (frames are far smaller).
+const MAX_DATAGRAM: usize = 65_536;
+
+/// A UDP-backed network interface.
+#[derive(Debug)]
+pub struct UdpNet {
+    socket: UdpSocket,
+    local: EndpointAddr,
+    peers: HashMap<EndpointAddr, SocketAddr>,
+    rev: HashMap<SocketAddr, EndpointAddr>,
+    buf: Vec<u8>,
+}
+
+impl UdpNet {
+    /// Binds a socket and labels it with `local`.
+    pub fn bind(local: EndpointAddr, addr: &str) -> io::Result<UdpNet> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_nonblocking(true)?;
+        Ok(UdpNet {
+            socket,
+            local,
+            peers: HashMap::new(),
+            rev: HashMap::new(),
+            buf: vec![0u8; MAX_DATAGRAM],
+        })
+    }
+
+    /// The socket's actual bound address (useful with port 0).
+    pub fn local_socket_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Registers where an endpoint address lives.
+    pub fn add_peer(&mut self, ep: EndpointAddr, addr: SocketAddr) {
+        self.peers.insert(ep, addr);
+        self.rev.insert(addr, ep);
+    }
+}
+
+impl Netif for UdpNet {
+    fn send(&mut self, _from: EndpointAddr, to: EndpointAddr, frame: Msg, _now: Nanos) {
+        if let Some(addr) = self.peers.get(&to) {
+            // Best effort: UDP may drop; so may we. The stack recovers.
+            let _ = self.socket.send_to(frame.as_slice(), addr);
+        }
+    }
+
+    fn poll_arrival(&mut self, now: Nanos) -> Option<Arrival> {
+        match self.socket.recv_from(&mut self.buf) {
+            Ok((n, src)) => {
+                let from = self.rev.get(&src).copied().unwrap_or(EndpointAddr::from_parts(0, 0));
+                Some(Arrival {
+                    from,
+                    to: self.local,
+                    frame: Msg::from_wire(self.buf[..n].to_vec()),
+                    at: now,
+                })
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+            Err(_) => None,
+        }
+    }
+
+    fn next_arrival_at(&self) -> Option<Nanos> {
+        // Real networks don't pre-announce arrivals.
+        None
+    }
+
+    fn in_flight(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(n: u64) -> EndpointAddr {
+        EndpointAddr::from_parts(n, 1)
+    }
+
+    #[test]
+    fn two_sockets_exchange_frames() {
+        let mut a = UdpNet::bind(ep(1), "127.0.0.1:0").unwrap();
+        let mut b = UdpNet::bind(ep(2), "127.0.0.1:0").unwrap();
+        let a_addr = a.local_socket_addr().unwrap();
+        let b_addr = b.local_socket_addr().unwrap();
+        a.add_peer(ep(2), b_addr);
+        b.add_peer(ep(1), a_addr);
+
+        a.send(ep(1), ep(2), Msg::from_payload(b"over the real wire"), 0);
+        // Give the kernel a moment.
+        let mut got = None;
+        for _ in 0..100 {
+            if let Some(arr) = b.poll_arrival(0) {
+                got = Some(arr);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let arr = got.expect("datagram must arrive on loopback");
+        assert_eq!(arr.frame.as_slice(), b"over the real wire");
+        assert_eq!(arr.from, ep(1));
+        assert_eq!(arr.to, ep(2));
+    }
+
+    #[test]
+    fn unknown_destination_is_silently_dropped() {
+        let mut a = UdpNet::bind(ep(1), "127.0.0.1:0").unwrap();
+        // No peer registered: no panic, nothing sent.
+        a.send(ep(1), ep(9), Msg::from_payload(b"void"), 0);
+        assert!(a.poll_arrival(0).is_none());
+    }
+}

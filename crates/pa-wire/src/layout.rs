@@ -1,0 +1,735 @@
+//! The header layout compiler (§2.1).
+//!
+//! Layers declare fields; after every layer's initialization has run,
+//! [`LayoutBuilder::compile`] produces one compact header per class,
+//! placing fields "as efficiently as possible, observing size, and if so
+//! requested, offset, but not layering. Therefore, fields requested by
+//! different layers may be mixed arbitrarily, minimizing padding while
+//! optimizing alignment."
+//!
+//! Two layout modes exist so the padding cost of the classical scheme can
+//! be *measured*:
+//!
+//! - [`LayoutMode::Packed`] — the PA scheme: fields of all layers pooled
+//!   per class, placed by first-fit-decreasing over a bit map, with
+//!   natural alignment for power-of-two byte-sized fields.
+//! - [`LayoutMode::Traditional`] — one sub-header per layer, fields in
+//!   declaration order at their natural byte alignment, each layer's
+//!   header padded to a 4-byte boundary (the x-kernel/Horus convention
+//!   the paper criticizes; 8-byte padding is available via
+//!   [`LayoutMode::Traditional8`]).
+//!
+//! Compilation is deterministic, so two peers that stack the same layers
+//! compute identical layouts; [`CompiledLayout::fingerprint`] hashes the
+//! declaration sequence so a mismatch can be detected at connection
+//! setup instead of as silent corruption.
+
+use crate::bits;
+use crate::class::{Class, Field, FieldSpec, LayerId};
+use pa_buf::ByteOrder;
+use std::fmt;
+
+/// Maximum declarable field width in bits (wide blob fields hold large
+/// addresses; 2048 bits = 256 bytes is far beyond any real identifier).
+pub const MAX_FIELD_BITS: u32 = 2048;
+
+/// How headers are laid out on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutMode {
+    /// PA cross-layer bit packing (§2.1).
+    Packed,
+    /// One padded sub-header per layer, 4-byte aligned.
+    Traditional,
+    /// One padded sub-header per layer, 8-byte aligned.
+    Traditional8,
+}
+
+/// Errors from field declaration or layout compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Field width must be 1..=64 bits.
+    BadWidth {
+        /// Offending field name.
+        name: String,
+        /// Requested width.
+        bits: u32,
+    },
+    /// Two fixed-offset fields overlap.
+    OffsetConflict {
+        /// Name of the field that could not be placed.
+        name: String,
+        /// The requested bit offset.
+        offset: u32,
+    },
+    /// `add_field` was called before `begin_layer`.
+    NoLayer,
+    /// A field name was empty.
+    EmptyName,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::BadWidth { name, bits } => {
+                write!(f, "field `{name}`: width {bits} out of range 1..=64")
+            }
+            LayoutError::OffsetConflict { name, offset } => {
+                write!(f, "field `{name}`: fixed offset {offset} overlaps a previously placed field")
+            }
+            LayoutError::NoLayer => write!(f, "add_field called before begin_layer"),
+            LayoutError::EmptyName => write!(f, "field name must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Collects `add_field` declarations from every layer in the stack.
+#[derive(Debug, Default, Clone)]
+pub struct LayoutBuilder {
+    specs: [Vec<FieldSpec>; 4],
+    layers: Vec<String>,
+    current: Option<LayerId>,
+}
+
+impl LayoutBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts declarations for the next layer (bottom first). Returns the
+    /// layer's id.
+    pub fn begin_layer(&mut self, name: &str) -> LayerId {
+        let id = LayerId(self.layers.len() as u16);
+        self.layers.push(name.to_string());
+        self.current = Some(id);
+        id
+    }
+
+    /// The paper's `add_field(class, name, size, offset)`.
+    ///
+    /// `offset` is a *bit* offset within the class header, or `None` for
+    /// "don't care" (the paper passes −1). Returns the handle used for
+    /// all later access.
+    ///
+    /// Widths up to 64 bits are scalar fields accessed with
+    /// [`CompiledLayout::read_field`]/[`CompiledLayout::write_field`].
+    /// Wider fields (up to [`MAX_FIELD_BITS`], for large addresses) must
+    /// be byte-multiples and are accessed as byte blobs with
+    /// [`CompiledLayout::read_field_bytes`]/
+    /// [`CompiledLayout::write_field_bytes`].
+    pub fn add_field(
+        &mut self,
+        class: Class,
+        name: &str,
+        bits: u32,
+        offset: Option<u32>,
+    ) -> Result<Field, LayoutError> {
+        let layer = self.current.ok_or(LayoutError::NoLayer)?;
+        if name.is_empty() {
+            return Err(LayoutError::EmptyName);
+        }
+        if bits == 0 || bits > MAX_FIELD_BITS || (bits > 64 && bits % 8 != 0) {
+            return Err(LayoutError::BadWidth { name: name.to_string(), bits });
+        }
+        let list = &mut self.specs[class.index()];
+        let idx = list.len() as u16;
+        list.push(FieldSpec { name: name.to_string(), bits, offset, layer });
+        Ok(Field { class, idx })
+    }
+
+    /// Number of fields declared in `class`.
+    pub fn field_count(&self, class: Class) -> usize {
+        self.specs[class.index()].len()
+    }
+
+    /// Names of the layers that have begun declarations, bottom first.
+    pub fn layer_names(&self) -> &[String] {
+        &self.layers
+    }
+
+    /// Declared field names in `class`, in declaration order (the index
+    /// of a name equals the field handle's index within the class).
+    pub fn field_names(&self, class: Class) -> Vec<&str> {
+        self.specs[class.index()].iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Compiles the declarations into a wire layout.
+    pub fn compile(&self, mode: LayoutMode) -> Result<CompiledLayout, LayoutError> {
+        let mut classes: [ClassLayout; 4] = Default::default();
+        for c in Class::ALL {
+            classes[c.index()] = match mode {
+                LayoutMode::Packed => pack_class(&self.specs[c.index()])?,
+                LayoutMode::Traditional => layer_by_layer(&self.specs[c.index()], 4),
+                LayoutMode::Traditional8 => layer_by_layer(&self.specs[c.index()], 8),
+            };
+        }
+        Ok(CompiledLayout { classes, mode, fingerprint: self.fingerprint_of_specs() })
+    }
+
+    fn fingerprint_of_specs(&self) -> u64 {
+        // FNV-1a over the declaration sequence; stable across builds.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        };
+        for name in &self.layers {
+            for b in name.bytes() {
+                eat(b);
+            }
+            eat(0xFF);
+        }
+        for c in Class::ALL {
+            eat(c.index() as u8);
+            for s in &self.specs[c.index()] {
+                for b in s.name.bytes() {
+                    eat(b);
+                }
+                eat(0);
+                for b in s.bits.to_le_bytes() {
+                    eat(b);
+                }
+                for b in s.offset.map(|o| o + 1).unwrap_or(0).to_le_bytes() {
+                    eat(b);
+                }
+                for b in s.layer.0.to_le_bytes() {
+                    eat(b);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// A field's final position in its class header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacedField {
+    /// Bit offset within the class header.
+    pub bit_offset: u32,
+    /// Width in bits.
+    pub bits: u32,
+}
+
+/// The compiled wire image of one class header.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassLayout {
+    placed: Vec<PlacedField>,
+    byte_len: usize,
+    used_bits: u32,
+}
+
+impl ClassLayout {
+    /// Length of this class header on the wire, in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.byte_len
+    }
+
+    /// Sum of declared field widths, in bits.
+    pub fn used_bits(&self) -> u32 {
+        self.used_bits
+    }
+
+    /// Wasted bits: `byte_len*8 − used_bits`.
+    pub fn padding_bits(&self) -> u32 {
+        self.byte_len as u32 * 8 - self.used_bits
+    }
+
+    /// Placement of field `idx` (declaration order).
+    pub fn placement(&self, idx: usize) -> PlacedField {
+        self.placed[idx]
+    }
+
+    /// Number of fields placed in this class.
+    pub fn field_count(&self) -> usize {
+        self.placed.len()
+    }
+}
+
+/// The output of the layout compiler: four class headers plus metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledLayout {
+    classes: [ClassLayout; 4],
+    mode: LayoutMode,
+    fingerprint: u64,
+}
+
+impl CompiledLayout {
+    /// The mode this layout was compiled in.
+    pub fn mode(&self) -> LayoutMode {
+        self.mode
+    }
+
+    /// Hash of the declaration sequence; equal on both peers iff they
+    /// stacked identical layers with identical field declarations.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Wire length of `class`'s header in bytes.
+    pub fn class_len(&self, class: Class) -> usize {
+        self.classes[class.index()].byte_len()
+    }
+
+    /// The per-class layout.
+    pub fn class(&self, class: Class) -> &ClassLayout {
+        &self.classes[class.index()]
+    }
+
+    /// Total bytes of the always-present headers (protocol + message +
+    /// gossip) — what rides on every message in addition to the 8-byte
+    /// preamble and the packing header.
+    pub fn per_message_header_bytes(&self) -> usize {
+        self.class_len(Class::Protocol) + self.class_len(Class::Message) + self.class_len(Class::Gossip)
+    }
+
+    /// Reads scalar field `f` (≤ 64 bits) from `hdr` in `order`.
+    ///
+    /// # Panics
+    /// If `f` is a wide blob field — use
+    /// [`CompiledLayout::read_field_bytes`] for those.
+    pub fn read_field(&self, f: Field, hdr: &[u8], order: ByteOrder) -> u64 {
+        let p = self.classes[f.class.index()].placed[f.idx as usize];
+        assert!(p.bits <= 64, "field wider than 64 bits: use read_field_bytes");
+        bits::read_field(hdr, p.bit_offset, p.bits, order)
+    }
+
+    /// Writes scalar field `f` (≤ 64 bits, low `bits` of `v`) into `hdr`.
+    ///
+    /// # Panics
+    /// If `f` is a wide blob field — use
+    /// [`CompiledLayout::write_field_bytes`] for those.
+    pub fn write_field(&self, f: Field, hdr: &mut [u8], order: ByteOrder, v: u64) {
+        let p = self.classes[f.class.index()].placed[f.idx as usize];
+        assert!(p.bits <= 64, "field wider than 64 bits: use write_field_bytes");
+        bits::write_field(hdr, p.bit_offset, p.bits, bits::mask(v, p.bits), order);
+    }
+
+    /// Reads wide blob field `f` as raw bytes (byte-aligned by
+    /// construction: the packer byte-aligns every field wider than a
+    /// byte, and >64-bit widths are byte multiples).
+    pub fn read_field_bytes<'h>(&self, f: Field, hdr: &'h [u8]) -> &'h [u8] {
+        let p = self.classes[f.class.index()].placed[f.idx as usize];
+        debug_assert_eq!(p.bit_offset % 8, 0);
+        debug_assert_eq!(p.bits % 8, 0);
+        let start = (p.bit_offset / 8) as usize;
+        &hdr[start..start + (p.bits / 8) as usize]
+    }
+
+    /// Writes wide blob field `f` from raw bytes.
+    ///
+    /// # Panics
+    /// If `src` does not match the field's width exactly.
+    pub fn write_field_bytes(&self, f: Field, hdr: &mut [u8], src: &[u8]) {
+        let p = self.classes[f.class.index()].placed[f.idx as usize];
+        debug_assert_eq!(p.bit_offset % 8, 0);
+        assert_eq!(src.len() as u32 * 8, p.bits, "blob width mismatch");
+        let start = (p.bit_offset / 8) as usize;
+        hdr[start..start + src.len()].copy_from_slice(src);
+    }
+
+    /// Width of field `f` in bits.
+    pub fn field_bits(&self, f: Field) -> u32 {
+        self.classes[f.class.index()].placed[f.idx as usize].bits
+    }
+
+    /// Byte range `f` touches within its class header (for fast filter
+    /// specialisation when fields happen to be conveniently aligned).
+    pub fn field_byte_span(&self, f: Field) -> (usize, usize) {
+        let p = self.classes[f.class.index()].placed[f.idx as usize];
+        let start = (p.bit_offset / 8) as usize;
+        let end = ((p.bit_offset + p.bits + 7) / 8) as usize;
+        (start, end)
+    }
+
+    /// Per-class sizes and padding, for the E5 header-overhead report.
+    pub fn padding_report(&self) -> PaddingReport {
+        let mut per_class = [(0usize, 0u32); 4];
+        for c in Class::ALL {
+            let cl = &self.classes[c.index()];
+            per_class[c.index()] = (cl.byte_len(), cl.padding_bits());
+        }
+        PaddingReport {
+            mode: self.mode,
+            per_class,
+            total_bytes: Class::ALL.iter().map(|&c| self.class_len(c)).sum(),
+            total_padding_bits: Class::ALL.iter().map(|&c| self.class(c).padding_bits()).sum(),
+        }
+    }
+}
+
+/// Summary of header sizes and padding for one layout mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaddingReport {
+    /// Layout mode measured.
+    pub mode: LayoutMode,
+    /// `(byte_len, padding_bits)` per class, indexed by [`Class::index`].
+    pub per_class: [(usize, u32); 4],
+    /// Sum of all four class header lengths.
+    pub total_bytes: usize,
+    /// Sum of padding bits across classes.
+    pub total_padding_bits: u32,
+}
+
+/// Alignment a field of `bits` width prefers, in bits.
+fn preferred_align(bits: u32) -> u32 {
+    match bits {
+        65.. => 8, // wide blobs: byte alignment
+        64 => 64,
+        33..=63 => 8, // odd wide fields: byte alignment
+        32 => 32,
+        17..=31 => 8,
+        16 => 16,
+        9..=15 => 8,
+        8 => 8,
+        _ => 1, // sub-byte fields pack bit-tight
+    }
+}
+
+/// First-fit-decreasing bit packing with natural alignment.
+fn pack_class(specs: &[FieldSpec]) -> Result<ClassLayout, LayoutError> {
+    let mut placed = vec![PlacedField { bit_offset: 0, bits: 0 }; specs.len()];
+    let mut occupancy: Vec<bool> = Vec::new();
+
+    let claim = |occ: &mut Vec<bool>, off: u32, width: u32| {
+        let end = (off + width) as usize;
+        if occ.len() < end {
+            occ.resize(end, false);
+        }
+        for b in &mut occ[off as usize..end] {
+            *b = true;
+        }
+    };
+    let free = |occ: &[bool], off: u32, width: u32| -> bool {
+        let end = (off + width) as usize;
+        occ.iter().skip(off as usize).take(end - off as usize).all(|&b| !b) || occ.len() <= off as usize
+    };
+
+    // Phase 1: fixed-offset fields, declaration order.
+    for (i, s) in specs.iter().enumerate() {
+        if let Some(off) = s.offset {
+            if !free(&occupancy, off, s.bits) {
+                return Err(LayoutError::OffsetConflict { name: s.name.clone(), offset: off });
+            }
+            claim(&mut occupancy, off, s.bits);
+            placed[i] = PlacedField { bit_offset: off, bits: s.bits };
+        }
+    }
+
+    // Phase 2: floating fields, widest first (FFD); ties broken by
+    // declaration order so compilation is deterministic.
+    let mut floating: Vec<usize> =
+        (0..specs.len()).filter(|&i| specs[i].offset.is_none()).collect();
+    floating.sort_by_key(|&i| std::cmp::Reverse(specs[i].bits));
+
+    for i in floating {
+        let s = &specs[i];
+        let align = preferred_align(s.bits);
+        let mut off = 0u32;
+        loop {
+            if free(&occupancy, off, s.bits) {
+                claim(&mut occupancy, off, s.bits);
+                placed[i] = PlacedField { bit_offset: off, bits: s.bits };
+                break;
+            }
+            off += align;
+        }
+    }
+
+    let used_bits: u32 = specs.iter().map(|s| s.bits).sum();
+    let highest = placed
+        .iter()
+        .zip(specs)
+        .map(|(p, _)| p.bit_offset + p.bits)
+        .max()
+        .unwrap_or(0);
+    Ok(ClassLayout { placed, byte_len: ((highest + 7) / 8) as usize, used_bits })
+}
+
+/// The traditional scheme: sub-headers per layer, each padded to
+/// `pad_bytes` alignment; fields at natural byte alignment inside.
+fn layer_by_layer(specs: &[FieldSpec], pad_bytes: u32) -> ClassLayout {
+    let mut placed = vec![PlacedField { bit_offset: 0, bits: 0 }; specs.len()];
+    // Group indices by layer, preserving declaration order.
+    let mut layers: Vec<LayerId> = specs.iter().map(|s| s.layer).collect();
+    layers.dedup();
+    layers.sort();
+    layers.dedup();
+
+    let mut cursor_bits = 0u32;
+    for layer in layers {
+        for (i, s) in specs.iter().enumerate() {
+            if s.layer != layer {
+                continue;
+            }
+            // Natural alignment: round width up to bytes, align to the
+            // smaller of that and 8 bytes.
+            let width_bytes = (s.bits + 7) / 8;
+            let align_bytes = width_bytes.next_power_of_two().min(8);
+            let align_bits = align_bytes * 8;
+            cursor_bits = cursor_bits.div_ceil(align_bits) * align_bits;
+            placed[i] = PlacedField { bit_offset: cursor_bits, bits: s.bits };
+            cursor_bits += width_bytes * 8;
+        }
+        // Pad the layer's header to the 4/8-byte boundary.
+        let pad_bits = pad_bytes * 8;
+        cursor_bits = cursor_bits.div_ceil(pad_bits) * pad_bits;
+    }
+    let used_bits: u32 = specs.iter().map(|s| s.bits).sum();
+    ClassLayout { placed, byte_len: (cursor_bits / 8) as usize, used_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder_4layer() -> LayoutBuilder {
+        // A caricature of the paper's 4-layer sliding-window stack.
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("bottom");
+        b.add_field(Class::ConnId, "src_addr", 128, None).unwrap();
+        b.add_field(Class::ConnId, "dst_addr", 128, None).unwrap();
+        b.add_field(Class::ConnId, "src_port", 32, None).unwrap();
+        b.add_field(Class::ConnId, "dst_port", 32, None).unwrap();
+        b.begin_layer("frag");
+        b.add_field(Class::Protocol, "frag_flag", 1, None).unwrap();
+        b.add_field(Class::Protocol, "frag_index", 7, None).unwrap();
+        b.begin_layer("checksum");
+        b.add_field(Class::Message, "cksum", 16, None).unwrap();
+        b.add_field(Class::Message, "length", 16, None).unwrap();
+        b.begin_layer("window");
+        b.add_field(Class::Protocol, "seq", 32, None).unwrap();
+        b.add_field(Class::Protocol, "mtype", 2, None).unwrap();
+        b.add_field(Class::Gossip, "ack", 32, None).unwrap();
+        b
+    }
+
+    #[test]
+    fn add_field_requires_layer() {
+        let mut b = LayoutBuilder::new();
+        assert_eq!(
+            b.add_field(Class::Protocol, "x", 8, None),
+            Err(LayoutError::NoLayer)
+        );
+    }
+
+    #[test]
+    fn width_validation() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        assert!(matches!(
+            b.add_field(Class::Protocol, "z", 0, None),
+            Err(LayoutError::BadWidth { .. })
+        ));
+        assert!(matches!(
+            b.add_field(Class::Protocol, "w", 65, None),
+            Err(LayoutError::BadWidth { .. })
+        ));
+        assert!(b.add_field(Class::Protocol, "ok", 64, None).is_ok());
+        assert_eq!(b.add_field(Class::Protocol, "", 8, None), Err(LayoutError::EmptyName));
+    }
+
+    #[test]
+    fn packed_protocol_header_is_tight() {
+        let b = builder_4layer();
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        // Protocol fields: 1+7+32+2 = 42 bits → 6 bytes packed.
+        assert_eq!(l.class_len(Class::Protocol), 6);
+        assert!(l.class(Class::Protocol).padding_bits() <= 6);
+    }
+
+    #[test]
+    fn traditional_protocol_header_pays_padding() {
+        let b = builder_4layer();
+        let packed = b.compile(LayoutMode::Packed).unwrap();
+        let trad = b.compile(LayoutMode::Traditional).unwrap();
+        // frag layer: 1-bit + 7-bit → 2 bytes → padded to 4.
+        // window layer: 4-byte seq + 1-byte type → 5 → padded to 8.
+        assert_eq!(trad.class_len(Class::Protocol), 12);
+        assert!(trad.class_len(Class::Protocol) > packed.class_len(Class::Protocol));
+        let t8 = b.compile(LayoutMode::Traditional8).unwrap();
+        assert!(t8.class_len(Class::Protocol) >= trad.class_len(Class::Protocol));
+    }
+
+    #[test]
+    fn conn_id_is_realistically_large() {
+        let b = builder_4layer();
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        // 2×128-bit addresses + 2×32-bit ports = 40 bytes minimum.
+        assert_eq!(l.class_len(Class::ConnId), 40);
+    }
+
+    #[test]
+    fn fields_do_not_overlap_packed() {
+        let b = builder_4layer();
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        for c in Class::ALL {
+            let cl = l.class(c);
+            let n = b.field_count(c);
+            let mut spans: Vec<(u32, u32)> =
+                (0..n).map(|i| (cl.placement(i).bit_offset, cl.placement(i).bits)).collect();
+            spans.sort();
+            for w in spans.windows(2) {
+                assert!(w[0].0 + w[0].1 <= w[1].0, "overlap in class {c}: {spans:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_offsets_honoured_and_conflicts_detected() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        let a = b.add_field(Class::Message, "at16", 8, Some(16)).unwrap();
+        b.add_field(Class::Message, "float", 16, None).unwrap();
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        assert_eq!(l.class(Class::Message).placement(a.index_in_class()).bit_offset, 16);
+
+        let mut b2 = LayoutBuilder::new();
+        b2.begin_layer("l");
+        b2.add_field(Class::Message, "a", 8, Some(0)).unwrap();
+        b2.add_field(Class::Message, "b", 8, Some(4)).unwrap();
+        assert!(matches!(
+            b2.compile(LayoutMode::Packed),
+            Err(LayoutError::OffsetConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_fields() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        let f1 = b.add_field(Class::Protocol, "bit", 1, None).unwrap();
+        let f2 = b.add_field(Class::Protocol, "nib", 4, None).unwrap();
+        let f3 = b.add_field(Class::Protocol, "word", 32, None).unwrap();
+        let f4 = b.add_field(Class::Protocol, "wide", 64, None).unwrap();
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let mut hdr = vec![0u8; l.class_len(Class::Protocol)];
+            l.write_field(f1, &mut hdr, order, 1);
+            l.write_field(f2, &mut hdr, order, 0xA);
+            l.write_field(f3, &mut hdr, order, 0xDEAD_BEEF);
+            l.write_field(f4, &mut hdr, order, u64::MAX);
+            assert_eq!(l.read_field(f1, &hdr, order), 1);
+            assert_eq!(l.read_field(f2, &hdr, order), 0xA);
+            assert_eq!(l.read_field(f3, &hdr, order), 0xDEAD_BEEF);
+            assert_eq!(l.read_field(f4, &hdr, order), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn write_masks_overwide_values() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        let f = b.add_field(Class::Protocol, "small", 4, None).unwrap();
+        let g = b.add_field(Class::Protocol, "next", 4, None).unwrap();
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        let mut hdr = vec![0u8; l.class_len(Class::Protocol)];
+        l.write_field(g, &mut hdr, ByteOrder::Big, 0x5);
+        l.write_field(f, &mut hdr, ByteOrder::Big, 0xFFF); // over-wide
+        assert_eq!(l.read_field(f, &hdr, ByteOrder::Big), 0xF);
+        assert_eq!(l.read_field(g, &hdr, ByteOrder::Big), 0x5, "neighbour untouched");
+    }
+
+    #[test]
+    fn deterministic_compilation() {
+        let a = builder_4layer().compile(LayoutMode::Packed).unwrap();
+        let b = builder_4layer().compile(LayoutMode::Packed).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_detects_stack_changes() {
+        let base = builder_4layer().compile(LayoutMode::Packed).unwrap();
+        let mut changed = builder_4layer();
+        changed.begin_layer("extra");
+        changed.add_field(Class::Gossip, "more", 8, None).unwrap();
+        let changed = changed.compile(LayoutMode::Packed).unwrap();
+        assert_ne!(base.fingerprint(), changed.fingerprint());
+    }
+
+    #[test]
+    fn empty_class_has_zero_length() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        b.add_field(Class::Protocol, "only", 8, None).unwrap();
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        assert_eq!(l.class_len(Class::Gossip), 0);
+        assert_eq!(l.class_len(Class::Message), 0);
+        assert_eq!(l.per_message_header_bytes(), 1);
+    }
+
+    #[test]
+    fn padding_report_totals_add_up() {
+        let b = builder_4layer();
+        for mode in [LayoutMode::Packed, LayoutMode::Traditional, LayoutMode::Traditional8] {
+            let l = b.compile(mode).unwrap();
+            let r = l.padding_report();
+            let sum: usize = r.per_class.iter().map(|&(len, _)| len).sum();
+            assert_eq!(sum, r.total_bytes);
+            assert_eq!(r.mode, mode);
+        }
+    }
+
+    #[test]
+    fn packed_never_larger_than_traditional() {
+        let b = builder_4layer();
+        let p = b.compile(LayoutMode::Packed).unwrap().padding_report();
+        let t = b.compile(LayoutMode::Traditional).unwrap().padding_report();
+        assert!(p.total_bytes <= t.total_bytes);
+    }
+
+    #[test]
+    fn byte_span_covers_field() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        let f = b.add_field(Class::Message, "x", 16, Some(8)).unwrap();
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        assert_eq!(l.field_byte_span(f), (1, 3));
+        assert_eq!(l.field_bits(f), 16);
+    }
+
+    #[test]
+    fn wide_blob_fields_roundtrip() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("bottom");
+        let flag = b.add_field(Class::ConnId, "flag", 1, None).unwrap();
+        let addr = b.add_field(Class::ConnId, "addr", 128, None).unwrap();
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        let mut hdr = vec![0u8; l.class_len(Class::ConnId)];
+        let blob: Vec<u8> = (0..16).collect();
+        l.write_field_bytes(addr, &mut hdr, &blob);
+        l.write_field(flag, &mut hdr, ByteOrder::Big, 1);
+        assert_eq!(l.read_field_bytes(addr, &hdr), &blob[..]);
+        assert_eq!(l.read_field(flag, &hdr, ByteOrder::Big), 1);
+    }
+
+    #[test]
+    fn wide_field_must_be_byte_multiple() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        assert!(matches!(
+            b.add_field(Class::ConnId, "odd", 127, None),
+            Err(LayoutError::BadWidth { .. })
+        ));
+        assert!(b.add_field(Class::ConnId, "even", 2048, None).is_ok());
+        assert!(matches!(
+            b.add_field(Class::ConnId, "huge", 2056, None),
+            Err(LayoutError::BadWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn many_small_fields_pack_into_few_bytes() {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        for i in 0..16 {
+            b.add_field(Class::Protocol, &format!("flag{i}"), 1, None).unwrap();
+        }
+        let l = b.compile(LayoutMode::Packed).unwrap();
+        assert_eq!(l.class_len(Class::Protocol), 2, "16 one-bit flags = 2 bytes");
+        let t = b.compile(LayoutMode::Traditional).unwrap();
+        assert_eq!(t.class_len(Class::Protocol), 16, "traditional: a byte each");
+    }
+}

@@ -1,0 +1,57 @@
+//! Total-order group chat: the multicast extension of the paper's first
+//! footnote. Three members multicast concurrently; every member sees
+//! the identical, sequencer-stamped order — over ordinary PA
+//! connections whose fast paths never notice the group above them.
+//!
+//! ```sh
+//! cargo run --example group_chat
+//! ```
+
+use pa::group::{GroupConfig, Member, View};
+
+fn converge(members: &mut [Member]) {
+    for _ in 0..256 {
+        let mut moved = false;
+        for i in 0..members.len() {
+            while let Some((to, frame)) = members[i].poll_transmit() {
+                if let Some(t) = members.iter_mut().find(|m| Member::addr_of(m.id()) == to) {
+                    t.from_network(frame);
+                }
+                moved = true;
+            }
+        }
+        for m in members.iter_mut() {
+            m.process_pending();
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+fn main() {
+    let view = View::new(1, [1, 2, 3]);
+    let mut members: Vec<Member> =
+        [1, 2, 3].iter().map(|&id| Member::new(id, view.clone(), GroupConfig::default())).collect();
+    println!("view: {} (sequencer: member {})\n", members[0].view(), view.sequencer().unwrap());
+
+    // Everyone talks at once.
+    members[2].mcast_total(b"carol: did anyone read the SIGCOMM '96 proceedings?");
+    members[0].mcast_total(b"alice: the layering-overhead one? masked, apparently");
+    members[1].mcast_total(b"bob: 170 microseconds through four layers of ML!");
+    members[0].mcast_total(b"alice: the trick is nothing runs between app and wire");
+    converge(&mut members);
+
+    for m in members.iter_mut() {
+        println!("--- member {} sees ---", m.id());
+        while let Some(d) = m.poll_delivery() {
+            println!(
+                "  #{} {}",
+                d.order.expect("total order"),
+                String::from_utf8_lossy(&d.payload)
+            );
+        }
+        println!();
+    }
+    println!("identical order everywhere — the fixed-sequencer protocol at work.");
+}

@@ -1,0 +1,66 @@
+//! RPC over the simulated U-Net/ATM network: the paper's round-trip
+//! experiment as an application, with the Figure 4 timeline printed.
+//!
+//! ```sh
+//! cargo run --example rpc
+//! ```
+
+use pa::sim::{AppBehavior, GcPolicy, SimConfig, TwoNodeSim};
+
+fn main() {
+    // One isolated round trip — the paper's typical case (after a
+    // warm-up round trip so the identification is already traded).
+    let mut sim = TwoNodeSim::new(&SimConfig::paper());
+    sim.arm_closed_loop(1, 8, 0);
+    sim.run_until(20_000_000);
+    sim.reset_measurements();
+    let t0 = sim.now() + 2_000_000;
+    sim.schedule_send(0, t0, 8);
+    sim.run_until(t0 + 20_000_000);
+    println!("--- one isolated RPC (8-byte request/reply, warm connection) ---");
+    for e in sim.timeline() {
+        println!("  t={:>7.1} µs  node{}  {:?}", (e.at - t0) as f64 / 1000.0, e.node, e.event);
+    }
+    println!(
+        "round-trip latency: {:.1} µs (the paper: ~170 µs)\n",
+        sim.rtt.summary().mean / 1000.0
+    );
+
+    // A burst of back-to-back RPCs — the saturated case.
+    let mut sim = TwoNodeSim::new(&SimConfig::paper());
+    sim.arm_closed_loop(200, 8, 0);
+    sim.run_until(1_000_000_000);
+    let s = sim.rtt.summary();
+    println!("--- 200 back-to-back RPCs, GC after every reception ---");
+    println!(
+        "mean {:.1} µs, worst {:.1} µs, {:.0} rt/s (paper: ~400 µs, ~550 µs, ~1900 rt/s)",
+        s.mean / 1000.0,
+        s.max / 1000.0,
+        sim.round_trips as f64 / (sim.now() as f64 / 1e9)
+    );
+
+    // Same burst with occasional collection.
+    let mut cfg = SimConfig::paper();
+    cfg.gc = [GcPolicy::EveryN(64); 2];
+    let mut sim = TwoNodeSim::new(&cfg);
+    sim.arm_closed_loop(500, 8, 0);
+    sim.run_until(1_000_000_000);
+    println!("\n--- 500 back-to-back RPCs, occasional GC ---");
+    println!(
+        "{:.0} rt/s (paper: ~6000 rt/s max)",
+        sim.round_trips as f64 / (sim.now() as f64 / 1e9)
+    );
+
+    // And spaced out, below the knee: full speed again.
+    let mut sim = TwoNodeSim::new(&SimConfig::paper());
+    sim.set_behavior(0, AppBehavior::Sink);
+    sim.set_behavior(1, AppBehavior::Echo);
+    for i in 0..50u64 {
+        sim.schedule_send(0, i * 1_000_000, 8); // 1000 rt/s offered
+    }
+    sim.run_until(100_000_000);
+    println!(
+        "\n--- 1000 rt/s offered (below the 1650 rt/s knee) ---\nmean RTT {:.1} µs — the 170 µs latency is maintained",
+        sim.rtt.summary().mean / 1000.0
+    );
+}

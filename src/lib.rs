@@ -1,0 +1,30 @@
+//! # pa — the Protocol Accelerator
+//!
+//! A Rust reproduction of *Masking the Overhead of Protocol Layering*
+//! (Robbert van Renesse, SIGCOMM 1996): the Horus **Protocol
+//! Accelerator**, a per-connection fast path that masks both the header
+//! overhead and the CPU overhead of a layered protocol stack.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`buf`] — message buffers with cheap header push/pop,
+//! - [`wire`] — the bit-packing header layout compiler, preamble, cookies,
+//! - [`filter`] — verified stack-machine packet filters,
+//! - [`core`] — the PA engine: prediction, fast paths, packing, router,
+//! - [`stack`] — Horus-style protocol layers in canonical pre/post form,
+//! - [`unet`] — simulated and real user-level network interfaces,
+//! - [`sim`] — the virtual-time simulator and the paper's experiments,
+//! - [`group`] — the multicast extension of the paper's first footnote:
+//!   FIFO and total-order group communication over PA connections.
+//!
+//! See `examples/quickstart.rs` for a two-endpoint round trip in ~30
+//! lines, and `EXPERIMENTS.md` for the paper-versus-measured record.
+
+pub use pa_buf as buf;
+pub use pa_core as core;
+pub use pa_filter as filter;
+pub use pa_group as group;
+pub use pa_sim as sim;
+pub use pa_stack as stack;
+pub use pa_unet as unet;
+pub use pa_wire as wire;

@@ -1,0 +1,100 @@
+//! The paper's headline claims, asserted at integration level under the
+//! calibrated virtual-time model. These are quick versions of the full
+//! experiment drivers (which the `pa-bench` harnesses run) — enough to
+//! catch a regression that would bend any reported curve.
+
+use pa::core::PaConfig;
+use pa::sim::cost::CostModel;
+use pa::sim::{AppBehavior, GcPolicy, PostSchedule, SimConfig, TwoNodeSim};
+
+fn warm_rtt(cfg: &SimConfig) -> f64 {
+    let mut sim = TwoNodeSim::new(cfg);
+    sim.set_behavior(0, AppBehavior::Sink);
+    sim.set_behavior(1, AppBehavior::Echo);
+    // Warm-up round trip, then measure five spaced ones.
+    sim.schedule_send(0, 0, 8);
+    for i in 1..=5u64 {
+        sim.schedule_send(0, i * 5_000_000, 8);
+    }
+    sim.run_until(100_000_000);
+    sim.rtt.summary().p50
+}
+
+#[test]
+fn claim_170us_round_trip() {
+    // "we achieve a roundtrip latency of 170 µsec using the PA"
+    let rtt = warm_rtt(&SimConfig::paper());
+    assert!(
+        (160_000.0..=180_000.0).contains(&rtt),
+        "steady-state RTT {rtt} ns vs paper ~170 µs"
+    );
+}
+
+#[test]
+fn claim_85us_one_way() {
+    // Table 4: one-way latency 85 µs.
+    let mut sim = TwoNodeSim::new(&SimConfig::paper());
+    sim.set_behavior(1, AppBehavior::Sink);
+    sim.nodes[0].schedule = PostSchedule::WhenIdle; // pure sender
+    sim.schedule_send(0, 0, 8); // warm-up (carries ident)
+    sim.schedule_send(0, 5_000_000, 8);
+    sim.run_until(50_000_000);
+    let s = sim.one_way.summary();
+    assert!(
+        (80_000.0..=90_000.0).contains(&s.min),
+        "steady one-way {} ns vs paper 85 µs",
+        s.min
+    );
+}
+
+#[test]
+fn claim_order_of_magnitude_over_no_pa() {
+    // "down from about 1.5 milliseconds in the original C version"
+    let pa = warm_rtt(&SimConfig::paper());
+    let mut baseline = SimConfig::paper();
+    baseline.pa = PaConfig::no_pa_baseline();
+    baseline.cost = CostModel::paper_c;
+    baseline.baseline = true;
+    let c = warm_rtt(&baseline);
+    assert!((1_200_000.0..=1_900_000.0).contains(&c), "C no-PA {c} ns vs paper ~1.5 ms");
+    let factor = c / pa;
+    assert!(factor > 6.0, "PA wins by {factor:.1}× (paper: ~8.8×)");
+}
+
+#[test]
+fn claim_gc_policy_sets_the_rt_ceiling() {
+    // Figure 5: ~1900 rt/s collecting every reception; ~6000 otherwise.
+    let rate = |gc: GcPolicy| {
+        let mut cfg = SimConfig::paper();
+        cfg.gc = [gc; 2];
+        let mut sim = TwoNodeSim::new(&cfg);
+        sim.nodes[0].schedule = PostSchedule::WhenIdle;
+        sim.arm_closed_loop(300, 8, 0);
+        sim.run_until(1_000_000_000);
+        sim.round_trips as f64 / (sim.now() as f64 / 1e9)
+    };
+    let every = rate(GcPolicy::EveryReception);
+    let occasional = rate(GcPolicy::EveryN(64));
+    assert!((1_200.0..=2_600.0).contains(&every), "solid ceiling {every}");
+    assert!(occasional > 3_500.0, "dashed ceiling {occasional}");
+    assert!((4_500.0..=7_000.0).contains(&occasional), "dashed ceiling {occasional} vs paper ~6000");
+    assert!(occasional > 2.0 * every, "the figure's separation");
+}
+
+#[test]
+fn claim_headers_fit_a_unet_cell() {
+    // §1: with the PA, header + 8 B of data fit U-Net's 40-byte budget.
+    let h = pa::sim::experiments::headers::run();
+    let packed = &h.modes[0];
+    assert!(packed.common_case_overhead + 8 <= 40);
+    // And without the PA's tricks they do not.
+    let trad = &h.modes[1];
+    assert!(trad.worst_case_overhead + 8 > 40);
+}
+
+#[test]
+fn claim_packing_sustains_streaming() {
+    // Table 4 / §3.4: ~80k 8-byte msgs/s with packing; collapse without.
+    let with = pa::sim::experiments::packing::run();
+    assert!(with.packing_speedup() > 4.0, "{:.1}×", with.packing_speedup());
+}

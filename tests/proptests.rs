@@ -1,0 +1,350 @@
+//! Property-based tests on the core data structures and invariants.
+
+use pa::buf::{ByteOrder, Msg};
+use pa::core::packing::{pack, unpack, PackInfo};
+use pa::filter::{Op, ProgramBuilder};
+use pa::wire::{Class, Cookie, LayoutBuilder, LayoutMode, Preamble};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Msg: any sequence of front/back pushes and pops behaves like a deque
+// of bytes.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MsgOp {
+    PushFront(Vec<u8>),
+    PushBack(Vec<u8>),
+    PopFront(usize),
+    PopBack(usize),
+}
+
+fn msg_op() -> impl Strategy<Value = MsgOp> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(MsgOp::PushFront),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(MsgOp::PushBack),
+        (0usize..40).prop_map(MsgOp::PopFront),
+        (0usize..40).prop_map(MsgOp::PopBack),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn msg_behaves_like_byte_deque(ops in proptest::collection::vec(msg_op(), 0..64)) {
+        let mut msg = Msg::new();
+        let mut model: std::collections::VecDeque<u8> = Default::default();
+        for op in ops {
+            match op {
+                MsgOp::PushFront(b) => {
+                    msg.push_front(&b);
+                    for &x in b.iter().rev() {
+                        model.push_front(x);
+                    }
+                }
+                MsgOp::PushBack(b) => {
+                    msg.push_back(&b);
+                    model.extend(b.iter().copied());
+                }
+                MsgOp::PopFront(n) => {
+                    let got = msg.pop_front(n);
+                    if n <= model.len() {
+                        let want: Vec<u8> = model.drain(..n).collect();
+                        prop_assert_eq!(got.expect("model says it fits"), want);
+                    } else {
+                        prop_assert!(got.is_none());
+                    }
+                }
+                MsgOp::PopBack(n) => {
+                    let got = msg.pop_back(n);
+                    if n <= model.len() {
+                        let split = model.len() - n;
+                        let want: Vec<u8> = model.split_off(split).into();
+                        prop_assert_eq!(got.expect("model says it fits"), want);
+                    } else {
+                        prop_assert!(got.is_none());
+                    }
+                }
+            }
+            prop_assert_eq!(msg.len(), model.len());
+        }
+        let flat: Vec<u8> = model.into_iter().collect();
+        prop_assert_eq!(msg.to_wire(), flat);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layout compiler: random field sets always compile to non-overlapping,
+// deterministic, value-preserving layouts, and packed never loses to
+// traditional.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RandField {
+    class: usize,
+    bits: u32,
+}
+
+fn rand_field() -> impl Strategy<Value = RandField> {
+    (0usize..4, 1u32..=64).prop_map(|(class, bits)| RandField { class, bits })
+}
+
+fn build_layout(fields: &[RandField], mode: LayoutMode) -> (pa::wire::CompiledLayout, Vec<pa::wire::Field>) {
+    let mut b = LayoutBuilder::new();
+    let mut handles = Vec::new();
+    b.begin_layer("l0");
+    for (i, f) in fields.iter().enumerate() {
+        if i % 3 == 0 {
+            b.begin_layer(&format!("l{i}"));
+        }
+        handles.push(
+            b.add_field(Class::from_index(f.class), &format!("f{i}"), f.bits, None)
+                .expect("valid width"),
+        );
+    }
+    (b.compile(mode).expect("compiles"), handles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn layout_fields_never_overlap(fields in proptest::collection::vec(rand_field(), 1..24)) {
+        for mode in [LayoutMode::Packed, LayoutMode::Traditional] {
+            let (layout, _) = build_layout(&fields, mode);
+            for c in Class::ALL {
+                let cl = layout.class(c);
+                let mut spans: Vec<(u32, u32)> = (0..cl.field_count())
+                    .map(|i| {
+                        let p = cl.placement(i);
+                        (p.bit_offset, p.bits)
+                    })
+                    .collect();
+                spans.sort();
+                for w in spans.windows(2) {
+                    prop_assert!(w[0].0 + w[0].1 <= w[1].0, "{mode:?} {c} overlap: {spans:?}");
+                }
+                // Everything fits within the class byte length.
+                if let Some(&(off, bits)) = spans.last() {
+                    prop_assert!(((off + bits) as usize) <= cl.byte_len() * 8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layout_roundtrips_all_values(fields in proptest::collection::vec(rand_field(), 1..16),
+                                    seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let (layout, handles) = build_layout(&fields, LayoutMode::Packed);
+            let mut bufs: [Vec<u8>; 4] =
+                Class::ALL.map(|c| vec![0u8; layout.class_len(c)]);
+            let values: Vec<u64> = handles
+                .iter()
+                .map(|&h| {
+                    let v: u64 = rng.gen();
+                    let bits = layout.field_bits(h);
+                    let v = if bits == 64 { v } else { v & ((1u64 << bits) - 1) };
+                    layout.write_field(h, &mut bufs[h.class.index()], order, v);
+                    v
+                })
+                .collect();
+            for (h, v) in handles.iter().zip(&values) {
+                prop_assert_eq!(layout.read_field(*h, &bufs[h.class.index()], order), *v);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_never_larger_than_traditional(fields in proptest::collection::vec(rand_field(), 1..24)) {
+        let (packed, _) = build_layout(&fields, LayoutMode::Packed);
+        let (trad, _) = build_layout(&fields, LayoutMode::Traditional);
+        for c in Class::ALL {
+            prop_assert!(packed.class_len(c) <= trad.class_len(c),
+                "{c}: packed {} > traditional {}", packed.class_len(c), trad.class_len(c));
+        }
+    }
+
+    #[test]
+    fn layout_compilation_is_deterministic(fields in proptest::collection::vec(rand_field(), 1..16)) {
+        let (a, _) = build_layout(&fields, LayoutMode::Packed);
+        let (b, _) = build_layout(&fields, LayoutMode::Packed);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        for c in Class::ALL {
+            prop_assert_eq!(a.class_len(c), b.class_len(c));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packing: any list of messages survives pack → wire → unpack.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn packing_roundtrips(sizes in proptest::collection::vec(0usize..200, 1..40)) {
+        let msgs: Vec<Msg> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Msg::from_payload(&vec![(i % 256) as u8; s]))
+            .collect();
+        let mut packed = pack(&msgs);
+        // Survive a wire image copy.
+        let mut rx = Msg::from_wire(packed.to_wire());
+        let info = PackInfo::pop_from(&mut rx).expect("valid header");
+        let out = unpack(&info, rx).expect("lengths match");
+        prop_assert_eq!(out.len(), msgs.len());
+        for (a, b) in out.iter().zip(&msgs) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+        let _ = packed.pop_front(1);
+    }
+
+    #[test]
+    fn pack_info_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = PackInfo::decode(&bytes); // must never panic
+    }
+}
+
+// ---------------------------------------------------------------------
+// Preamble: roundtrip and garbage tolerance.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn preamble_roundtrips(raw in any::<u64>(), cip in any::<bool>(), little in any::<bool>()) {
+        let p = Preamble {
+            conn_ident_present: cip,
+            byte_order: if little { ByteOrder::Little } else { ByteOrder::Big },
+            cookie: Cookie::from_raw(raw),
+        };
+        prop_assert_eq!(Preamble::decode(&p.encode()).expect("8 bytes"), p);
+    }
+
+    #[test]
+    fn preamble_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let _ = Preamble::decode(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packet filter: programs that pass verification never panic at run
+// time, whatever the frame contents.
+// ---------------------------------------------------------------------
+
+fn rand_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<i64>().prop_map(Op::PushConst),
+        Just(Op::PushSize),
+        Just(Op::PushBodySize),
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Lt),
+        Just(Op::Not),
+        Just(Op::Dup),
+        Just(Op::Swap),
+        Just(Op::Drop),
+        (-4i64..4).prop_map(Op::Abort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn verified_filters_never_panic(ops in proptest::collection::vec(rand_op(), 0..32),
+                                    payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        b.add_field(Class::Protocol, "x", 16, None).expect("valid");
+        let layout = b.compile(LayoutMode::Packed).expect("compiles");
+
+        let mut pb = ProgramBuilder::new();
+        pb.extend(ops);
+        let Ok(program) = pb.build() else {
+            return Ok(()); // rejected by the verifier: that's fine
+        };
+        let mut msg = Msg::from_payload(&payload);
+        msg.push_front_zeroed(layout.class_len(Class::Protocol));
+        let mut frame = pa::filter::Frame::new(&mut msg, &layout, ByteOrder::Big);
+        let _ = pa::filter::run(&program, &mut frame); // must not panic
+
+        // And the compiled backend must agree.
+        let compiled = pa::filter::CompiledProgram::compile(&program, &layout);
+        let mut msg2 = Msg::from_payload(&payload);
+        msg2.push_front_zeroed(layout.class_len(Class::Protocol));
+        let mut frame2_msg = msg2;
+        let v2 = compiled.run(program.slots(), &mut frame2_msg, ByteOrder::Big);
+        let mut msg1 = Msg::from_payload(&payload);
+        msg1.push_front_zeroed(layout.class_len(Class::Protocol));
+        let mut frame1 = pa::filter::Frame::new(&mut msg1, &layout, ByteOrder::Big);
+        let v1 = pa::filter::run(&program, &mut frame1);
+        prop_assert_eq!(v1, v2, "backends agree");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine: random payload sequences arrive intact and in order over a
+// clean network, whatever mix of sizes (including frag-sized).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_preserves_any_payload_sequence(payload_sizes in proptest::collection::vec(0usize..600, 1..20)) {
+        use pa::core::{Connection, ConnectionParams, PaConfig};
+        use pa::stack::StackSpec;
+        use pa::wire::EndpointAddr;
+        let spec = StackSpec { frag_mtu: Some(128), ..StackSpec::paper() };
+        let mk = |l: u64, p: u64, s: u64| {
+            Connection::new(
+                spec.build(),
+                PaConfig::paper_default(),
+                ConnectionParams::new(
+                    EndpointAddr::from_parts(l, 1),
+                    EndpointAddr::from_parts(p, 1),
+                    s,
+                ),
+            )
+            .expect("valid")
+        };
+        let mut a = mk(1, 2, 71);
+        let mut b = mk(2, 1, 72);
+        let msgs: Vec<Vec<u8>> = payload_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (0..s).map(|j| ((i + j) % 256) as u8).collect())
+            .collect();
+        for m in &msgs {
+            a.send(m);
+            a.process_pending();
+        }
+        // Shuttle until quiet.
+        for _ in 0..200 {
+            let mut moved = false;
+            while let Some(f) = a.poll_transmit() {
+                b.deliver_frame(f);
+                moved = true;
+            }
+            while let Some(f) = b.poll_transmit() {
+                a.deliver_frame(f);
+                moved = true;
+            }
+            a.process_pending();
+            b.process_pending();
+            if !moved && !a.has_pending() && !b.has_pending() && a.backlog_len() == 0 {
+                break;
+            }
+        }
+        let mut got = Vec::new();
+        while let Some(m) = b.poll_delivery() {
+            got.push(m.to_wire());
+        }
+        prop_assert_eq!(got, msgs);
+    }
+}

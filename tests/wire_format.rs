@@ -1,0 +1,178 @@
+//! Wire-format integration tests: the Figure 1 frame structure, cookie
+//! mechanics, and cross-endian interoperability as seen on the wire.
+
+use pa::buf::ByteOrder;
+use pa::core::{Connection, ConnectionParams, DeliverOutcome, PaConfig};
+use pa::stack::StackSpec;
+use pa::wire::{Class, EndpointAddr, Preamble, PREAMBLE_LEN};
+
+fn conn(order: ByteOrder, local: u64, peer: u64, seed: u64) -> Connection {
+    Connection::new(
+        StackSpec::paper().build(),
+        PaConfig::paper_default(),
+        ConnectionParams {
+            local: EndpointAddr::from_parts(local, 3),
+            peer: EndpointAddr::from_parts(peer, 3),
+            seed,
+            order,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn frame_structure_matches_figure_1() {
+    let mut a = conn(ByteOrder::Big, 1, 2, 1);
+    a.send(b"12345678");
+    let frame = a.poll_transmit().unwrap();
+    let layout = a.layout().clone();
+
+    // Preamble first.
+    let preamble = Preamble::decode(frame.as_slice()).unwrap();
+    assert!(preamble.conn_ident_present, "first frame carries the identification");
+    assert_eq!(preamble.byte_order, ByteOrder::Big);
+    assert_eq!(preamble.cookie, a.local_cookie());
+
+    // Then conn-ident, then the three class headers, packing, payload.
+    let expect_len = PREAMBLE_LEN
+        + layout.class_len(Class::ConnId)
+        + layout.class_len(Class::Protocol)
+        + layout.class_len(Class::Message)
+        + layout.class_len(Class::Gossip)
+        + 1 // packing byte (kind 0)
+        + 8; // payload
+    assert_eq!(frame.len(), expect_len, "Figure 1 layout, nothing more");
+
+    // Second frame: identification elided, only the cookie.
+    a.process_pending();
+    a.send(b"12345678");
+    let frame2 = a.poll_transmit().unwrap();
+    let p2 = Preamble::decode(frame2.as_slice()).unwrap();
+    assert!(!p2.conn_ident_present);
+    assert_eq!(p2.cookie, a.local_cookie());
+    assert_eq!(frame2.len(), expect_len - layout.class_len(Class::ConnId));
+    assert!(frame2.len() <= 40, "common case fits one U-Net cell: {}", frame2.len());
+}
+
+#[test]
+fn payload_bytes_appear_verbatim_at_the_tail() {
+    let mut a = conn(ByteOrder::Big, 1, 2, 2);
+    let payload = b"the payload rides in the clear";
+    a.send(payload);
+    let frame = a.poll_transmit().unwrap();
+    assert_eq!(&frame.as_slice()[frame.len() - payload.len()..], payload);
+}
+
+#[test]
+fn cookie_only_frame_from_stranger_is_dropped() {
+    let mut b = conn(ByteOrder::Big, 2, 1, 3);
+    // Forge a cookie-only frame with a random cookie.
+    let mut msg = pa::buf::Msg::from_payload(&[0u8; 24]);
+    Preamble::common(pa::wire::Cookie::from_raw(0xBAD), ByteOrder::Big).push_onto(&mut msg);
+    assert!(matches!(b.deliver_frame(msg), DeliverOutcome::Dropped(_)));
+}
+
+#[test]
+fn big_and_little_endian_peers_agree_on_every_field() {
+    let mut le = conn(ByteOrder::Little, 1, 2, 4);
+    let mut be = conn(ByteOrder::Big, 2, 1, 5);
+
+    // LE → BE.
+    le.send(b"from little");
+    while let Some(f) = le.poll_transmit() {
+        let p = Preamble::decode(f.as_slice()).unwrap();
+        assert_eq!(p.byte_order, ByteOrder::Little, "byte-order bit set");
+        be.deliver_frame(f);
+    }
+    assert_eq!(be.poll_delivery().unwrap().as_slice(), b"from little");
+
+    // BE → LE (with gossip ack riding back).
+    be.process_pending();
+    be.send(b"from big");
+    while let Some(f) = be.poll_transmit() {
+        let p = Preamble::decode(f.as_slice()).unwrap();
+        assert_eq!(p.byte_order, ByteOrder::Big);
+        le.deliver_frame(f);
+    }
+    assert_eq!(le.poll_delivery().unwrap().as_slice(), b"from big");
+
+    // Keep the conversation going to exercise predictions both ways.
+    for i in 0..6u8 {
+        le.process_pending();
+        be.process_pending();
+        le.send(&[i; 4]);
+        while let Some(f) = le.poll_transmit() {
+            be.deliver_frame(f);
+        }
+        assert_eq!(be.poll_delivery().unwrap().as_slice(), &[i; 4]);
+    }
+    assert!(be.stats().fast_delivery_ratio() > 0.5, "{:?}", be.stats());
+}
+
+#[test]
+fn truncation_at_every_length_is_rejected_cleanly() {
+    let mut a = conn(ByteOrder::Big, 1, 2, 6);
+    let mut b = conn(ByteOrder::Big, 2, 1, 7);
+    a.send(b"will be truncated");
+    let frame = a.poll_transmit().unwrap();
+    let wire = frame.to_wire();
+    for cut in 0..wire.len() {
+        let truncated = pa::buf::Msg::from_wire(wire[..cut].to_vec());
+        // Must never panic; most cuts drop, a cut inside the payload
+        // fails the length/checksum filter and is discarded by the
+        // checksum layer on the slow path.
+        let out = b.deliver_frame(truncated);
+        assert!(
+            !matches!(out, DeliverOutcome::Fast { .. }),
+            "cut at {cut} must not fast-deliver"
+        );
+        assert!(b.poll_delivery().is_none(), "cut at {cut} delivered garbage");
+    }
+    // The intact frame still delivers afterwards.
+    let out = b.deliver_frame(frame);
+    assert!(matches!(out, DeliverOutcome::Fast { msgs: 1 } | DeliverOutcome::Slow { msgs: 1 }), "{out:?}");
+    assert_eq!(b.poll_delivery().unwrap().as_slice(), b"will be truncated");
+}
+
+#[test]
+fn every_corrupted_byte_is_caught_or_harmless() {
+    let mut a = conn(ByteOrder::Big, 1, 2, 8);
+    // Warm up b with the real first frame.
+    let mut b = conn(ByteOrder::Big, 2, 1, 9);
+    a.send(b"warm");
+    b.deliver_frame(a.poll_transmit().unwrap());
+    b.poll_delivery();
+    a.process_pending();
+    b.process_pending();
+
+    a.send(b"precious data");
+    let frame = a.poll_transmit().unwrap();
+    let wire = frame.to_wire();
+    // Flip one bit of each byte in turn. Flips in the *body* (packing
+    // header + payload) are covered by the Internet checksum, which
+    // detects every single-bit error: those frames must never deliver.
+    // Flips elsewhere (preamble, protocol header) may be dropped or
+    // stashed, but a corrupted payload must never reach the app.
+    let body_start = wire.len() - (1 + b"precious data".len());
+    for i in 0..wire.len() {
+        let mut w = wire.clone();
+        w[i] ^= 0x01;
+        let probe = b_clone_deliver(&mut b, w);
+        if i >= body_start {
+            assert!(probe.is_none(), "body flip at byte {i} was delivered: {probe:?}");
+        } else if let Some(p) = probe {
+            assert_eq!(p, b"precious data".to_vec(), "header flip at {i} corrupted the payload");
+        }
+    }
+}
+
+/// Delivers `wire` to `b`; returns a delivered payload if any.
+fn b_clone_deliver(b: &mut Connection, wire: Vec<u8>) -> Option<Vec<u8>> {
+    b.deliver_frame(pa::buf::Msg::from_wire(wire));
+    let out = b.poll_delivery().map(|m| m.to_wire());
+    // Drain any control traffic and posts so the next probe is clean.
+    while b.poll_transmit().is_some() {}
+    b.process_pending();
+    while b.poll_transmit().is_some() {}
+    out
+}
