@@ -1,17 +1,55 @@
-//! Criterion microbenchmarks: real Rust-native costs of the PA
-//! mechanisms. These are *this implementation on this machine* — the
-//! interesting output is the relative shape (packed vs padded, compiled
-//! vs interpreted, fast vs slow path), mirroring the ablation knobs.
+//! Microbenchmarks: real Rust-native costs of the PA mechanisms. These
+//! are *this implementation on this machine* — the interesting output
+//! is the relative shape (packed vs padded, compiled vs interpreted,
+//! fast vs slow path), mirroring the ablation knobs.
+//!
+//! Hand-rolled harness (`harness = false`, no external deps): each case
+//! is warmed up, then timed over enough iterations to fill ~200 ms, and
+//! reported as ns/op with the pa-obs log2 histogram supplying
+//! p50/p90/p99 across timing batches.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pa_buf::{ByteOrder, Msg};
 use pa_core::{Connection, ConnectionParams, PaConfig};
 use pa_filter::{CompiledProgram, DigestKind, Frame, Op, ProgramBuilder};
+use pa_obs::LatencyHisto;
 use pa_stack::StackSpec;
 use pa_wire::{Class, EndpointAddr, LayoutBuilder, LayoutMode, Preamble};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_header_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("header_access");
+/// Times `f` in batches and prints `name: <ns/op> (p50/p99 across batches)`.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm-up: ~20 ms.
+    let warm_until = Instant::now() + std::time::Duration::from_millis(20);
+    while Instant::now() < warm_until {
+        f();
+    }
+    // Calibrate a batch to ~1 ms.
+    let t0 = Instant::now();
+    let mut probe_iters = 0u64;
+    while t0.elapsed() < std::time::Duration::from_millis(5) {
+        f();
+        probe_iters += 1;
+    }
+    let per = (t0.elapsed().as_nanos() as u64 / probe_iters.max(1)).max(1);
+    let batch = (1_000_000 / per).clamp(1, 1_000_000);
+    // Measure ~40 batches.
+    let mut histo = LatencyHisto::new();
+    for _ in 0..40 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        histo.record(t.elapsed().as_nanos() as u64 / batch);
+    }
+    let s = histo.summary();
+    println!(
+        "{name:<44} {:>8.0} ns/op   (p50 {} / p99 {} over {} batches of {})",
+        s.mean, s.p50, s.p99, s.count, batch
+    );
+}
+
+fn bench_header_access() {
     for mode in [LayoutMode::Packed, LayoutMode::Traditional] {
         let mut b = LayoutBuilder::new();
         b.begin_layer("w");
@@ -21,34 +59,32 @@ fn bench_header_access(c: &mut Criterion) {
         let layout = b.compile(mode).unwrap();
         let mut proto = vec![0u8; layout.class_len(Class::Protocol)];
         let mut gossip = vec![0u8; layout.class_len(Class::Gossip)];
-        g.bench_function(format!("{mode:?}_write_read_3_fields"), |bench| {
-            bench.iter(|| {
+        bench(
+            &format!("header_access/{mode:?}_write_read_3_fields"),
+            || {
                 layout.write_field(seq, &mut proto, ByteOrder::Big, black_box(12345));
                 layout.write_field(ty, &mut proto, ByteOrder::Big, black_box(1));
                 layout.write_field(ack, &mut gossip, ByteOrder::Big, black_box(99));
                 let a = layout.read_field(seq, &proto, ByteOrder::Big);
                 let b = layout.read_field(ty, &proto, ByteOrder::Big);
                 let c = layout.read_field(ack, &gossip, ByteOrder::Big);
-                black_box(a + b + c)
-            })
-        });
+                black_box(a + b + c);
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_layout_compile(c: &mut Criterion) {
-    c.bench_function("layout_compile_paper_stack", |bench| {
-        bench.iter(|| {
-            let mut b = LayoutBuilder::new();
-            for i in 0..4 {
-                b.begin_layer(&format!("l{i}"));
-                b.add_field(Class::Protocol, "a", 32, None).unwrap();
-                b.add_field(Class::Protocol, "b", 2, None).unwrap();
-                b.add_field(Class::Message, "c", 16, None).unwrap();
-                b.add_field(Class::Gossip, "d", 32, None).unwrap();
-            }
-            black_box(b.compile(LayoutMode::Packed).unwrap())
-        })
+fn bench_layout_compile() {
+    bench("layout_compile_paper_stack", || {
+        let mut b = LayoutBuilder::new();
+        for i in 0..4 {
+            b.begin_layer(&format!("l{i}"));
+            b.add_field(Class::Protocol, "a", 32, None).unwrap();
+            b.add_field(Class::Protocol, "b", 2, None).unwrap();
+            b.add_field(Class::Message, "c", 16, None).unwrap();
+            b.add_field(Class::Gossip, "d", 32, None).unwrap();
+        }
+        black_box(b.compile(LayoutMode::Packed).unwrap());
     });
 }
 
@@ -73,7 +109,7 @@ fn filter_fixture() -> (pa_wire::CompiledLayout, pa_filter::Program) {
     (layout, pb.build().unwrap())
 }
 
-fn bench_filter_backends(c: &mut Criterion) {
+fn bench_filter_backends() {
     let (layout, program) = filter_fixture();
     let compiled = CompiledProgram::compile(&program, &layout);
     let make_msg = || {
@@ -81,19 +117,19 @@ fn bench_filter_backends(c: &mut Criterion) {
         m.push_front_zeroed(layout.class_len(Class::Message));
         m
     };
-    let mut g = c.benchmark_group("packet_filter");
-    g.bench_function("interpreted", |bench| {
+    {
         let mut m = make_msg();
-        bench.iter(|| {
+        bench("packet_filter/interpreted", || {
             let mut f = Frame::new(&mut m, &layout, ByteOrder::Big);
-            black_box(pa_filter::run(&program, &mut f))
-        })
-    });
-    g.bench_function("pre_resolved", |bench| {
+            black_box(pa_filter::run(&program, &mut f));
+        });
+    }
+    {
         let mut m = make_msg();
-        bench.iter(|| black_box(compiled.run(program.slots(), &mut m, ByteOrder::Big)))
-    });
-    g.finish();
+        bench("packet_filter/pre_resolved", || {
+            black_box(compiled.run(program.slots(), &mut m, ByteOrder::Big));
+        });
+    }
 }
 
 fn paper_conn(config: PaConfig, seed: u64) -> Connection {
@@ -109,96 +145,89 @@ fn paper_conn(config: PaConfig, seed: u64) -> Connection {
     .unwrap()
 }
 
-fn bench_send_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("send_path");
-    g.bench_function("fast_path", |bench| {
+fn bench_send_paths() {
+    {
         let mut conn = paper_conn(PaConfig::paper_default(), 1);
-        bench.iter(|| {
+        bench("send_path/fast_path", || {
             conn.send(black_box(&[7u8; 8]));
             while conn.poll_transmit().is_some() {}
             conn.process_pending();
-        })
-    });
-    g.bench_function("layered_slow_path", |bench| {
+        });
+    }
+    {
         let mut conn = paper_conn(
-            PaConfig { predict: false, lazy_post: false, ..PaConfig::paper_default() },
+            PaConfig {
+                predict: false,
+                lazy_post: false,
+                ..PaConfig::paper_default()
+            },
             3,
         );
-        bench.iter(|| {
+        bench("send_path/layered_slow_path", || {
             conn.send(black_box(&[7u8; 8]));
             while conn.poll_transmit().is_some() {}
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_roundtrip(c: &mut Criterion) {
-    c.bench_function("engine_roundtrip_fast", |bench| {
-        let mk = |local: u64, peer: u64| {
-            Connection::new(
-                StackSpec::paper().build(),
-                PaConfig::paper_default(),
-                ConnectionParams::new(
-                    EndpointAddr::from_parts(local, 1),
-                    EndpointAddr::from_parts(peer, 1),
-                    local,
-                ),
-            )
-            .unwrap()
-        };
-        let mut a = mk(10, 11);
-        let mut b = mk(11, 10);
-        bench.iter(|| {
-            a.send(&[1u8; 8]);
-            while let Some(f) = a.poll_transmit() {
-                b.deliver_frame(f);
-            }
-            while b.poll_delivery().is_some() {}
-            while let Some(f) = b.poll_transmit() {
-                a.deliver_frame(f);
-            }
-            a.process_pending();
-            b.process_pending();
-        })
+fn bench_roundtrip() {
+    let mk = |local: u64, peer: u64| {
+        Connection::new(
+            StackSpec::paper().build(),
+            PaConfig::paper_default(),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(local, 1),
+                EndpointAddr::from_parts(peer, 1),
+                local,
+            ),
+        )
+        .unwrap()
+    };
+    let mut a = mk(10, 11);
+    let mut b = mk(11, 10);
+    bench("engine_roundtrip_fast", || {
+        a.send(&[1u8; 8]);
+        while let Some(f) = a.poll_transmit() {
+            b.deliver_frame(f);
+        }
+        while b.poll_delivery().is_some() {}
+        while let Some(f) = b.poll_transmit() {
+            a.deliver_frame(f);
+        }
+        a.process_pending();
+        b.process_pending();
     });
 }
 
-fn bench_packing(c: &mut Criterion) {
+fn bench_packing() {
     let msgs: Vec<Msg> = (0..64).map(|i| Msg::from_payload(&[i as u8; 8])).collect();
-    let mut g = c.benchmark_group("packing");
-    g.bench_function("pack_64x8B", |bench| {
-        bench.iter(|| black_box(pa_core::packing::pack(black_box(&msgs))))
+    bench("packing/pack_64x8B", || {
+        black_box(pa_core::packing::pack(black_box(&msgs)));
     });
     let packed = pa_core::packing::pack(&msgs);
-    g.bench_function("unpack_64x8B", |bench| {
-        bench.iter(|| {
-            let mut m = packed.clone();
-            let info = pa_core::PackInfo::pop_from(&mut m).unwrap();
-            black_box(pa_core::packing::unpack(&info, m).unwrap())
-        })
+    bench("packing/unpack_64x8B", || {
+        let mut m = packed.clone();
+        let info = pa_core::PackInfo::pop_from(&mut m).unwrap();
+        black_box(pa_core::packing::unpack(&info, m).unwrap());
     });
-    g.finish();
 }
 
-fn bench_preamble(c: &mut Criterion) {
+fn bench_preamble() {
     let p = Preamble::common(pa_wire::Cookie::from_raw(0x1234_5678), ByteOrder::Big);
-    c.bench_function("preamble_encode_decode", |bench| {
-        bench.iter(|| {
-            let e = black_box(&p).encode();
-            black_box(Preamble::decode(&e).unwrap())
-        })
+    bench("preamble_encode_decode", || {
+        let e = black_box(&p).encode();
+        black_box(Preamble::decode(&e).unwrap());
     });
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_header_access,
-        bench_layout_compile,
-        bench_filter_backends,
-        bench_send_paths,
-        bench_roundtrip,
-        bench_packing,
-        bench_preamble
-);
-criterion_main!(micro);
+fn main() {
+    println!("microbenchmarks (ns/op; hand-rolled harness, log2-bucket percentiles)");
+    println!("{}", "-".repeat(100));
+    bench_header_access();
+    bench_layout_compile();
+    bench_filter_backends();
+    bench_send_paths();
+    bench_roundtrip();
+    bench_packing();
+    bench_preamble();
+}

@@ -77,7 +77,11 @@ pub struct ShortRead {
 
 impl fmt::Display for ShortRead {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "short read: wanted {} bytes, had {}", self.wanted, self.had)
+        write!(
+            f,
+            "short read: wanted {} bytes, had {}",
+            self.wanted, self.had
+        )
     }
 }
 
@@ -109,7 +113,10 @@ impl<'a> Reader<'a> {
     /// Reads `n` raw bytes.
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], ShortRead> {
         if self.remaining() < n {
-            return Err(ShortRead { wanted: n, had: self.remaining() });
+            return Err(ShortRead {
+                wanted: n,
+                had: self.remaining(),
+            });
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -214,7 +221,11 @@ mod tests {
     fn odd_widths_roundtrip() {
         for order in [ByteOrder::Big, ByteOrder::Little] {
             for n in 1..=8usize {
-                let mask = if n == 8 { u64::MAX } else { (1u64 << (8 * n)) - 1 };
+                let mask = if n == 8 {
+                    u64::MAX
+                } else {
+                    (1u64 << (8 * n)) - 1
+                };
                 let v = 0xDEAD_BEEF_CAFE_F00Du64 & mask;
                 let mut buf = vec![0u8; n];
                 order.encode(v, &mut buf);
@@ -250,7 +261,12 @@ mod tests {
     fn writer_reader_roundtrip_both_orders() {
         for order in [ByteOrder::Big, ByteOrder::Little] {
             let mut buf = Vec::new();
-            Writer::new(&mut buf, order).u8(7).u16(513).u32(70000).u64(1 << 40).bytes(b"xyz");
+            Writer::new(&mut buf, order)
+                .u8(7)
+                .u16(513)
+                .u32(70000)
+                .u64(1 << 40)
+                .bytes(b"xyz");
             let mut r = Reader::new(&buf, order);
             assert_eq!(r.u8().unwrap(), 7);
             assert_eq!(r.u16().unwrap(), 513);

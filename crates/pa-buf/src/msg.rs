@@ -37,7 +37,12 @@ impl Msg {
     pub fn with_headroom(payload: &[u8], headroom: usize) -> Self {
         let mut data = vec![0u8; headroom + payload.len()];
         data[headroom..].copy_from_slice(payload);
-        Msg { data, start: headroom, end: headroom + payload.len(), regrows: 0 }
+        Msg {
+            data,
+            start: headroom,
+            end: headroom + payload.len(),
+            regrows: 0,
+        }
     }
 
     /// Creates a message holding `payload` with the default headroom.
@@ -49,7 +54,12 @@ impl Msg {
     /// headroom), as when a frame arrives from the network.
     pub fn from_wire(raw: Vec<u8>) -> Self {
         let end = raw.len();
-        Msg { data: raw, start: 0, end, regrows: 0 }
+        Msg {
+            data: raw,
+            start: 0,
+            end,
+            regrows: 0,
+        }
     }
 
     /// Number of live bytes.
@@ -216,7 +226,8 @@ impl Msg {
         // Double the shortfall so repeated pushes amortize.
         let extra = (need - self.start).max(self.start.max(16));
         let mut data = vec![0u8; self.data.len() + extra];
-        data[self.start + extra..self.end + extra].copy_from_slice(&self.data[self.start..self.end]);
+        data[self.start + extra..self.end + extra]
+            .copy_from_slice(&self.data[self.start..self.end]);
         self.start += extra;
         self.end += extra;
         self.data = data;

@@ -36,7 +36,14 @@ impl MsgPool {
     /// Creates a pool whose buffers carry `headroom` front bytes and that
     /// retains at most `max_retained` free buffers.
     pub fn new(headroom: usize, max_retained: usize) -> Self {
-        MsgPool { free: Vec::new(), headroom, max_retained, hits: 0, misses: 0, returns: 0 }
+        MsgPool {
+            free: Vec::new(),
+            headroom,
+            max_retained,
+            hits: 0,
+            misses: 0,
+            returns: 0,
+        }
     }
 
     /// A pool with the default headroom retaining up to 64 buffers.
@@ -81,7 +88,11 @@ impl MsgPool {
 
     /// Pool effectiveness counters.
     pub fn stats(&self) -> PoolStats {
-        PoolStats { hits: self.hits, misses: self.misses, returns: self.returns }
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            returns: self.returns,
+        }
     }
 }
 
@@ -99,10 +110,24 @@ mod tests {
     fn first_take_is_a_miss_then_hits() {
         let mut p = MsgPool::new(32, 8);
         let m = p.take();
-        assert_eq!(p.stats(), PoolStats { hits: 0, misses: 1, returns: 0 });
+        assert_eq!(
+            p.stats(),
+            PoolStats {
+                hits: 0,
+                misses: 1,
+                returns: 0
+            }
+        );
         p.put(m);
         let m2 = p.take();
-        assert_eq!(p.stats(), PoolStats { hits: 1, misses: 1, returns: 1 });
+        assert_eq!(
+            p.stats(),
+            PoolStats {
+                hits: 1,
+                misses: 1,
+                returns: 1
+            }
+        );
         assert!(m2.is_empty());
         assert_eq!(m2.headroom(), 32);
     }
@@ -141,7 +166,11 @@ mod tests {
             m.push_front(b"h");
             p.put(m);
         }
-        assert_eq!(p.stats().misses, misses_before, "steady state is allocation-free");
+        assert_eq!(
+            p.stats().misses,
+            misses_before,
+            "steady state is allocation-free"
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl PaConfig {
     /// Paper default plus the compiled filter backend (the stated
     /// future-work optimization).
     pub fn accelerated() -> PaConfig {
-        PaConfig { filter_backend: FilterBackend::Compiled, ..PaConfig::paper_default() }
+        PaConfig {
+            filter_backend: FilterBackend::Compiled,
+            ..PaConfig::paper_default()
+        }
     }
 }
 
@@ -127,6 +130,12 @@ mod tests {
         let a = PaConfig::accelerated();
         let p = PaConfig::paper_default();
         assert_eq!(a.filter_backend, FilterBackend::Compiled);
-        assert_eq!(PaConfig { filter_backend: p.filter_backend, ..a }, p);
+        assert_eq!(
+            PaConfig {
+                filter_backend: p.filter_backend,
+                ..a
+            },
+            p
+        );
     }
 }

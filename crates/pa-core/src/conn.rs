@@ -28,9 +28,9 @@ use crate::stats::ConnStats;
 use crate::Nanos;
 use pa_buf::{Backlog, ByteOrder, Msg};
 use pa_filter::{CompiledProgram, Frame, Program, ProgramBuilder};
-use pa_wire::{Class, CompiledLayout, Cookie, EndpointAddr, LayoutBuilder, Preamble};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pa_obs::rng::SplitMix64;
+use pa_obs::{DropCause, FieldRef, ProbeSink, SlowCause, TraceEvent};
+use pa_wire::{Class, CompiledLayout, Cookie, EndpointAddr, Field, LayoutBuilder, Preamble};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -51,7 +51,12 @@ pub struct ConnectionParams {
 impl ConnectionParams {
     /// Params with native byte order.
     pub fn new(local: EndpointAddr, peer: EndpointAddr, seed: u64) -> ConnectionParams {
-        ConnectionParams { local, peer, seed, order: ByteOrder::native() }
+        ConnectionParams {
+            local,
+            peer,
+            seed,
+            order: ByteOrder::native(),
+        }
     }
 }
 
@@ -202,6 +207,12 @@ pub struct Connection {
     params: ConnectionParams,
     field_names: crate::dissect::FieldNames,
     now: Nanos,
+    /// Where trace events go. Defaults to [`ProbeSink::Noop`]: one
+    /// predictable branch per instrumentation point, nothing else.
+    probe: ProbeSink,
+    /// Name of the last layer whose effects disabled the send
+    /// prediction — attributed on `Queued` trace events.
+    last_disable_layer: &'static str,
 }
 
 impl Connection {
@@ -223,16 +234,32 @@ impl Connection {
         // ~76 bytes Horus carries (§2.2).
         lb.begin_layer("pa");
         let f_src = lb
-            .add_field(Class::ConnId, "src_endpoint", (EndpointAddr::WIRE_LEN * 8) as u32, None)
+            .add_field(
+                Class::ConnId,
+                "src_endpoint",
+                (EndpointAddr::WIRE_LEN * 8) as u32,
+                None,
+            )
             .map_err(SetupError::Layout)?;
         let f_dst = lb
-            .add_field(Class::ConnId, "dst_endpoint", (EndpointAddr::WIRE_LEN * 8) as u32, None)
+            .add_field(
+                Class::ConnId,
+                "dst_endpoint",
+                (EndpointAddr::WIRE_LEN * 8) as u32,
+                None,
+            )
             .map_err(SetupError::Layout)?;
-        let f_fp = lb.add_field(Class::ConnId, "stack_fingerprint", 64, None).map_err(SetupError::Layout)?;
+        let f_fp = lb
+            .add_field(Class::ConnId, "stack_fingerprint", 64, None)
+            .map_err(SetupError::Layout)?;
 
         for layer in layers.iter_mut() {
             lb.begin_layer(layer.name());
-            let mut ctx = InitCtx { layout: &mut lb, send_filter: &mut send_fb, recv_filter: &mut recv_fb };
+            let mut ctx = InitCtx {
+                layout: &mut lb,
+                send_filter: &mut send_fb,
+                recv_filter: &mut recv_fb,
+            };
             layer.init(&mut ctx);
         }
 
@@ -264,7 +291,7 @@ impl Connection {
             layer.fill_ident(&layout, &mut ident_local, &mut ident_peer);
         }
 
-        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut rng = SplitMix64::new(params.seed);
         let send_predict = Prediction::new(&layout, params.order);
         let recv_predict = Prediction::new(&layout, params.order);
 
@@ -297,6 +324,8 @@ impl Connection {
             params,
             field_names,
             now: 0,
+            probe: ProbeSink::Noop,
+            last_disable_layer: "(init)",
         })
     }
 
@@ -332,6 +361,31 @@ impl Connection {
     /// Per-connection counters.
     pub fn stats(&self) -> &ConnStats {
         &self.stats
+    }
+
+    /// Installs a trace probe. Ring probes are labelled with this
+    /// connection's host id so merged timelines stay attributable.
+    pub fn set_probe(&mut self, mut probe: ProbeSink) {
+        if let Some(ring) = probe.trace_ring_mut() {
+            ring.set_conn(self.params.local.host_id() as u32);
+        }
+        self.probe = probe;
+    }
+
+    /// The installed probe (counts, ring records).
+    pub fn probe(&self) -> &ProbeSink {
+        &self.probe
+    }
+
+    /// Mutable probe access (clearing a ring between phases).
+    pub fn probe_mut(&mut self) -> &mut ProbeSink {
+        &mut self.probe
+    }
+
+    /// Emits one trace event at the connection's current clock.
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        self.probe.emit(self.now, event);
     }
 
     /// Declared field names (for [`crate::dissect::dissect`]).
@@ -427,8 +481,17 @@ impl Connection {
         // plus the serialization rule of §3.4: a message may not be
         // pre-processed until the post-processing of every previous
         // message has completed.
-        if !self.send_predict.enabled() || !self.pending_send.is_empty() || !self.backlog.is_empty() {
+        if !self.send_predict.enabled() || !self.pending_send.is_empty() || !self.backlog.is_empty()
+        {
             self.stats.queued_sends += 1;
+            let disable_layer = if !self.send_predict.enabled() {
+                self.last_disable_layer
+            } else {
+                // Not a disable at all: §3.4's serialization rule
+                // (post-processing of an earlier message is pending).
+                "(post-serialization)"
+            };
+            self.emit(TraceEvent::Queued { disable_layer });
             self.backlog.push(Msg::from_payload(payload));
             if !self.config.lazy_post {
                 // Eager hosts never leave work pending.
@@ -455,6 +518,9 @@ impl Connection {
             self.fast_send(body)
         } else {
             self.stats.slow_sends += 1;
+            self.emit(TraceEvent::SlowSend {
+                cause: SlowCause::PredictOff,
+            });
             self.slow_send(body);
             SendOutcome::SlowPath
         }
@@ -471,9 +537,21 @@ impl Connection {
         let verdict = self.run_send_filter(&mut msg);
         if verdict == pa_filter::PASS {
             self.stats.fast_sends += 1;
+            self.emit(TraceEvent::FastSend);
             self.wire_out(msg, false);
             SendOutcome::FastPath
         } else {
+            // Diagnosis (probe on only): find the deciding instruction
+            // by re-running the interpreter traced.
+            if self.probe.enabled() {
+                let mut frame = Frame::new(&mut msg, &self.layout, self.order);
+                if let (_, Some(at)) = pa_filter::run_traced(&self.send_filter, &mut frame) {
+                    self.emit(TraceEvent::FilterReject {
+                        pc: at.pc,
+                        op: at.op,
+                    });
+                }
+            }
             // Fall back: strip the speculative headers and run the
             // layered pre-send on the original body.
             let hdr = self.layout.class_len(Class::Protocol)
@@ -481,6 +559,9 @@ impl Connection {
                 + self.layout.class_len(Class::Gossip);
             msg.skip_front(hdr);
             self.stats.slow_sends += 1;
+            self.emit(TraceEvent::SlowSend {
+                cause: SlowCause::FilterReject,
+            });
             self.slow_send(msg);
             SendOutcome::SlowPath
         }
@@ -490,7 +571,11 @@ impl Connection {
     fn slow_send(&mut self, body: Msg) {
         let msg = self.blank_frame_from_body(body);
         let top = self.layers.len() as isize - 1;
-        self.send_work.push_back(SendWork { next: top, msg, unusual: false });
+        self.send_work.push_back(SendWork {
+            next: top,
+            msg,
+            unusual: false,
+        });
         self.run_work();
     }
 
@@ -512,7 +597,8 @@ impl Connection {
                 pa_filter::run(&self.send_filter, &mut frame)
             }
             FilterBackend::Compiled => {
-                self.send_compiled.run(self.send_filter.slots(), msg, self.order)
+                self.send_compiled
+                    .run(self.send_filter.slots(), msg, self.order)
             }
         }
     }
@@ -525,7 +611,8 @@ impl Connection {
                 pa_filter::run(&self.recv_filter, &mut frame)
             }
             FilterBackend::Compiled => {
-                self.recv_compiled.run(self.recv_filter.slots(), msg, self.peer_order)
+                self.recv_compiled
+                    .run(self.recv_filter.slots(), msg, self.peer_order)
             }
         }
     }
@@ -566,6 +653,9 @@ impl Connection {
             Ok(p) => p,
             Err(_) => {
                 self.stats.drops_malformed += 1;
+                self.emit(TraceEvent::Drop {
+                    reason: DropCause::Malformed,
+                });
                 return DeliverOutcome::Dropped(DropReason::Malformed);
             }
         };
@@ -573,16 +663,25 @@ impl Connection {
             let ident_len = self.layout.class_len(Class::ConnId);
             let Some(ident) = frame.pop_front(ident_len) else {
                 self.stats.drops_malformed += 1;
+                self.emit(TraceEvent::Drop {
+                    reason: DropCause::Malformed,
+                });
                 return DeliverOutcome::Dropped(DropReason::Malformed);
             };
             if ident != self.ident_peer {
                 self.stats.drops_unknown_cookie += 1;
+                self.emit(TraceEvent::Drop {
+                    reason: DropCause::ForeignIdent,
+                });
                 return DeliverOutcome::Dropped(DropReason::ForeignIdent);
             }
             self.cookie_peer = Some(preamble.cookie);
         } else {
             if self.cookie_peer != Some(preamble.cookie) {
                 self.stats.drops_unknown_cookie += 1;
+                self.emit(TraceEvent::Drop {
+                    reason: DropCause::UnknownCookie,
+                });
                 return DeliverOutcome::Dropped(DropReason::UnknownCookie);
             }
         }
@@ -616,6 +715,9 @@ impl Connection {
 
         if !Frame::fits(&frame, &self.layout) {
             self.stats.drops_malformed += 1;
+            self.emit(TraceEvent::Drop {
+                reason: DropCause::Malformed,
+            });
             return DeliverOutcome::Dropped(DropReason::Malformed);
         }
 
@@ -629,21 +731,77 @@ impl Connection {
             match self.fast_deliver(frame) {
                 Ok(n) => {
                     self.stats.fast_deliveries += 1;
+                    self.emit(TraceEvent::FastDeliver { msgs: n as u32 });
                     self.finish_delivery();
                     DeliverOutcome::Fast { msgs: n }
                 }
                 Err(out) => out,
             }
         } else {
-            if filter_verdict != pa_filter::PASS {
+            // Attribute the miss: the filter outranks prediction (a
+            // rejected frame never reaches the comparison), then the
+            // reasons the prediction couldn't match, most specific last.
+            let cause = if filter_verdict != pa_filter::PASS {
                 self.stats.recv_filter_misses += 1;
-            } else if self.config.predict {
+                SlowCause::FilterReject
+            } else if !self.config.predict {
+                SlowCause::PredictOff
+            } else {
                 self.stats.predict_misses += 1;
+                if !self.recv_predict.enabled() {
+                    SlowCause::PredictDisabled
+                } else {
+                    SlowCause::PredictMiss
+                }
+            };
+            if self.probe.enabled() {
+                self.diagnose_slow_deliver(cause, &mut frame);
             }
             self.stats.slow_deliveries += 1;
+            self.emit(TraceEvent::SlowDeliver { cause });
             let n = self.slow_deliver(frame);
             self.finish_delivery();
             DeliverOutcome::Slow { msgs: n }
+        }
+    }
+
+    /// Probe-only enrichment for a slow delivery: pinpoints the filter
+    /// instruction that rejected the frame, or the first protocol field
+    /// that broke the prediction. Costs nothing when tracing is off —
+    /// the caller gates on `probe.enabled()`.
+    fn diagnose_slow_deliver(&mut self, cause: SlowCause, frame: &mut Msg) {
+        match cause {
+            SlowCause::FilterReject => {
+                let mut fr = Frame::new(frame, &self.layout, self.peer_order);
+                if let (_, Some(at)) = pa_filter::run_traced(&self.recv_filter, &mut fr) {
+                    self.emit(TraceEvent::FilterReject {
+                        pc: at.pc,
+                        op: at.op,
+                    });
+                }
+            }
+            SlowCause::PredictMiss => {
+                let proto_len = self.layout.class_len(Class::Protocol);
+                let Some(hdr) = frame.get(0, proto_len) else {
+                    return;
+                };
+                let hdr = hdr.to_vec();
+                for i in 0..self.layout.class(Class::Protocol).field_count() {
+                    let f = Field::new(Class::Protocol, i);
+                    let got = self.layout.read_field(f, &hdr, self.peer_order);
+                    let expected = self.recv_predict.get(&self.layout, f);
+                    if got != expected {
+                        let field = FieldRef::new(Class::Protocol.index() as u8, i as u16);
+                        self.emit(TraceEvent::PredictMiss {
+                            field,
+                            expected,
+                            got,
+                        });
+                        break;
+                    }
+                }
+            }
+            _ => {}
         }
     }
 
@@ -664,6 +822,9 @@ impl Connection {
             Ok(i) => i,
             Err(_) => {
                 self.stats.drops_malformed += 1;
+                self.emit(TraceEvent::Drop {
+                    reason: DropCause::Malformed,
+                });
                 return Err(DeliverOutcome::Dropped(DropReason::Malformed));
             }
         };
@@ -671,6 +832,9 @@ impl Connection {
             Ok(m) => m,
             Err(_) => {
                 self.stats.drops_malformed += 1;
+                self.emit(TraceEvent::Drop {
+                    reason: DropCause::Malformed,
+                });
                 return Err(DeliverOutcome::Dropped(DropReason::Malformed));
             }
         };
@@ -678,14 +842,22 @@ impl Connection {
         self.stats.msgs_delivered += n as u64;
         self.deliveries.extend(msgs);
         let stop = self.layers.len().saturating_sub(1);
-        self.pending_recv.push_back(RecvPost { msg: frame, start: 0, stop });
+        self.pending_recv.push_back(RecvPost {
+            msg: frame,
+            start: 0,
+            stop,
+        });
         Ok(n)
     }
 
     /// Layered pre-deliver traversal, bottom → top.
     fn slow_deliver(&mut self, frame: Msg) -> usize {
         let before = self.stats.msgs_delivered;
-        self.deliver_work.push_back(DeliverWork { next: 0, start: 0, msg: frame });
+        self.deliver_work.push_back(DeliverWork {
+            next: 0,
+            start: 0,
+            msg: frame,
+        });
         self.run_work();
         (self.stats.msgs_delivered - before) as usize
     }
@@ -711,14 +883,30 @@ impl Connection {
     }
 
     fn step_send(&mut self, work: SendWork) {
-        let SendWork { next, mut msg, unusual } = work;
+        let SendWork {
+            next,
+            mut msg,
+            unusual,
+        } = work;
         if next < 0 {
             // Below the bottom layer: filter, preamble, wire.
             let verdict = self.run_send_filter(&mut msg);
             if verdict != pa_filter::PASS {
                 // A message the stack let through but the filter refuses
                 // (oversized with no frag layer, etc.).
-                self.stats.drops_malformed += 1;
+                self.stats.drops_send_rejected += 1;
+                if self.probe.enabled() {
+                    let mut frame = Frame::new(&mut msg, &self.layout, self.order);
+                    if let (_, Some(at)) = pa_filter::run_traced(&self.send_filter, &mut frame) {
+                        self.emit(TraceEvent::FilterReject {
+                            pc: at.pc,
+                            op: at.op,
+                        });
+                    }
+                }
+                self.emit(TraceEvent::Drop {
+                    reason: DropCause::FilterRefused,
+                });
                 return;
             }
             self.wire_out(msg, unusual);
@@ -741,11 +929,19 @@ impl Connection {
         self.apply_effects(i, effects);
         match action {
             SendAction::Continue => {
-                self.send_work.push_back(SendWork { next: next - 1, msg, unusual });
+                self.send_work.push_back(SendWork {
+                    next: next - 1,
+                    msg,
+                    unusual,
+                });
             }
             SendAction::Split(parts) => {
                 for part in parts {
-                    self.send_work.push_back(SendWork { next: next - 1, msg: part, unusual });
+                    self.send_work.push_back(SendWork {
+                        next: next - 1,
+                        msg: part,
+                        unusual,
+                    });
                 }
             }
             SendAction::Buffered => {
@@ -753,13 +949,20 @@ impl Connection {
                 // re-emit via emit_down later.
             }
             SendAction::Reject(_) => {
-                self.stats.drops_malformed += 1;
+                self.stats.drops_send_rejected += 1;
+                self.emit(TraceEvent::Drop {
+                    reason: DropCause::ByLayer(self.layers[i].name()),
+                });
             }
         }
     }
 
     fn step_deliver(&mut self, work: DeliverWork) {
-        let DeliverWork { next, start, mut msg } = work;
+        let DeliverWork {
+            next,
+            start,
+            mut msg,
+        } = work;
         if next >= self.layers.len() {
             // Above the top layer: strip headers, unpack, deliver.
             let stop = self.layers.len().saturating_sub(1);
@@ -772,7 +975,11 @@ impl Connection {
                 Ok(msgs) => {
                     self.stats.msgs_delivered += msgs.len() as u64;
                     self.deliveries.extend(msgs);
-                    self.pending_recv.push_back(RecvPost { msg: frame_image, start, stop });
+                    self.pending_recv.push_back(RecvPost {
+                        msg: frame_image,
+                        start,
+                        stop,
+                    });
                 }
                 Err(_) => {
                     self.stats.drops_malformed += 1;
@@ -796,14 +1003,29 @@ impl Connection {
         self.apply_effects(next, effects);
         match action {
             DeliverAction::Continue => {
-                self.deliver_work.push_back(DeliverWork { next: next + 1, start, msg });
+                self.deliver_work.push_back(DeliverWork {
+                    next: next + 1,
+                    start,
+                    msg,
+                });
             }
             DeliverAction::Consume => {
-                self.pending_recv.push_back(RecvPost { msg, start, stop: next });
+                self.pending_recv.push_back(RecvPost {
+                    msg,
+                    start,
+                    stop: next,
+                });
             }
             DeliverAction::Drop(_) => {
                 self.stats.drops_by_layer += 1;
-                self.pending_recv.push_back(RecvPost { msg, start, stop: next });
+                self.emit(TraceEvent::Drop {
+                    reason: DropCause::ByLayer(self.layers[next].name()),
+                });
+                self.pending_recv.push_back(RecvPost {
+                    msg,
+                    start,
+                    stop: next,
+                });
             }
         }
     }
@@ -812,6 +1034,11 @@ impl Connection {
     /// emitting layer; downward messages enter below it, upward ones
     /// above it.
     fn apply_effects(&mut self, layer_idx: usize, effects: Effects) {
+        if effects.disable_send > 0 {
+            // Remember who last held the send path shut, so a later
+            // `Queued` event names the culprit.
+            self.last_disable_layer = self.layers[layer_idx].name();
+        }
         for _ in 0..effects.disable_send.max(0) {
             self.send_predict.disable();
         }
@@ -832,10 +1059,21 @@ impl Connection {
         }
         for (msg, unusual) in effects.down {
             self.stats.control_msgs += 1;
-            self.send_work.push_back(SendWork { next: layer_idx as isize - 1, msg, unusual });
+            self.emit(TraceEvent::Control {
+                layer: self.layers[layer_idx].name(),
+            });
+            self.send_work.push_back(SendWork {
+                next: layer_idx as isize - 1,
+                msg,
+                unusual,
+            });
         }
         for msg in effects.up {
-            self.deliver_work.push_back(DeliverWork { next: layer_idx + 1, start: layer_idx + 1, msg });
+            self.deliver_work.push_back(DeliverWork {
+                next: layer_idx + 1,
+                start: layer_idx + 1,
+                msg,
+            });
         }
     }
 
@@ -865,9 +1103,16 @@ impl Connection {
         // "After the post-processing of a send operation completes, the
         // PA checks to see if there are messages waiting."
         if !self.backlog.is_empty() && self.send_predict.enabled() {
+            let frames_before_drain = self.stats.frames_out;
             let drained = self.drain_backlog();
             report.backlog_drained = drained.0;
             report.packed = drained.1;
+            if drained.0 > 0 {
+                self.emit(TraceEvent::BacklogDrain {
+                    frames: (self.stats.frames_out - frames_before_drain) as u32,
+                    msgs: drained.0 as u32,
+                });
+            }
         }
 
         report.frames_sent = self.stats.frames_out - frames_before;
@@ -1068,9 +1313,18 @@ mod tests {
         }
 
         fn init(&mut self, ctx: &mut InitCtx<'_>) {
-            let seq = ctx.layout.add_field(Class::Protocol, "seq", 32, None).unwrap();
-            let len = ctx.layout.add_field(Class::Message, "len", 16, None).unwrap();
-            let ck = ctx.layout.add_field(Class::Message, "ck", 16, None).unwrap();
+            let seq = ctx
+                .layout
+                .add_field(Class::Protocol, "seq", 32, None)
+                .unwrap();
+            let len = ctx
+                .layout
+                .add_field(Class::Message, "len", 16, None)
+                .unwrap();
+            let ck = ctx
+                .layout
+                .add_field(Class::Message, "ck", 16, None)
+                .unwrap();
             self.seq_f = Some(seq);
             self.len_f = Some(len);
             self.ck_f = Some(ck);
@@ -1135,13 +1389,21 @@ mod tests {
         let a = Connection::new(
             vec![Box::new(la)],
             config,
-            ConnectionParams::new(EndpointAddr::from_parts(1, 7), EndpointAddr::from_parts(2, 7), 1),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(1, 7),
+                EndpointAddr::from_parts(2, 7),
+                1,
+            ),
         )
         .unwrap();
         let b = Connection::new(
             vec![Box::new(lb)],
             config,
-            ConnectionParams::new(EndpointAddr::from_parts(2, 7), EndpointAddr::from_parts(1, 7), 2),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(2, 7),
+                EndpointAddr::from_parts(1, 7),
+                2,
+            ),
         )
         .unwrap();
         (a, b, ca, cb)
@@ -1206,7 +1468,15 @@ mod tests {
         assert_eq!(a.stats().frames_out, 2, "one plain + one packed frame");
 
         let got = shuttle(&mut a, &mut b);
-        assert_eq!(got, vec![b"aaaa".to_vec(), b"bbbb".to_vec(), b"cccc".to_vec(), b"dddd".to_vec()]);
+        assert_eq!(
+            got,
+            vec![
+                b"aaaa".to_vec(),
+                b"bbbb".to_vec(),
+                b"cccc".to_vec(),
+                b"dddd".to_vec()
+            ]
+        );
         assert_eq!(b.stats().msgs_delivered, 4);
     }
 
@@ -1214,9 +1484,9 @@ mod tests {
     fn different_size_backlog_drains_same_size_runs() {
         let (mut a, mut b, ..) = pair(PaConfig::paper_default());
         a.send(b"x");
-        a.send(b"yy");       // queued, size 2
-        a.send(b"zz");       // queued, size 2
-        a.send(b"w");        // queued, size 1
+        a.send(b"yy"); // queued, size 2
+        a.send(b"zz"); // queued, size 2
+        a.send(b"w"); // queued, size 1
         a.process_pending(); // drains the [yy,zz] run packed
         a.process_pending(); // drains [w]
         a.process_pending();
@@ -1228,7 +1498,10 @@ mod tests {
 
     #[test]
     fn variable_packing_packs_mixed_sizes() {
-        let cfg = PaConfig { variable_packing: true, ..PaConfig::paper_default() };
+        let cfg = PaConfig {
+            variable_packing: true,
+            ..PaConfig::paper_default()
+        };
         let (mut a, mut b, ..) = pair(cfg);
         a.send(b"x");
         a.send(b"yy");
@@ -1243,7 +1516,10 @@ mod tests {
 
     #[test]
     fn eager_mode_never_queues() {
-        let cfg = PaConfig { lazy_post: false, ..PaConfig::paper_default() };
+        let cfg = PaConfig {
+            lazy_post: false,
+            ..PaConfig::paper_default()
+        };
         let (mut a, mut b, ca, _cb) = pair(cfg);
         for i in 0..4u8 {
             let outcome = a.send(&[i; 8]);
@@ -1260,7 +1536,11 @@ mod tests {
 
     #[test]
     fn no_predict_takes_slow_path() {
-        let cfg = PaConfig { predict: false, lazy_post: false, ..PaConfig::paper_default() };
+        let cfg = PaConfig {
+            predict: false,
+            lazy_post: false,
+            ..PaConfig::paper_default()
+        };
         let (mut a, mut b, ca, cb) = pair(cfg);
         a.send(b"slow");
         assert_eq!(ca.pre_sends.get(), 1, "layer entered");
@@ -1390,13 +1670,21 @@ mod tests {
         let mut a = Connection::new(
             vec![Box::new(NullLayer)],
             PaConfig::paper_default(),
-            ConnectionParams::new(EndpointAddr::from_parts(1, 1), EndpointAddr::from_parts(2, 1), 5),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(1, 1),
+                EndpointAddr::from_parts(2, 1),
+                5,
+            ),
         )
         .unwrap();
         let mut b = Connection::new(
             vec![Box::new(NullLayer)],
             PaConfig::paper_default(),
-            ConnectionParams::new(EndpointAddr::from_parts(2, 1), EndpointAddr::from_parts(1, 1), 6),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(2, 1),
+                EndpointAddr::from_parts(1, 1),
+                6,
+            ),
         )
         .unwrap();
         a.send(b"empty stack");
@@ -1412,13 +1700,21 @@ mod tests {
         let mut a = Connection::new(
             vec![Box::new(la)],
             PaConfig::paper_default(),
-            ConnectionParams::new(EndpointAddr::from_parts(1, 1), EndpointAddr::from_parts(2, 1), 5),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(1, 1),
+                EndpointAddr::from_parts(2, 1),
+                5,
+            ),
         )
         .unwrap();
         let mut b = Connection::new(
             vec![Box::new(NullLayer)], // different stack!
             PaConfig::paper_default(),
-            ConnectionParams::new(EndpointAddr::from_parts(2, 1), EndpointAddr::from_parts(1, 1), 6),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(2, 1),
+                EndpointAddr::from_parts(1, 1),
+                6,
+            ),
         )
         .unwrap();
         a.send(b"hello?");
@@ -1474,6 +1770,190 @@ mod tests {
         assert_eq!(got_a.len(), 10);
         assert!(a.stats().fast_send_ratio() > 0.8);
         assert!(b.stats().fast_send_ratio() > 0.8);
+    }
+
+    #[test]
+    fn counting_probe_mirrors_stats_and_noop_stays_inert() {
+        // The same workload through a Noop probe and a counting probe:
+        // the Noop connection must record nothing (no ring, no counts),
+        // and the counting connection's event tallies must reconcile
+        // with its ConnStats counters exactly.
+        let run = |probe: Option<pa_obs::ProbeSink>| {
+            let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+            if let Some(p) = probe.clone() {
+                a.set_probe(p.clone());
+                b.set_probe(p);
+            }
+            for i in 0..6u8 {
+                a.send(&[i; 4]);
+                a.send(&[i; 4]); // queued (post pending)
+                shuttle(&mut a, &mut b);
+                a.process_pending();
+                a.process_pending();
+                shuttle(&mut a, &mut b);
+                b.process_pending();
+            }
+            (a, b)
+        };
+
+        let (a, b) = run(None);
+        assert!(!a.probe().enabled());
+        assert!(a.probe().counts().is_none());
+        assert!(a.probe().trace_ring().is_none());
+        assert!(a.stats().fast_sends > 0 && a.stats().queued_sends > 0);
+
+        let (a2, b2) = run(Some(pa_obs::ProbeSink::counting()));
+        let ca = a2.probe().counts().unwrap();
+        assert_eq!(ca.fast_sends, a2.stats().fast_sends);
+        assert_eq!(ca.queued, a2.stats().queued_sends);
+        assert_eq!(ca.slow_sends, a2.stats().slow_sends);
+        assert!(ca.backlog_drains > 0);
+        let cb = b2.probe().counts().unwrap();
+        assert_eq!(cb.fast_delivers, b2.stats().fast_deliveries);
+        assert_eq!(cb.slow_delivers, b2.stats().slow_deliveries);
+        // Workload identical with probes attached.
+        assert_eq!(a.stats(), a2.stats());
+        assert_eq!(b.stats(), b2.stats());
+    }
+
+    #[test]
+    fn dropped_outcome_increments_exactly_one_drop_counter() {
+        let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+        a.send(b"hello");
+        shuttle(&mut a, &mut b);
+        a.process_pending();
+        b.process_pending();
+
+        // Checks one bad frame: the outcome names a reason, frames_in
+        // advances by one, NO delivery is counted, and exactly one drop
+        // counter moves — by exactly one.
+        let case = |b: &mut Connection, frame: Msg, expect: DropReason, counter: &str| {
+            let before = *b.stats();
+            let out = b.deliver_frame(frame);
+            assert_eq!(out, DeliverOutcome::Dropped(expect), "{counter}");
+            let after = *b.stats();
+            assert_eq!(after.frames_in, before.frames_in + 1, "{counter}");
+            assert_eq!(after.fast_deliveries, before.fast_deliveries, "{counter}");
+            assert_eq!(after.slow_deliveries, before.slow_deliveries, "{counter}");
+            let drop_names = [
+                "drops_unknown_cookie",
+                "drops_by_layer",
+                "drops_malformed",
+                "drops_send_rejected",
+            ];
+            for ((name, v0), (_, v1)) in before.fields().iter().zip(after.fields()) {
+                if drop_names.contains(name) {
+                    let want = if *name == counter { *v0 + 1 } else { *v0 };
+                    assert_eq!(v1, want, "{counter}: counter {name}");
+                }
+            }
+            assert!(after.delivery_balanced(), "{counter}:\n{after}");
+        };
+
+        // Malformed: too short for even a preamble.
+        case(
+            &mut b,
+            Msg::from_wire(vec![1, 2, 3]),
+            DropReason::Malformed,
+            "drops_malformed",
+        );
+
+        // Unknown cookie: a real frame whose cookie bits got flipped
+        // (byte 7 is pure cookie; no conn-ident to recover by).
+        a.send(b"again");
+        let mut f = a.poll_transmit().unwrap();
+        f.set_byte_at(7, f.byte_at(7) ^ 0xFF);
+        case(&mut b, f, DropReason::UnknownCookie, "drops_unknown_cookie");
+
+        // Foreign ident: the first frame of an unrelated connection
+        // carries a conn-ident naming other endpoints.
+        let (third, _) = seq_layer();
+        let mut c = Connection::new(
+            vec![Box::new(third)],
+            PaConfig::paper_default(),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(8, 7),
+                EndpointAddr::from_parts(9, 7),
+                77,
+            ),
+        )
+        .unwrap();
+        c.send(b"not for b");
+        let foreign = c.poll_transmit().unwrap();
+        case(
+            &mut b,
+            foreign,
+            DropReason::ForeignIdent,
+            "drops_unknown_cookie",
+        );
+    }
+
+    #[test]
+    fn ring_probe_carries_miss_cause_before_slow_event() {
+        use pa_obs::TraceEvent as E;
+        let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+        b.set_probe(pa_obs::ProbeSink::ring(64));
+        // Teach b the cookie, then skip a frame to force a predict miss.
+        a.send(b"first");
+        shuttle(&mut a, &mut b);
+        a.process_pending();
+        b.process_pending();
+        a.send(b"second");
+        a.process_pending();
+        a.send(b"third");
+        let _lost = a.poll_transmit().unwrap();
+        let frame = a.poll_transmit().unwrap();
+        b.deliver_frame(frame);
+
+        let ring = b.probe().trace_ring().unwrap();
+        let records = ring.records();
+        let kinds: Vec<&str> = records.iter().map(|r| r.event.kind()).collect();
+        let miss = kinds
+            .iter()
+            .position(|k| *k == "predict-miss")
+            .expect("miss diagnosed");
+        let slow = kinds
+            .iter()
+            .position(|k| *k == "slow-deliver")
+            .expect("slow path taken");
+        assert!(miss < slow, "cause precedes the slow event: {kinds:?}");
+        // The diagnosed field carries the observed vs expected values.
+        let Some(E::PredictMiss { expected, got, .. }) = records
+            .iter()
+            .map(|r| r.event)
+            .find(|e| matches!(e, E::PredictMiss { .. }))
+        else {
+            panic!("no predict-miss event");
+        };
+        assert_ne!(expected, got);
+        // The out-of-sequence drop is also recorded with its layer.
+        assert!(records.iter().any(|r| matches!(
+            r.event,
+            E::Drop {
+                reason: pa_obs::DropCause::ByLayer(_)
+            }
+        )));
+    }
+
+    #[test]
+    fn filter_reject_event_names_deciding_instruction() {
+        let (mut a, mut b, ..) = pair(PaConfig::paper_default());
+        b.set_probe(pa_obs::ProbeSink::ring(32));
+        a.send(b"fragile payload");
+        let mut frame = a.poll_transmit().unwrap();
+        let n = frame.len() - 1;
+        frame.set_byte_at(n, frame.byte_at(n) ^ 0xFF);
+        b.deliver_frame(frame);
+        let ring = b.probe().trace_ring().unwrap();
+        let reject = ring
+            .records()
+            .iter()
+            .find_map(|r| match r.event {
+                pa_obs::TraceEvent::FilterReject { pc, op } => Some((pc, op)),
+                _ => None,
+            })
+            .expect("filter reject recorded");
+        assert_eq!(reject.1, "ABORT", "checksum mismatch fires an ABORT");
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub fn dissect(frame: &Msg, layout: &CompiledLayout, names: &FieldNames) -> Stri
         "  preamble: cookie={} order={} ident={}",
         preamble.cookie,
         preamble.byte_order,
-        if preamble.conn_ident_present { "present" } else { "elided" }
+        if preamble.conn_ident_present {
+            "present"
+        } else {
+            "elided"
+        }
     );
 
     if preamble.conn_ident_present {
@@ -65,7 +69,15 @@ pub fn dissect(frame: &Msg, layout: &CompiledLayout, names: &FieldNames) -> Stri
         match m.pop_front(len) {
             Some(ident) => {
                 let _ = writeln!(out, "  conn-ident: {} bytes", len);
-                dissect_class(&mut out, layout, names, Class::ConnId, &ident, preamble, true);
+                dissect_class(
+                    &mut out,
+                    layout,
+                    names,
+                    Class::ConnId,
+                    &ident,
+                    preamble,
+                    true,
+                );
             }
             None => {
                 let _ = writeln!(out, "  !! truncated conn-ident");
@@ -107,8 +119,18 @@ pub fn dissect(frame: &Msg, layout: &CompiledLayout, names: &FieldNames) -> Stri
         out,
         "  payload: {} bytes{}{}",
         payload.len(),
-        if show > 0 { format!(" [{hex}") } else { String::new() },
-        if payload.len() > show { "…]" } else if show > 0 { "]" } else { "" },
+        if show > 0 {
+            format!(" [{hex}")
+        } else {
+            String::new()
+        },
+        if payload.len() > show {
+            "…]"
+        } else if show > 0 {
+            "]"
+        } else {
+            ""
+        },
     );
     out
 }
@@ -129,7 +151,11 @@ fn dissect_class(
         let label = names.name(class, i);
         if bits <= 64 {
             // Conn-ident scalar fields are canonical big-endian.
-            let order = if conn_id { pa_buf::ByteOrder::Big } else { preamble.byte_order };
+            let order = if conn_id {
+                pa_buf::ByteOrder::Big
+            } else {
+                preamble.byte_order
+            };
             let v = layout.read_field(f, hdr, order);
             let _ = writeln!(out, "    {label:<20} ({bits:>2} bits) = {v}");
         } else {
@@ -158,7 +184,11 @@ mod tests {
         Connection::new(
             vec![Box::new(NullLayer)],
             PaConfig::paper_default(),
-            ConnectionParams::new(EndpointAddr::from_parts(1, 1), EndpointAddr::from_parts(2, 1), 9),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(1, 1),
+                EndpointAddr::from_parts(2, 1),
+                9,
+            ),
         )
         .unwrap()
     }

@@ -38,7 +38,8 @@ impl Endpoint {
     /// with the router.
     pub fn add_connection(&mut self, conn: Connection) -> ConnHandle {
         let key = ConnKey(self.conns.len());
-        self.router.register_ident(conn.expected_ident().to_vec(), key);
+        self.router
+            .register_ident(conn.expected_ident().to_vec(), key);
         self.conns.push(conn);
         ConnHandle(key.0)
     }
@@ -140,7 +141,10 @@ impl Endpoint {
     pub fn poll_delivery(&mut self) -> Option<Delivery> {
         for (i, conn) in self.conns.iter_mut().enumerate() {
             if let Some(msg) = conn.poll_delivery() {
-                return Some(Delivery { conn: ConnHandle(i), msg });
+                return Some(Delivery {
+                    conn: ConnHandle(i),
+                    msg,
+                });
             }
         }
         None
@@ -163,6 +167,41 @@ impl Endpoint {
         for conn in &mut self.conns {
             conn.tick(now);
         }
+    }
+
+    /// Captures every counter this endpoint can see into one unified
+    /// [`pa_obs::MetricsSnapshot`]: each connection's [`ConnStats`]
+    /// under scope `conn<N>`, the router's demux counters under
+    /// `router`, and cross-connection totals under `endpoint`. Snapshot
+    /// twice and call [`pa_obs::MetricsSnapshot::delta`] to see what one
+    /// phase of a run did.
+    pub fn metrics_snapshot(&self, at: Nanos) -> pa_obs::MetricsSnapshot {
+        let mut snap = pa_obs::MetricsSnapshot::new(at);
+        for (i, conn) in self.conns.iter().enumerate() {
+            conn.stats().record_into(&mut snap, &format!("conn{i}"));
+        }
+        snap.record("router", "cookie_hits", self.router.cookie_hits);
+        snap.record("router", "ident_hits", self.router.ident_hits);
+        snap.record("router", "misses", self.router.misses);
+        snap.record(
+            "router",
+            "cookie_bindings",
+            self.router.cookie_count() as u64,
+        );
+        snap.record("router", "ident_bindings", self.router.ident_count() as u64);
+        // Cross-connection totals, accumulated positionally
+        // (`ConnStats::fields()` order is the contract).
+        let mut sums = [0u64; 20];
+        for conn in &self.conns {
+            for (slot, (_, v)) in sums.iter_mut().zip(conn.stats().fields()) {
+                *slot += v;
+            }
+        }
+        let names = crate::ConnStats::default().fields();
+        for ((name, _), sum) in names.iter().zip(sums) {
+            snap.record("endpoint", name, sum);
+        }
+        snap
     }
 }
 
@@ -197,7 +236,13 @@ mod tests {
         let (dest, frame) = alice.poll_transmit().unwrap();
         assert_eq!(dest, EndpointAddr::from_parts(2, 1));
         let out = bob.from_network(frame);
-        assert!(matches!(out, DeliverOutcome::Fast { msgs: 1 } | DeliverOutcome::Slow { msgs: 1 }), "{out:?}");
+        assert!(
+            matches!(
+                out,
+                DeliverOutcome::Fast { msgs: 1 } | DeliverOutcome::Slow { msgs: 1 }
+            ),
+            "{out:?}"
+        );
         let d = bob.poll_delivery().unwrap();
         assert_eq!(d.msg.as_slice(), b"hello bob");
     }
@@ -220,7 +265,10 @@ mod tests {
         alice.send(a2b, b"two");
         let (_, f2) = alice.poll_transmit().unwrap();
         let out = bob.from_network(f2);
-        assert!(matches!(out, DeliverOutcome::Fast { .. } | DeliverOutcome::Slow { .. }));
+        assert!(matches!(
+            out,
+            DeliverOutcome::Fast { .. } | DeliverOutcome::Slow { .. }
+        ));
         assert_eq!(bob.router().cookie_hits, 1);
     }
 
@@ -230,14 +278,27 @@ mod tests {
         bob.add_connection(null_conn(2, 1, 2));
         // A cookie-only frame with no prior ident.
         let mut alice = Endpoint::new();
-        let a2b = alice.add_connection(Connection::new(
-            vec![Box::new(NullLayer)],
-            PaConfig { ident_on_first: 0, ..PaConfig::paper_default() },
-            ConnectionParams::new(EndpointAddr::from_parts(1, 1), EndpointAddr::from_parts(2, 1), 3),
-        ).unwrap());
+        let a2b = alice.add_connection(
+            Connection::new(
+                vec![Box::new(NullLayer)],
+                PaConfig {
+                    ident_on_first: 0,
+                    ..PaConfig::paper_default()
+                },
+                ConnectionParams::new(
+                    EndpointAddr::from_parts(1, 1),
+                    EndpointAddr::from_parts(2, 1),
+                    3,
+                ),
+            )
+            .unwrap(),
+        );
         alice.send(a2b, b"lost first message scenario");
         let (_, frame) = alice.poll_transmit().unwrap();
-        assert_eq!(bob.from_network(frame), DeliverOutcome::Dropped(DropReason::UnknownCookie));
+        assert_eq!(
+            bob.from_network(frame),
+            DeliverOutcome::Dropped(DropReason::UnknownCookie)
+        );
     }
 
     #[test]
@@ -249,7 +310,10 @@ mod tests {
         let e = eve.add_connection(null_conn(1, 9, 4));
         eve.send(e, b"misdelivered");
         let (_, frame) = eve.poll_transmit().unwrap();
-        assert_eq!(bob.from_network(frame), DeliverOutcome::Dropped(DropReason::ForeignIdent));
+        assert_eq!(
+            bob.from_network(frame),
+            DeliverOutcome::Dropped(DropReason::ForeignIdent)
+        );
     }
 
     #[test]
@@ -259,6 +323,50 @@ mod tests {
         assert_eq!(
             bob.from_network(Msg::from_wire(vec![1, 2, 3])),
             DeliverOutcome::Dropped(DropReason::Malformed)
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_reconciles_with_conn_stats() {
+        let mut alice = Endpoint::new();
+        let mut bob = Endpoint::new();
+        let a2b = alice.add_connection(null_conn(1, 2, 11));
+        bob.add_connection(null_conn(2, 1, 22));
+
+        let before = alice.metrics_snapshot(0);
+        for i in 0..4u8 {
+            alice.send(a2b, &[i; 4]);
+            while let Some((_, f)) = alice.poll_transmit() {
+                bob.from_network(f);
+            }
+            alice.process_all_pending();
+        }
+        let after = alice.metrics_snapshot(1);
+
+        // Every conn0 entry equals the live ConnStats counter.
+        let stats = *alice.conn(a2b).stats();
+        for (name, value) in stats.fields() {
+            assert_eq!(after.get("conn0", name), Some(value), "{name}");
+            assert_eq!(
+                after.get("endpoint", name),
+                Some(value),
+                "single conn: totals match"
+            );
+        }
+        // The delta shows only what changed.
+        let delta = after.delta(&before);
+        assert_eq!(delta.get("conn0", "fast_sends"), Some(stats.fast_sends));
+        assert_eq!(
+            delta.get("conn0", "frames_in"),
+            None,
+            "unchanged counters omitted"
+        );
+        // Router counters are present on the receiving side.
+        let bsnap = bob.metrics_snapshot(1);
+        assert_eq!(
+            bsnap.get("router", "ident_hits").unwrap()
+                + bsnap.get("router", "cookie_hits").unwrap(),
+            stats.frames_out
         );
     }
 

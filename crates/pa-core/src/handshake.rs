@@ -52,7 +52,10 @@ impl fmt::Display for GreetingError {
             GreetingError::BadMagic => write!(f, "not a PA greeting"),
             GreetingError::Truncated => write!(f, "truncated greeting"),
             GreetingError::IdentMismatch => {
-                write!(f, "peer identification mismatch (wrong peer, epoch, or stack)")
+                write!(
+                    f,
+                    "peer identification mismatch (wrong peer, epoch, or stack)"
+                )
             }
         }
     }
@@ -87,7 +90,10 @@ impl Greeting {
         if bytes.len() < 14 + len {
             return Err(GreetingError::Truncated);
         }
-        Ok(Greeting { cookie, ident: bytes[14..14 + len].to_vec() })
+        Ok(Greeting {
+            cookie,
+            ident: bytes[14..14 + len].to_vec(),
+        })
     }
 }
 
@@ -95,7 +101,10 @@ impl Connection {
     /// Exports this connection's greeting for out-of-band delivery to
     /// the peer.
     pub fn export_greeting(&self) -> Greeting {
-        Greeting { cookie: self.local_cookie(), ident: self.local_ident().to_vec() }
+        Greeting {
+            cookie: self.local_cookie(),
+            ident: self.local_ident().to_vec(),
+        }
     }
 
     /// Accepts the peer's greeting: verifies the identification and
@@ -145,7 +154,10 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(Greeting::decode(b""), Err(GreetingError::Truncated));
-        assert_eq!(Greeting::decode(b"nope-not-a-greeting"), Err(GreetingError::BadMagic));
+        assert_eq!(
+            Greeting::decode(b"nope-not-a-greeting"),
+            Err(GreetingError::BadMagic)
+        );
         let (a, _) = pair();
         let mut e = a.export_greeting().encode();
         e.truncate(e.len() - 1);
@@ -173,8 +185,14 @@ mod tests {
         a.send(b"lean first frame");
         let frame = a.poll_transmit().unwrap();
         let p = pa_wire::Preamble::decode(frame.as_slice()).unwrap();
-        assert!(!p.conn_ident_present, "identification pre-agreed, not resent");
-        assert!(matches!(b.deliver_frame(frame), DeliverOutcome::Fast { msgs: 1 }));
+        assert!(
+            !p.conn_ident_present,
+            "identification pre-agreed, not resent"
+        );
+        assert!(matches!(
+            b.deliver_frame(frame),
+            DeliverOutcome::Fast { msgs: 1 }
+        ));
     }
 
     #[test]
@@ -194,7 +212,10 @@ mod tests {
         // no sequencing, so the payload just arrives.)
         let out = b.deliver_frame(frame);
         assert!(
-            matches!(out, DeliverOutcome::Fast { .. } | DeliverOutcome::Slow { .. }),
+            matches!(
+                out,
+                DeliverOutcome::Fast { .. } | DeliverOutcome::Slow { .. }
+            ),
             "{out:?}"
         );
         assert_eq!(b.poll_delivery().unwrap().as_slice(), b"arrives");
@@ -206,7 +227,11 @@ mod tests {
         let stranger = Connection::new(
             vec![Box::new(NullLayer)],
             PaConfig::paper_default(),
-            ConnectionParams::new(EndpointAddr::from_parts(9, 2), EndpointAddr::from_parts(1, 2), 99),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(9, 2),
+                EndpointAddr::from_parts(1, 2),
+                99,
+            ),
         )
         .unwrap();
         let g = stranger.export_greeting();

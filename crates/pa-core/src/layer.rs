@@ -327,7 +327,10 @@ mod tests {
         let mut l = NullLayer;
         let mut m = Msg::from_payload(b"data");
         assert!(matches!(l.pre_send(&mut ctx, &mut m), SendAction::Continue));
-        assert!(matches!(l.pre_deliver(&mut ctx, &mut m), DeliverAction::Continue));
+        assert!(matches!(
+            l.pre_deliver(&mut ctx, &mut m),
+            DeliverAction::Continue
+        ));
         assert_eq!(m.as_slice(), b"data");
         assert!(effects.is_empty());
     }

@@ -45,13 +45,13 @@ pub mod router;
 pub mod stats;
 
 pub use config::{FilterBackend, PaConfig};
-pub use dissect::{dissect, FieldNames};
-pub use handshake::{Greeting, GreetingError};
 pub use conn::{
     Connection, ConnectionParams, DeliverOutcome, DropReason, PostWorkReport, SendOutcome,
     SetupError,
 };
+pub use dissect::{dissect, FieldNames};
 pub use endpoint::{ConnHandle, Delivery, Endpoint};
+pub use handshake::{Greeting, GreetingError};
 pub use layer::{DeliverAction, InitCtx, Layer, LayerCtx, SendAction};
 pub use packing::PackInfo;
 pub use predict::Prediction;

@@ -62,7 +62,10 @@ impl fmt::Display for PackError {
         match self {
             PackError::BadHeader => write!(f, "malformed packing header"),
             PackError::LengthMismatch { expected, actual } => {
-                write!(f, "packed body length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "packed body length mismatch: expected {expected}, got {actual}"
+                )
             }
         }
     }
@@ -176,9 +179,14 @@ pub fn pack(msgs: &[Msg]) -> Msg {
     }
     let first_len = msgs[0].len();
     let info = if msgs.iter().all(|m| m.len() == first_len) {
-        PackInfo::SameSize { count: msgs.len() as u16, size: first_len as u32 }
+        PackInfo::SameSize {
+            count: msgs.len() as u16,
+            size: first_len as u32,
+        }
     } else {
-        PackInfo::Variable { sizes: msgs.iter().map(|m| m.len() as u32).collect() }
+        PackInfo::Variable {
+            sizes: msgs.iter().map(|m| m.len() as u32).collect(),
+        }
     };
     let mut body = Msg::with_headroom(&[], 128 + info.wire_len());
     for m in msgs {
@@ -196,7 +204,10 @@ pub fn unpack(info: &PackInfo, mut body: Msg) -> Result<Vec<Msg>, PackError> {
         PackInfo::SameSize { count, size } => {
             let expected = *count as usize * *size as usize;
             if body.len() != expected {
-                return Err(PackError::LengthMismatch { expected, actual: body.len() });
+                return Err(PackError::LengthMismatch {
+                    expected,
+                    actual: body.len(),
+                });
             }
             let mut out = Vec::with_capacity(*count as usize);
             for _ in 0..*count {
@@ -208,7 +219,10 @@ pub fn unpack(info: &PackInfo, mut body: Msg) -> Result<Vec<Msg>, PackError> {
         PackInfo::Variable { sizes } => {
             let expected: usize = sizes.iter().map(|&s| s as usize).sum();
             if body.len() != expected {
-                return Err(PackError::LengthMismatch { expected, actual: body.len() });
+                return Err(PackError::LengthMismatch {
+                    expected,
+                    actual: body.len(),
+                });
             }
             let mut out = Vec::with_capacity(sizes.len());
             for &s in sizes {
@@ -263,7 +277,10 @@ mod tests {
         let info = PackInfo::pop_from(&mut packed).unwrap();
         assert_eq!(info.count(), 4);
         let out = unpack(&info, packed).unwrap();
-        assert_eq!(out.iter().map(Msg::len).collect::<Vec<_>>(), vec![3, 10, 0, 7]);
+        assert_eq!(
+            out.iter().map(Msg::len).collect::<Vec<_>>(),
+            vec![3, 10, 0, 7]
+        );
         assert_eq!(out[3].as_slice(), &[3u8; 7][..]);
     }
 
@@ -271,8 +288,13 @@ mod tests {
     fn header_sizes_match_wire_len() {
         for info in [
             PackInfo::Single,
-            PackInfo::SameSize { count: 4, size: 100 },
-            PackInfo::Variable { sizes: vec![1, 2, 3] },
+            PackInfo::SameSize {
+                count: 4,
+                size: 100,
+            },
+            PackInfo::Variable {
+                sizes: vec![1, 2, 3],
+            },
         ] {
             assert_eq!(info.encode().len(), info.wire_len());
         }
@@ -282,16 +304,31 @@ mod tests {
     fn decode_rejects_garbage() {
         assert_eq!(PackInfo::decode(&[]), Err(PackError::BadHeader));
         assert_eq!(PackInfo::decode(&[9]), Err(PackError::BadHeader));
-        assert_eq!(PackInfo::decode(&[1, 0, 1]), Err(PackError::BadHeader), "truncated");
-        assert_eq!(PackInfo::decode(&[1, 0, 0, 0, 0, 0, 8]), Err(PackError::BadHeader), "count 0");
-        assert_eq!(PackInfo::decode(&[2, 0, 0]), Err(PackError::BadHeader), "count 0 variable");
+        assert_eq!(
+            PackInfo::decode(&[1, 0, 1]),
+            Err(PackError::BadHeader),
+            "truncated"
+        );
+        assert_eq!(
+            PackInfo::decode(&[1, 0, 0, 0, 0, 0, 8]),
+            Err(PackError::BadHeader),
+            "count 0"
+        );
+        assert_eq!(
+            PackInfo::decode(&[2, 0, 0]),
+            Err(PackError::BadHeader),
+            "count 0 variable"
+        );
     }
 
     #[test]
     fn unpack_length_mismatch_detected() {
         let info = PackInfo::SameSize { count: 2, size: 8 };
         let short = Msg::from_payload(&[0u8; 15]);
-        assert!(matches!(unpack(&info, short), Err(PackError::LengthMismatch { .. })));
+        assert!(matches!(
+            unpack(&info, short),
+            Err(PackError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -324,8 +361,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(PackError::LengthMismatch { expected: 10, actual: 3 }
-            .to_string()
-            .contains("expected 10"));
+        assert!(PackError::LengthMismatch {
+            expected: 10,
+            actual: 3
+        }
+        .to_string()
+        .contains("expected 10"));
     }
 }

@@ -4,6 +4,8 @@
 //! the whole point of the PA is moving traffic from the slow path to the
 //! fast path — so the engine counts every outcome.
 
+use std::fmt;
+
 /// Counters kept by each [`crate::Connection`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ConnStats {
@@ -33,6 +35,9 @@ pub struct ConnStats {
     pub drops_by_layer: u64,
     /// Frames dropped as malformed (truncated headers, bad packing).
     pub drops_malformed: u64,
+    /// Send-side drops: the send filter refused a frame outright, or a
+    /// layer rejected a message in its pre-send phase.
+    pub drops_send_rejected: u64,
     /// Delivery-filter rejections (forced the slow path).
     pub recv_filter_misses: u64,
     /// Prediction mismatches on delivery (forced the slow path).
@@ -62,6 +67,28 @@ impl ConnStats {
         self.fast_sends as f64 / denom
     }
 
+    /// The delivery-accounting invariant: every frame handed to
+    /// `deliver_frame` either counted a delivery (fast or slow) or
+    /// exactly one *entry* drop (unknown cookie / foreign ident /
+    /// malformed before any layer ran). By-layer drops happen *inside*
+    /// a slow traversal and therefore ride within `slow_deliveries`;
+    /// send-side rejections have their own counter
+    /// (`drops_send_rejected`) and never touch the receive ledger.
+    ///
+    /// The one deliberate exception: a frame whose *packing* turns out
+    /// malformed after the full layer traversal already counted a slow
+    /// delivery also bumps `drops_malformed` — with a checksum layer in
+    /// the stack that path is unreachable, and the fault-injection tests
+    /// assert this balance holds under drop/corrupt/duplicate/reorder
+    /// storms.
+    pub fn delivery_balanced(&self) -> bool {
+        self.frames_in
+            == self.fast_deliveries
+                + self.slow_deliveries
+                + self.drops_unknown_cookie
+                + self.drops_malformed
+    }
+
     /// Fraction of deliveries that took the fast path.
     pub fn fast_delivery_ratio(&self) -> f64 {
         let denom = (self.fast_deliveries + self.slow_deliveries) as f64;
@@ -69,6 +96,65 @@ impl ConnStats {
             return 0.0;
         }
         self.fast_deliveries as f64 / denom
+    }
+
+    /// Every counter as a stable `(name, value)` list — the single
+    /// source of truth for the [`fmt::Display`] table and for feeding a
+    /// [`pa_obs::MetricsSnapshot`], so the two can never disagree.
+    pub fn fields(&self) -> [(&'static str, u64); 20] {
+        [
+            ("fast_sends", self.fast_sends),
+            ("slow_sends", self.slow_sends),
+            ("queued_sends", self.queued_sends),
+            ("packed_msgs", self.packed_msgs),
+            ("packed_frames", self.packed_frames),
+            ("frames_out", self.frames_out),
+            ("frames_in", self.frames_in),
+            ("fast_deliveries", self.fast_deliveries),
+            ("slow_deliveries", self.slow_deliveries),
+            ("msgs_delivered", self.msgs_delivered),
+            ("drops_unknown_cookie", self.drops_unknown_cookie),
+            ("drops_by_layer", self.drops_by_layer),
+            ("drops_malformed", self.drops_malformed),
+            ("drops_send_rejected", self.drops_send_rejected),
+            ("recv_filter_misses", self.recv_filter_misses),
+            ("predict_misses", self.predict_misses),
+            ("post_sends", self.post_sends),
+            ("post_delivers", self.post_delivers),
+            ("control_msgs", self.control_msgs),
+            ("ident_frames_out", self.ident_frames_out),
+        ]
+    }
+
+    /// Records every counter under `scope` in a metrics snapshot.
+    pub fn record_into(&self, snapshot: &mut pa_obs::MetricsSnapshot, scope: &str) {
+        for (name, value) in self.fields() {
+            snapshot.record(scope, name, value);
+        }
+    }
+}
+
+impl fmt::Display for ConnStats {
+    /// Renders the counters as the two-column table the examples print:
+    /// nonzero counters only, with the fast-path ratios appended.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.fields() {
+            if value != 0 {
+                writeln!(f, "  {name:<22} {value:>10}")?;
+            }
+        }
+        writeln!(
+            f,
+            "  {:<22} {:>9.1}%",
+            "fast_send_ratio",
+            self.fast_send_ratio() * 100.0
+        )?;
+        write!(
+            f,
+            "  {:<22} {:>9.1}%",
+            "fast_delivery_ratio",
+            self.fast_delivery_ratio() * 100.0
+        )
     }
 }
 
@@ -85,9 +171,48 @@ mod tests {
 
     #[test]
     fn ratios_compute() {
-        let s = ConnStats { fast_sends: 9, slow_sends: 1, fast_deliveries: 3, slow_deliveries: 1, ..Default::default() };
+        let s = ConnStats {
+            fast_sends: 9,
+            slow_sends: 1,
+            fast_deliveries: 3,
+            slow_deliveries: 1,
+            ..Default::default()
+        };
         assert!((s.fast_send_ratio() - 0.9).abs() < 1e-12);
         assert!((s.fast_delivery_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(s.total_sends(), 10);
+    }
+
+    #[test]
+    fn display_hides_zero_counters_and_shows_ratios() {
+        let s = ConnStats {
+            fast_sends: 3,
+            slow_sends: 1,
+            ..Default::default()
+        };
+        let table = s.to_string();
+        assert!(table.contains("fast_sends"));
+        assert!(table.contains("fast_send_ratio"));
+        assert!(table.contains("75.0%"));
+        assert!(
+            !table.contains("drops_malformed"),
+            "zero counters omitted:\n{table}"
+        );
+    }
+
+    #[test]
+    fn record_into_snapshot_reconciles_exactly() {
+        let s = ConnStats {
+            fast_sends: 7,
+            frames_in: 9,
+            predict_misses: 2,
+            ..Default::default()
+        };
+        let mut snap = pa_obs::MetricsSnapshot::new(0);
+        s.record_into(&mut snap, "conn0");
+        for (name, value) in s.fields() {
+            assert_eq!(snap.get("conn0", name), Some(value), "{name}");
+        }
+        assert_eq!(snap.len(), s.fields().len());
     }
 }

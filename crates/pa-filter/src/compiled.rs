@@ -15,9 +15,9 @@
 //! the slot array so a post-processing rewrite is visible to both
 //! backends without recompilation.
 
+use crate::digest::DigestKind;
 use crate::op::Op;
 use crate::program::Program;
-use crate::digest::DigestKind;
 use crate::Verdict;
 use pa_wire::bits;
 use pa_wire::{Class, CompiledLayout};
@@ -29,8 +29,14 @@ enum ROp {
     PushSlot(u16),
     /// Absolute bit offset within the frame, width in bits, and whether
     /// the byte-order-sensitive aligned path applies.
-    PushFieldAbs { bit: u32, bits: u32 },
-    PopFieldAbs { bit: u32, bits: u32 },
+    PushFieldAbs {
+        bit: u32,
+        bits: u32,
+    },
+    PopFieldAbs {
+        bit: u32,
+        bits: u32,
+    },
     PushSize,
     PushBodySize,
     Digest(DigestKind),
@@ -135,12 +141,7 @@ impl CompiledProgram {
     /// Runs against the raw frame bytes of `msg` (same frame shape as
     /// [`Frame`]). `slots` come from the source program so patches are
     /// shared.
-    pub fn run(
-        &self,
-        slots: &[i64],
-        msg: &mut pa_buf::Msg,
-        order: pa_buf::ByteOrder,
-    ) -> Verdict {
+    pub fn run(&self, slots: &[i64], msg: &mut pa_buf::Msg, order: pa_buf::ByteOrder) -> Verdict {
         let mut stack: Vec<i64> = Vec::with_capacity(self.max_depth as usize);
         let total = msg.len();
         let body_off = self.body_off;
@@ -307,9 +308,9 @@ mod tests {
             Op::PushConst(3),
             Op::PushConst(4),
             Op::Dup,
-            Op::Mul, // 3, 16
+            Op::Mul,  // 3, 16
             Op::Swap, // 16, 3
-            Op::Sub, // 13
+            Op::Sub,  // 13
             Op::PushConst(13),
             Op::Ne,
             Op::Abort(1),

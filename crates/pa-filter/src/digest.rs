@@ -64,9 +64,7 @@ impl DigestKind {
                 }
                 (!crc) as u64
             }
-            DigestKind::Xor8 => {
-                parts.iter().flat_map(|p| p.iter()).fold(0u8, |a, &b| a ^ b) as u64
-            }
+            DigestKind::Xor8 => parts.iter().flat_map(|p| p.iter()).fold(0u8, |a, &b| a ^ b) as u64,
         }
     }
 }
@@ -182,7 +180,11 @@ mod tests {
     fn compute_multi_equals_concatenation() {
         let parts: [&[u8]; 3] = [b"odd", b"", b"length parts!"];
         let concat: Vec<u8> = parts.iter().flat_map(|p| p.iter().copied()).collect();
-        for kind in [DigestKind::InternetChecksum, DigestKind::Crc32, DigestKind::Xor8] {
+        for kind in [
+            DigestKind::InternetChecksum,
+            DigestKind::Crc32,
+            DigestKind::Xor8,
+        ] {
             assert_eq!(kind.compute_multi(&parts), kind.compute(&concat), "{kind}");
         }
     }

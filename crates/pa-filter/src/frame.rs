@@ -41,7 +41,13 @@ impl<'a> Frame<'a> {
         // accidental use would read garbage from deterministically (the
         // verifier rejects ConnId fields before a program can run).
         let class_base = [usize::MAX, 0, proto, proto + message];
-        Frame { msg, layout, order, class_base, body_off: proto + message + gossip }
+        Frame {
+            msg,
+            layout,
+            order,
+            class_base,
+            body_off: proto + message + gossip,
+        }
     }
 
     /// True if the message is long enough to contain all class headers.
@@ -94,15 +100,24 @@ impl<'a> Frame<'a> {
 
     /// Reads scalar field `f`.
     pub fn read(&self, f: Field) -> u64 {
-        debug_assert_ne!(f.class, Class::ConnId, "conn-id fields are not in the frame");
+        debug_assert_ne!(
+            f.class,
+            Class::ConnId,
+            "conn-id fields are not in the frame"
+        );
         let base = self.class_base[f.class.index()];
         let len = self.layout.class_len(f.class);
-        self.layout.read_field(f, &self.msg.as_slice()[base..base + len], self.order)
+        self.layout
+            .read_field(f, &self.msg.as_slice()[base..base + len], self.order)
     }
 
     /// Writes scalar field `f`.
     pub fn write(&mut self, f: Field, v: u64) {
-        debug_assert_ne!(f.class, Class::ConnId, "conn-id fields are not in the frame");
+        debug_assert_ne!(
+            f.class,
+            Class::ConnId,
+            "conn-id fields are not in the frame"
+        );
         let base = self.class_base[f.class.index()];
         let len = self.layout.class_len(f.class);
         let order = self.order;

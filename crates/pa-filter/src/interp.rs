@@ -11,12 +11,30 @@ use crate::op::Op;
 use crate::program::Program;
 use crate::Verdict;
 
+/// Where a non-PASS verdict was decided: program counter and mnemonic
+/// of the deciding instruction. `&'static str` so trace events carrying
+/// it stay `Copy` and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejectPoint {
+    /// Index of the deciding instruction in the program.
+    pub pc: u16,
+    /// Mnemonic of the deciding instruction.
+    pub op: &'static str,
+}
+
 /// Runs `program` against `frame`, returning the verdict (0 = pass).
 pub fn run(program: &Program, frame: &mut Frame<'_>) -> Verdict {
+    run_traced(program, frame).0
+}
+
+/// Like [`run`], but also reports *where* a non-PASS verdict was
+/// decided, for diagnostic tracing. A PASS (including falling off the
+/// end) carries no reject point.
+pub fn run_traced(program: &Program, frame: &mut Frame<'_>) -> (Verdict, Option<RejectPoint>) {
     // Exact stack requirement was computed by the verifier; a small
     // fixed-capacity Vec avoids reallocation in the common case.
     let mut stack: Vec<i64> = Vec::with_capacity(program.max_stack_depth() as usize);
-    for op in program.ops() {
+    for (pc, op) in program.ops().iter().enumerate() {
         match *op {
             Op::PushConst(v) => stack.push(v),
             Op::PushSlot(s) => stack.push(program.slots()[s.0 as usize]),
@@ -24,9 +42,11 @@ pub fn run(program: &Program, frame: &mut Frame<'_>) -> Verdict {
             Op::PushSize => stack.push(frame.size() as i64),
             Op::PushBodySize => stack.push(frame.body_size() as i64),
             Op::Digest(kind) => stack.push(kind.compute(frame.body()) as i64),
-            Op::DigestHeaders(kind) => stack.push(
-                kind.compute_multi(&[frame.proto_hdr(), frame.gossip_hdr(), frame.body()]) as i64,
-            ),
+            Op::DigestHeaders(kind) => stack.push(kind.compute_multi(&[
+                frame.proto_hdr(),
+                frame.gossip_hdr(),
+                frame.body(),
+            ]) as i64),
             Op::PopField(f) => {
                 let v = stack.pop().expect("verified");
                 frame.write(f, v as u64);
@@ -58,15 +78,27 @@ pub fn run(program: &Program, frame: &mut Frame<'_>) -> Verdict {
             Op::Drop => {
                 stack.pop().expect("verified");
             }
-            Op::Return(v) => return v,
+            Op::Return(v) => {
+                let at = (v != crate::PASS).then(|| RejectPoint {
+                    pc: pc as u16,
+                    op: op.name(),
+                });
+                return (v, at);
+            }
             Op::Abort(v) => {
                 if stack.pop().expect("verified") != 0 {
-                    return v;
+                    return (
+                        v,
+                        Some(RejectPoint {
+                            pc: pc as u16,
+                            op: op.name(),
+                        }),
+                    );
                 }
             }
         }
     }
-    crate::PASS
+    (crate::PASS, None)
 }
 
 #[inline]
@@ -98,7 +130,12 @@ mod tests {
         let seq_f = b.add_field(Class::Protocol, "seq", 32, None).unwrap();
         let len_f = b.add_field(Class::Message, "len", 16, None).unwrap();
         let ck_f = b.add_field(Class::Message, "ck", 16, None).unwrap();
-        Fixture { layout: b.compile(LayoutMode::Packed).unwrap(), len_f, ck_f, seq_f }
+        Fixture {
+            layout: b.compile(LayoutMode::Packed).unwrap(),
+            len_f,
+            ck_f,
+            seq_f,
+        }
     }
 
     fn frame_msg(layout: &CompiledLayout, payload: &[u8]) -> Msg {
@@ -116,6 +153,27 @@ mod tests {
         let p = b.build().unwrap();
         let mut frame = Frame::new(msg, &fx.layout, ByteOrder::Big);
         run(&p, &mut frame)
+    }
+
+    #[test]
+    fn traced_run_reports_the_deciding_instruction() {
+        let fx = fixture();
+        let mut m = frame_msg(&fx.layout, b"");
+        let mut b = ProgramBuilder::new();
+        b.extend(vec![Op::PushConst(1), Op::Abort(9), Op::Return(0)]);
+        let p = b.build().unwrap();
+        let mut frame = Frame::new(&mut m, &fx.layout, ByteOrder::Big);
+        let (v, at) = run_traced(&p, &mut frame);
+        assert_eq!(v, 9);
+        let at = at.expect("rejected");
+        assert_eq!(at.pc, 1);
+        assert_eq!(at.op, "ABORT");
+
+        let mut b = ProgramBuilder::new();
+        b.extend(vec![Op::Return(0)]);
+        let p = b.build().unwrap();
+        let mut frame = Frame::new(&mut m, &fx.layout, ByteOrder::Big);
+        assert_eq!(run_traced(&p, &mut frame), (0, None));
     }
 
     #[test]
@@ -158,7 +216,13 @@ mod tests {
             (Op::Ge, 2, 3, 0),
             (Op::Ne, 4, 5, 1),
         ] {
-            let ops = vec![Op::PushConst(a), Op::PushConst(b), op, Op::Abort(1), Op::Return(0)];
+            let ops = vec![
+                Op::PushConst(a),
+                Op::PushConst(b),
+                op,
+                Op::Abort(1),
+                Op::Return(0),
+            ];
             let got = run_ops(&fx, &mut m, ops);
             assert_eq!(got, expect, "{op} {a} {b}");
         }
@@ -264,7 +328,13 @@ mod tests {
         let mtu = 16i64;
         let make = |payload: &[u8]| frame_msg(&fx.layout, payload);
         let ops = |_: ()| {
-            vec![Op::PushBodySize, Op::PushConst(mtu), Op::Gt, Op::Abort(99), Op::Return(0)]
+            vec![
+                Op::PushBodySize,
+                Op::PushConst(mtu),
+                Op::Gt,
+                Op::Abort(99),
+                Op::Return(0),
+            ]
         };
         let mut small = make(b"ok");
         assert_eq!(run_ops(&fx, &mut small, ops(())), 0);
@@ -277,7 +347,13 @@ mod tests {
         let fx = fixture();
         let mut b = ProgramBuilder::new();
         let limit = b.alloc_slot(10);
-        b.extend(vec![Op::PushBodySize, Op::PushSlot(limit), Op::Gt, Op::Abort(1), Op::Return(0)]);
+        b.extend(vec![
+            Op::PushBodySize,
+            Op::PushSlot(limit),
+            Op::Gt,
+            Op::Abort(1),
+            Op::Return(0),
+        ]);
         let mut p = b.build().unwrap();
 
         let mut m = frame_msg(&fx.layout, &[0u8; 20]);

@@ -44,7 +44,7 @@ pub mod program;
 pub use compiled::CompiledProgram;
 pub use digest::DigestKind;
 pub use frame::Frame;
-pub use interp::run;
+pub use interp::{run, run_traced, RejectPoint};
 pub use op::{Op, SlotId};
 pub use program::{Program, ProgramBuilder, VerifyError};
 

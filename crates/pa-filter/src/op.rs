@@ -96,6 +96,40 @@ impl Op {
     pub fn is_terminator(&self) -> bool {
         matches!(self, Op::Return(_))
     }
+
+    /// Static mnemonic (no operands) — cheap enough to embed in trace
+    /// events, which must stay `Copy` and allocation-free.
+    pub fn name(&self) -> &'static str {
+        use Op::*;
+        match self {
+            PushConst(_) => "PUSH_CONSTANT",
+            PushSlot(_) => "PUSH_SLOT",
+            PushField(_) => "PUSH_FIELD",
+            PushSize => "PUSH_SIZE",
+            PushBodySize => "PUSH_BODY_SIZE",
+            Digest(_) => "DIGEST",
+            DigestHeaders(_) => "DIGEST_HDRS",
+            PopField(_) => "POP_FIELD",
+            Add => "ADD",
+            Sub => "SUB",
+            Mul => "MUL",
+            And => "AND",
+            Or => "OR",
+            Xor => "XOR",
+            Eq => "EQ",
+            Ne => "NE",
+            Lt => "LT",
+            Le => "LE",
+            Gt => "GT",
+            Ge => "GE",
+            Not => "NOT",
+            Dup => "DUP",
+            Swap => "SWAP",
+            Drop => "DROP",
+            Return(_) => "RETURN",
+            Abort(_) => "ABORT",
+        }
+    }
 }
 
 impl fmt::Display for Op {

@@ -110,7 +110,11 @@ impl Program {
 
     /// An empty program (always passes). Useful as the identity filter.
     pub fn empty() -> Program {
-        Program { ops: Vec::new(), slots: Vec::new(), max_depth: 0 }
+        Program {
+            ops: Vec::new(),
+            slots: Vec::new(),
+            max_depth: 0,
+        }
     }
 
     /// Disassembles to one instruction per line.
@@ -201,7 +205,11 @@ impl ProgramBuilder {
                 return Err(VerifyError::DeadCode { pc: pc + 1 });
             }
         }
-        Ok(Program { ops: self.ops, slots: self.slots, max_depth })
+        Ok(Program {
+            ops: self.ops,
+            slots: self.slots,
+            max_depth,
+        })
     }
 }
 
@@ -248,7 +256,8 @@ mod tests {
         b.op(Op::PushField(Field::new(Class::ConnId, 0)));
         assert_eq!(b.build(), Err(VerifyError::ConnIdField { pc: 0 }));
         let mut b2 = ProgramBuilder::new();
-        b2.op(Op::PushConst(0)).op(Op::PopField(Field::new(Class::ConnId, 1)));
+        b2.op(Op::PushConst(0))
+            .op(Op::PopField(Field::new(Class::ConnId, 1)));
         assert_eq!(b2.build(), Err(VerifyError::ConnIdField { pc: 1 }));
     }
 
@@ -319,7 +328,11 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(VerifyError::StackUnderflow { pc: 3 }.to_string().contains("pc 3"));
-        assert!(VerifyError::BadSlot { pc: 1, slot: 9 }.to_string().contains("slot 9"));
+        assert!(VerifyError::StackUnderflow { pc: 3 }
+            .to_string()
+            .contains("pc 3"));
+        assert!(VerifyError::BadSlot { pc: 1, slot: 9 }
+            .to_string()
+            .contains("slot 9"));
     }
 }

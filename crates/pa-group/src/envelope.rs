@@ -106,7 +106,13 @@ mod tests {
     #[test]
     fn roundtrip_all_kinds() {
         for kind in [Kind::Fifo, Kind::TotalRequest, Kind::TotalOrdered] {
-            let e = Envelope { kind, view: 7, origin: 3, gseq: 99, payload: b"pp".to_vec() };
+            let e = Envelope {
+                kind,
+                view: 7,
+                origin: 3,
+                gseq: 99,
+                payload: b"pp".to_vec(),
+            };
             assert_eq!(Envelope::decode(&e.encode()).unwrap(), e);
         }
     }
@@ -114,15 +120,27 @@ mod tests {
     #[test]
     fn truncated_and_unknown_rejected() {
         assert!(Envelope::decode(&[0u8; ENVELOPE_LEN - 1]).is_none());
-        let mut bad = Envelope { kind: Kind::Fifo, view: 0, origin: 0, gseq: 0, payload: vec![] }
-            .encode();
+        let mut bad = Envelope {
+            kind: Kind::Fifo,
+            view: 0,
+            origin: 0,
+            gseq: 0,
+            payload: vec![],
+        }
+        .encode();
         bad[0] = 9;
         assert!(Envelope::decode(&bad).is_none());
     }
 
     #[test]
     fn empty_payload_ok() {
-        let e = Envelope { kind: Kind::Fifo, view: 1, origin: 2, gseq: 0, payload: vec![] };
+        let e = Envelope {
+            kind: Kind::Fifo,
+            view: 1,
+            origin: 2,
+            gseq: 0,
+            payload: vec![],
+        };
         let d = Envelope::decode(&e.encode()).unwrap();
         assert!(d.payload.is_empty());
     }

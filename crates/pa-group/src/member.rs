@@ -26,7 +26,11 @@ pub struct GroupConfig {
 
 impl Default for GroupConfig {
     fn default() -> Self {
-        GroupConfig { stack: StackSpec::paper(), pa: PaConfig::paper_default(), seed: 0x9709 }
+        GroupConfig {
+            stack: StackSpec::paper(),
+            pa: PaConfig::paper_default(),
+            seed: 0x9709,
+        }
     }
 }
 
@@ -170,8 +174,13 @@ impl Member {
     }
 
     fn fan_out(&mut self, env: &Envelope) {
-        let peers: Vec<u32> =
-            self.view.members().iter().copied().filter(|&m| m != self.id).collect();
+        let peers: Vec<u32> = self
+            .view
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m != self.id)
+            .collect();
         for peer in peers {
             self.send_to(peer, env);
         }
@@ -317,7 +326,9 @@ mod tests {
     /// until quiescent.
     fn group(ids: &[u32]) -> Vec<Member> {
         let view = View::new(1, ids.iter().copied());
-        ids.iter().map(|&id| Member::new(id, view.clone(), GroupConfig::default())).collect()
+        ids.iter()
+            .map(|&id| Member::new(id, view.clone(), GroupConfig::default()))
+            .collect()
     }
 
     fn converge(members: &mut [Member]) {
@@ -325,9 +336,7 @@ mod tests {
             let mut moved = false;
             for i in 0..members.len() {
                 while let Some((to, frame)) = members[i].poll_transmit() {
-                    let target = members
-                        .iter_mut()
-                        .find(|m| Member::addr_of(m.id()) == to);
+                    let target = members.iter_mut().find(|m| Member::addr_of(m.id()) == to);
                     if let Some(t) = target {
                         t.from_network(frame);
                     }
@@ -343,7 +352,10 @@ mod tests {
         }
     }
 
-    fn drain(m: &mut Member) -> Vec<(u32, Option<u64>, Vec<u8>)> {
+    /// One delivered message: (sender id, total-order stamp, payload).
+    type Delivery = (u32, Option<u64>, Vec<u8>);
+
+    fn drain(m: &mut Member) -> Vec<Delivery> {
         let mut out = Vec::new();
         while let Some(d) = m.poll_delivery() {
             out.push((d.from, d.order, d.payload));
@@ -358,7 +370,12 @@ mod tests {
         converge(&mut g);
         for m in g.iter_mut() {
             let got = drain(m);
-            assert_eq!(got, vec![(1, None, b"to all".to_vec())], "member {}", m.id());
+            assert_eq!(
+                got,
+                vec![(1, None, b"to all".to_vec())],
+                "member {}",
+                m.id()
+            );
         }
     }
 
@@ -382,8 +399,7 @@ mod tests {
         g[2].mcast_total(b"from-3");
         g[0].mcast_total(b"from-1");
         converge(&mut g);
-        let orders: Vec<Vec<(u32, Option<u64>, Vec<u8>)>> =
-            g.iter_mut().map(drain).collect();
+        let orders: Vec<Vec<Delivery>> = g.iter_mut().map(drain).collect();
         assert_eq!(orders[0].len(), 3);
         assert_eq!(orders[0], orders[1], "members 1 and 2 agree");
         assert_eq!(orders[1], orders[2], "members 2 and 3 agree");
@@ -415,16 +431,18 @@ mod tests {
     fn heavy_concurrent_total_traffic_agrees() {
         let mut g = group(&[1, 2, 3, 4]);
         for round in 0..10u8 {
-            for i in 0..4 {
-                g[i].mcast_total(&[round, i as u8]);
+            for (i, member) in g.iter_mut().enumerate() {
+                member.mcast_total(&[round, i as u8]);
             }
         }
         converge(&mut g);
-        let orders: Vec<Vec<(u32, Option<u64>, Vec<u8>)>> =
-            g.iter_mut().map(drain).collect();
+        let orders: Vec<Vec<Delivery>> = g.iter_mut().map(drain).collect();
         assert_eq!(orders[0].len(), 40);
         for o in &orders[1..] {
-            assert_eq!(&orders[0], o, "total order must be identical at all members");
+            assert_eq!(
+                &orders[0], o,
+                "total order must be identical at all members"
+            );
         }
     }
 

@@ -49,7 +49,10 @@ impl View {
 
     /// The next view with `dead` removed.
     pub fn without(&self, dead: u32) -> View {
-        View::new(self.id + 1, self.members.iter().copied().filter(|&m| m != dead))
+        View::new(
+            self.id + 1,
+            self.members.iter().copied().filter(|&m| m != dead),
+        )
     }
 
     /// The next view with `joiner` added.

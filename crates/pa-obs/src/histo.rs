@@ -1,0 +1,279 @@
+//! Log2-bucketed latency histograms (HDR-style, `u64` buckets).
+//!
+//! A [`LatencyHisto`] records values (nanoseconds, by convention) into
+//! 65 power-of-two buckets: bucket 0 holds exactly 0, bucket *b* holds
+//! `[2^(b-1), 2^b)`. Recording is one `leading_zeros` + one add;
+//! exact `min`/`max`/`sum` ride along so means and tails stay honest.
+//! Histograms merge (for aggregating per-connection or per-node series)
+//! and export p50/p90/p99/max summaries.
+
+use std::fmt;
+
+const BUCKETS: usize = 65;
+
+/// A mergeable log2 histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHisto {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl LatencyHisto {
+    /// An empty histogram.
+    pub fn new() -> LatencyHisto {
+        LatencyHisto {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Allocation-free, O(1).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHisto) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` (0.0–1.0): the geometric midpoint of
+    /// the bucket containing the q-th sample, clamped to the exact
+    /// min/max. Bucket resolution bounds the error at 2× — the standard
+    /// log2-histogram trade.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                let rep = if b == 0 {
+                    0
+                } else {
+                    // Midpoint of [2^(b-1), 2^b).
+                    let lo = 1u64 << (b - 1);
+                    lo + lo / 2
+                };
+                return rep.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// One-struct summary for tables and JSON.
+    pub fn summary(&self) -> HistoSummary {
+        HistoSummary {
+            count: self.count,
+            min: self.min(),
+            mean: self.mean(),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+            max: self.max,
+        }
+    }
+}
+
+/// Exported percentile summary of a [`LatencyHisto`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistoSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact minimum.
+    pub min: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median (bucket-resolution).
+    pub p50: u64,
+    /// 90th percentile (bucket-resolution).
+    pub p90: u64,
+    /// 99th percentile (bucket-resolution).
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl fmt::Display for HistoSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} mean={:.0} p50={} p90={} p99={} max={}",
+            self.count, self.min, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = LatencyHisto::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = LatencyHisto::new();
+        for v in [10, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 100);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 40);
+        assert!((h.mean() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_resolution() {
+        let mut h = LatencyHisto::new();
+        // 100 samples at ~1000 ns, 10 at ~100 µs.
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let p50 = h.p50();
+        assert!((512..=2048).contains(&p50), "p50={p50}");
+        let p99 = h.p99();
+        assert!((65_536..=131_072).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(1.0), h.quantile(0.999).max(h.quantile(1.0)));
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_that_sample() {
+        let mut h = LatencyHisto::new();
+        h.record(777);
+        // min==max clamp makes every quantile exact.
+        assert_eq!(h.p50(), 777);
+        assert_eq!(h.p99(), 777);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHisto::new();
+        let mut b = LatencyHisto::new();
+        let mut all = LatencyHisto::new();
+        for v in [1u64, 5, 9, 1000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 70_000, 2] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let mut h = LatencyHisto::new();
+        h.record(25_000);
+        let s = h.summary().to_string();
+        assert!(s.contains("n=1"), "{s}");
+        assert!(s.contains("p99=25000"), "{s}");
+    }
+}

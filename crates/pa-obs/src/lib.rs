@@ -1,0 +1,94 @@
+//! # pa-obs — observability for the Protocol Accelerator
+//!
+//! The whole point of the PA is *which path* a message takes — fast,
+//! slow, or queued — so this crate makes that decision observable at
+//! zero cost when tracing is off:
+//!
+//! - [`TraceEvent`] — the structured event taxonomy (fast/slow
+//!   send/deliver with causes, queueing, prediction misses, filter
+//!   rejections, drops, backlog drains, control traffic);
+//! - [`ProbeSink`] / [`Probe`] — the emission point. The default
+//!   [`ProbeSink::Noop`] costs one branch and performs no allocation
+//!   and no ring write;
+//! - [`TraceRing`] — a fixed-capacity, allocation-free ring of
+//!   [`TraceRecord`]s with logical timestamps and per-connection
+//!   sequence numbers;
+//! - [`LatencyHisto`] — mergeable log2-bucketed (HDR-style) latency
+//!   histograms with p50/p90/p99/max export;
+//! - [`MetricsSnapshot`] — the unified `(scope, name) → value`
+//!   registry with delta-since-last-snapshot, a text table, and JSON
+//!   lines;
+//! - [`PathTag`] — the per-frame path annotation used by the
+//!   annotated-pcap capture mode;
+//! - [`rng`] — the workspace's dependency-free seedable PRNG
+//!   ([`rng::SplitMix64`]), shared by cookies, fault injection, GC
+//!   jitter, and randomized tests.
+//!
+//! pa-obs sits below every other crate in the workspace and has no
+//! dependencies, so any layer can emit events without cycles.
+
+pub mod event;
+pub mod histo;
+pub mod probe;
+pub mod ring;
+pub mod rng;
+pub mod snapshot;
+
+pub use event::{DropCause, FieldRef, Nanos, SlowCause, TraceEvent};
+pub use histo::{HistoSummary, LatencyHisto};
+pub use probe::{EventCounts, NoopProbe, Probe, ProbeSink};
+pub use ring::{merge_timeline, TraceRecord, TraceRing};
+pub use snapshot::MetricsSnapshot;
+
+use std::fmt;
+
+/// The path a captured frame took, for annotated pcap dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathTag {
+    /// Left or arrived via the fast path.
+    Fast,
+    /// Went through the layered traversal.
+    Slow,
+    /// Produced by a backlog drain (was queued first).
+    Queued,
+    /// Layer-generated control traffic.
+    Control,
+    /// Dropped by the receiver.
+    Dropped,
+    /// Lost or mutated in the network (fault injection).
+    Faulted,
+    /// Outcome not (yet) observed.
+    Unknown,
+}
+
+impl PathTag {
+    /// Short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PathTag::Fast => "fast",
+            PathTag::Slow => "slow",
+            PathTag::Queued => "queued",
+            PathTag::Control => "control",
+            PathTag::Dropped => "dropped",
+            PathTag::Faulted => "faulted",
+            PathTag::Unknown => "?",
+        }
+    }
+}
+
+impl fmt::Display for PathTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_tags_render() {
+        assert_eq!(PathTag::Fast.to_string(), "fast");
+        assert_eq!(PathTag::Dropped.label(), "dropped");
+    }
+}

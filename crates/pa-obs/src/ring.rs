@@ -1,0 +1,220 @@
+//! A fixed-capacity, allocation-free trace ring.
+//!
+//! All storage is allocated once at construction; pushing a record into
+//! a full ring overwrites the oldest one and bumps the `overwritten`
+//! counter, so the hot path never allocates and never blocks. Records
+//! carry logical [`Nanos`] timestamps and a per-ring (i.e.
+//! per-connection) sequence number so a merged dump across connections
+//! can be ordered deterministically.
+
+use crate::event::{FieldRef, Nanos, TraceEvent};
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Per-ring sequence number (0-based, never wraps in practice).
+    pub seq: u64,
+    /// Logical timestamp the event was emitted at.
+    pub at: Nanos,
+    /// Connection label stamped by the ring (endpoint-assigned index).
+    pub conn: u32,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Renders `seq/at/conn/event` on one line.
+    pub fn render(&self, resolve: &dyn Fn(FieldRef) -> String) -> String {
+        format!(
+            "[{:>10} ns] conn={} #{:<5} {}",
+            self.at,
+            self.conn,
+            self.seq,
+            self.event.render(resolve)
+        )
+    }
+}
+
+/// Fixed-capacity ring of [`TraceRecord`]s.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceRecord>,
+    capacity: usize,
+    head: usize,
+    seq: u64,
+    overwritten: u64,
+    conn: u32,
+}
+
+impl TraceRing {
+    /// A ring retaining the most recent `capacity` records (≥ 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            seq: 0,
+            overwritten: 0,
+            conn: 0,
+        }
+    }
+
+    /// Stamps subsequent records with a connection label.
+    pub fn set_conn(&mut self, conn: u32) {
+        self.conn = conn;
+    }
+
+    /// Appends an event; never allocates once the ring has filled.
+    #[inline]
+    pub fn push(&mut self, at: Nanos, event: TraceEvent) {
+        let rec = TraceRecord {
+            seq: self.seq,
+            at,
+            conn: self.conn,
+            event,
+        };
+        self.seq += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Events recorded over the ring's lifetime (= next sequence number).
+    pub fn total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records lost to overwriting.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Renders the retained records, one per line, oldest first.
+    pub fn dump(&self, resolve: &dyn Fn(FieldRef) -> String) -> String {
+        let mut s = String::new();
+        for rec in self.records() {
+            s.push_str(&rec.render(resolve));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Clears retained records (sequence numbers keep counting).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+/// Merges records from several rings into one timeline ordered by
+/// `(at, conn, seq)` — deterministic across runs.
+pub fn merge_timeline(rings: &[&TraceRing]) -> Vec<TraceRecord> {
+    let mut all: Vec<TraceRecord> = rings.iter().flat_map(|r| r.records()).collect();
+    all.sort_by_key(|r| (r.at, r.conn, r.seq));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SlowCause;
+
+    #[test]
+    fn retains_most_recent_and_counts_overwrites() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5u64 {
+            r.push(i * 10, TraceEvent::FastSend);
+        }
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 2);
+        let recs = r.records();
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(recs[0].at, 20);
+    }
+
+    #[test]
+    fn push_after_fill_does_not_allocate() {
+        let mut r = TraceRing::new(4);
+        for i in 0..4 {
+            r.push(i, TraceEvent::FastSend);
+        }
+        let cap_before = r.buf.capacity();
+        for i in 4..1000 {
+            r.push(
+                i,
+                TraceEvent::SlowSend {
+                    cause: SlowCause::PredictMiss,
+                },
+            );
+        }
+        assert_eq!(r.buf.capacity(), cap_before, "ring storage is fixed");
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_conn() {
+        let mut a = TraceRing::new(8);
+        a.set_conn(0);
+        let mut b = TraceRing::new(8);
+        b.set_conn(1);
+        a.push(10, TraceEvent::FastSend);
+        b.push(5, TraceEvent::FastSend);
+        a.push(20, TraceEvent::FastSend);
+        b.push(10, TraceEvent::FastDeliver { msgs: 1 });
+        let tl = merge_timeline(&[&a, &b]);
+        assert_eq!(
+            tl.iter().map(|r| (r.at, r.conn)).collect::<Vec<_>>(),
+            vec![(5, 1), (10, 0), (10, 1), (20, 0)]
+        );
+    }
+
+    #[test]
+    fn dump_renders_lines() {
+        let mut r = TraceRing::new(4);
+        r.push(
+            1,
+            TraceEvent::Queued {
+                disable_layer: "window",
+            },
+        );
+        let d = r.dump(&|f| format!("{}:{}", f.class, f.index));
+        assert!(d.contains("queued by=window"), "{d}");
+        assert_eq!(d.lines().count(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = TraceRing::new(0);
+        r.push(0, TraceEvent::FastSend);
+        r.push(1, TraceEvent::FastSend);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.records()[0].seq, 1);
+    }
+}

@@ -133,7 +133,10 @@ impl CostModel {
 
     /// The same stack in C (for the no-PA C Horus baseline).
     pub fn paper_c(layer_names: Vec<String>) -> CostModel {
-        CostModel { language: Language::C, ..CostModel::paper_ml(layer_names) }
+        CostModel {
+            language: Language::C,
+            ..CostModel::paper_ml(layer_names)
+        }
     }
 
     fn scale(&self, ns: Nanos) -> Nanos {
@@ -219,7 +222,10 @@ mod tests {
     use super::*;
 
     fn paper_layers() -> Vec<String> {
-        ["bottom", "checksum", "window", "frag"].iter().map(|s| s.to_string()).collect()
+        ["bottom", "checksum", "window", "frag"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }
 
     #[test]
@@ -278,7 +284,10 @@ mod tests {
         let send = c.slow_send() + c.post_send_frame();
         let deliver = c.slow_deliver() + c.post_deliver_frame();
         let rtt = 2 * (send + 35_000 + deliver);
-        assert!((1_300_000..=1_700_000).contains(&rtt), "C no-PA RTT = {rtt} ns");
+        assert!(
+            (1_300_000..=1_700_000).contains(&rtt),
+            "C no-PA RTT = {rtt} ns"
+        );
     }
 
     #[test]
@@ -288,7 +297,11 @@ mod tests {
         let mut c = CostModel::paper_c(paper_layers());
         c.baseline_framework = true;
         let rtt = |m: &CostModel| {
-            2 * (m.slow_send() + m.post_send_frame() + 35_000 + m.slow_deliver() + m.post_deliver_frame())
+            2 * (m.slow_send()
+                + m.post_send_frame()
+                + 35_000
+                + m.slow_deliver()
+                + m.post_deliver_frame())
         };
         assert!(rtt(&ml) > 2 * rtt(&c), "ml {} vs c {}", rtt(&ml), rtt(&c));
     }

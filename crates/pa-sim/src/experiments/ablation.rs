@@ -50,7 +50,11 @@ fn score(name: &'static str, cfg: &SimConfig) -> AblationPoint {
     sim.run_until(10_000_000_000);
     let msgs = sim.delivered[1] as f64 / (sim.now() as f64 / 1e9);
 
-    AblationPoint { name, rtt, msgs_per_sec: msgs }
+    AblationPoint {
+        name,
+        rtt,
+        msgs_per_sec: msgs,
+    }
 }
 
 /// Runs the full PA plus each single-mechanism ablation.
@@ -90,14 +94,23 @@ impl Ablation {
     /// Renders the table.
     pub fn render(&self) -> String {
         let base = &self.points[0];
-        let mut t = Table::new(&["configuration", "RTT µs", "ΔRTT", "stream msgs/s", "Δstream"]);
+        let mut t = Table::new(&[
+            "configuration",
+            "RTT µs",
+            "ΔRTT",
+            "stream msgs/s",
+            "Δstream",
+        ]);
         for p in &self.points {
             t.row(&[
                 p.name.into(),
                 us_f(p.rtt),
                 format!("{:+.0}%", (p.rtt / base.rtt - 1.0) * 100.0),
                 format!("{:.0}", p.msgs_per_sec),
-                format!("{:+.0}%", (p.msgs_per_sec / base.msgs_per_sec - 1.0) * 100.0),
+                format!(
+                    "{:+.0}%",
+                    (p.msgs_per_sec / base.msgs_per_sec - 1.0) * 100.0
+                ),
             ]);
         }
         format!("Ablation: one PA mechanism at a time\n\n{}", t.render())
@@ -141,7 +154,10 @@ mod tests {
         let full = by_name(&a, "full PA");
         let nopack = by_name(&a, "- packing");
         assert!(nopack.msgs_per_sec < full.msgs_per_sec / 3.0);
-        assert!((nopack.rtt - full.rtt).abs() < 30_000.0, "latency unaffected");
+        assert!(
+            (nopack.rtt - full.rtt).abs() < 30_000.0,
+            "latency unaffected"
+        );
     }
 
     #[test]
@@ -151,7 +167,10 @@ mod tests {
         let nocookie = by_name(&a, "- cookies");
         // ~75 extra bytes per frame over a 15 MB/s link ≈ +5 µs per leg.
         assert!(nocookie.rtt > full.rtt, "{} vs {}", nocookie.rtt, full.rtt);
-        assert!(nocookie.rtt < full.rtt + 120_000.0, "but it is not the whole story");
+        assert!(
+            nocookie.rtt < full.rtt + 120_000.0,
+            "but it is not the whole story"
+        );
     }
 
     #[test]

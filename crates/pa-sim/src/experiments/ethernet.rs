@@ -61,7 +61,11 @@ fn measure(name: &'static str, cfg: &SimConfig) -> NetPoint {
     sim.run_until(4_000_000_000);
     let max_rate = sim.round_trips as f64 / (sim.now() as f64 / 1e9);
 
-    NetPoint { name, rtt, max_rate }
+    NetPoint {
+        name,
+        rtt,
+        max_rate,
+    }
 }
 
 /// Runs the comparison.
@@ -120,9 +124,16 @@ mod tests {
     #[test]
     fn gc_policies_converge_on_ethernet() {
         let e = run();
-        let every = e.points.iter().find(|p| p.name.contains("Ethernet + PA, GC every")).unwrap();
-        let occ =
-            e.points.iter().find(|p| p.name.contains("Ethernet + PA, occasional")).unwrap();
+        let every = e
+            .points
+            .iter()
+            .find(|p| p.name.contains("Ethernet + PA, GC every"))
+            .unwrap();
+        let occ = e
+            .points
+            .iter()
+            .find(|p| p.name.contains("Ethernet + PA, occasional"))
+            .unwrap();
         // On ATM the policies differ ~2.7×; on Ethernet the network
         // dominates and they must land within ~20% of each other.
         let ratio = occ.max_rate / every.max_rate;
@@ -132,7 +143,11 @@ mod tests {
     #[test]
     fn ethernet_rtt_is_wire_dominated() {
         let e = run();
-        let pa = e.points.iter().find(|p| p.name.contains("Ethernet + PA, GC every")).unwrap();
+        let pa = e
+            .points
+            .iter()
+            .find(|p| p.name.contains("Ethernet + PA, GC every"))
+            .unwrap();
         // 2 × (25 + 500 + 25) µs ≈ 1.1 ms.
         assert!((1_000_000.0..=1_300_000.0).contains(&pa.rtt), "{}", pa.rtt);
     }
@@ -144,6 +159,9 @@ mod tests {
         let atm_win = f("ATM, no PA (C)").rtt / f("ATM + PA, GC every rt").rtt;
         let eth_win = f("Ethernet, no PA (C)").rtt / f("Ethernet + PA, GC every rt").rtt;
         assert!(atm_win > 5.0, "ATM win {atm_win:.1}×");
-        assert!(eth_win < atm_win / 2.0, "Ethernet win {eth_win:.1}× — masking matters most on fast networks");
+        assert!(
+            eth_win < atm_win / 2.0,
+            "Ethernet win {eth_win:.1}× — masking matters most on fast networks"
+        );
     }
 }

@@ -86,7 +86,10 @@ impl Fig4 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("Figure 4: round-trip execution breakdown (times in µs)\n\n");
-        out.push_str(&format!("{:>10}  {:<28} {:<28}\n", "t (µs)", "RECEIVER (node 1)", "SENDER (node 0)"));
+        out.push_str(&format!(
+            "{:>10}  {:<28} {:<28}\n",
+            "t (µs)", "RECEIVER (node 1)", "SENDER (node 0)"
+        ));
         out.push_str(&format!("{}\n", "-".repeat(70)));
         for e in &self.typical {
             let name = event_name(e.event);
@@ -117,7 +120,11 @@ mod tests {
     #[test]
     fn typical_round_trip_breakdown() {
         let f = run();
-        assert!((160_000.0..=185_000.0).contains(&f.typical_rtt), "{}", f.typical_rtt);
+        assert!(
+            (160_000.0..=185_000.0).contains(&f.typical_rtt),
+            "{}",
+            f.typical_rtt
+        );
         // The sender's first wire handoff is at ~25 µs.
         let first_wire = f
             .typical
@@ -150,7 +157,11 @@ mod tests {
             f.saturated_rtt,
             f.typical_rtt
         );
-        assert!((1_200.0..=2_600.0).contains(&f.saturated_rate), "{}", f.saturated_rate);
+        assert!(
+            (1_200.0..=2_600.0).contains(&f.saturated_rate),
+            "{}",
+            f.saturated_rate
+        );
         assert!(f.saturated_worst >= f.saturated_rtt);
     }
 

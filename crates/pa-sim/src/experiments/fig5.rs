@@ -67,15 +67,23 @@ fn measure(offered: f64, gc: GcPolicy) -> Point {
 
 /// The offered-load grid (rt/s).
 pub fn offered_grid() -> Vec<f64> {
-    vec![250.0, 500.0, 1000.0, 1500.0, 1650.0, 1800.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0]
+    vec![
+        250.0, 500.0, 1000.0, 1500.0, 1650.0, 1800.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0,
+    ]
 }
 
 /// Runs both series over the grid.
 pub fn run() -> Fig5 {
     let grid = offered_grid();
     Fig5 {
-        gc_every: grid.iter().map(|&r| measure(r, GcPolicy::EveryReception)).collect(),
-        gc_occasional: grid.iter().map(|&r| measure(r, GcPolicy::EveryN(64))).collect(),
+        gc_every: grid
+            .iter()
+            .map(|&r| measure(r, GcPolicy::EveryReception))
+            .collect(),
+        gc_occasional: grid
+            .iter()
+            .map(|&r| measure(r, GcPolicy::EveryN(64)))
+            .collect(),
     }
 }
 

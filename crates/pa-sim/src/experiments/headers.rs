@@ -58,8 +58,15 @@ pub struct Headers {
 fn paper_stack_report(mode: LayoutMode) -> ModeReport {
     let conn = Connection::new(
         StackSpec::paper().build(),
-        PaConfig { layout_mode: mode, ..PaConfig::paper_default() },
-        ConnectionParams::new(EndpointAddr::from_parts(1, 1), EndpointAddr::from_parts(2, 1), 1),
+        PaConfig {
+            layout_mode: mode,
+            ..PaConfig::paper_default()
+        },
+        ConnectionParams::new(
+            EndpointAddr::from_parts(1, 1),
+            EndpointAddr::from_parts(2, 1),
+            1,
+        ),
     )
     .expect("valid stack");
     let l = conn.layout();
@@ -89,8 +96,10 @@ fn synthetic_sweep(max_layers: usize) -> Vec<SweepPoint> {
                 b.begin_layer(&format!("l{i}"));
                 // A flag bit and a word — the shape that makes per-layer
                 // 4-byte-aligned headers pad heavily.
-                b.add_field(Class::Protocol, "flag", 1, None).expect("valid");
-                b.add_field(Class::Protocol, "word", 32, None).expect("valid");
+                b.add_field(Class::Protocol, "flag", 1, None)
+                    .expect("valid");
+                b.add_field(Class::Protocol, "word", 32, None)
+                    .expect("valid");
             }
             let packed = b.compile(LayoutMode::Packed).expect("compiles");
             let trad = b.compile(LayoutMode::Traditional).expect("compiles");
@@ -186,7 +195,11 @@ mod tests {
     fn traditional_first_message_blows_the_cell() {
         let h = run();
         let trad = &h.modes[1];
-        assert!(trad.worst_case_overhead + 8 > 40, "{}", trad.worst_case_overhead);
+        assert!(
+            trad.worst_case_overhead + 8 > 40,
+            "{}",
+            trad.worst_case_overhead
+        );
     }
 
     #[test]
@@ -211,7 +224,11 @@ mod tests {
         let four = &h.sweep[3];
         assert!(four.padding >= 12, "4-layer padding {}", four.padding);
         let ten = h.sweep.last().expect("10 points");
-        assert!(ten.padding >= 30, "deep stacks pad heavily: {}", ten.padding);
+        assert!(
+            ten.padding >= 30,
+            "deep stacks pad heavily: {}",
+            ten.padding
+        );
     }
 
     #[test]

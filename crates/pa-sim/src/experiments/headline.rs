@@ -67,13 +67,21 @@ pub fn run() -> Headline {
 
     Headline {
         systems: vec![
-            SystemPoint { name: "ML stack + PA", paper_ns: Some(170_000.0), measured_ns: pa_ml },
+            SystemPoint {
+                name: "ML stack + PA",
+                paper_ns: Some(170_000.0),
+                measured_ns: pa_ml,
+            },
             SystemPoint {
                 name: "C Horus, no PA",
                 paper_ns: Some(1_500_000.0),
                 measured_ns: no_pa_c_rtt,
             },
-            SystemPoint { name: "ML stack, no PA", paper_ns: None, measured_ns: no_pa_ml_rtt },
+            SystemPoint {
+                name: "ML stack, no PA",
+                paper_ns: None,
+                measured_ns: no_pa_ml_rtt,
+            },
         ],
     }
 }
@@ -90,12 +98,15 @@ impl Headline {
         for (i, s) in self.systems.iter().enumerate() {
             t.row(&[
                 s.name.into(),
-                s.paper_ns.map_or("—".into(), |p| us_f(p)),
+                s.paper_ns.map_or("—".into(), us_f),
                 us_f(s.measured_ns),
                 format!("{:.1}×", self.speedup_over(i)),
             ]);
         }
-        format!("Headline: round-trip latency, PA vs layered baselines\n\n{}", t.render())
+        format!(
+            "Headline: round-trip latency, PA vs layered baselines\n\n{}",
+            t.render()
+        )
     }
 }
 
@@ -106,7 +117,11 @@ mod tests {
     #[test]
     fn pa_is_about_170us() {
         let h = run();
-        assert!((160_000.0..=185_000.0).contains(&h.systems[0].measured_ns), "{:?}", h.systems[0]);
+        assert!(
+            (160_000.0..=185_000.0).contains(&h.systems[0].measured_ns),
+            "{:?}",
+            h.systems[0]
+        );
     }
 
     #[test]
@@ -120,7 +135,10 @@ mod tests {
     fn pa_wins_by_an_order_of_magnitude() {
         let h = run();
         let s = h.speedup_over(1);
-        assert!((6.0..=12.0).contains(&s), "paper: ~8.8× (1.5 ms / 170 µs); got {s:.1}×");
+        assert!(
+            (6.0..=12.0).contains(&s),
+            "paper: ~8.8× (1.5 ms / 170 µs); got {s:.1}×"
+        );
     }
 
     #[test]

@@ -36,7 +36,12 @@ fn measure(clients: usize, cpus: usize) -> LoadPoint {
     let cfg = ClusterSim::paper_occasional_gc();
     let mut c = ClusterSim::new(&cfg, clients, cpus);
     c.run(250, 60_000_000_000);
-    LoadPoint { clients, cpus, total_rate: c.rate(), mean_rtt: c.rtt.summary().mean }
+    LoadPoint {
+        clients,
+        cpus,
+        total_rate: c.rate(),
+        mean_rtt: c.rtt.summary().mean,
+    }
 }
 
 /// Runs the sweep: client scaling on one CPU, then CPU scaling.
@@ -56,7 +61,13 @@ pub fn run() -> MaxLoad {
 impl MaxLoad {
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut t = Table::new(&["clients", "server CPUs", "total rpc/s", "per-client rpc/s", "mean RTT µs"]);
+        let mut t = Table::new(&[
+            "clients",
+            "server CPUs",
+            "total rpc/s",
+            "per-client rpc/s",
+            "mean RTT µs",
+        ]);
         for p in &self.points {
             t.row(&[
                 p.clients.to_string(),
@@ -88,20 +99,34 @@ mod tests {
             one.total_rate,
             eight.total_rate
         );
-        assert!((3_500.0..=7_500.0).contains(&one.total_rate), "{}", one.total_rate);
+        assert!(
+            (3_500.0..=7_500.0).contains(&one.total_rate),
+            "{}",
+            one.total_rate
+        );
     }
 
     #[test]
     fn latency_degrades_as_clients_contend() {
         let one = measure(1, 1);
         let eight = measure(8, 1);
-        assert!(eight.mean_rtt > one.mean_rtt * 2.0, "{} vs {}", eight.mean_rtt, one.mean_rtt);
+        assert!(
+            eight.mean_rtt > one.mean_rtt * 2.0,
+            "{} vs {}",
+            eight.mean_rtt,
+            one.mean_rtt
+        );
     }
 
     #[test]
     fn cpus_multiply_the_ceiling() {
         let uni = measure(4, 1);
         let duo = measure(4, 2);
-        assert!(duo.total_rate > uni.total_rate * 1.5, "{} vs {}", duo.total_rate, uni.total_rate);
+        assert!(
+            duo.total_rate > uni.total_rate * 1.5,
+            "{} vs {}",
+            duo.total_rate,
+            uni.total_rate
+        );
     }
 }

@@ -68,7 +68,12 @@ fn stream(size: usize, packing: bool) -> StreamPoint {
 /// Runs the sweep (8 B with and without packing, plus 1 KB bandwidth).
 pub fn run() -> Packing {
     Packing {
-        points: vec![stream(8, true), stream(8, false), stream(1024, true), stream(1024, false)],
+        points: vec![
+            stream(8, true),
+            stream(8, false),
+            stream(1024, true),
+            stream(1024, false),
+        ],
     }
 }
 
@@ -110,7 +115,11 @@ mod tests {
             "packed: {} msgs/s",
             p.msgs_per_sec
         );
-        assert!(p.msgs_per_frame > 4.0, "packing must amortize: {}", p.msgs_per_frame);
+        assert!(
+            p.msgs_per_frame > 4.0,
+            "packing must amortize: {}",
+            p.msgs_per_frame
+        );
     }
 
     #[test]

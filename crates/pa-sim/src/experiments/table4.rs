@@ -135,7 +135,10 @@ mod tests {
     #[test]
     fn one_way_matches_paper() {
         let ow = one_way_latency();
-        assert!((80_000.0..=90_000.0).contains(&ow), "one-way {ow} ns vs paper 85 µs");
+        assert!(
+            (80_000.0..=90_000.0).contains(&ow),
+            "one-way {ow} ns vs paper 85 µs"
+        );
     }
 
     #[test]
@@ -147,12 +150,18 @@ mod tests {
     #[test]
     fn throughput_near_80k() {
         let m = message_throughput();
-        assert!((55_000.0..=110_000.0).contains(&m), "msgs/s {m} vs paper ~80k");
+        assert!(
+            (55_000.0..=110_000.0).contains(&m),
+            "msgs/s {m} vs paper ~80k"
+        );
     }
 
     #[test]
     fn bandwidth_near_line_rate() {
         let b = bandwidth();
-        assert!((11e6..=15.5e6).contains(&b), "bandwidth {b} B/s vs paper 15 MB/s");
+        assert!(
+            (11e6..=15.5e6).contains(&b),
+            "bandwidth {b} B/s vs paper 15 MB/s"
+        );
     }
 }

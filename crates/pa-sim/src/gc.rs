@@ -9,8 +9,7 @@
 //! high-bandwidth objects makes collections "reduce dramatically".
 
 use crate::Nanos;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pa_obs::rng::{Rng, SplitMix64};
 
 /// When the collector runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +32,7 @@ pub struct GcModel {
     policy: GcPolicy,
     min_pause: Nanos,
     max_pause: Nanos,
-    rng: StdRng,
+    rng: SplitMix64,
     receptions: u32,
     collections: u64,
     total_pause: Nanos,
@@ -47,7 +46,7 @@ impl GcModel {
             policy,
             min_pause: 150_000,
             max_pause: 450_000,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             receptions: 0,
             collections: 0,
             total_pause: 0,
@@ -61,13 +60,13 @@ impl GcModel {
         self.receptions += 1;
         let due = match self.policy {
             GcPolicy::EveryReception => true,
-            GcPolicy::EveryN(n) => self.receptions % n.max(1) == 0,
+            GcPolicy::EveryN(n) => self.receptions.is_multiple_of(n.max(1)),
             GcPolicy::Never => false,
         };
         if !due {
             return None;
         }
-        let pause = self.rng.gen_range(self.min_pause..=self.max_pause);
+        let pause = self.rng.gen_range_inclusive(self.min_pause, self.max_pause);
         self.collections += 1;
         self.total_pause += pause;
         self.longest_pause = self.longest_pause.max(pause);
@@ -81,11 +80,7 @@ impl GcModel {
 
     /// Mean pause so far (0 if none).
     pub fn mean_pause(&self) -> Nanos {
-        if self.collections == 0 {
-            0
-        } else {
-            self.total_pause / self.collections
-        }
+        self.total_pause.checked_div(self.collections).unwrap_or(0)
     }
 
     /// Longest pause so far.
@@ -149,7 +144,9 @@ mod tests {
     fn deterministic_by_seed() {
         let collect = |seed| {
             let mut gc = GcModel::paper(GcPolicy::EveryReception, seed);
-            (0..50).map(|_| gc.on_reception().unwrap()).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| gc.on_reception().unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(collect(7), collect(7));
         assert_ne!(collect(7), collect(8));

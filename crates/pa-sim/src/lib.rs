@@ -40,9 +40,9 @@ pub mod sim;
 pub use cost::{CostModel, Language};
 pub use gc::{GcModel, GcPolicy};
 pub use metrics::{Series, Summary};
-pub use node::NodeSim;
 pub use multi::ClusterSim;
-pub use node::{NodeEvent, PostSchedule};
+pub use node::NodeSim;
+pub use node::{NodeEvent, PathHistos, PostSchedule};
 pub use sim::{AppBehavior, SimConfig, TimelineEvent, TwoNodeSim};
 
 /// Virtual time in nanoseconds.

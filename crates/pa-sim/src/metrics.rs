@@ -36,21 +36,31 @@ impl Series {
     }
 
     /// Summary statistics.
+    ///
+    /// Sorting uses `f64::total_cmp`, so a stray NaN (e.g. a rate
+    /// computed over a zero-length window) cannot panic the report —
+    /// NaNs order after every number and surface in `max` where they
+    /// are visible instead of fatal. The standard deviation is the
+    /// *sample* (n−1) estimator, the right one for measured runs.
     pub fn summary(&self) -> Summary {
         if self.samples.is_empty() {
             return Summary::default();
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let sum: f64 = sorted.iter().sum();
         let mean = sum / n as f64;
-        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            (sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        };
         let pick = |q: f64| sorted[((q * (n - 1) as f64).round() as usize).min(n - 1)];
         Summary {
             count: n,
             mean,
-            stddev: var.sqrt(),
+            stddev,
             min: sorted[0],
             p50: pick(0.50),
             p90: pick(0.90),
@@ -67,7 +77,7 @@ pub struct Summary {
     pub count: usize,
     /// Arithmetic mean.
     pub mean: f64,
-    /// Population standard deviation.
+    /// Sample (n−1) standard deviation.
     pub stddev: f64,
     /// Minimum.
     pub min: f64,
@@ -101,7 +111,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -127,7 +140,11 @@ impl Table {
             out.push('\n');
         };
         line(&mut out, &self.header);
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().max(ncol)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().max(ncol))
+        );
         for row in &self.rows {
             line(&mut out, row);
         }
@@ -158,7 +175,31 @@ mod tests {
         assert_eq!(sum.min, 1.0);
         assert_eq!(sum.max, 5.0);
         assert_eq!(sum.p50, 3.0);
-        assert!((sum.stddev - 1.4142).abs() < 0.01);
+        // Sample stddev of 1..=5: sqrt(10/4) = sqrt(2.5) ≈ 1.5811.
+        assert!((sum.stddev - 1.5811).abs() < 0.01, "{}", sum.stddev);
+    }
+
+    #[test]
+    fn nan_samples_do_not_panic_the_summary() {
+        let mut s = Series::new();
+        s.push(1.0);
+        s.push(f64::NAN); // e.g. a rate over a zero-length window
+        s.push(2.0);
+        let sum = s.summary(); // must not panic
+        assert_eq!(sum.count, 3);
+        assert_eq!(sum.min, 1.0);
+        // total_cmp orders NaN after every number: it lands in max,
+        // visible to a human reading the report.
+        assert!(sum.max.is_nan());
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let mut s = Series::new();
+        s.push(7.0);
+        let sum = s.summary();
+        assert_eq!(sum.stddev, 0.0);
+        assert_eq!(sum.mean, 7.0);
     }
 
     #[test]

@@ -86,7 +86,9 @@ impl ServerSim {
     /// Handles a client frame: deliver, echo every message, schedule
     /// post-processing on this connection's CPU.
     fn on_frame(&mut self, t: Nanos, from: EndpointAddr, frame: pa_buf::Msg, net: &mut SimNet) {
-        let Some(&idx) = self.by_peer.get(&from) else { return };
+        let Some(&idx) = self.by_peer.get(&from) else {
+            return;
+        };
         let cpu = self.cpu_of(idx);
         let start = t.max(self.cpus[cpu]);
         self.conns[idx].set_now(start);
@@ -163,16 +165,24 @@ impl ClusterSim {
     /// processors, everything from `cfg` (stack, PA config, costs, GC).
     pub fn new(cfg: &SimConfig, n_clients: usize, n_cpus: usize) -> ClusterSim {
         let server_addr = EndpointAddr::from_parts(1000, 7);
-        let names: Vec<String> =
-            cfg.stack.build().iter().map(|l| l.name().to_string()).collect();
+        let names: Vec<String> = cfg
+            .stack
+            .build()
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect();
         let mk_cost = || {
             let mut c = (cfg.cost)(names.clone());
             c.baseline_framework = cfg.baseline;
             c.compiled_filter = cfg.compiled_filter;
             c
         };
-        let mut server =
-            ServerSim::new(server_addr, n_cpus, mk_cost(), GcModel::paper(cfg.gc[1], 4242));
+        let mut server = ServerSim::new(
+            server_addr,
+            n_cpus,
+            mk_cost(),
+            GcModel::paper(cfg.gc[1], 4242),
+        );
         let mut clients = Vec::new();
         for k in 0..n_clients {
             let caddr = EndpointAddr::from_parts(1 + k as u64, 7);
@@ -230,9 +240,31 @@ impl ClusterSim {
         self.next_id += 1;
         let mut payload = vec![0u8; 8];
         payload.copy_from_slice(&id.to_be_bytes());
-        self.sent_at.insert(id, (t.max(self.clients[k].cpu_free_at), k));
+        self.sent_at
+            .insert(id, (t.max(self.clients[k].cpu_free_at), k));
         let local = self.clients[k].addr();
         self.clients[k].app_send(t, &payload, &mut self.net, local);
+    }
+
+    /// Accounts for RPC responses delivered to client `k` — whether
+    /// they surfaced on frame arrival or from a backlog drain during a
+    /// wakeup — and issues the next closed-loop request.
+    fn client_deliveries(&mut self, k: usize, done: Nanos, delivered: Vec<pa_buf::Msg>) {
+        for m in delivered {
+            let id = m
+                .get(0, 8)
+                .map(|b| u64::from_be_bytes(b.try_into().expect("8 bytes")))
+                .unwrap_or(0);
+            if let Some((t0, origin)) = self.sent_at.remove(&id) {
+                debug_assert_eq!(origin, k);
+                self.rtt.push_nanos(done - t0);
+                self.completed += 1;
+                if self.remaining[k] > 0 {
+                    self.remaining[k] -= 1;
+                    self.client_send(k, done);
+                }
+            }
+        }
     }
 
     /// Runs `per_client` closed-loop requests on every client.
@@ -266,33 +298,21 @@ impl ClusterSim {
 
             while let Some(arr) = self.net.poll_arrival(now) {
                 if arr.to == self.server.addr {
-                    self.server.on_frame(arr.at, arr.from, arr.frame, &mut self.net);
+                    self.server
+                        .on_frame(arr.at, arr.from, arr.frame, &mut self.net);
                 } else {
                     let k = (arr.to.host_id() - 1) as usize;
                     let local = self.clients[k].addr();
                     let (done, delivered) =
                         self.clients[k].on_frame(arr.at, arr.frame, &mut self.net, local);
-                    for m in delivered {
-                        let id = m
-                            .get(0, 8)
-                            .map(|b| u64::from_be_bytes(b.try_into().expect("8 bytes")))
-                            .unwrap_or(0);
-                        if let Some((t0, origin)) = self.sent_at.remove(&id) {
-                            debug_assert_eq!(origin, k);
-                            self.rtt.push_nanos(done - t0);
-                            self.completed += 1;
-                            if self.remaining[k] > 0 {
-                                self.remaining[k] -= 1;
-                                self.client_send(k, done);
-                            }
-                        }
-                    }
+                    self.client_deliveries(k, done, delivered);
                 }
             }
             for k in 0..self.clients.len() {
-                if self.clients[k].wakeup_at.map_or(false, |w| w <= now) {
+                if self.clients[k].wakeup_at.is_some_and(|w| w <= now) {
                     let local = self.clients[k].addr();
-                    self.clients[k].run_wakeup(now, &mut self.net, local);
+                    let (done, delivered) = self.clients[k].run_wakeup(now, &mut self.net, local);
+                    self.client_deliveries(k, done, delivered);
                 }
             }
             while let Some((idx, w)) = self.server.next_wakeup() {

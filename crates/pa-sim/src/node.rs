@@ -11,8 +11,9 @@
 use crate::cost::CostModel;
 use crate::gc::GcModel;
 use crate::Nanos;
-use pa_core::{ConnStats, Connection, DeliverOutcome, SendOutcome};
 use pa_buf::Msg;
+use pa_core::{ConnStats, Connection, DeliverOutcome, SendOutcome};
+use pa_obs::{HistoSummary, LatencyHisto};
 use pa_unet::Netif;
 use pa_wire::EndpointAddr;
 
@@ -75,6 +76,68 @@ pub struct NodeSim {
     pub record_log: bool,
     /// Total CPU time charged.
     pub cpu_busy: Nanos,
+    /// Fast- vs slow-path cost distributions (always on: recording is
+    /// one `leading_zeros` + adds, negligible next to the sim itself).
+    pub histos: PathHistos,
+}
+
+/// Per-path latency histograms of *priced operation costs*: how long the
+/// virtual CPU was busy executing each send or deliver, keyed by the path
+/// the engine actually took. These are the Figure-4 distributions — fast
+/// sends should cluster tightly around the paper's ~25 µs while slow
+/// sends spread out with layer depth.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathHistos {
+    /// Cost of operations whose send took the fast path.
+    pub fast_send: LatencyHisto,
+    /// Cost of operations whose send went through pre-processing.
+    pub slow_send: LatencyHisto,
+    /// Cost of operations whose delivery took the fast path.
+    pub fast_deliver: LatencyHisto,
+    /// Cost of operations whose delivery went through pre-processing.
+    pub slow_deliver: LatencyHisto,
+}
+
+impl PathHistos {
+    /// Classifies one priced operation by the counter movement it caused
+    /// and records its cost into the matching histogram(s). Operations
+    /// that moved several counters at once (backlog drains) are skipped:
+    /// their cost is not attributable to one path.
+    fn observe(&mut self, before: &ConnStats, after: &ConnStats, cost: Nanos) {
+        let d = |f: fn(&ConnStats) -> u64| f(after) - f(before);
+        match (d(|s| s.fast_sends), d(|s| s.slow_sends)) {
+            (1, 0) => self.fast_send.record(cost),
+            (0, 1) => self.slow_send.record(cost),
+            _ => {}
+        }
+        match (d(|s| s.fast_deliveries), d(|s| s.slow_deliveries)) {
+            (1, 0) => self.fast_deliver.record(cost),
+            (0, 1) => self.slow_deliver.record(cost),
+            _ => {}
+        }
+    }
+
+    /// Folds another node's histograms into this one.
+    pub fn merge(&mut self, other: &PathHistos) {
+        self.fast_send.merge(&other.fast_send);
+        self.slow_send.merge(&other.slow_send);
+        self.fast_deliver.merge(&other.fast_deliver);
+        self.slow_deliver.merge(&other.slow_deliver);
+    }
+
+    /// `(label, summary)` for each non-empty histogram, in path order.
+    pub fn summaries(&self) -> Vec<(&'static str, HistoSummary)> {
+        [
+            ("fast_send", &self.fast_send),
+            ("slow_send", &self.slow_send),
+            ("fast_deliver", &self.fast_deliver),
+            ("slow_deliver", &self.slow_deliver),
+        ]
+        .into_iter()
+        .filter(|(_, h)| !h.is_empty())
+        .map(|(name, h)| (name, h.summary()))
+        .collect()
+    }
 }
 
 /// Prices the counter movement between two stats snapshots under a
@@ -112,6 +175,7 @@ impl NodeSim {
             log: Vec::new(),
             record_log: true,
             cpu_busy: 0,
+            histos: PathHistos::default(),
         }
     }
 
@@ -122,6 +186,7 @@ impl NodeSim {
         let r = op(&mut self.conn);
         let after = *self.conn.stats();
         let cost = price_delta(&self.cost, &before, &after);
+        self.histos.observe(&before, &after, cost);
         self.cpu_busy += cost;
         self.cpu_free_at = start + cost;
         (self.cpu_free_at, r)
@@ -136,7 +201,10 @@ impl NodeSim {
             any = true;
         }
         if any && self.record_log {
-            self.log.push(Stamp { at, event: NodeEvent::WireOut });
+            self.log.push(Stamp {
+                at,
+                event: NodeEvent::WireOut,
+            });
         }
     }
 
@@ -169,7 +237,10 @@ impl NodeSim {
     ) -> (Nanos, SendOutcome) {
         let (done, outcome) = self.run_op(t, |c| c.send(payload));
         if self.record_log {
-            self.log.push(Stamp { at: done, event: NodeEvent::Send(outcome) });
+            self.log.push(Stamp {
+                at: done,
+                event: NodeEvent::Send(outcome),
+            });
         }
         self.flush_frames(net, local);
         self.maybe_schedule_wakeup(false);
@@ -190,10 +261,16 @@ impl NodeSim {
         while let Some(m) = self.conn.poll_delivery() {
             delivered.push(m);
         }
-        if matches!(outcome, DeliverOutcome::Fast { .. } | DeliverOutcome::Slow { .. }) {
+        if matches!(
+            outcome,
+            DeliverOutcome::Fast { .. } | DeliverOutcome::Slow { .. }
+        ) {
             self.gc_due += 1;
             if self.record_log {
-                self.log.push(Stamp { at: done, event: NodeEvent::Deliver(delivered.len()) });
+                self.log.push(Stamp {
+                    at: done,
+                    event: NodeEvent::Deliver(delivered.len()),
+                });
             }
         }
         self.flush_frames(net, local);
@@ -202,11 +279,32 @@ impl NodeSim {
     }
 
     /// Runs the deferred post-processing (and any due GC) at `t`.
-    pub fn run_wakeup(&mut self, t: Nanos, net: &mut dyn Netif, local: EndpointAddr) -> Nanos {
+    /// Returns the completion time and any application messages the
+    /// backlog drain released (a drain re-runs queued receive frames,
+    /// so deliveries can surface here, not just in [`Self::on_frame`]).
+    pub fn run_wakeup(
+        &mut self,
+        t: Nanos,
+        net: &mut dyn Netif,
+        local: EndpointAddr,
+    ) -> (Nanos, Vec<Msg>) {
         self.wakeup_at = None;
         let (mut done, _report) = self.run_op(t, |c| c.process_pending());
+        let mut delivered = Vec::new();
+        while let Some(m) = self.conn.poll_delivery() {
+            delivered.push(m);
+        }
+        if self.record_log && !delivered.is_empty() {
+            self.log.push(Stamp {
+                at: done,
+                event: NodeEvent::Deliver(delivered.len()),
+            });
+        }
         if self.record_log {
-            self.log.push(Stamp { at: done, event: NodeEvent::PostDone });
+            self.log.push(Stamp {
+                at: done,
+                event: NodeEvent::PostDone,
+            });
         }
         self.flush_frames(net, local);
         // GC triggers owed for receptions processed up to now (§5:
@@ -218,14 +316,17 @@ impl NodeSim {
                 self.cpu_busy += pause;
                 done = self.cpu_free_at;
                 if self.record_log {
-                    self.log.push(Stamp { at: done, event: NodeEvent::GcDone });
+                    self.log.push(Stamp {
+                        at: done,
+                        event: NodeEvent::GcDone,
+                    });
                 }
             }
         }
         // More work may have appeared (backlog drains leave fresh
         // post-send items).
         self.maybe_schedule_wakeup(true);
-        done
+        (done, delivered)
     }
 
     /// Timer tick (retransmissions).
@@ -314,7 +415,7 @@ mod tests {
         let arr = net.poll_arrival(u64::MAX).unwrap();
         let (done, _) = b.on_frame(arr.at, arr.frame, &mut net, b.addr());
         let wake = b.wakeup_at.unwrap();
-        let after = b.run_wakeup(wake, &mut net, b.addr());
+        let (after, _) = b.run_wakeup(wake, &mut net, b.addr());
         // post-deliver 50 µs + one GC pause 150–450 µs. (No post-send:
         // b hasn't sent.) Control-msg acks may add a little.
         let cost = after - done;
@@ -329,9 +430,34 @@ mod tests {
         n.app_send(0, &[1u8; 8], &mut net, n.addr());
         assert!(n.wakeup_at.is_some());
         let wake = n.wakeup_at.unwrap();
-        let done = n.run_wakeup(wake, &mut net, n.addr());
+        let (done, _) = n.run_wakeup(wake, &mut net, n.addr());
         // post-send of the 4-layer stack = 80 µs.
         assert_eq!(done - wake, 80_000);
+    }
+
+    #[test]
+    fn path_histograms_price_fast_and_slow_ops() {
+        let mut a = node(1, 2, PostSchedule::AfterDelivery);
+        let mut b = node(2, 1, PostSchedule::AfterDelivery);
+        let mut net = SimNet::atm();
+        a.app_send(0, &[7u8; 8], &mut net, a.addr());
+        let arr = net.poll_arrival(u64::MAX).unwrap();
+        b.on_frame(arr.at, arr.frame, &mut net, b.addr());
+        assert_eq!(a.histos.fast_send.count(), 1);
+        assert_eq!(a.histos.fast_send.max(), 25_000, "the ~25 µs fast send");
+        // Predictions are primed at stack-initialization time, so even
+        // the first delivery takes the fast path.
+        assert_eq!(b.histos.fast_deliver.count(), 1);
+        assert_eq!(b.histos.fast_deliver.max(), 25_000);
+        assert!(b.histos.slow_deliver.is_empty());
+        // Merge folds both nodes into one distribution set.
+        let mut all = PathHistos::default();
+        all.merge(&a.histos);
+        all.merge(&b.histos);
+        assert_eq!(all.fast_send.count(), 1);
+        assert_eq!(all.fast_deliver.count(), 1);
+        let labels: Vec<&str> = all.summaries().iter().map(|(n, _)| *n).collect();
+        assert_eq!(labels, ["fast_send", "fast_deliver"], "empty paths omitted");
     }
 
     #[test]

@@ -134,7 +134,12 @@ pub struct TwoNodeSim {
 impl TwoNodeSim {
     /// Builds the simulation from a config.
     pub fn new(cfg: &SimConfig) -> TwoNodeSim {
-        let names: Vec<String> = cfg.stack.build().iter().map(|l| l.name().to_string()).collect();
+        let names: Vec<String> = cfg
+            .stack
+            .build()
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect();
         let mk_node = |idx: usize| {
             let (a, b) = if idx == 0 { (1, 2) } else { (2, 1) };
             let conn = Connection::new(
@@ -150,7 +155,12 @@ impl TwoNodeSim {
             let mut cost = (cfg.cost)(names.clone());
             cost.baseline_framework = cfg.baseline;
             cost.compiled_filter = cfg.compiled_filter;
-            NodeSim::new(conn, cost, GcModel::paper(cfg.gc[idx], 77 + idx as u64), cfg.schedule[idx])
+            NodeSim::new(
+                conn,
+                cost,
+                GcModel::paper(cfg.gc[idx], 77 + idx as u64),
+                cfg.schedule[idx],
+            )
         };
         TwoNodeSim {
             nodes: [mk_node(0), mk_node(1)],
@@ -165,7 +175,7 @@ impl TwoNodeSim {
             one_way: Series::new(),
             delivered: [0, 0],
             round_trips: 0,
-            next_tick: cfg.tick_every.map(|t| t),
+            next_tick: cfg.tick_every,
             tick_every: cfg.tick_every,
             closeloop_remaining: 0,
             closeloop_size: 8,
@@ -211,11 +221,23 @@ impl TwoNodeSim {
     pub fn schedule_send(&mut self, node: usize, at: Nanos, size: usize) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.app_events.push(std::cmp::Reverse(AppEvent { at, seq, node, size }));
+        self.app_events.push(std::cmp::Reverse(AppEvent {
+            at,
+            seq,
+            node,
+            size,
+        }));
     }
 
     /// Schedules `count` sends on `node` spaced `interval` apart.
-    pub fn schedule_stream(&mut self, node: usize, start: Nanos, interval: Nanos, count: u64, size: usize) {
+    pub fn schedule_stream(
+        &mut self,
+        node: usize,
+        start: Nanos,
+        interval: Nanos,
+        count: u64,
+        size: usize,
+    ) {
         for i in 0..count {
             self.schedule_send(node, start + i * interval, size);
         }
@@ -230,7 +252,11 @@ impl TwoNodeSim {
     pub fn timeline(&self) -> Vec<TimelineEvent> {
         let mut out: Vec<TimelineEvent> = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
-            out.extend(node.log.iter().map(|&Stamp { at, event }| TimelineEvent { at, node: i, event }));
+            out.extend(node.log.iter().map(|&Stamp { at, event }| TimelineEvent {
+                at,
+                node: i,
+                event,
+            }));
         }
         out.sort_by_key(|e| e.at);
         out
@@ -272,7 +298,8 @@ impl TwoNodeSim {
         }
         let (id, payload) = self.payload(size, echo_of);
         if echo_of.is_none() {
-            self.sent_at.insert(id, (t.max(self.nodes[node].cpu_free_at), node));
+            self.sent_at
+                .insert(id, (t.max(self.nodes[node].cpu_free_at), node));
         }
         let local = self.nodes[node].addr();
         self.nodes[node].app_send(t, &payload, &mut self.net, local);
@@ -375,14 +402,21 @@ impl TwoNodeSim {
 
             // 2. Node wake-ups due now.
             for node in 0..2 {
-                if self.nodes[node].wakeup_at.map_or(false, |w| w <= now) {
+                if self.nodes[node].wakeup_at.is_some_and(|w| w <= now) {
                     let local = self.nodes[node].addr();
-                    self.nodes[node].run_wakeup(now, &mut self.net, local);
+                    let (done, delivered) = self.nodes[node].run_wakeup(now, &mut self.net, local);
+                    // A backlog drain can release queued receive frames,
+                    // so deliveries may surface at wake-ups too.
+                    self.handle_deliveries(node, done, delivered);
                 }
             }
 
             // 3. Application sends due now.
-            while self.app_events.peek().map_or(false, |std::cmp::Reverse(e)| e.at <= now) {
+            while self
+                .app_events
+                .peek()
+                .is_some_and(|std::cmp::Reverse(e)| e.at <= now)
+            {
                 let std::cmp::Reverse(e) = self.app_events.pop().expect("peeked");
                 self.do_send(e.node, e.at.max(now), e.size, None);
             }
@@ -454,7 +488,11 @@ mod tests {
         sim.run_until(100_000_000);
         assert_eq!(sim.round_trips, 20);
         let s = sim.rtt.summary();
-        assert!((160_000.0..=185_000.0).contains(&s.mean), "mean RTT {}", s.mean);
+        assert!(
+            (160_000.0..=185_000.0).contains(&s.mean),
+            "mean RTT {}",
+            s.mean
+        );
     }
 
     #[test]
@@ -466,7 +504,11 @@ mod tests {
         sim.run_until(200_000_000);
         assert_eq!(sim.round_trips, 100);
         let s = sim.rtt.summary();
-        assert!(s.mean > 250_000.0, "saturated RTT must exceed 170 µs: {}", s.mean);
+        assert!(
+            s.mean > 250_000.0,
+            "saturated RTT must exceed 170 µs: {}",
+            s.mean
+        );
         let rate = sim.round_trips as f64 / (sim.now() as f64 / 1e9);
         assert!((1_200.0..=2_600.0).contains(&rate), "rate {rate} rt/s");
     }
@@ -500,8 +542,12 @@ mod tests {
         sim.arm_closed_loop(1, 8, 0);
         sim.run_until(10_000_000);
         let tl = sim.timeline();
-        assert!(tl.iter().any(|e| e.node == 0 && matches!(e.event, NodeEvent::Send(_))));
-        assert!(tl.iter().any(|e| e.node == 1 && matches!(e.event, NodeEvent::Deliver(_))));
+        assert!(tl
+            .iter()
+            .any(|e| e.node == 0 && matches!(e.event, NodeEvent::Send(_))));
+        assert!(tl
+            .iter()
+            .any(|e| e.node == 1 && matches!(e.event, NodeEvent::Deliver(_))));
         assert!(tl.iter().any(|e| matches!(e.event, NodeEvent::GcDone)));
         // Ordered.
         assert!(tl.windows(2).all(|w| w[0].at <= w[1].at));
@@ -522,13 +568,56 @@ mod tests {
         let s = sim.rtt.summary();
         // The last request waited behind four whole round trips: its
         // latency (measured from the offered instant) must reflect it.
-        assert!(s.max > s.min * 3.0, "queueing visible: min {} max {}", s.min, s.max);
+        assert!(
+            s.max > s.min * 3.0,
+            "queueing visible: min {} max {}",
+            s.min,
+            s.max
+        );
+    }
+
+    #[test]
+    fn drop_accounting_reconciles_under_fault_storm() {
+        // The drop-accounting invariant under drop/corrupt/duplicate/
+        // reorder faults: every frame the receiver saw is either a
+        // delivery (fast or slow) or exactly one entry drop. By-layer
+        // drops (checksum discards, duplicate suppression) happen inside
+        // slow traversals and ride within `slow_deliveries`.
+        let mut cfg = SimConfig::paper();
+        cfg.faults = FaultConfig::harsh(11);
+        cfg.tick_every = Some(2_000_000);
+        let mut sim = TwoNodeSim::new(&cfg);
+        sim.set_behavior(1, AppBehavior::Sink);
+        sim.nodes[0].schedule = PostSchedule::WhenIdle;
+        sim.schedule_stream(0, 0, 500_000, 200, 8);
+        sim.run_until(30_000_000_000);
+        let f = sim.net.fault_stats();
+        assert!(
+            f.corrupted > 0 && f.dropped > 0,
+            "storm must actually storm"
+        );
+        for (i, node) in sim.nodes.iter().enumerate() {
+            let s = node.conn.stats();
+            assert!(
+                s.delivery_balanced(),
+                "node {i} ledger out of balance:\n{s}"
+            );
+        }
+        let rx = sim.nodes[1].conn.stats();
+        assert!(
+            rx.drops_by_layer > 0 || rx.recv_filter_misses > 0,
+            "faults must exercise the drop paths:\n{rx}"
+        );
     }
 
     #[test]
     fn lossy_network_with_ticks_still_completes() {
         let mut cfg = SimConfig::paper();
-        cfg.faults = FaultConfig { drop: 0.1, seed: 5, ..FaultConfig::none() };
+        cfg.faults = FaultConfig {
+            drop: 0.1,
+            seed: 5,
+            ..FaultConfig::none()
+        };
         cfg.tick_every = Some(2_000_000);
         let mut sim = TwoNodeSim::new(&cfg);
         sim.set_behavior(1, AppBehavior::Sink);

@@ -59,13 +59,26 @@ impl Layer for BottomLayer {
     }
 
     fn init(&mut self, ctx: &mut InitCtx<'_>) {
-        self.f_epoch = Some(ctx.layout.add_field(Class::ConnId, "epoch", 64, None).expect("valid field"));
-        self.f_version =
-            Some(ctx.layout.add_field(Class::ConnId, "version", 16, None).expect("valid field"));
-        self.f_arch =
-            Some(ctx.layout.add_field(Class::ConnId, "arch_word_bits", 8, None).expect("valid field"));
-        self.f_blob =
-            Some(ctx.layout.add_field(Class::ConnId, "transport_blob", 128, None).expect("valid field"));
+        self.f_epoch = Some(
+            ctx.layout
+                .add_field(Class::ConnId, "epoch", 64, None)
+                .expect("valid field"),
+        );
+        self.f_version = Some(
+            ctx.layout
+                .add_field(Class::ConnId, "version", 16, None)
+                .expect("valid field"),
+        );
+        self.f_arch = Some(
+            ctx.layout
+                .add_field(Class::ConnId, "arch_word_bits", 8, None)
+                .expect("valid field"),
+        );
+        self.f_blob = Some(
+            ctx.layout
+                .add_field(Class::ConnId, "transport_blob", 128, None)
+                .expect("valid field"),
+        );
     }
 
     fn fill_ident(&self, layout: &CompiledLayout, local: &mut [u8], peer: &mut [u8]) {
@@ -109,7 +122,11 @@ mod tests {
         Connection::new(
             vec![Box::new(BottomLayer::new(epoch, peer_epoch))],
             PaConfig::paper_default(),
-            ConnectionParams::new(EndpointAddr::from_parts(a, 1), EndpointAddr::from_parts(b, 1), a),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(a, 1),
+                EndpointAddr::from_parts(b, 1),
+                a,
+            ),
         )
         .unwrap()
     }
@@ -131,7 +148,10 @@ mod tests {
         a.send(b"hello");
         let frame = a.poll_transmit().unwrap();
         let out = b.deliver_frame(frame);
-        assert!(matches!(out, pa_core::DeliverOutcome::Fast { msgs: 1 }), "{out:?}");
+        assert!(
+            matches!(out, pa_core::DeliverOutcome::Fast { msgs: 1 }),
+            "{out:?}"
+        );
     }
 
     #[test]
@@ -143,7 +163,10 @@ mod tests {
         restarted.send(b"ghost of a previous incarnation");
         let frame = restarted.poll_transmit().unwrap();
         let out = b.deliver_frame(frame);
-        assert!(matches!(out, pa_core::DeliverOutcome::Dropped(_)), "{out:?}");
+        assert!(
+            matches!(out, pa_core::DeliverOutcome::Dropped(_)),
+            "{out:?}"
+        );
     }
 
     #[test]

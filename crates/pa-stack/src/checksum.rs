@@ -39,7 +39,12 @@ pub struct ChecksumLayer {
 impl ChecksumLayer {
     /// Creates a checksum layer using `kind` as the digest.
     pub fn new(kind: DigestKind) -> ChecksumLayer {
-        ChecksumLayer { kind, f_len: None, f_ck: None, corrupt_seen: 0 }
+        ChecksumLayer {
+            kind,
+            f_len: None,
+            f_ck: None,
+            corrupt_seen: 0,
+        }
     }
 
     /// Number of corrupt messages the slow path has dropped.
@@ -67,9 +72,14 @@ impl Layer for ChecksumLayer {
             DigestKind::InternetChecksum => 16,
             DigestKind::Xor8 => 8,
         };
-        let f_len = ctx.layout.add_field(Class::Message, "body_len", 16, None).expect("valid field");
-        let f_ck =
-            ctx.layout.add_field(Class::Message, "checksum", ck_bits, None).expect("valid field");
+        let f_len = ctx
+            .layout
+            .add_field(Class::Message, "body_len", 16, None)
+            .expect("valid field");
+        let f_ck = ctx
+            .layout
+            .add_field(Class::Message, "checksum", ck_bits, None)
+            .expect("valid field");
         self.f_len = Some(f_len);
         self.f_ck = Some(f_ck);
 
@@ -112,7 +122,8 @@ impl Layer for ChecksumLayer {
         let claimed_ck = frame.read(f_ck);
         let actual_len = frame.body_size() as u64;
         let actual_ck =
-            self.kind.compute_multi(&[frame.proto_hdr(), frame.gossip_hdr(), frame.body()]);
+            self.kind
+                .compute_multi(&[frame.proto_hdr(), frame.gossip_hdr(), frame.body()]);
         if claimed_len != actual_len || claimed_ck != actual_ck {
             DeliverAction::Drop("checksum/length mismatch")
         } else {
@@ -127,7 +138,8 @@ impl Layer for ChecksumLayer {
         let mut m = msg.clone();
         let frame = ctx.frame(&mut m);
         let actual =
-            self.kind.compute_multi(&[frame.proto_hdr(), frame.gossip_hdr(), frame.body()]);
+            self.kind
+                .compute_multi(&[frame.proto_hdr(), frame.gossip_hdr(), frame.body()]);
         if frame.read(f_ck) != actual {
             self.corrupt_seen += 1;
         }
@@ -161,7 +173,10 @@ mod tests {
         let (mut a, mut b) = pair(PaConfig::paper_default());
         a.send(b"intact");
         let f = a.poll_transmit().unwrap();
-        assert!(matches!(b.deliver_frame(f), DeliverOutcome::Fast { msgs: 1 }));
+        assert!(matches!(
+            b.deliver_frame(f),
+            DeliverOutcome::Fast { msgs: 1 }
+        ));
         assert_eq!(b.poll_delivery().unwrap().as_slice(), b"intact");
     }
 
@@ -197,7 +212,11 @@ mod tests {
     fn slow_path_verification_matches_filter() {
         // With prediction off, every message takes the slow path; the
         // layer's own check must accept what the filter filled in.
-        let cfg = PaConfig { predict: false, lazy_post: false, ..PaConfig::paper_default() };
+        let cfg = PaConfig {
+            predict: false,
+            lazy_post: false,
+            ..PaConfig::paper_default()
+        };
         let (mut a, mut b) = pair(cfg);
         for i in 0..5u8 {
             a.send(&[i; 32]);
@@ -225,6 +244,9 @@ mod tests {
         let (mut a, mut b) = (mk(1, 2), mk(2, 1));
         a.send(b"crc me");
         let f = a.poll_transmit().unwrap();
-        assert!(matches!(b.deliver_frame(f), DeliverOutcome::Fast { msgs: 1 }));
+        assert!(matches!(
+            b.deliver_frame(f),
+            DeliverOutcome::Fast { msgs: 1 }
+        ));
     }
 }

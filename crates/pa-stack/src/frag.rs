@@ -75,10 +75,14 @@ impl Layer for FragLayer {
     }
 
     fn init(&mut self, ctx: &mut InitCtx<'_>) {
-        let f_flag =
-            ctx.layout.add_field(Class::Protocol, "frag_flag", 1, None).expect("valid field");
-        let f_last =
-            ctx.layout.add_field(Class::Protocol, "frag_last", 1, None).expect("valid field");
+        let f_flag = ctx
+            .layout
+            .add_field(Class::Protocol, "frag_flag", 1, None)
+            .expect("valid field");
+        let f_last = ctx
+            .layout
+            .add_field(Class::Protocol, "frag_last", 1, None)
+            .expect("valid field");
         self.f_flag = Some(f_flag);
         self.f_last = Some(f_last);
         // The send filter rejects oversized bodies, diverting them to
@@ -100,7 +104,10 @@ impl Layer for FragLayer {
             return SendAction::Continue;
         }
         // Split the body into MTU-sized fragment frames.
-        let (f_flag, f_last) = (self.f_flag.expect("init ran"), self.f_last.expect("init ran"));
+        let (f_flag, f_last) = (
+            self.f_flag.expect("init ran"),
+            self.f_last.expect("init ran"),
+        );
         let mut body = msg.clone();
         body.skip_front(hdr);
         let total = body.len().div_ceil(self.mtu);
@@ -135,7 +142,10 @@ impl Layer for FragLayer {
     }
 
     fn post_deliver(&mut self, ctx: &mut LayerCtx<'_>, msg: &Msg) {
-        let (f_flag, f_last) = (self.f_flag.expect("init ran"), self.f_last.expect("init ran"));
+        let (f_flag, f_last) = (
+            self.f_flag.expect("init ran"),
+            self.f_last.expect("init ran"),
+        );
         let mut m = msg.clone();
         let (flag, last) = {
             let frame = ctx.frame(&mut m);
@@ -168,7 +178,10 @@ mod tests {
 
     fn stack(mtu: usize) -> Vec<Box<dyn Layer>> {
         vec![
-            Box::new(WindowLayer::new(WindowConfig { ack_every: 1, ..WindowConfig::default() })),
+            Box::new(WindowLayer::new(WindowConfig {
+                ack_every: 1,
+                ..WindowConfig::default()
+            })),
             Box::new(FragLayer::new(mtu)),
         ]
     }
@@ -227,7 +240,11 @@ mod tests {
         let (mut a, mut b) = pair(32);
         let payload: Vec<u8> = (0..200u16).map(|i| i as u8).collect();
         let out = a.send(&payload);
-        assert_eq!(out, SendOutcome::SlowPath, "filter rejected, layer fragments");
+        assert_eq!(
+            out,
+            SendOutcome::SlowPath,
+            "filter rejected, layer fragments"
+        );
         let got = converge(&mut a, &mut b);
         assert_eq!(got, vec![payload]);
         assert!(a.stats().frames_out > 3, "several fragments went out");

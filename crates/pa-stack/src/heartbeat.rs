@@ -25,8 +25,8 @@ pub struct HeartbeatConfig {
 impl Default for HeartbeatConfig {
     fn default() -> Self {
         HeartbeatConfig {
-            interval: 100_000_000,       // 100 ms
-            suspect_after: 500_000_000,  // 500 ms
+            interval: 100_000_000,      // 100 ms
+            suspect_after: 500_000_000, // 500 ms
         }
     }
 }
@@ -90,7 +90,11 @@ impl Layer for HeartbeatLayer {
     }
 
     fn init(&mut self, ctx: &mut InitCtx<'_>) {
-        self.f_hb = Some(ctx.layout.add_field(Class::Protocol, "hb_flag", 1, None).expect("valid field"));
+        self.f_hb = Some(
+            ctx.layout
+                .add_field(Class::Protocol, "hb_flag", 1, None)
+                .expect("valid field"),
+        );
     }
 
     fn pre_send(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &mut Msg) -> SendAction {
@@ -173,7 +177,10 @@ mod tests {
         a.tick(200_000_000);
         let frame = a.poll_transmit().unwrap();
         let out = b.deliver_frame(frame);
-        assert!(matches!(out, pa_core::DeliverOutcome::Slow { msgs: 0 }), "{out:?}");
+        assert!(
+            matches!(out, pa_core::DeliverOutcome::Slow { msgs: 0 }),
+            "{out:?}"
+        );
         assert!(b.poll_delivery().is_none());
     }
 
@@ -199,9 +206,11 @@ mod tests {
         b.process_pending();
         // Probe the layer through a fresh instance — suspicion logic is
         // pure w.r.t. (last_heard, now).
-        let mut hb = HeartbeatLayer::default();
-        hb.last_heard = 1_000_000;
-        hb.heard_anything = true;
+        let hb = HeartbeatLayer {
+            last_heard: 1_000_000,
+            heard_anything: true,
+            ..Default::default()
+        };
         assert!(!hb.peer_suspected(100_000_000));
         assert!(hb.peer_suspected(1_000_000_000));
     }

@@ -52,23 +52,35 @@ impl Layer for MeterLayer {
     fn init(&mut self, _ctx: &mut InitCtx<'_>) {}
 
     fn pre_send(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &mut Msg) -> SendAction {
-        self.counters.pre_sends.set(self.counters.pre_sends.get() + 1);
+        self.counters
+            .pre_sends
+            .set(self.counters.pre_sends.get() + 1);
         SendAction::Continue
     }
 
     fn post_send(&mut self, _ctx: &mut LayerCtx<'_>, msg: &Msg) {
-        self.counters.post_sends.set(self.counters.post_sends.get() + 1);
-        self.counters.bytes_out.set(self.counters.bytes_out.get() + msg.len() as u64);
+        self.counters
+            .post_sends
+            .set(self.counters.post_sends.get() + 1);
+        self.counters
+            .bytes_out
+            .set(self.counters.bytes_out.get() + msg.len() as u64);
     }
 
     fn pre_deliver(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &mut Msg) -> DeliverAction {
-        self.counters.pre_delivers.set(self.counters.pre_delivers.get() + 1);
+        self.counters
+            .pre_delivers
+            .set(self.counters.pre_delivers.get() + 1);
         DeliverAction::Continue
     }
 
     fn post_deliver(&mut self, _ctx: &mut LayerCtx<'_>, msg: &Msg) {
-        self.counters.post_delivers.set(self.counters.post_delivers.get() + 1);
-        self.counters.bytes_in.set(self.counters.bytes_in.get() + msg.len() as u64);
+        self.counters
+            .post_delivers
+            .set(self.counters.post_delivers.get() + 1);
+        self.counters
+            .bytes_in
+            .set(self.counters.bytes_in.get() + msg.len() as u64);
     }
 }
 
@@ -121,7 +133,11 @@ mod tests {
         a.process_pending();
         b.process_pending();
         assert!(ca.bytes_out.get() >= 100);
-        assert_eq!(ca.bytes_out.get(), cb.bytes_in.get(), "same frame image both sides");
+        assert_eq!(
+            ca.bytes_out.get(),
+            cb.bytes_in.get(),
+            "same frame image both sides"
+        );
     }
 
     #[test]
@@ -129,8 +145,16 @@ mod tests {
         let (ml, c) = MeterLayer::new();
         let mut a = Connection::new(
             vec![Box::new(ml)],
-            PaConfig { predict: false, lazy_post: false, ..PaConfig::paper_default() },
-            ConnectionParams::new(EndpointAddr::from_parts(1, 6), EndpointAddr::from_parts(2, 6), 5),
+            PaConfig {
+                predict: false,
+                lazy_post: false,
+                ..PaConfig::paper_default()
+            },
+            ConnectionParams::new(
+                EndpointAddr::from_parts(1, 6),
+                EndpointAddr::from_parts(2, 6),
+                5,
+            ),
         )
         .unwrap();
         a.send(b"slow");

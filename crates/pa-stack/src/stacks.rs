@@ -65,7 +65,10 @@ impl StackSpec {
 
     /// The §5 layer-scaling variant: the window layer stacked twice.
     pub fn paper_doubled_window() -> StackSpec {
-        StackSpec { window_copies: 2, ..StackSpec::paper() }
+        StackSpec {
+            window_copies: 2,
+            ..StackSpec::paper()
+        }
     }
 
     /// A fuller stack with heartbeats and timestamps (the
@@ -210,7 +213,10 @@ mod tests {
         let (a, _b) = pair(&StackSpec::paper(), PaConfig::paper_default());
         let hdrs = a.layout().per_message_header_bytes();
         // preamble 8 + headers + packing 1 + payload 8 ≤ 40
-        assert!(8 + hdrs + 1 + 8 <= 40, "per-message overhead too big: {hdrs}");
+        assert!(
+            8 + hdrs + 1 + 8 <= 40,
+            "per-message overhead too big: {hdrs}"
+        );
     }
 
     #[test]
@@ -220,12 +226,18 @@ mod tests {
         let hdrs = a.layout().per_message_header_bytes();
         let ident = a.layout().class_len(Class::ConnId);
         // Without the PA the ident rides on every message too.
-        assert!(8 + hdrs + ident + 1 + 8 > 40, "baseline should exceed one cell");
+        assert!(
+            8 + hdrs + ident + 1 + 8 > 40,
+            "baseline should exceed one cell"
+        );
     }
 
     #[test]
     fn doubled_window_stack_works() {
-        let (mut a, mut b) = pair(&StackSpec::paper_doubled_window(), PaConfig::paper_default());
+        let (mut a, mut b) = pair(
+            &StackSpec::paper_doubled_window(),
+            PaConfig::paper_default(),
+        );
         for i in 0..10u8 {
             a.send(&[i; 4]);
             let got = converge(&mut a, &mut b);
@@ -255,7 +267,10 @@ mod tests {
 
     #[test]
     fn deep_null_filled_stack_works() {
-        let spec = StackSpec { null_fill: 6, ..StackSpec::paper() };
+        let spec = StackSpec {
+            null_fill: 6,
+            ..StackSpec::paper()
+        };
         assert_eq!(spec.layer_count(), 10);
         let (mut a, mut b) = pair(&spec, PaConfig::paper_default());
         a.send(b"deep stack");
@@ -276,7 +291,10 @@ mod tests {
 
     #[test]
     fn large_transfer_through_paper_stack() {
-        let spec = StackSpec { frag_mtu: Some(64), ..StackSpec::paper() };
+        let spec = StackSpec {
+            frag_mtu: Some(64),
+            ..StackSpec::paper()
+        };
         let (mut a, mut b) = pair(&spec, PaConfig::paper_default());
         let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
         a.send(&payload);

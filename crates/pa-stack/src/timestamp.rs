@@ -35,7 +35,13 @@ pub struct TimestampLayer {
 impl TimestampLayer {
     /// Creates the layer.
     pub fn new() -> TimestampLayer {
-        TimestampLayer { f_ts: None, slot: None, last_seen: 0, max_skew: 0, stamped_in: 0 }
+        TimestampLayer {
+            f_ts: None,
+            slot: None,
+            last_seen: 0,
+            max_skew: 0,
+            stamped_in: 0,
+        }
     }
 
     /// The most recent peer stamp seen (µs since the peer's epoch).
@@ -65,13 +71,16 @@ impl Layer for TimestampLayer {
     }
 
     fn init(&mut self, ctx: &mut InitCtx<'_>) {
-        let f_ts =
-            ctx.layout.add_field(Class::Message, "send_time_us", 32, None).expect("valid field");
+        let f_ts = ctx
+            .layout
+            .add_field(Class::Message, "send_time_us", 32, None)
+            .expect("valid field");
         self.f_ts = Some(f_ts);
         // The send filter stamps every message from the patchable slot.
         let slot = ctx.send_filter.alloc_slot(0);
         self.slot = Some(slot);
-        ctx.send_filter.extend(vec![Op::PushSlot(slot), Op::PopField(f_ts)]);
+        ctx.send_filter
+            .extend(vec![Op::PushSlot(slot), Op::PopField(f_ts)]);
         // Nothing to verify on delivery: a stamp is informational.
     }
 
@@ -161,7 +170,11 @@ mod tests {
 
     #[test]
     fn slow_path_stamps_with_live_clock() {
-        let cfg = PaConfig { predict: false, lazy_post: false, ..PaConfig::paper_default() };
+        let cfg = PaConfig {
+            predict: false,
+            lazy_post: false,
+            ..PaConfig::paper_default()
+        };
         let mk = |l: u64, p: u64| {
             Connection::new(
                 vec![Box::new(TimestampLayer::new())],

@@ -50,7 +50,7 @@ impl Default for WindowConfig {
     fn default() -> Self {
         WindowConfig {
             window: 16,
-            rto: 5_000_000,      // 5 ms
+            rto: 5_000_000,       // 5 ms
             max_rto: 640_000_000, // 640 ms
             ack_every: 4,
         }
@@ -185,7 +185,8 @@ impl WindowLayer {
         // Window reopened: release waiting slow-path messages, then
         // re-enable the predicted send header.
         let (f_seq, f_type, f_ack) = self.fields();
-        while self.inflight.len() + self.drained_pending() < self.cfg.window && !self.wait_q.is_empty()
+        while self.inflight.len() + self.drained_pending() < self.cfg.window
+            && !self.wait_q.is_empty()
         {
             let mut msg = self.wait_q.pop_front().expect("checked non-empty");
             let seq = self.next_seq + self.drained_pending() as u64;
@@ -216,11 +217,21 @@ impl Layer for WindowLayer {
     }
 
     fn init(&mut self, ctx: &mut InitCtx<'_>) {
-        self.f_seq = Some(ctx.layout.add_field(Class::Protocol, "seq", 32, None).expect("valid field"));
-        self.f_type =
-            Some(ctx.layout.add_field(Class::Protocol, "mtype", 2, None).expect("valid field"));
-        self.f_ack =
-            Some(ctx.layout.add_field(Class::Gossip, "ack_upto", 32, None).expect("valid field"));
+        self.f_seq = Some(
+            ctx.layout
+                .add_field(Class::Protocol, "seq", 32, None)
+                .expect("valid field"),
+        );
+        self.f_type = Some(
+            ctx.layout
+                .add_field(Class::Protocol, "mtype", 2, None)
+                .expect("valid field"),
+        );
+        self.f_ack = Some(
+            ctx.layout
+                .add_field(Class::Gossip, "ack_upto", 32, None)
+                .expect("valid field"),
+        );
     }
 
     fn pre_send(&mut self, ctx: &mut LayerCtx<'_>, msg: &mut Msg) -> SendAction {
@@ -352,7 +363,9 @@ impl Layer for WindowLayer {
     }
 
     fn on_tick(&mut self, ctx: &mut LayerCtx<'_>, now: Nanos) {
-        let Some(head) = self.inflight.front_mut() else { return };
+        let Some(head) = self.inflight.front_mut() else {
+            return;
+        };
         if now.saturating_sub(head.sent_at) < head.rto {
             return;
         }
@@ -377,7 +390,11 @@ mod tests {
         Connection::new(
             vec![Box::new(WindowLayer::new(cfg))],
             PaConfig::paper_default(),
-            ConnectionParams::new(EndpointAddr::from_parts(l, 4), EndpointAddr::from_parts(p, 4), s),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(l, 4),
+                EndpointAddr::from_parts(p, 4),
+                s,
+            ),
         )
         .unwrap()
     }
@@ -430,7 +447,10 @@ mod tests {
 
     #[test]
     fn window_fills_and_disables_fast_path() {
-        let cfg = WindowConfig { ack_every: 1000, ..WindowConfig::default() }; // no acks
+        let cfg = WindowConfig {
+            ack_every: 1000,
+            ..WindowConfig::default()
+        }; // no acks
         let (mut a, mut b) = pair(cfg);
         let mut queued_at = None;
         for i in 0..32u32 {
@@ -455,7 +475,10 @@ mod tests {
 
     #[test]
     fn acks_reopen_window_and_backlog_drains() {
-        let cfg = WindowConfig { ack_every: 1, ..WindowConfig::default() };
+        let cfg = WindowConfig {
+            ack_every: 1,
+            ..WindowConfig::default()
+        };
         let (mut a, mut b) = pair(cfg);
         // Burst 40 sends with no intervening processing: most backlog.
         for i in 0..40u8 {
@@ -470,7 +493,10 @@ mod tests {
 
     #[test]
     fn piggybacked_acks_clear_inflight_on_bidirectional_traffic() {
-        let cfg = WindowConfig { ack_every: 1000, ..WindowConfig::default() }; // only gossip acks
+        let cfg = WindowConfig {
+            ack_every: 1000,
+            ..WindowConfig::default()
+        }; // only gossip acks
         let (mut a, mut b) = pair(cfg);
         for i in 0..8u8 {
             a.send(&[i]);
@@ -487,7 +513,11 @@ mod tests {
 
     #[test]
     fn lost_frame_recovered_by_retransmission() {
-        let cfg = WindowConfig { ack_every: 1, rto: 1_000, ..WindowConfig::default() };
+        let cfg = WindowConfig {
+            ack_every: 1,
+            rto: 1_000,
+            ..WindowConfig::default()
+        };
         let (mut a, mut b) = pair(cfg);
         a.send(b"one");
         converge(&mut a, &mut b);
@@ -508,7 +538,10 @@ mod tests {
 
     #[test]
     fn retransmission_carries_conn_ident() {
-        let cfg = WindowConfig { rto: 1_000, ..WindowConfig::default() };
+        let cfg = WindowConfig {
+            rto: 1_000,
+            ..WindowConfig::default()
+        };
         let (mut a, _b) = pair(cfg);
         a.send(b"payload");
         a.process_pending();
@@ -523,7 +556,10 @@ mod tests {
 
     #[test]
     fn duplicate_reacked_and_dropped() {
-        let cfg = WindowConfig { ack_every: 1, ..WindowConfig::default() };
+        let cfg = WindowConfig {
+            ack_every: 1,
+            ..WindowConfig::default()
+        };
         let (mut a, mut b) = pair(cfg);
         a.send(b"original");
         a.process_pending();
@@ -537,12 +573,18 @@ mod tests {
         b.process_pending();
         assert!(matches!(out, DeliverOutcome::Slow { msgs: 0 }), "{out:?}");
         assert!(b.poll_delivery().is_none());
-        assert!(b.stats().control_msgs > acks_before, "duplicate triggered re-ack");
+        assert!(
+            b.stats().control_msgs > acks_before,
+            "duplicate triggered re-ack"
+        );
     }
 
     #[test]
     fn reordered_frames_released_in_sequence() {
-        let cfg = WindowConfig { ack_every: 100, ..WindowConfig::default() };
+        let cfg = WindowConfig {
+            ack_every: 100,
+            ..WindowConfig::default()
+        };
         let (mut a, mut b) = pair(cfg);
         // Establish the cookie first — an out-of-order *first* frame
         // would be dropped as unknown (§2.2), which is its own test.
@@ -572,7 +614,10 @@ mod tests {
 
     #[test]
     fn fast_paths_dominate_in_steady_state() {
-        let cfg = WindowConfig { ack_every: 4, ..WindowConfig::default() };
+        let cfg = WindowConfig {
+            ack_every: 4,
+            ..WindowConfig::default()
+        };
         let (mut a, mut b) = pair(cfg);
         for i in 0..50u8 {
             a.send(&[i]);

@@ -8,8 +8,7 @@
 //! successor (reorder). All decisions come from a seeded RNG, so a
 //! failing test reproduces exactly.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pa_obs::rng::{Rng, SplitMix64};
 
 /// Fault probabilities (each 0.0–1.0, applied per frame).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,18 +31,39 @@ pub struct FaultConfig {
 impl FaultConfig {
     /// A perfectly clean network.
     pub fn none() -> FaultConfig {
-        FaultConfig { drop: 0.0, corrupt: 0.0, duplicate: 0.0, reorder: 0.0, reorder_delay: 200_000, seed: 0 }
+        FaultConfig {
+            drop: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_delay: 200_000,
+            seed: 0,
+        }
     }
 
     /// The smoltcp README's "good starting value": 15% drop and
     /// corruption — an aggressively bad network.
     pub fn harsh(seed: u64) -> FaultConfig {
-        FaultConfig { drop: 0.15, corrupt: 0.15, duplicate: 0.05, reorder: 0.1, reorder_delay: 200_000, seed }
+        FaultConfig {
+            drop: 0.15,
+            corrupt: 0.15,
+            duplicate: 0.05,
+            reorder: 0.1,
+            reorder_delay: 200_000,
+            seed,
+        }
     }
 
     /// Mild impairment: ~2% of everything.
     pub fn mild(seed: u64) -> FaultConfig {
-        FaultConfig { drop: 0.02, corrupt: 0.02, duplicate: 0.02, reorder: 0.02, reorder_delay: 200_000, seed }
+        FaultConfig {
+            drop: 0.02,
+            corrupt: 0.02,
+            duplicate: 0.02,
+            reorder: 0.02,
+            reorder_delay: 200_000,
+            seed,
+        }
     }
 }
 
@@ -77,33 +97,42 @@ pub struct FaultDecision {
 #[derive(Debug)]
 pub struct FaultInjector {
     cfg: FaultConfig,
-    rng: StdRng,
+    rng: SplitMix64,
     stats: FaultStats,
 }
 
 impl FaultInjector {
     /// Creates an injector from a config (seeded, deterministic).
     pub fn new(cfg: FaultConfig) -> FaultInjector {
-        FaultInjector { cfg, rng: StdRng::seed_from_u64(cfg.seed), stats: FaultStats::default() }
+        FaultInjector {
+            cfg,
+            rng: SplitMix64::new(cfg.seed),
+            stats: FaultStats::default(),
+        }
     }
 
     /// Decides the fate of one frame.
     pub fn decide(&mut self) -> FaultDecision {
-        let mut d = FaultDecision { deliver: true, corrupt_at: None, duplicate: false, extra_delay: 0 };
-        if self.rng.gen_bool(self.cfg.drop.clamp(0.0, 1.0)) {
+        let mut d = FaultDecision {
+            deliver: true,
+            corrupt_at: None,
+            duplicate: false,
+            extra_delay: 0,
+        };
+        if self.rng.gen_bool(self.cfg.drop) {
             self.stats.dropped += 1;
             d.deliver = false;
             return d;
         }
-        if self.rng.gen_bool(self.cfg.corrupt.clamp(0.0, 1.0)) {
+        if self.rng.gen_bool(self.cfg.corrupt) {
             self.stats.corrupted += 1;
-            d.corrupt_at = Some(self.rng.gen::<usize>());
+            d.corrupt_at = Some(self.rng.next_u64() as usize);
         }
-        if self.rng.gen_bool(self.cfg.duplicate.clamp(0.0, 1.0)) {
+        if self.rng.gen_bool(self.cfg.duplicate) {
             self.stats.duplicated += 1;
             d.duplicate = true;
         }
-        if self.rng.gen_bool(self.cfg.reorder.clamp(0.0, 1.0)) {
+        if self.rng.gen_bool(self.cfg.reorder) {
             self.stats.reordered += 1;
             d.extra_delay = self.cfg.reorder_delay;
         }
@@ -162,7 +191,13 @@ mod tests {
     #[test]
     fn drop_short_circuits_other_faults() {
         // A dropped frame must not also count as corrupted/duplicated.
-        let cfg = FaultConfig { drop: 1.0, corrupt: 1.0, duplicate: 1.0, reorder: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            drop: 1.0,
+            corrupt: 1.0,
+            duplicate: 1.0,
+            reorder: 1.0,
+            ..FaultConfig::none()
+        };
         let mut inj = FaultInjector::new(cfg);
         for _ in 0..100 {
             let d = inj.decide();

@@ -21,7 +21,12 @@ impl LoopbackNet {
 
 impl Netif for LoopbackNet {
     fn send(&mut self, from: EndpointAddr, to: EndpointAddr, frame: Msg, now: Nanos) {
-        self.queue.push_back(Arrival { from, to, frame, at: now });
+        self.queue.push_back(Arrival {
+            from,
+            to,
+            frame,
+            at: now,
+        });
     }
 
     fn poll_arrival(&mut self, now: Nanos) -> Option<Arrival> {

@@ -9,13 +9,45 @@
 //! simulated traces exactly reproducible.
 
 use crate::Nanos;
+use pa_obs::PathTag;
 use std::io::{self, Write};
 
 /// Link type: DLT_USER0 (private use; PA frames are not Ethernet).
 const LINKTYPE_USER0: u32 = 147;
 
+/// Link type: DLT_USER1 — the *annotated* capture mode. Every record
+/// starts with a one-byte pseudo-header carrying the [`PathTag`] (the
+/// path the frame took through the PA), then the raw frame.
+const LINKTYPE_USER1: u32 = 148;
+
 /// Classic libpcap magic (microsecond timestamps).
 const MAGIC: u32 = 0xA1B2_C3D4;
+
+/// Encodes a [`PathTag`] as the annotated capture's pseudo-header byte.
+pub fn tag_to_byte(tag: PathTag) -> u8 {
+    match tag {
+        PathTag::Unknown => 0,
+        PathTag::Fast => 1,
+        PathTag::Slow => 2,
+        PathTag::Queued => 3,
+        PathTag::Control => 4,
+        PathTag::Dropped => 5,
+        PathTag::Faulted => 6,
+    }
+}
+
+/// Inverse of [`tag_to_byte`]; unrecognized bytes decode as `Unknown`.
+pub fn byte_to_tag(b: u8) -> PathTag {
+    match b {
+        1 => PathTag::Fast,
+        2 => PathTag::Slow,
+        3 => PathTag::Queued,
+        4 => PathTag::Control,
+        5 => PathTag::Dropped,
+        6 => PathTag::Faulted,
+        _ => PathTag::Unknown,
+    }
+}
 
 /// Writes frames to any `Write` sink in libpcap format.
 #[derive(Debug)]
@@ -23,11 +55,23 @@ pub struct PcapWriter<W: Write> {
     sink: W,
     frames: u64,
     snaplen: u32,
+    annotated: bool,
 }
 
 impl<W: Write> PcapWriter<W> {
     /// Creates a writer and emits the global header.
-    pub fn new(mut sink: W) -> io::Result<PcapWriter<W>> {
+    pub fn new(sink: W) -> io::Result<PcapWriter<W>> {
+        Self::with_linktype(sink, LINKTYPE_USER0, false)
+    }
+
+    /// Creates an *annotated* writer (DLT_USER1): use
+    /// [`PcapWriter::record_tagged`] so each frame carries the path it
+    /// took through the PA as a one-byte pseudo-header.
+    pub fn annotated(sink: W) -> io::Result<PcapWriter<W>> {
+        Self::with_linktype(sink, LINKTYPE_USER1, true)
+    }
+
+    fn with_linktype(mut sink: W, linktype: u32, annotated: bool) -> io::Result<PcapWriter<W>> {
         let snaplen: u32 = 65_535;
         sink.write_all(&MAGIC.to_le_bytes())?;
         sink.write_all(&2u16.to_le_bytes())?; // version major
@@ -35,8 +79,34 @@ impl<W: Write> PcapWriter<W> {
         sink.write_all(&0i32.to_le_bytes())?; // thiszone
         sink.write_all(&0u32.to_le_bytes())?; // sigfigs
         sink.write_all(&snaplen.to_le_bytes())?;
-        sink.write_all(&LINKTYPE_USER0.to_le_bytes())?;
-        Ok(PcapWriter { sink, frames: 0, snaplen })
+        sink.write_all(&linktype.to_le_bytes())?;
+        Ok(PcapWriter {
+            sink,
+            frames: 0,
+            snaplen,
+            annotated,
+        })
+    }
+
+    /// Records one frame with its path annotation (annotated mode
+    /// only — plain captures have no room for the pseudo-header).
+    pub fn record_tagged(&mut self, at: Nanos, tag: PathTag, frame: &[u8]) -> io::Result<()> {
+        assert!(
+            self.annotated,
+            "record_tagged requires PcapWriter::annotated"
+        );
+        let secs = (at / 1_000_000_000) as u32;
+        let usecs = ((at % 1_000_000_000) / 1_000) as u32;
+        let total = frame.len() as u32 + 1;
+        let cap = total.min(self.snaplen);
+        self.sink.write_all(&secs.to_le_bytes())?;
+        self.sink.write_all(&usecs.to_le_bytes())?;
+        self.sink.write_all(&cap.to_le_bytes())?;
+        self.sink.write_all(&total.to_le_bytes())?;
+        self.sink.write_all(&[tag_to_byte(tag)])?;
+        self.sink.write_all(&frame[..(cap as usize - 1)])?;
+        self.frames += 1;
+        Ok(())
     }
 
     /// Records one frame observed at virtual time `at`.
@@ -65,6 +135,42 @@ impl<W: Write> PcapWriter<W> {
     }
 }
 
+/// Parses an *annotated* capture (DLT_USER1) back into
+/// `(timestamp_ns, path_tag, frame)` records. Returns `None` for
+/// malformed input or a capture that is not in annotated mode.
+pub fn parse_tagged(bytes: &[u8]) -> Option<Vec<(Nanos, PathTag, Vec<u8>)>> {
+    if bytes.len() < 24 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[..4].try_into().expect("4"));
+    if magic != MAGIC {
+        return None;
+    }
+    let linktype = u32::from_le_bytes(bytes[20..24].try_into().expect("4"));
+    if linktype != LINKTYPE_USER1 {
+        return None; // plain captures have no pseudo-header to strip
+    }
+    let mut out = Vec::new();
+    let mut off = 24;
+    while off + 16 <= bytes.len() {
+        let secs = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4")) as u64;
+        let usecs = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4")) as u64;
+        let cap = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().expect("4")) as usize;
+        off += 16;
+        if cap == 0 || off + cap > bytes.len() {
+            return None; // every annotated record carries at least the tag byte
+        }
+        let tag = byte_to_tag(bytes[off]);
+        out.push((
+            secs * 1_000_000_000 + usecs * 1_000,
+            tag,
+            bytes[off + 1..off + cap].to_vec(),
+        ));
+        off += cap;
+    }
+    Some(out)
+}
+
 /// Parses a pcap byte buffer back into `(timestamp_ns, frame)` records
 /// (testing and replay; classic format, either byte order).
 pub fn parse(bytes: &[u8]) -> Option<Vec<(Nanos, Vec<u8>)>> {
@@ -85,7 +191,10 @@ pub fn parse(bytes: &[u8]) -> Option<Vec<(Nanos, Vec<u8>)>> {
         if off + cap > bytes.len() {
             return None;
         }
-        out.push((secs * 1_000_000_000 + usecs * 1_000, bytes[off..off + cap].to_vec()));
+        out.push((
+            secs * 1_000_000_000 + usecs * 1_000,
+            bytes[off..off + cap].to_vec(),
+        ));
         off += cap;
     }
     Some(out)
@@ -132,6 +241,61 @@ mod tests {
         let mut buf = w.finish().unwrap();
         buf.truncate(buf.len() - 2);
         assert!(parse(&buf).is_none(), "truncated record");
+    }
+
+    #[test]
+    fn annotated_capture_roundtrips_tags() {
+        let mut w = PcapWriter::annotated(Vec::new()).unwrap();
+        w.record_tagged(1_000_000, PathTag::Fast, b"fast frame")
+            .unwrap();
+        w.record_tagged(2_000_000, PathTag::Slow, b"slow frame")
+            .unwrap();
+        w.record_tagged(3_000_000, PathTag::Dropped, b"dropped frame")
+            .unwrap();
+        assert_eq!(w.frames(), 3);
+        let buf = w.finish().unwrap();
+        assert_eq!(
+            u32::from_le_bytes([buf[20], buf[21], buf[22], buf[23]]),
+            LINKTYPE_USER1
+        );
+        let records = parse_tagged(&buf).expect("valid annotated pcap");
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records[0],
+            (1_000_000, PathTag::Fast, b"fast frame".to_vec())
+        );
+        assert_eq!(
+            records[1],
+            (2_000_000, PathTag::Slow, b"slow frame".to_vec())
+        );
+        assert_eq!(
+            records[2],
+            (3_000_000, PathTag::Dropped, b"dropped frame".to_vec())
+        );
+    }
+
+    #[test]
+    fn parse_tagged_rejects_plain_captures() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.record(0, b"plain").unwrap();
+        let buf = w.finish().unwrap();
+        assert!(parse_tagged(&buf).is_none(), "wrong link type");
+    }
+
+    #[test]
+    fn tag_bytes_roundtrip() {
+        for tag in [
+            PathTag::Unknown,
+            PathTag::Fast,
+            PathTag::Slow,
+            PathTag::Queued,
+            PathTag::Control,
+            PathTag::Dropped,
+            PathTag::Faulted,
+        ] {
+            assert_eq!(byte_to_tag(tag_to_byte(tag)), tag);
+        }
+        assert_eq!(byte_to_tag(250), PathTag::Unknown);
     }
 
     #[test]

@@ -46,7 +46,12 @@ impl LinkProfile {
 
     /// An ideal wire: everything arrives instantly.
     pub fn ideal() -> LinkProfile {
-        LinkProfile { base_latency: 0, small_frame: usize::MAX, per_byte: 0, line_rate: 0 }
+        LinkProfile {
+            base_latency: 0,
+            small_frame: usize::MAX,
+            per_byte: 0,
+            line_rate: 0,
+        }
     }
 
     /// One-way propagation time of a frame of `len` bytes (excluding
@@ -58,11 +63,10 @@ impl LinkProfile {
 
     /// Time the line is occupied transmitting `len` bytes.
     pub fn serialization(&self, len: usize) -> Nanos {
-        if self.line_rate == 0 {
-            0
-        } else {
-            (len as u64).saturating_mul(1_000_000_000) / self.line_rate
-        }
+        (len as u64)
+            .saturating_mul(1_000_000_000)
+            .checked_div(self.line_rate)
+            .unwrap_or(0)
     }
 }
 

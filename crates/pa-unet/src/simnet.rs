@@ -98,7 +98,13 @@ impl SimNet {
     fn enqueue(&mut self, at: Nanos, from: EndpointAddr, to: EndpointAddr, frame: Msg) {
         let seqno = self.seqno;
         self.seqno += 1;
-        self.queue.push(Reverse(InFlightFrame { at, seqno, from, to, frame }));
+        self.queue.push(Reverse(InFlightFrame {
+            at,
+            seqno,
+            from,
+            to,
+            frame,
+        }));
     }
 }
 
@@ -123,7 +129,7 @@ impl Netif for SimNet {
         if let Some(i) = decision.corrupt_at {
             if !frame.is_empty() {
                 let idx = i % frame.len();
-                frame.set_byte_at(idx, frame.byte_at(idx) ^ (1 << (i % 8).max(0)));
+                frame.set_byte_at(idx, frame.byte_at(idx) ^ (1 << (i % 8)));
             }
         }
         let arrive = start + ser + self.profile.propagation(frame.len()) + decision.extra_delay;
@@ -139,7 +145,12 @@ impl Netif for SimNet {
         }
         let Reverse(f) = self.queue.pop().expect("peeked");
         self.stats.frames_delivered += 1;
-        Some(Arrival { from: f.from, to: f.to, frame: f.frame, at: f.at })
+        Some(Arrival {
+            from: f.from,
+            to: f.to,
+            frame: f.frame,
+            at: f.at,
+        })
     }
 
     fn next_arrival_at(&self) -> Option<Nanos> {
@@ -193,7 +204,11 @@ mod tests {
         let a = net.poll_arrival(u64::MAX).unwrap();
         let b = net.poll_arrival(u64::MAX).unwrap();
         let ser = net.profile.serialization(1024);
-        assert_eq!(b.at - a.at, ser, "second frame delayed by one serialization time");
+        assert_eq!(
+            b.at - a.at,
+            ser,
+            "second frame delayed by one serialization time"
+        );
     }
 
     #[test]
@@ -209,7 +224,10 @@ mod tests {
 
     #[test]
     fn drops_reduce_deliveries() {
-        let cfg = FaultConfig { drop: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            drop: 1.0,
+            ..FaultConfig::none()
+        };
         let mut net = SimNet::new(LinkProfile::ideal(), cfg);
         for _ in 0..10 {
             net.send(ep(1), ep(2), frame(8), 0);
@@ -222,7 +240,10 @@ mod tests {
 
     #[test]
     fn corruption_flips_exactly_one_bit() {
-        let cfg = FaultConfig { corrupt: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            corrupt: 1.0,
+            ..FaultConfig::none()
+        };
         let mut net = SimNet::new(LinkProfile::ideal(), cfg);
         let original = frame(64);
         net.send(ep(1), ep(2), original.clone(), 0);
@@ -238,7 +259,10 @@ mod tests {
 
     #[test]
     fn duplicates_arrive_twice() {
-        let cfg = FaultConfig { duplicate: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            duplicate: 1.0,
+            ..FaultConfig::none()
+        };
         let mut net = SimNet::new(LinkProfile::ideal(), cfg);
         net.send(ep(1), ep(2), frame(8), 0);
         assert!(net.poll_arrival(u64::MAX).is_some());
@@ -248,7 +272,11 @@ mod tests {
 
     #[test]
     fn reorder_delays_past_successor() {
-        let cfg = FaultConfig { reorder: 0.5, seed: 3, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            reorder: 0.5,
+            seed: 3,
+            ..FaultConfig::none()
+        };
         let mut net = SimNet::new(LinkProfile::ideal(), cfg);
         for i in 0..20u8 {
             net.send(ep(1), ep(2), Msg::from_payload(&[i]), (i as u64) * 10);

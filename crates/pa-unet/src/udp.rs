@@ -64,7 +64,11 @@ impl Netif for UdpNet {
     fn poll_arrival(&mut self, now: Nanos) -> Option<Arrival> {
         match self.socket.recv_from(&mut self.buf) {
             Ok((n, src)) => {
-                let from = self.rev.get(&src).copied().unwrap_or(EndpointAddr::from_parts(0, 0));
+                let from = self
+                    .rev
+                    .get(&src)
+                    .copied()
+                    .unwrap_or(EndpointAddr::from_parts(0, 0));
                 Some(Arrival {
                     from,
                     to: self.local,

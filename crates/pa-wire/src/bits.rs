@@ -15,7 +15,7 @@ use pa_buf::ByteOrder;
 
 /// Reads `bits` (1..=64) starting at bit `off`, network bit order.
 pub fn read_bits_be(buf: &[u8], off: u32, bits: u32) -> u64 {
-    debug_assert!(bits >= 1 && bits <= 64);
+    debug_assert!((1..=64).contains(&bits));
     let mut v = 0u64;
     for i in 0..bits {
         let bit = off + i;
@@ -29,7 +29,7 @@ pub fn read_bits_be(buf: &[u8], off: u32, bits: u32) -> u64 {
 
 /// Writes the low `bits` of `v` starting at bit `off`, network bit order.
 pub fn write_bits_be(buf: &mut [u8], off: u32, bits: u32, v: u64) {
-    debug_assert!(bits >= 1 && bits <= 64);
+    debug_assert!((1..=64).contains(&bits));
     for i in 0..bits {
         let bit = off + i;
         let byte = (bit / 8) as usize;
@@ -42,7 +42,7 @@ pub fn write_bits_be(buf: &mut [u8], off: u32, bits: u32, v: u64) {
 /// Reads a field honouring the message byte order: byte-aligned whole-
 /// byte fields decode in `order`; everything else is network bit order.
 pub fn read_field(buf: &[u8], off: u32, bits: u32, order: ByteOrder) -> u64 {
-    if off % 8 == 0 && bits % 8 == 0 {
+    if off.is_multiple_of(8) && bits.is_multiple_of(8) {
         let start = (off / 8) as usize;
         let n = (bits / 8) as usize;
         order.decode(&buf[start..start + n])
@@ -53,7 +53,7 @@ pub fn read_field(buf: &[u8], off: u32, bits: u32, order: ByteOrder) -> u64 {
 
 /// Writes a field honouring the message byte order (see [`read_field`]).
 pub fn write_field(buf: &mut [u8], off: u32, bits: u32, v: u64, order: ByteOrder) {
-    if off % 8 == 0 && bits % 8 == 0 {
+    if off.is_multiple_of(8) && bits.is_multiple_of(8) {
         let start = (off / 8) as usize;
         let n = (bits / 8) as usize;
         order.encode(v, &mut buf[start..start + n]);
@@ -133,7 +133,10 @@ mod tests {
         let mut b = [0u8; 3];
         write_field(&mut a, 3, 13, 0x1ABC & 0x1FFF, ByteOrder::Big);
         write_field(&mut b, 3, 13, 0x1ABC & 0x1FFF, ByteOrder::Little);
-        assert_eq!(a, b, "sub-byte/unaligned fields have one canonical encoding");
+        assert_eq!(
+            a, b,
+            "sub-byte/unaligned fields have one canonical encoding"
+        );
         assert_eq!(read_field(&a, 3, 13, ByteOrder::Little), 0x1ABC & 0x1FFF);
     }
 

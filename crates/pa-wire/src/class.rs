@@ -28,7 +28,12 @@ pub enum Class {
 
 impl Class {
     /// All classes, in wire order (Figure 1).
-    pub const ALL: [Class; 4] = [Class::ConnId, Class::Protocol, Class::Message, Class::Gossip];
+    pub const ALL: [Class; 4] = [
+        Class::ConnId,
+        Class::Protocol,
+        Class::Message,
+        Class::Gossip,
+    ];
 
     /// Dense index 0..4.
     pub fn index(self) -> usize {
@@ -87,7 +92,10 @@ impl Field {
     /// recorded declaration sequence. Using a handle whose index was
     /// never declared panics at the first access.
     pub fn new(class: Class, index: usize) -> Field {
-        Field { class, idx: index as u16 }
+        Field {
+            class,
+            idx: index as u16,
+        }
     }
 
     /// Index of this field within its class's declaration order.
@@ -125,7 +133,12 @@ mod tests {
     fn wire_order_matches_figure_1() {
         assert_eq!(
             Class::ALL,
-            [Class::ConnId, Class::Protocol, Class::Message, Class::Gossip]
+            [
+                Class::ConnId,
+                Class::Protocol,
+                Class::Message,
+                Class::Gossip
+            ]
         );
     }
 

@@ -7,7 +7,7 @@
 //! hash probe (the paper cites a 31% latency win from the analogous
 //! PathID scheme).
 
-use rand::Rng;
+use pa_obs::rng::Rng;
 use std::fmt;
 
 /// Number of significant bits in a cookie.
@@ -32,7 +32,7 @@ impl Cookie {
     /// a valid connection.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Cookie {
         loop {
-            let v = rng.gen::<u64>() & COOKIE_MASK;
+            let v = rng.next_u64() & COOKIE_MASK;
             if v != 0 {
                 return Cookie(v);
             }
@@ -64,8 +64,7 @@ impl fmt::Display for Cookie {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pa_obs::rng::SplitMix64;
 
     #[test]
     fn from_raw_truncates_to_62_bits() {
@@ -76,7 +75,7 @@ mod tests {
 
     #[test]
     fn random_is_nonzero_and_62_bit() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         for _ in 0..1000 {
             let c = Cookie::random(&mut rng);
             assert!(!c.is_zero());
@@ -86,10 +85,13 @@ mod tests {
 
     #[test]
     fn random_cookies_collide_rarely() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..10_000 {
-            assert!(seen.insert(Cookie::random(&mut rng)), "collision in 10k draws");
+            assert!(
+                seen.insert(Cookie::random(&mut rng)),
+                "collision in 10k draws"
+            );
         }
     }
 

@@ -74,7 +74,10 @@ impl fmt::Display for LayoutError {
                 write!(f, "field `{name}`: width {bits} out of range 1..=64")
             }
             LayoutError::OffsetConflict { name, offset } => {
-                write!(f, "field `{name}`: fixed offset {offset} overlaps a previously placed field")
+                write!(
+                    f,
+                    "field `{name}`: fixed offset {offset} overlaps a previously placed field"
+                )
             }
             LayoutError::NoLayer => write!(f, "add_field called before begin_layer"),
             LayoutError::EmptyName => write!(f, "field name must not be empty"),
@@ -130,12 +133,20 @@ impl LayoutBuilder {
         if name.is_empty() {
             return Err(LayoutError::EmptyName);
         }
-        if bits == 0 || bits > MAX_FIELD_BITS || (bits > 64 && bits % 8 != 0) {
-            return Err(LayoutError::BadWidth { name: name.to_string(), bits });
+        if bits == 0 || bits > MAX_FIELD_BITS || (bits > 64 && !bits.is_multiple_of(8)) {
+            return Err(LayoutError::BadWidth {
+                name: name.to_string(),
+                bits,
+            });
         }
         let list = &mut self.specs[class.index()];
         let idx = list.len() as u16;
-        list.push(FieldSpec { name: name.to_string(), bits, offset, layer });
+        list.push(FieldSpec {
+            name: name.to_string(),
+            bits,
+            offset,
+            layer,
+        });
         Ok(Field { class, idx })
     }
 
@@ -152,7 +163,10 @@ impl LayoutBuilder {
     /// Declared field names in `class`, in declaration order (the index
     /// of a name equals the field handle's index within the class).
     pub fn field_names(&self, class: Class) -> Vec<&str> {
-        self.specs[class.index()].iter().map(|s| s.name.as_str()).collect()
+        self.specs[class.index()]
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect()
     }
 
     /// Compiles the declarations into a wire layout.
@@ -165,7 +179,11 @@ impl LayoutBuilder {
                 LayoutMode::Traditional8 => layer_by_layer(&self.specs[c.index()], 8),
             };
         }
-        Ok(CompiledLayout { classes, mode, fingerprint: self.fingerprint_of_specs() })
+        Ok(CompiledLayout {
+            classes,
+            mode,
+            fingerprint: self.fingerprint_of_specs(),
+        })
     }
 
     fn fingerprint_of_specs(&self) -> u64 {
@@ -281,7 +299,9 @@ impl CompiledLayout {
     /// gossip) — what rides on every message in addition to the 8-byte
     /// preamble and the packing header.
     pub fn per_message_header_bytes(&self) -> usize {
-        self.class_len(Class::Protocol) + self.class_len(Class::Message) + self.class_len(Class::Gossip)
+        self.class_len(Class::Protocol)
+            + self.class_len(Class::Message)
+            + self.class_len(Class::Gossip)
     }
 
     /// Reads scalar field `f` (≤ 64 bits) from `hdr` in `order`.
@@ -291,7 +311,10 @@ impl CompiledLayout {
     /// [`CompiledLayout::read_field_bytes`] for those.
     pub fn read_field(&self, f: Field, hdr: &[u8], order: ByteOrder) -> u64 {
         let p = self.classes[f.class.index()].placed[f.idx as usize];
-        assert!(p.bits <= 64, "field wider than 64 bits: use read_field_bytes");
+        assert!(
+            p.bits <= 64,
+            "field wider than 64 bits: use read_field_bytes"
+        );
         bits::read_field(hdr, p.bit_offset, p.bits, order)
     }
 
@@ -302,7 +325,10 @@ impl CompiledLayout {
     /// [`CompiledLayout::write_field_bytes`] for those.
     pub fn write_field(&self, f: Field, hdr: &mut [u8], order: ByteOrder, v: u64) {
         let p = self.classes[f.class.index()].placed[f.idx as usize];
-        assert!(p.bits <= 64, "field wider than 64 bits: use write_field_bytes");
+        assert!(
+            p.bits <= 64,
+            "field wider than 64 bits: use write_field_bytes"
+        );
         bits::write_field(hdr, p.bit_offset, p.bits, bits::mask(v, p.bits), order);
     }
 
@@ -339,7 +365,7 @@ impl CompiledLayout {
     pub fn field_byte_span(&self, f: Field) -> (usize, usize) {
         let p = self.classes[f.class.index()].placed[f.idx as usize];
         let start = (p.bit_offset / 8) as usize;
-        let end = ((p.bit_offset + p.bits + 7) / 8) as usize;
+        let end = (p.bit_offset + p.bits).div_ceil(8) as usize;
         (start, end)
     }
 
@@ -354,7 +380,10 @@ impl CompiledLayout {
             mode: self.mode,
             per_class,
             total_bytes: Class::ALL.iter().map(|&c| self.class_len(c)).sum(),
-            total_padding_bits: Class::ALL.iter().map(|&c| self.class(c).padding_bits()).sum(),
+            total_padding_bits: Class::ALL
+                .iter()
+                .map(|&c| self.class(c).padding_bits())
+                .sum(),
         }
     }
 }
@@ -389,7 +418,13 @@ fn preferred_align(bits: u32) -> u32 {
 
 /// First-fit-decreasing bit packing with natural alignment.
 fn pack_class(specs: &[FieldSpec]) -> Result<ClassLayout, LayoutError> {
-    let mut placed = vec![PlacedField { bit_offset: 0, bits: 0 }; specs.len()];
+    let mut placed = vec![
+        PlacedField {
+            bit_offset: 0,
+            bits: 0
+        };
+        specs.len()
+    ];
     let mut occupancy: Vec<bool> = Vec::new();
 
     let claim = |occ: &mut Vec<bool>, off: u32, width: u32| {
@@ -403,24 +438,35 @@ fn pack_class(specs: &[FieldSpec]) -> Result<ClassLayout, LayoutError> {
     };
     let free = |occ: &[bool], off: u32, width: u32| -> bool {
         let end = (off + width) as usize;
-        occ.iter().skip(off as usize).take(end - off as usize).all(|&b| !b) || occ.len() <= off as usize
+        occ.iter()
+            .skip(off as usize)
+            .take(end - off as usize)
+            .all(|&b| !b)
+            || occ.len() <= off as usize
     };
 
     // Phase 1: fixed-offset fields, declaration order.
     for (i, s) in specs.iter().enumerate() {
         if let Some(off) = s.offset {
             if !free(&occupancy, off, s.bits) {
-                return Err(LayoutError::OffsetConflict { name: s.name.clone(), offset: off });
+                return Err(LayoutError::OffsetConflict {
+                    name: s.name.clone(),
+                    offset: off,
+                });
             }
             claim(&mut occupancy, off, s.bits);
-            placed[i] = PlacedField { bit_offset: off, bits: s.bits };
+            placed[i] = PlacedField {
+                bit_offset: off,
+                bits: s.bits,
+            };
         }
     }
 
     // Phase 2: floating fields, widest first (FFD); ties broken by
     // declaration order so compilation is deterministic.
-    let mut floating: Vec<usize> =
-        (0..specs.len()).filter(|&i| specs[i].offset.is_none()).collect();
+    let mut floating: Vec<usize> = (0..specs.len())
+        .filter(|&i| specs[i].offset.is_none())
+        .collect();
     floating.sort_by_key(|&i| std::cmp::Reverse(specs[i].bits));
 
     for i in floating {
@@ -430,7 +476,10 @@ fn pack_class(specs: &[FieldSpec]) -> Result<ClassLayout, LayoutError> {
         loop {
             if free(&occupancy, off, s.bits) {
                 claim(&mut occupancy, off, s.bits);
-                placed[i] = PlacedField { bit_offset: off, bits: s.bits };
+                placed[i] = PlacedField {
+                    bit_offset: off,
+                    bits: s.bits,
+                };
                 break;
             }
             off += align;
@@ -444,13 +493,23 @@ fn pack_class(specs: &[FieldSpec]) -> Result<ClassLayout, LayoutError> {
         .map(|(p, _)| p.bit_offset + p.bits)
         .max()
         .unwrap_or(0);
-    Ok(ClassLayout { placed, byte_len: ((highest + 7) / 8) as usize, used_bits })
+    Ok(ClassLayout {
+        placed,
+        byte_len: highest.div_ceil(8) as usize,
+        used_bits,
+    })
 }
 
 /// The traditional scheme: sub-headers per layer, each padded to
 /// `pad_bytes` alignment; fields at natural byte alignment inside.
 fn layer_by_layer(specs: &[FieldSpec], pad_bytes: u32) -> ClassLayout {
-    let mut placed = vec![PlacedField { bit_offset: 0, bits: 0 }; specs.len()];
+    let mut placed = vec![
+        PlacedField {
+            bit_offset: 0,
+            bits: 0
+        };
+        specs.len()
+    ];
     // Group indices by layer, preserving declaration order.
     let mut layers: Vec<LayerId> = specs.iter().map(|s| s.layer).collect();
     layers.dedup();
@@ -465,11 +524,14 @@ fn layer_by_layer(specs: &[FieldSpec], pad_bytes: u32) -> ClassLayout {
             }
             // Natural alignment: round width up to bytes, align to the
             // smaller of that and 8 bytes.
-            let width_bytes = (s.bits + 7) / 8;
+            let width_bytes = s.bits.div_ceil(8);
             let align_bytes = width_bytes.next_power_of_two().min(8);
             let align_bits = align_bytes * 8;
             cursor_bits = cursor_bits.div_ceil(align_bits) * align_bits;
-            placed[i] = PlacedField { bit_offset: cursor_bits, bits: s.bits };
+            placed[i] = PlacedField {
+                bit_offset: cursor_bits,
+                bits: s.bits,
+            };
             cursor_bits += width_bytes * 8;
         }
         // Pad the layer's header to the 4/8-byte boundary.
@@ -477,7 +539,11 @@ fn layer_by_layer(specs: &[FieldSpec], pad_bytes: u32) -> ClassLayout {
         cursor_bits = cursor_bits.div_ceil(pad_bits) * pad_bits;
     }
     let used_bits: u32 = specs.iter().map(|s| s.bits).sum();
-    ClassLayout { placed, byte_len: (cursor_bits / 8) as usize, used_bits }
+    ClassLayout {
+        placed,
+        byte_len: (cursor_bits / 8) as usize,
+        used_bits,
+    }
 }
 
 #[cfg(test)]
@@ -527,7 +593,10 @@ mod tests {
             Err(LayoutError::BadWidth { .. })
         ));
         assert!(b.add_field(Class::Protocol, "ok", 64, None).is_ok());
-        assert_eq!(b.add_field(Class::Protocol, "", 8, None), Err(LayoutError::EmptyName));
+        assert_eq!(
+            b.add_field(Class::Protocol, "", 8, None),
+            Err(LayoutError::EmptyName)
+        );
     }
 
     #[test]
@@ -567,8 +636,9 @@ mod tests {
         for c in Class::ALL {
             let cl = l.class(c);
             let n = b.field_count(c);
-            let mut spans: Vec<(u32, u32)> =
-                (0..n).map(|i| (cl.placement(i).bit_offset, cl.placement(i).bits)).collect();
+            let mut spans: Vec<(u32, u32)> = (0..n)
+                .map(|i| (cl.placement(i).bit_offset, cl.placement(i).bits))
+                .collect();
             spans.sort();
             for w in spans.windows(2) {
                 assert!(w[0].0 + w[0].1 <= w[1].0, "overlap in class {c}: {spans:?}");
@@ -583,7 +653,12 @@ mod tests {
         let a = b.add_field(Class::Message, "at16", 8, Some(16)).unwrap();
         b.add_field(Class::Message, "float", 16, None).unwrap();
         let l = b.compile(LayoutMode::Packed).unwrap();
-        assert_eq!(l.class(Class::Message).placement(a.index_in_class()).bit_offset, 16);
+        assert_eq!(
+            l.class(Class::Message)
+                .placement(a.index_in_class())
+                .bit_offset,
+            16
+        );
 
         let mut b2 = LayoutBuilder::new();
         b2.begin_layer("l");
@@ -628,7 +703,11 @@ mod tests {
         l.write_field(g, &mut hdr, ByteOrder::Big, 0x5);
         l.write_field(f, &mut hdr, ByteOrder::Big, 0xFFF); // over-wide
         assert_eq!(l.read_field(f, &hdr, ByteOrder::Big), 0xF);
-        assert_eq!(l.read_field(g, &hdr, ByteOrder::Big), 0x5, "neighbour untouched");
+        assert_eq!(
+            l.read_field(g, &hdr, ByteOrder::Big),
+            0x5,
+            "neighbour untouched"
+        );
     }
 
     #[test]
@@ -663,7 +742,11 @@ mod tests {
     #[test]
     fn padding_report_totals_add_up() {
         let b = builder_4layer();
-        for mode in [LayoutMode::Packed, LayoutMode::Traditional, LayoutMode::Traditional8] {
+        for mode in [
+            LayoutMode::Packed,
+            LayoutMode::Traditional,
+            LayoutMode::Traditional8,
+        ] {
             let l = b.compile(mode).unwrap();
             let r = l.padding_report();
             let sum: usize = r.per_class.iter().map(|&(len, _)| len).sum();
@@ -725,10 +808,15 @@ mod tests {
         let mut b = LayoutBuilder::new();
         b.begin_layer("l");
         for i in 0..16 {
-            b.add_field(Class::Protocol, &format!("flag{i}"), 1, None).unwrap();
+            b.add_field(Class::Protocol, &format!("flag{i}"), 1, None)
+                .unwrap();
         }
         let l = b.compile(LayoutMode::Packed).unwrap();
-        assert_eq!(l.class_len(Class::Protocol), 2, "16 one-bit flags = 2 bytes");
+        assert_eq!(
+            l.class_len(Class::Protocol),
+            2,
+            "16 one-bit flags = 2 bytes"
+        );
         let t = b.compile(LayoutMode::Traditional).unwrap();
         assert_eq!(t.class_len(Class::Protocol), 16, "traditional: a byte each");
     }

@@ -42,7 +42,11 @@ pub struct TruncatedPreamble {
 
 impl fmt::Display for TruncatedPreamble {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "frame too short for preamble: {} bytes < {PREAMBLE_LEN}", self.had)
+        write!(
+            f,
+            "frame too short for preamble: {} bytes < {PREAMBLE_LEN}",
+            self.had
+        )
     }
 }
 
@@ -51,13 +55,21 @@ impl std::error::Error for TruncatedPreamble {}
 impl Preamble {
     /// Builds a preamble for an ordinary (cookie-only) message.
     pub fn common(cookie: Cookie, byte_order: ByteOrder) -> Preamble {
-        Preamble { conn_ident_present: false, byte_order, cookie }
+        Preamble {
+            conn_ident_present: false,
+            byte_order,
+            cookie,
+        }
     }
 
     /// Builds a preamble announcing that the conn-ident header follows
     /// (first message, retransmissions, "other unusual messages").
     pub fn with_conn_ident(cookie: Cookie, byte_order: ByteOrder) -> Preamble {
-        Preamble { conn_ident_present: true, byte_order, cookie }
+        Preamble {
+            conn_ident_present: true,
+            byte_order,
+            cookie,
+        }
     }
 
     /// Encodes to the 8 wire bytes.
@@ -80,7 +92,11 @@ impl Preamble {
         let word = u64::from_be_bytes(bytes[..PREAMBLE_LEN].try_into().expect("checked length"));
         Ok(Preamble {
             conn_ident_present: word >> 63 != 0,
-            byte_order: if (word >> 62) & 1 != 0 { ByteOrder::Little } else { ByteOrder::Big },
+            byte_order: if (word >> 62) & 1 != 0 {
+                ByteOrder::Little
+            } else {
+                ByteOrder::Big
+            },
             cookie: Cookie::from_raw(word),
         })
     }

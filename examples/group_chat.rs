@@ -31,9 +31,15 @@ fn converge(members: &mut [Member]) {
 
 fn main() {
     let view = View::new(1, [1, 2, 3]);
-    let mut members: Vec<Member> =
-        [1, 2, 3].iter().map(|&id| Member::new(id, view.clone(), GroupConfig::default())).collect();
-    println!("view: {} (sequencer: member {})\n", members[0].view(), view.sequencer().unwrap());
+    let mut members: Vec<Member> = [1, 2, 3]
+        .iter()
+        .map(|&id| Member::new(id, view.clone(), GroupConfig::default()))
+        .collect();
+    println!(
+        "view: {} (sequencer: member {})\n",
+        members[0].view(),
+        view.sequencer().unwrap()
+    );
 
     // Everyone talks at once.
     members[2].mcast_total(b"carol: did anyone read the SIGCOMM '96 proceedings?");

@@ -36,7 +36,10 @@ fn main() {
         bob.deliver_frame(frame);
     }
     while let Some(msg) = bob.poll_delivery() {
-        println!("bob received: {:?}", String::from_utf8_lossy(msg.as_slice()));
+        println!(
+            "bob received: {:?}",
+            String::from_utf8_lossy(msg.as_slice())
+        );
     }
 
     // Post-processing runs off the critical path, when the app is idle.
@@ -47,13 +50,21 @@ fn main() {
     // connection identification, predicted headers, filter-only CPU.
     alice.send(b"this one is pure fast path");
     while let Some(frame) = alice.poll_transmit() {
-        println!("fast-path frame: {} bytes (first was bigger: it carried the 75-byte ident)", frame.len());
+        println!(
+            "fast-path frame: {} bytes (first was bigger: it carried the 75-byte ident)",
+            frame.len()
+        );
         bob.deliver_frame(frame);
     }
     while let Some(msg) = bob.poll_delivery() {
-        println!("bob received: {:?}", String::from_utf8_lossy(msg.as_slice()));
+        println!(
+            "bob received: {:?}",
+            String::from_utf8_lossy(msg.as_slice())
+        );
     }
 
-    println!("\nalice stats: {:#?}", alice.stats());
-    println!("bob   stats: {:#?}", bob.stats());
+    // The Display impl renders the nonzero counters plus the two
+    // fast-path ratios — the same table every example uses.
+    println!("\nalice stats:\n{}", alice.stats());
+    println!("bob stats:\n{}", bob.stats());
 }

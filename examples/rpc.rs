@@ -19,7 +19,12 @@ fn main() {
     sim.run_until(t0 + 20_000_000);
     println!("--- one isolated RPC (8-byte request/reply, warm connection) ---");
     for e in sim.timeline() {
-        println!("  t={:>7.1} µs  node{}  {:?}", (e.at - t0) as f64 / 1000.0, e.node, e.event);
+        println!(
+            "  t={:>7.1} µs  node{}  {:?}",
+            (e.at - t0) as f64 / 1000.0,
+            e.node,
+            e.event
+        );
     }
     println!(
         "round-trip latency: {:.1} µs (the paper: ~170 µs)\n",

@@ -15,7 +15,11 @@ use pa::sim::{AppBehavior, GcPolicy, PostSchedule, SimConfig, TwoNodeSim};
 fn stream(packing: bool) {
     let mut cfg = SimConfig::paper();
     cfg.gc = [GcPolicy::EveryN(16); 2];
-    cfg.pa = PaConfig { packing, max_pack: if packing { 64 } else { 1 }, ..PaConfig::paper_default() };
+    cfg.pa = PaConfig {
+        packing,
+        max_pack: if packing { 64 } else { 1 },
+        ..PaConfig::paper_default()
+    };
     let mut sim = TwoNodeSim::new(&cfg);
     sim.set_behavior(1, AppBehavior::Sink);
     sim.nodes[0].schedule = PostSchedule::WhenIdle;
@@ -28,15 +32,24 @@ fn stream(packing: bool) {
     let sender = sim.nodes[0].conn.stats();
     let receiver = sim.nodes[1].conn.stats();
     println!("--- packing {} ---", if packing { "ON " } else { "OFF" });
-    println!("  delivered:        {} msgs in {:.3} s virtual time", sim.delivered[1], secs);
-    println!("  throughput:       {:.0} msgs/s (paper with packing: ~80,000)", sim.delivered[1] as f64 / secs);
+    println!(
+        "  delivered:        {} msgs in {:.3} s virtual time",
+        sim.delivered[1], secs
+    );
+    println!(
+        "  throughput:       {:.0} msgs/s (paper with packing: ~80,000)",
+        sim.delivered[1] as f64 / secs
+    );
     println!("  frames sent:      {}", sender.frames_out);
     println!(
         "  msgs per frame:   {:.1}",
         sim.delivered[1] as f64 / receiver.frames_in.max(1) as f64
     );
     println!("  packed frames:    {}", sender.packed_frames);
-    println!("  sender fast path: {:.0}%", sender.fast_send_ratio() * 100.0);
+    println!(
+        "  sender fast path: {:.0}%",
+        sender.fast_send_ratio() * 100.0
+    );
     println!();
 }
 

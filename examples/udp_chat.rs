@@ -76,7 +76,10 @@ fn main() {
     println!("alice on {a_sock}, bob on {b_sock}\n");
 
     let script: &[(&str, &str)] = &[
-        ("alice", "hey bob — this frame carries the full 75-byte ident"),
+        (
+            "alice",
+            "hey bob — this frame carries the full 75-byte ident",
+        ),
         ("bob", "hi alice — mine too; after this we ride the cookies"),
         ("alice", "predicted headers from here on"),
         ("bob", "the stack never runs on the critical path"),
@@ -110,6 +113,7 @@ fn main() {
         }
     }
 
-    println!("\nalice: {} fast sends / {} total", alice.conn.stats().fast_sends, alice.conn.stats().total_sends());
-    println!("bob:   {} fast sends / {} total", bob.conn.stats().fast_sends, bob.conn.stats().total_sends());
+    // The shared ConnStats renderer: nonzero counters + fast-path ratios.
+    println!("\nalice counters:\n{}", alice.conn.stats());
+    println!("bob counters:\n{}", bob.conn.stats());
 }

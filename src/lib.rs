@@ -7,6 +7,8 @@
 //!
 //! This facade crate re-exports the workspace members:
 //!
+//! - [`obs`] — zero-overhead-when-off tracing, path-latency histograms,
+//!   the unified metrics registry, and the workspace PRNG,
 //! - [`buf`] — message buffers with cheap header push/pop,
 //! - [`wire`] — the bit-packing header layout compiler, preamble, cookies,
 //! - [`filter`] — verified stack-machine packet filters,
@@ -24,6 +26,7 @@ pub use pa_buf as buf;
 pub use pa_core as core;
 pub use pa_filter as filter;
 pub use pa_group as group;
+pub use pa_obs as obs;
 pub use pa_sim as sim;
 pub use pa_stack as stack;
 pub use pa_unet as unet;

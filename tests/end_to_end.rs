@@ -4,8 +4,8 @@
 //! throws.
 
 use pa::core::{Connection, ConnectionParams, PaConfig};
-use pa::stack::{StackSpec, WindowLayer};
 use pa::stack::window::WindowConfig;
+use pa::stack::{StackSpec, WindowLayer};
 use pa::unet::{FaultConfig, LinkProfile, Netif, SimNet};
 use pa::wire::EndpointAddr;
 
@@ -78,7 +78,11 @@ fn drive(
 #[test]
 fn hundred_messages_over_harsh_network() {
     let spec = StackSpec {
-        window: WindowConfig { rto: 2_000_000, ack_every: 2, ..WindowConfig::default() },
+        window: WindowConfig {
+            rto: 2_000_000,
+            ack_every: 2,
+            ..WindowConfig::default()
+        },
         ..StackSpec::paper()
     };
     let mut a = conn(&spec, PaConfig::paper_default(), 1, 2, 11);
@@ -91,14 +95,24 @@ fn hundred_messages_over_harsh_network() {
         a.process_pending();
     }
     let got = drive(&mut a, &mut b, &mut net, 120_000);
-    assert_eq!(got, expected, "in order, exactly once, despite 15% drop/corrupt");
-    assert!(net.fault_stats().dropped > 0, "the network really did misbehave");
+    assert_eq!(
+        got, expected,
+        "in order, exactly once, despite 15% drop/corrupt"
+    );
+    assert!(
+        net.fault_stats().dropped > 0,
+        "the network really did misbehave"
+    );
 }
 
 #[test]
 fn bidirectional_traffic_under_mild_faults() {
     let spec = StackSpec {
-        window: WindowConfig { rto: 2_000_000, ack_every: 2, ..WindowConfig::default() },
+        window: WindowConfig {
+            rto: 2_000_000,
+            ack_every: 2,
+            ..WindowConfig::default()
+        },
         ..StackSpec::paper()
     };
     let mut a = conn(&spec, PaConfig::paper_default(), 1, 2, 31);
@@ -147,29 +161,46 @@ fn bidirectional_traffic_under_mild_faults() {
     }
     assert_eq!(from_a.len(), 50);
     assert_eq!(from_b.len(), 50);
-    assert!(from_a.iter().enumerate().all(|(i, m)| m == &vec![b'a', i as u8]));
-    assert!(from_b.iter().enumerate().all(|(i, m)| m == &vec![b'b', i as u8]));
+    assert!(from_a
+        .iter()
+        .enumerate()
+        .all(|(i, m)| m == &vec![b'a', i as u8]));
+    assert!(from_b
+        .iter()
+        .enumerate()
+        .all(|(i, m)| m == &vec![b'b', i as u8]));
 }
 
 #[test]
 fn large_fragmented_transfer_with_loss() {
     let spec = StackSpec {
         frag_mtu: Some(128),
-        window: WindowConfig { rto: 2_000_000, ack_every: 1, ..WindowConfig::default() },
+        window: WindowConfig {
+            rto: 2_000_000,
+            ack_every: 1,
+            ..WindowConfig::default()
+        },
         ..StackSpec::paper()
     };
     let mut a = conn(&spec, PaConfig::paper_default(), 1, 2, 41);
     let mut b = conn(&spec, PaConfig::paper_default(), 2, 1, 42);
     let mut net = SimNet::new(
         LinkProfile::atm_unet(),
-        FaultConfig { drop: 0.05, seed: 13, ..FaultConfig::none() },
+        FaultConfig {
+            drop: 0.05,
+            seed: 13,
+            ..FaultConfig::none()
+        },
     );
     let blob: Vec<u8> = (0..5_000u32).map(|i| (i % 251) as u8).collect();
     a.send(&blob);
     a.process_pending();
     let got = drive(&mut a, &mut b, &mut net, 120_000);
     assert_eq!(got.len(), 1);
-    assert_eq!(got[0], blob, "5 KB reassembled across ~40 fragments with loss");
+    assert_eq!(
+        got[0], blob,
+        "5 KB reassembled across ~40 fragments with loss"
+    );
 }
 
 #[test]
@@ -196,7 +227,11 @@ fn mixed_configs_interoperate() {
     }
     let got = drive(&mut a, &mut b, &mut net, 10_000);
     assert_eq!(got.len(), 10);
-    assert_eq!(a.stats().ident_frames_out, a.stats().frames_out, "ident on every frame");
+    assert_eq!(
+        a.stats().ident_frames_out,
+        a.stats().frames_out,
+        "ident on every frame"
+    );
 }
 
 #[test]
@@ -204,13 +239,21 @@ fn minimal_window_only_stack_end_to_end() {
     let mut a = Connection::new(
         vec![Box::new(WindowLayer::new(WindowConfig::default()))],
         PaConfig::paper_default(),
-        ConnectionParams::new(EndpointAddr::from_parts(1, 1), EndpointAddr::from_parts(2, 1), 61),
+        ConnectionParams::new(
+            EndpointAddr::from_parts(1, 1),
+            EndpointAddr::from_parts(2, 1),
+            61,
+        ),
     )
     .unwrap();
     let mut b = Connection::new(
         vec![Box::new(WindowLayer::new(WindowConfig::default()))],
         PaConfig::paper_default(),
-        ConnectionParams::new(EndpointAddr::from_parts(2, 1), EndpointAddr::from_parts(1, 1), 62),
+        ConnectionParams::new(
+            EndpointAddr::from_parts(2, 1),
+            EndpointAddr::from_parts(1, 1),
+            62,
+        ),
     )
     .unwrap();
     let mut net = SimNet::atm();

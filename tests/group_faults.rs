@@ -14,15 +14,18 @@ fn drive(members: &mut [Member], net: &mut SimNet, max_ms: u64) {
     for _ in 0..max_ms {
         now += 1_000_000;
         let mut moved = false;
-        for i in 0..members.len() {
-            let from = Member::addr_of(members[i].id());
-            while let Some((to, frame)) = members[i].poll_transmit() {
+        for member in members.iter_mut() {
+            let from = Member::addr_of(member.id());
+            while let Some((to, frame)) = member.poll_transmit() {
                 net.send(from, to, frame, now);
                 moved = true;
             }
         }
         while let Some(arr) = net.poll_arrival(now) {
-            if let Some(m) = members.iter_mut().find(|m| Member::addr_of(m.id()) == arr.to) {
+            if let Some(m) = members
+                .iter_mut()
+                .find(|m| Member::addr_of(m.id()) == arr.to)
+            {
                 m.from_network(arr.frame);
             }
             moved = true;
@@ -54,13 +57,15 @@ fn orders(members: &mut [Member]) -> Vec<Vec<(u32, u64, Vec<u8>)>> {
 #[test]
 fn total_order_survives_a_harsh_network() {
     let view = View::new(1, [1, 2, 3]);
-    let mut members: Vec<Member> =
-        [1, 2, 3].iter().map(|&id| Member::new(id, view.clone(), GroupConfig::default())).collect();
+    let mut members: Vec<Member> = [1, 2, 3]
+        .iter()
+        .map(|&id| Member::new(id, view.clone(), GroupConfig::default()))
+        .collect();
     let mut net = SimNet::new(LinkProfile::atm_unet(), FaultConfig::harsh(7));
 
     for round in 0..8u8 {
-        for i in 0..3 {
-            members[i].mcast_total(&[round, i as u8]);
+        for (i, member) in members.iter_mut().enumerate() {
+            member.mcast_total(&[round, i as u8]);
         }
     }
     drive(&mut members, &mut net, 120_000);
@@ -70,18 +75,31 @@ fn total_order_survives_a_harsh_network() {
     assert_eq!(all[0], all[1], "members 1 and 2 agree despite the faults");
     assert_eq!(all[1], all[2], "members 2 and 3 agree despite the faults");
     let stamps: Vec<u64> = all[0].iter().map(|&(_, g, _)| g).collect();
-    assert_eq!(stamps, (0..24).collect::<Vec<u64>>(), "stamps dense and in order");
-    assert!(net.fault_stats().dropped > 0, "the network really did drop frames");
+    assert_eq!(
+        stamps,
+        (0..24).collect::<Vec<u64>>(),
+        "stamps dense and in order"
+    );
+    assert!(
+        net.fault_stats().dropped > 0,
+        "the network really did drop frames"
+    );
 }
 
 #[test]
 fn fifo_multicast_per_sender_order_survives_reordering() {
     let view = View::new(1, [1, 2]);
-    let mut members: Vec<Member> =
-        [1, 2].iter().map(|&id| Member::new(id, view.clone(), GroupConfig::default())).collect();
+    let mut members: Vec<Member> = [1, 2]
+        .iter()
+        .map(|&id| Member::new(id, view.clone(), GroupConfig::default()))
+        .collect();
     let mut net = SimNet::new(
         LinkProfile::atm_unet(),
-        FaultConfig { reorder: 0.3, seed: 9, ..FaultConfig::none() },
+        FaultConfig {
+            reorder: 0.3,
+            seed: 9,
+            ..FaultConfig::none()
+        },
     );
     for i in 0..20u8 {
         members[0].mcast_fifo(&[i]);
@@ -91,5 +109,9 @@ fn fifo_multicast_per_sender_order_survives_reordering() {
     while let Some(d) = members[1].poll_delivery() {
         got.push(d.payload[0]);
     }
-    assert_eq!(got, (0..20).collect::<Vec<u8>>(), "window layer repaired the reordering");
+    assert_eq!(
+        got,
+        (0..20).collect::<Vec<u8>>(),
+        "window layer repaired the reordering"
+    );
 }

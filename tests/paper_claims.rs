@@ -56,7 +56,10 @@ fn claim_order_of_magnitude_over_no_pa() {
     baseline.cost = CostModel::paper_c;
     baseline.baseline = true;
     let c = warm_rtt(&baseline);
-    assert!((1_200_000.0..=1_900_000.0).contains(&c), "C no-PA {c} ns vs paper ~1.5 ms");
+    assert!(
+        (1_200_000.0..=1_900_000.0).contains(&c),
+        "C no-PA {c} ns vs paper ~1.5 ms"
+    );
     let factor = c / pa;
     assert!(factor > 6.0, "PA wins by {factor:.1}× (paper: ~8.8×)");
 }
@@ -75,9 +78,15 @@ fn claim_gc_policy_sets_the_rt_ceiling() {
     };
     let every = rate(GcPolicy::EveryReception);
     let occasional = rate(GcPolicy::EveryN(64));
-    assert!((1_200.0..=2_600.0).contains(&every), "solid ceiling {every}");
+    assert!(
+        (1_200.0..=2_600.0).contains(&every),
+        "solid ceiling {every}"
+    );
     assert!(occasional > 3_500.0, "dashed ceiling {occasional}");
-    assert!((4_500.0..=7_000.0).contains(&occasional), "dashed ceiling {occasional} vs paper ~6000");
+    assert!(
+        (4_500.0..=7_000.0).contains(&occasional),
+        "dashed ceiling {occasional} vs paper ~6000"
+    );
     assert!(occasional > 2.0 * every, "the figure's separation");
 }
 
@@ -96,5 +105,9 @@ fn claim_headers_fit_a_unet_cell() {
 fn claim_packing_sustains_streaming() {
     // Table 4 / §3.4: ~80k 8-byte msgs/s with packing; collapse without.
     let with = pa::sim::experiments::packing::run();
-    assert!(with.packing_speedup() > 4.0, "{:.1}×", with.packing_speedup());
+    assert!(
+        with.packing_speedup() > 4.0,
+        "{:.1}×",
+        with.packing_speedup()
+    );
 }

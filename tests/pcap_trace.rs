@@ -59,7 +59,11 @@ fn recorded_frames_replay_through_the_dissector() {
 
     let bytes = trace.borrow().clone();
     let records = pcap::parse(&bytes).expect("valid pcap");
-    assert!(records.len() >= 5, "every wire frame recorded: {}", records.len());
+    assert!(
+        records.len() >= 5,
+        "every wire frame recorded: {}",
+        records.len()
+    );
     // Timestamps are monotone.
     assert!(records.windows(2).all(|w| w[0].0 <= w[1].0));
     // Every recorded frame dissects without a complaint marker.

@@ -1,74 +1,83 @@
-//! Property-based tests on the core data structures and invariants.
+//! Randomized property tests on the core data structures and
+//! invariants.
+//!
+//! These were originally proptest properties; they now run as seeded
+//! deterministic randomized tests over [`pa::obs::rng::SplitMix64`] so
+//! the whole suite builds and runs with no registry access. Every case
+//! derives from a fixed seed — a failure reproduces exactly, and the
+//! failing iteration index is in the panic message.
 
 use pa::buf::{ByteOrder, Msg};
 use pa::core::packing::{pack, unpack, PackInfo};
 use pa::filter::{Op, ProgramBuilder};
+use pa::obs::rng::{Rng, SplitMix64};
 use pa::wire::{Class, Cookie, LayoutBuilder, LayoutMode, Preamble};
-use proptest::prelude::*;
+
+fn rand_bytes(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    let n = rng.gen_index(max_len + 1);
+    (0..n).map(|_| rng.next_u64() as u8).collect()
+}
 
 // ---------------------------------------------------------------------
 // Msg: any sequence of front/back pushes and pops behaves like a deque
 // of bytes.
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum MsgOp {
-    PushFront(Vec<u8>),
-    PushBack(Vec<u8>),
-    PopFront(usize),
-    PopBack(usize),
-}
-
-fn msg_op() -> impl Strategy<Value = MsgOp> {
-    prop_oneof![
-        proptest::collection::vec(any::<u8>(), 0..32).prop_map(MsgOp::PushFront),
-        proptest::collection::vec(any::<u8>(), 0..32).prop_map(MsgOp::PushBack),
-        (0usize..40).prop_map(MsgOp::PopFront),
-        (0usize..40).prop_map(MsgOp::PopBack),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn msg_behaves_like_byte_deque(ops in proptest::collection::vec(msg_op(), 0..64)) {
+#[test]
+fn msg_behaves_like_byte_deque() {
+    let mut rng = SplitMix64::new(0x6d73_675f_6465_7175);
+    for case in 0..256 {
         let mut msg = Msg::new();
         let mut model: std::collections::VecDeque<u8> = Default::default();
-        for op in ops {
-            match op {
-                MsgOp::PushFront(b) => {
+        let ops = rng.gen_index(64);
+        for step in 0..ops {
+            match rng.gen_index(4) {
+                0 => {
+                    let b = rand_bytes(&mut rng, 31);
                     msg.push_front(&b);
                     for &x in b.iter().rev() {
                         model.push_front(x);
                     }
                 }
-                MsgOp::PushBack(b) => {
+                1 => {
+                    let b = rand_bytes(&mut rng, 31);
                     msg.push_back(&b);
                     model.extend(b.iter().copied());
                 }
-                MsgOp::PopFront(n) => {
+                2 => {
+                    let n = rng.gen_index(40);
                     let got = msg.pop_front(n);
                     if n <= model.len() {
                         let want: Vec<u8> = model.drain(..n).collect();
-                        prop_assert_eq!(got.expect("model says it fits"), want);
+                        assert_eq!(
+                            got.expect("model says it fits"),
+                            want,
+                            "case {case} step {step}"
+                        );
                     } else {
-                        prop_assert!(got.is_none());
+                        assert!(got.is_none(), "case {case} step {step}");
                     }
                 }
-                MsgOp::PopBack(n) => {
+                _ => {
+                    let n = rng.gen_index(40);
                     let got = msg.pop_back(n);
                     if n <= model.len() {
                         let split = model.len() - n;
                         let want: Vec<u8> = model.split_off(split).into();
-                        prop_assert_eq!(got.expect("model says it fits"), want);
+                        assert_eq!(
+                            got.expect("model says it fits"),
+                            want,
+                            "case {case} step {step}"
+                        );
                     } else {
-                        prop_assert!(got.is_none());
+                        assert!(got.is_none(), "case {case} step {step}");
                     }
                 }
             }
-            prop_assert_eq!(msg.len(), model.len());
+            assert_eq!(msg.len(), model.len(), "case {case} step {step}");
         }
         let flat: Vec<u8> = model.into_iter().collect();
-        prop_assert_eq!(msg.to_wire(), flat);
+        assert_eq!(msg.to_wire(), flat, "case {case}");
     }
 }
 
@@ -84,11 +93,20 @@ struct RandField {
     bits: u32,
 }
 
-fn rand_field() -> impl Strategy<Value = RandField> {
-    (0usize..4, 1u32..=64).prop_map(|(class, bits)| RandField { class, bits })
+fn rand_fields(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<RandField> {
+    let n = min + rng.gen_index(max - min);
+    (0..n)
+        .map(|_| RandField {
+            class: rng.gen_index(4),
+            bits: 1 + rng.gen_index(64) as u32,
+        })
+        .collect()
 }
 
-fn build_layout(fields: &[RandField], mode: LayoutMode) -> (pa::wire::CompiledLayout, Vec<pa::wire::Field>) {
+fn build_layout(
+    fields: &[RandField],
+    mode: LayoutMode,
+) -> (pa::wire::CompiledLayout, Vec<pa::wire::Field>) {
     let mut b = LayoutBuilder::new();
     let mut handles = Vec::new();
     b.begin_layer("l0");
@@ -104,11 +122,11 @@ fn build_layout(fields: &[RandField], mode: LayoutMode) -> (pa::wire::CompiledLa
     (b.compile(mode).expect("compiles"), handles)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn layout_fields_never_overlap(fields in proptest::collection::vec(rand_field(), 1..24)) {
+#[test]
+fn layout_fields_never_overlap() {
+    let mut rng = SplitMix64::new(0x6c61_796f_7574_0001);
+    for case in 0..64 {
+        let fields = rand_fields(&mut rng, 1, 24);
         for mode in [LayoutMode::Packed, LayoutMode::Traditional] {
             let (layout, _) = build_layout(&fields, mode);
             for c in Class::ALL {
@@ -121,58 +139,80 @@ proptest! {
                     .collect();
                 spans.sort();
                 for w in spans.windows(2) {
-                    prop_assert!(w[0].0 + w[0].1 <= w[1].0, "{mode:?} {c} overlap: {spans:?}");
+                    assert!(
+                        w[0].0 + w[0].1 <= w[1].0,
+                        "case {case} {mode:?} {c} overlap: {spans:?}"
+                    );
                 }
-                // Everything fits within the class byte length.
                 if let Some(&(off, bits)) = spans.last() {
-                    prop_assert!(((off + bits) as usize) <= cl.byte_len() * 8);
+                    assert!(((off + bits) as usize) <= cl.byte_len() * 8, "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn layout_roundtrips_all_values(fields in proptest::collection::vec(rand_field(), 1..16),
-                                    seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn layout_roundtrips_all_values() {
+    let mut rng = SplitMix64::new(0x6c61_796f_7574_0002);
+    for case in 0..64 {
+        let fields = rand_fields(&mut rng, 1, 16);
         for order in [ByteOrder::Big, ByteOrder::Little] {
             let (layout, handles) = build_layout(&fields, LayoutMode::Packed);
-            let mut bufs: [Vec<u8>; 4] =
-                Class::ALL.map(|c| vec![0u8; layout.class_len(c)]);
+            let mut bufs: [Vec<u8>; 4] = Class::ALL.map(|c| vec![0u8; layout.class_len(c)]);
             let values: Vec<u64> = handles
                 .iter()
                 .map(|&h| {
-                    let v: u64 = rng.gen();
+                    let v: u64 = rng.next_u64();
                     let bits = layout.field_bits(h);
-                    let v = if bits == 64 { v } else { v & ((1u64 << bits) - 1) };
+                    let v = if bits == 64 {
+                        v
+                    } else {
+                        v & ((1u64 << bits) - 1)
+                    };
                     layout.write_field(h, &mut bufs[h.class.index()], order, v);
                     v
                 })
                 .collect();
             for (h, v) in handles.iter().zip(&values) {
-                prop_assert_eq!(layout.read_field(*h, &bufs[h.class.index()], order), *v);
+                assert_eq!(
+                    layout.read_field(*h, &bufs[h.class.index()], order),
+                    *v,
+                    "case {case} {order:?}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn packed_never_larger_than_traditional(fields in proptest::collection::vec(rand_field(), 1..24)) {
+#[test]
+fn packed_never_larger_than_traditional() {
+    let mut rng = SplitMix64::new(0x6c61_796f_7574_0003);
+    for case in 0..64 {
+        let fields = rand_fields(&mut rng, 1, 24);
         let (packed, _) = build_layout(&fields, LayoutMode::Packed);
         let (trad, _) = build_layout(&fields, LayoutMode::Traditional);
         for c in Class::ALL {
-            prop_assert!(packed.class_len(c) <= trad.class_len(c),
-                "{c}: packed {} > traditional {}", packed.class_len(c), trad.class_len(c));
+            assert!(
+                packed.class_len(c) <= trad.class_len(c),
+                "case {case} {c}: packed {} > traditional {}",
+                packed.class_len(c),
+                trad.class_len(c)
+            );
         }
     }
+}
 
-    #[test]
-    fn layout_compilation_is_deterministic(fields in proptest::collection::vec(rand_field(), 1..16)) {
+#[test]
+fn layout_compilation_is_deterministic() {
+    let mut rng = SplitMix64::new(0x6c61_796f_7574_0004);
+    for case in 0..64 {
+        let fields = rand_fields(&mut rng, 1, 16);
         let (a, _) = build_layout(&fields, LayoutMode::Packed);
         let (b, _) = build_layout(&fields, LayoutMode::Packed);
-        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), b.fingerprint(), "case {case}");
         for c in Class::ALL {
-            prop_assert_eq!(a.class_len(c), b.class_len(c));
+            assert_eq!(a.class_len(c), b.class_len(c), "case {case}");
         }
     }
 }
@@ -181,28 +221,32 @@ proptest! {
 // Packing: any list of messages survives pack → wire → unpack.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn packing_roundtrips(sizes in proptest::collection::vec(0usize..200, 1..40)) {
-        let msgs: Vec<Msg> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| Msg::from_payload(&vec![(i % 256) as u8; s]))
+#[test]
+fn packing_roundtrips() {
+    let mut rng = SplitMix64::new(0x7061_636b_0000_0001);
+    for case in 0..128 {
+        let n = 1 + rng.gen_index(39);
+        let msgs: Vec<Msg> = (0..n)
+            .map(|i| Msg::from_payload(&vec![(i % 256) as u8; rng.gen_index(200)]))
             .collect();
         let mut packed = pack(&msgs);
         // Survive a wire image copy.
         let mut rx = Msg::from_wire(packed.to_wire());
         let info = PackInfo::pop_from(&mut rx).expect("valid header");
         let out = unpack(&info, rx).expect("lengths match");
-        prop_assert_eq!(out.len(), msgs.len());
+        assert_eq!(out.len(), msgs.len(), "case {case}");
         for (a, b) in out.iter().zip(&msgs) {
-            prop_assert_eq!(a.as_slice(), b.as_slice());
+            assert_eq!(a.as_slice(), b.as_slice(), "case {case}");
         }
         let _ = packed.pop_front(1);
     }
+}
 
-    #[test]
-    fn pack_info_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn pack_info_decode_never_panics() {
+    let mut rng = SplitMix64::new(0x7061_636b_0000_0002);
+    for _ in 0..512 {
+        let bytes = rand_bytes(&mut rng, 63);
         let _ = PackInfo::decode(&bytes); // must never panic
     }
 }
@@ -211,53 +255,67 @@ proptest! {
 // Preamble: roundtrip and garbage tolerance.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn preamble_roundtrips(raw in any::<u64>(), cip in any::<bool>(), little in any::<bool>()) {
+#[test]
+fn preamble_roundtrips() {
+    let mut rng = SplitMix64::new(0x7072_6561_6d62_6c65);
+    for case in 0..256 {
         let p = Preamble {
-            conn_ident_present: cip,
-            byte_order: if little { ByteOrder::Little } else { ByteOrder::Big },
-            cookie: Cookie::from_raw(raw),
+            conn_ident_present: rng.gen_bool(0.5),
+            byte_order: if rng.gen_bool(0.5) {
+                ByteOrder::Little
+            } else {
+                ByteOrder::Big
+            },
+            cookie: Cookie::from_raw(rng.next_u64()),
         };
-        prop_assert_eq!(Preamble::decode(&p.encode()).expect("8 bytes"), p);
+        assert_eq!(
+            Preamble::decode(&p.encode()).expect("8 bytes"),
+            p,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn preamble_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+#[test]
+fn preamble_decode_never_panics() {
+    let mut rng = SplitMix64::new(0x7072_6561_6d62_6c66);
+    for _ in 0..512 {
+        let bytes = rand_bytes(&mut rng, 15);
         let _ = Preamble::decode(&bytes);
     }
 }
 
 // ---------------------------------------------------------------------
 // Packet filter: programs that pass verification never panic at run
-// time, whatever the frame contents.
+// time, whatever the frame contents — and both backends agree.
 // ---------------------------------------------------------------------
 
-fn rand_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<i64>().prop_map(Op::PushConst),
-        Just(Op::PushSize),
-        Just(Op::PushBodySize),
-        Just(Op::Add),
-        Just(Op::Sub),
-        Just(Op::Mul),
-        Just(Op::Eq),
-        Just(Op::Ne),
-        Just(Op::Lt),
-        Just(Op::Not),
-        Just(Op::Dup),
-        Just(Op::Swap),
-        Just(Op::Drop),
-        (-4i64..4).prop_map(Op::Abort),
-    ]
+fn rand_op(rng: &mut SplitMix64) -> Op {
+    match rng.gen_index(14) {
+        0 => Op::PushConst(rng.next_u64() as i64),
+        1 => Op::PushSize,
+        2 => Op::PushBodySize,
+        3 => Op::Add,
+        4 => Op::Sub,
+        5 => Op::Mul,
+        6 => Op::Eq,
+        7 => Op::Ne,
+        8 => Op::Lt,
+        9 => Op::Not,
+        10 => Op::Dup,
+        11 => Op::Swap,
+        12 => Op::Drop,
+        _ => Op::Abort(rng.gen_index(8) as i64 - 4),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn verified_filters_never_panic() {
+    let mut rng = SplitMix64::new(0x6669_6c74_6572_0001);
+    for case in 0..256 {
+        let ops: Vec<Op> = (0..rng.gen_index(32)).map(|_| rand_op(&mut rng)).collect();
+        let payload = rand_bytes(&mut rng, 63);
 
-    #[test]
-    fn verified_filters_never_panic(ops in proptest::collection::vec(rand_op(), 0..32),
-                                    payload in proptest::collection::vec(any::<u8>(), 0..64)) {
         let mut b = LayoutBuilder::new();
         b.begin_layer("l");
         b.add_field(Class::Protocol, "x", 16, None).expect("valid");
@@ -266,24 +324,19 @@ proptest! {
         let mut pb = ProgramBuilder::new();
         pb.extend(ops);
         let Ok(program) = pb.build() else {
-            return Ok(()); // rejected by the verifier: that's fine
+            continue; // rejected by the verifier: that's fine
         };
         let mut msg = Msg::from_payload(&payload);
         msg.push_front_zeroed(layout.class_len(Class::Protocol));
         let mut frame = pa::filter::Frame::new(&mut msg, &layout, ByteOrder::Big);
-        let _ = pa::filter::run(&program, &mut frame); // must not panic
+        let v1 = pa::filter::run(&program, &mut frame); // must not panic
 
         // And the compiled backend must agree.
         let compiled = pa::filter::CompiledProgram::compile(&program, &layout);
         let mut msg2 = Msg::from_payload(&payload);
         msg2.push_front_zeroed(layout.class_len(Class::Protocol));
-        let mut frame2_msg = msg2;
-        let v2 = compiled.run(program.slots(), &mut frame2_msg, ByteOrder::Big);
-        let mut msg1 = Msg::from_payload(&payload);
-        msg1.push_front_zeroed(layout.class_len(Class::Protocol));
-        let mut frame1 = pa::filter::Frame::new(&mut msg1, &layout, ByteOrder::Big);
-        let v1 = pa::filter::run(&program, &mut frame1);
-        prop_assert_eq!(v1, v2, "backends agree");
+        let v2 = compiled.run(program.slots(), &mut msg2, ByteOrder::Big);
+        assert_eq!(v1, v2, "case {case}: backends agree");
     }
 }
 
@@ -292,15 +345,17 @@ proptest! {
 // clean network, whatever mix of sizes (including frag-sized).
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn engine_preserves_any_payload_sequence(payload_sizes in proptest::collection::vec(0usize..600, 1..20)) {
-        use pa::core::{Connection, ConnectionParams, PaConfig};
-        use pa::stack::StackSpec;
-        use pa::wire::EndpointAddr;
-        let spec = StackSpec { frag_mtu: Some(128), ..StackSpec::paper() };
+#[test]
+fn engine_preserves_any_payload_sequence() {
+    use pa::core::{Connection, ConnectionParams, PaConfig};
+    use pa::stack::StackSpec;
+    use pa::wire::EndpointAddr;
+    let mut rng = SplitMix64::new(0x656e_6769_6e65_0001);
+    for case in 0..24 {
+        let spec = StackSpec {
+            frag_mtu: Some(128),
+            ..StackSpec::paper()
+        };
         let mk = |l: u64, p: u64, s: u64| {
             Connection::new(
                 spec.build(),
@@ -315,10 +370,12 @@ proptest! {
         };
         let mut a = mk(1, 2, 71);
         let mut b = mk(2, 1, 72);
-        let msgs: Vec<Vec<u8>> = payload_sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (0..s).map(|j| ((i + j) % 256) as u8).collect())
+        let n = 1 + rng.gen_index(19);
+        let msgs: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                let s = rng.gen_index(600);
+                (0..s).map(|j| ((i + j) % 256) as u8).collect()
+            })
             .collect();
         for m in &msgs {
             a.send(m);
@@ -345,6 +402,6 @@ proptest! {
         while let Some(m) = b.poll_delivery() {
             got.push(m.to_wire());
         }
-        prop_assert_eq!(got, msgs);
+        assert_eq!(got, msgs, "case {case}");
     }
 }

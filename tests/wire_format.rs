@@ -29,7 +29,10 @@ fn frame_structure_matches_figure_1() {
 
     // Preamble first.
     let preamble = Preamble::decode(frame.as_slice()).unwrap();
-    assert!(preamble.conn_ident_present, "first frame carries the identification");
+    assert!(
+        preamble.conn_ident_present,
+        "first frame carries the identification"
+    );
     assert_eq!(preamble.byte_order, ByteOrder::Big);
     assert_eq!(preamble.cookie, a.local_cookie());
 
@@ -51,7 +54,11 @@ fn frame_structure_matches_figure_1() {
     assert!(!p2.conn_ident_present);
     assert_eq!(p2.cookie, a.local_cookie());
     assert_eq!(frame2.len(), expect_len - layout.class_len(Class::ConnId));
-    assert!(frame2.len() <= 40, "common case fits one U-Net cell: {}", frame2.len());
+    assert!(
+        frame2.len() <= 40,
+        "common case fits one U-Net cell: {}",
+        frame2.len()
+    );
 }
 
 #[test]
@@ -126,11 +133,20 @@ fn truncation_at_every_length_is_rejected_cleanly() {
             !matches!(out, DeliverOutcome::Fast { .. }),
             "cut at {cut} must not fast-deliver"
         );
-        assert!(b.poll_delivery().is_none(), "cut at {cut} delivered garbage");
+        assert!(
+            b.poll_delivery().is_none(),
+            "cut at {cut} delivered garbage"
+        );
     }
     // The intact frame still delivers afterwards.
     let out = b.deliver_frame(frame);
-    assert!(matches!(out, DeliverOutcome::Fast { msgs: 1 } | DeliverOutcome::Slow { msgs: 1 }), "{out:?}");
+    assert!(
+        matches!(
+            out,
+            DeliverOutcome::Fast { msgs: 1 } | DeliverOutcome::Slow { msgs: 1 }
+        ),
+        "{out:?}"
+    );
     assert_eq!(b.poll_delivery().unwrap().as_slice(), b"will be truncated");
 }
 
@@ -159,9 +175,16 @@ fn every_corrupted_byte_is_caught_or_harmless() {
         w[i] ^= 0x01;
         let probe = b_clone_deliver(&mut b, w);
         if i >= body_start {
-            assert!(probe.is_none(), "body flip at byte {i} was delivered: {probe:?}");
+            assert!(
+                probe.is_none(),
+                "body flip at byte {i} was delivered: {probe:?}"
+            );
         } else if let Some(p) = probe {
-            assert_eq!(p, b"precious data".to_vec(), "header flip at {i} corrupted the payload");
+            assert_eq!(
+                p,
+                b"precious data".to_vec(),
+                "header flip at {i} corrupted the payload"
+            );
         }
     }
 }
