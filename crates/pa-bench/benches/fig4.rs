@@ -1,6 +1,34 @@
-//! Regenerates Figure 4 (round-trip execution breakdown).
+//! Regenerates Figure 4 (round-trip execution breakdown) and runs the
+//! regression gate: emits `BENCH_fig4.json` and compares it against
+//! the committed baseline (the EXPERIMENTS.md E2 anchors).
 fn main() {
     pa_bench::banner("Figure 4 — round-trip execution breakdown");
     let f = pa_sim::experiments::fig4::run();
     println!("{}", f.render());
+
+    let mut report = pa_bench::BenchReport::new("fig4");
+    report
+        .push(
+            "typical_rtt_us",
+            f.typical_rtt / 1e3,
+            pa_bench::Better::Lower,
+        )
+        .push(
+            "saturated_rtt_us",
+            f.saturated_rtt / 1e3,
+            pa_bench::Better::Lower,
+        )
+        .push(
+            "saturated_worst_us",
+            f.saturated_worst / 1e3,
+            pa_bench::Better::Lower,
+        )
+        .push(
+            "saturated_rate_rt_per_sec",
+            f.saturated_rate,
+            pa_bench::Better::Higher,
+        );
+    if !pa_bench::emit_and_compare(&report) {
+        std::process::exit(1);
+    }
 }

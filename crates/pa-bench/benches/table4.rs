@@ -1,6 +1,26 @@
-//! Regenerates Table 4 (basic performance).
+//! Regenerates Table 4 (basic performance) and runs the regression
+//! gate: emits `BENCH_table4.json` and compares it against the
+//! committed baseline (the EXPERIMENTS.md E1 anchors).
 fn main() {
     pa_bench::banner("Table 4 — basic performance of the stack with the PA");
     let t = pa_sim::experiments::table4::run();
     println!("{}", t.render());
+
+    let mut report = pa_bench::BenchReport::new("table4");
+    report
+        .push("one_way_us", t.one_way_ns / 1e3, pa_bench::Better::Lower)
+        .push("msgs_per_sec", t.msgs_per_sec, pa_bench::Better::Higher)
+        .push(
+            "roundtrips_per_sec",
+            t.roundtrips_per_sec,
+            pa_bench::Better::Higher,
+        )
+        .push(
+            "bandwidth_mb_per_sec",
+            t.bandwidth_bytes_per_sec / 1e6,
+            pa_bench::Better::Higher,
+        );
+    if !pa_bench::emit_and_compare(&report) {
+        std::process::exit(1);
+    }
 }

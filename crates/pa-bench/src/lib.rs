@@ -8,6 +8,15 @@
 //! header access, interpreted vs pre-resolved filters, fast path vs
 //! layered traversal, packing — the honest numbers for this
 //! implementation on today's hardware (shapes, not 1996 values).
+//!
+//! The `table4` and `fig4` benches additionally emit
+//! `BENCH_table4.json` / `BENCH_fig4.json` reports and run the
+//! [`report`] comparator against the committed baselines in
+//! `baselines/` — the CI bench-smoke regression gate.
+
+pub mod report;
+
+pub use report::{compare, emit_and_compare, BenchReport, Better, Comparison, Delta, Metric};
 
 /// Prints a standard banner for a paper-artifact bench.
 pub fn banner(what: &str) {

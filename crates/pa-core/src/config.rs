@@ -51,6 +51,18 @@ pub struct PaConfig {
     /// "agree on a cookie before starting to use it" mitigation for
     /// first-message loss).
     pub ident_on_first: u32,
+    /// In-band trace context (journeys). On: the engine declares a
+    /// `trace_journey`/`trace_hop` pair in the Message Specific class
+    /// via the same `add_field` path every layer uses, the *send
+    /// filter* fills them from patchable slots (§3.3 — tracing rides
+    /// the PA's own header machinery), and both sides emit
+    /// `JourneySend`/`JourneyDeliver` probe events. Off (the default):
+    /// the fields are never declared, so the compiled layout, the
+    /// stack fingerprint, and every wire byte are identical to an
+    /// untraced build. Both peers must agree on this flag — a mismatch
+    /// is a stack mismatch and is caught by the fingerprint in the
+    /// connection identification.
+    pub trace_ctx: bool,
 }
 
 impl PaConfig {
@@ -66,6 +78,7 @@ impl PaConfig {
             layout_mode: LayoutMode::Packed,
             filter_backend: FilterBackend::Interpreted,
             ident_on_first: 1,
+            trace_ctx: false,
         }
     }
 
@@ -82,6 +95,7 @@ impl PaConfig {
             layout_mode: LayoutMode::Traditional,
             filter_backend: FilterBackend::Interpreted,
             ident_on_first: u32::MAX,
+            trace_ctx: false,
         }
     }
 
@@ -111,6 +125,9 @@ mod tests {
         assert!(c.predict && c.cookies && c.lazy_post && c.packing);
         assert_eq!(c.layout_mode, LayoutMode::Packed);
         assert_eq!(c.ident_on_first, 1);
+        // Tracing is opt-in: the paper's evaluated PA carries no trace
+        // context, so the default wire format matches §5 exactly.
+        assert!(!c.trace_ctx);
     }
 
     #[test]

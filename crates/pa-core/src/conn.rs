@@ -27,12 +27,17 @@ use crate::predict::Prediction;
 use crate::stats::ConnStats;
 use crate::Nanos;
 use pa_buf::{Backlog, ByteOrder, Msg};
-use pa_filter::{CompiledProgram, Frame, Program, ProgramBuilder};
+use pa_filter::{CompiledProgram, Frame, Op, Program, ProgramBuilder, SlotId};
 use pa_obs::rng::SplitMix64;
-use pa_obs::{DropCause, FieldRef, ProbeSink, SlowCause, TraceEvent};
+use pa_obs::{journey_id, DropCause, FieldRef, ProbeSink, SlowCause, TraceEvent};
 use pa_wire::{Class, CompiledLayout, Cookie, EndpointAddr, Field, LayoutBuilder, Preamble};
 use std::collections::VecDeque;
 use std::fmt;
+
+/// Delivery-filter verdict for a frame that should carry a trace
+/// context but doesn't (journey id 0): a conforming tracing peer always
+/// fills the field, so such a frame is diverted to the slow path.
+const TRACE_MISSING: i64 = 77;
 
 /// Identity and environment of a connection.
 #[derive(Debug, Clone)]
@@ -213,6 +218,32 @@ pub struct Connection {
     /// Name of the last layer whose effects disabled the send
     /// prediction — attributed on `Queued` trace events.
     last_disable_layer: &'static str,
+    /// The in-band trace context fields (`trace_journey` /
+    /// `trace_hop`), declared in the Message Specific class when
+    /// `config.trace_ctx` is on. `None` otherwise — absent fields cost
+    /// nothing on the wire or in the layout.
+    trace_journey: Option<Field>,
+    trace_hop: Option<Field>,
+    /// The send-filter slots the trace fields are filled from (§3.3 —
+    /// tracing rides the PA's own header machinery).
+    trace_j_slot: Option<SlotId>,
+    trace_h_slot: Option<SlotId>,
+    /// Origin tag for minted journey ids: the low 32 bits of our
+    /// cookie, unique per connection on a host.
+    trace_origin: u32,
+    /// Sequence number of the next minted journey (starts at 1; a
+    /// journey id of 0 means "absent").
+    journey_seq: u64,
+    /// Host-set continuation for the next outgoing frame: relay hosts
+    /// propagate an incoming journey (same id, hop+1) instead of
+    /// minting a fresh one.
+    next_trace: Option<(u64, u8)>,
+    /// `(journey, hop)` stamped into the most recently wired frame —
+    /// the host reads this to tag pcap captures.
+    last_sent_trace: Option<(u64, u8)>,
+    /// `(journey, hop)` read from the most recently accepted frame —
+    /// relays feed this (hop+1) into [`Connection::set_next_trace`].
+    last_recv_trace: Option<(u64, u8)>,
 }
 
 impl Connection {
@@ -263,6 +294,50 @@ impl Connection {
             layer.init(&mut ctx);
         }
 
+        // In-band trace context (opt-in): a journey id and hop counter
+        // in the Message Specific class, declared through the same
+        // `add_field` path every layer uses and *filled by the send
+        // filter* from patchable slots — tracing rides the PA's own
+        // header machinery, not a side channel. Checksum fragments never
+        // cover the Message class, so filter-written trace fields cannot
+        // invalidate a digest. When off, nothing is declared here: the
+        // compiled layout, the stack fingerprint, and every wire byte
+        // are identical to an untraced build (and the fingerprint in the
+        // connection identification catches a peer that disagrees).
+        let mut trace_journey = None;
+        let mut trace_hop = None;
+        let mut trace_j_slot = None;
+        let mut trace_h_slot = None;
+        if config.trace_ctx {
+            lb.begin_layer("trace");
+            let jf = lb
+                .add_field(Class::Message, "trace_journey", 64, None)
+                .map_err(SetupError::Layout)?;
+            let hf = lb
+                .add_field(Class::Message, "trace_hop", 8, None)
+                .map_err(SetupError::Layout)?;
+            let js = send_fb.alloc_slot(0);
+            let hs = send_fb.alloc_slot(0);
+            send_fb.extend(vec![
+                Op::PushSlot(js),
+                Op::PopField(jf),
+                Op::PushSlot(hs),
+                Op::PopField(hf),
+            ]);
+            // Delivery side: a conforming tracing peer never sends
+            // journey 0, so divert such frames to the slow path.
+            recv_fb.extend(vec![
+                Op::PushField(jf),
+                Op::PushConst(0),
+                Op::Eq,
+                Op::Abort(TRACE_MISSING),
+            ]);
+            trace_journey = Some(jf);
+            trace_hop = Some(hf);
+            trace_j_slot = Some(js);
+            trace_h_slot = Some(hs);
+        }
+
         let mut field_names = crate::dissect::FieldNames::default();
         for class in Class::ALL {
             for name in lb.field_names(class) {
@@ -294,9 +369,11 @@ impl Connection {
         let mut rng = SplitMix64::new(params.seed);
         let send_predict = Prediction::new(&layout, params.order);
         let recv_predict = Prediction::new(&layout, params.order);
+        let cookie_local = Cookie::random(&mut rng);
 
         Ok(Connection {
-            cookie_local: Cookie::random(&mut rng),
+            trace_origin: cookie_local.raw() as u32,
+            cookie_local,
             cookie_peer: None,
             config,
             layers,
@@ -326,6 +403,14 @@ impl Connection {
             now: 0,
             probe: ProbeSink::Noop,
             last_disable_layer: "(init)",
+            trace_journey,
+            trace_hop,
+            trace_j_slot,
+            trace_h_slot,
+            journey_seq: 1,
+            next_trace: None,
+            last_sent_trace: None,
+            last_recv_trace: None,
         })
     }
 
@@ -386,6 +471,40 @@ impl Connection {
     #[inline]
     fn emit(&mut self, event: TraceEvent) {
         self.probe.emit(self.now, event);
+    }
+
+    /// True if this connection carries the in-band trace context
+    /// (`config.trace_ctx` was on at construction).
+    pub fn trace_ctx_enabled(&self) -> bool {
+        self.trace_journey.is_some()
+    }
+
+    /// Origin tag minted into this connection's journey ids (the low
+    /// 32 bits of the local cookie).
+    pub fn trace_origin(&self) -> u32 {
+        self.trace_origin
+    }
+
+    /// Sets the trace context for the *next* outgoing frame: relay
+    /// hosts call this with an incoming journey's `(id, hop + 1)` so a
+    /// forwarded message keeps its journey instead of minting a fresh
+    /// one. Consumed by the next frame; later frames mint again.
+    pub fn set_next_trace(&mut self, journey: u64, hop: u8) {
+        if self.trace_journey.is_some() && journey != 0 {
+            self.next_trace = Some((journey, hop));
+        }
+    }
+
+    /// `(journey, hop)` stamped into the most recently wired frame, if
+    /// tracing is on. Hosts use this to tag pcap captures.
+    pub fn last_sent_trace(&self) -> Option<(u64, u8)> {
+        self.last_sent_trace
+    }
+
+    /// `(journey, hop)` read from the most recently accepted incoming
+    /// frame, if tracing is on.
+    pub fn last_recv_trace(&self) -> Option<(u64, u8)> {
+        self.last_recv_trace
     }
 
     /// Declared field names (for [`crate::dissect::dissect`]).
@@ -589,8 +708,27 @@ impl Connection {
         body
     }
 
+    /// Arms the trace-context slots before a send-filter run: the
+    /// host-set continuation (relays) if one is pending, otherwise a
+    /// freshly minted journey at hop 0. The filter then copies the
+    /// slots into the frame's Message-specific header — the stamp rides
+    /// the PA's own header machinery. No-op when tracing is off.
+    fn arm_trace_slots(&mut self) {
+        let (Some(js), Some(hs)) = (self.trace_j_slot, self.trace_h_slot) else {
+            return;
+        };
+        let (journey, hop) = self.next_trace.take().unwrap_or_else(|| {
+            let id = journey_id(self.trace_origin, self.journey_seq as u32);
+            self.journey_seq += 1;
+            (id, 0)
+        });
+        self.send_filter.set_slot(js, journey as i64);
+        self.send_filter.set_slot(hs, hop as i64);
+    }
+
     /// Runs the configured send-filter backend over `msg`'s frame.
     fn run_send_filter(&mut self, msg: &mut Msg) -> pa_filter::Verdict {
+        self.arm_trace_slots();
         match self.config.filter_backend {
             FilterBackend::Interpreted => {
                 let mut frame = Frame::new(msg, &self.layout, self.order);
@@ -620,6 +758,18 @@ impl Connection {
     /// Final send step: schedule post-processing, attach conn-ident if
     /// due, push the cookie preamble, queue the frame for the network.
     fn wire_out(&mut self, mut msg: Msg, unusual: bool) {
+        // The journey stamped into this frame (slots the filter just
+        // copied into the header). Recorded for the host's pcap tagging
+        // and emitted when a probe listens.
+        if let (Some(js), Some(hs)) = (self.trace_j_slot, self.trace_h_slot) {
+            let journey = self.send_filter.slot(js) as u64;
+            let hop = self.send_filter.slot(hs) as u8;
+            self.last_sent_trace = Some((journey, hop));
+            if journey != 0 && self.probe.enabled() {
+                self.emit(TraceEvent::JourneySend { journey, hop });
+            }
+        }
+
         // Post-processing operates on the frame image (protocol header
         // first), captured before preamble/ident are pushed.
         self.pending_send.push_back(msg.clone());
@@ -719,6 +869,28 @@ impl Connection {
                 reason: DropCause::Malformed,
             });
             return DeliverOutcome::Dropped(DropReason::Malformed);
+        }
+
+        // Read the in-band trace context (the frame is accepted from
+        // here on — it delivers fast or slow, never silently vanishes).
+        // Only runs when `trace_ctx` declared the fields.
+        if let Some(jf) = self.trace_journey {
+            let msg_off = self.layout.class_len(Class::Protocol);
+            let msg_len = self.layout.class_len(Class::Message);
+            if let Some(bytes) = frame.get(msg_off, msg_len) {
+                let bytes = bytes.to_vec();
+                let journey = self.layout.read_field(jf, &bytes, self.peer_order);
+                let hop = self
+                    .trace_hop
+                    .map(|hf| self.layout.read_field(hf, &bytes, self.peer_order) as u8)
+                    .unwrap_or(0);
+                if journey != 0 {
+                    self.last_recv_trace = Some((journey, hop));
+                    if self.probe.enabled() {
+                        self.emit(TraceEvent::JourneyDeliver { journey, hop });
+                    }
+                }
+            }
         }
 
         let filter_verdict = self.run_recv_filter(&mut frame);
@@ -1967,5 +2139,202 @@ mod tests {
         }
         assert!(a.stats().fast_send_ratio() > 0.9);
         assert!(b.stats().fast_delivery_ratio() > 0.9);
+    }
+
+    // ------------------------------------------------------------------
+    // In-band trace context (journeys)
+    // ------------------------------------------------------------------
+
+    fn traced_config() -> PaConfig {
+        let mut c = PaConfig::paper_default();
+        c.trace_ctx = true;
+        c
+    }
+
+    #[test]
+    fn trace_ctx_off_declares_nothing() {
+        let (a, ..) = pair(PaConfig::paper_default());
+        assert!(!a.trace_ctx_enabled());
+        assert!(a.last_sent_trace().is_none());
+        // And the layout is identical to an untraced stack (the golden
+        // byte-for-byte check lives in tests/wire_format.rs).
+        let (t, ..) = pair(traced_config());
+        assert!(t.trace_ctx_enabled());
+        assert!(
+            t.layout().class_len(Class::Message) > a.layout().class_len(Class::Message),
+            "trace fields widen the Message class only when opted in"
+        );
+    }
+
+    #[test]
+    fn fast_path_stamps_a_fresh_journey_per_frame() {
+        let (mut a, mut b, ..) = pair(traced_config());
+        a.set_probe(pa_obs::ProbeSink::ring(64));
+        b.set_probe(pa_obs::ProbeSink::ring(64));
+
+        assert_eq!(a.send(b"m0"), SendOutcome::FastPath);
+        let (j0, h0) = a.last_sent_trace().unwrap();
+        assert_ne!(j0, 0);
+        assert_eq!(h0, 0);
+        assert_eq!(pa_obs::journey_origin(j0), a.trace_origin());
+        assert_eq!(pa_obs::journey_seq(j0), 1, "minting starts at 1");
+
+        shuttle(&mut a, &mut b);
+        assert_eq!(b.last_recv_trace(), Some((j0, 0)));
+        a.process_pending();
+
+        assert_eq!(a.send(b"m1"), SendOutcome::FastPath);
+        let (j1, _) = a.last_sent_trace().unwrap();
+        assert_eq!(pa_obs::journey_seq(j1), 2, "each frame mints anew");
+        shuttle(&mut a, &mut b);
+
+        // Both rings join into complete journeys.
+        let set = pa_obs::JourneySet::reconstruct(&[
+            a.probe().trace_ring().unwrap(),
+            b.probe().trace_ring().unwrap(),
+        ]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.complete_count(), 2);
+        assert_eq!(set.orphan_delivers, 0);
+    }
+
+    #[test]
+    fn slow_and_queued_paths_stamp_too() {
+        let mut config = traced_config();
+        config.predict = false; // every send takes the slow path
+        let (mut a, mut b, ..) = pair(config);
+        a.set_probe(pa_obs::ProbeSink::ring(64));
+        b.set_probe(pa_obs::ProbeSink::ring(64));
+        assert_eq!(a.send(b"slow"), SendOutcome::SlowPath);
+        shuttle(&mut a, &mut b);
+        let set = pa_obs::JourneySet::reconstruct(&[
+            a.probe().trace_ring().unwrap(),
+            b.probe().trace_ring().unwrap(),
+        ]);
+        assert_eq!(set.complete_count(), 1, "slow path carries the stamp");
+    }
+
+    #[test]
+    fn relay_continuation_preserves_journey_and_bumps_hop() {
+        // a → b, then b relays to c (a fresh connection pair) carrying
+        // the same journey at hop 1.
+        let (mut a, mut b, ..) = pair(traced_config());
+        let (mut b2, mut c, ..) = {
+            let (lb, cb) = seq_layer();
+            let (lc, cc) = seq_layer();
+            let b2 = Connection::new(
+                vec![Box::new(lb)],
+                traced_config(),
+                ConnectionParams::new(
+                    EndpointAddr::from_parts(2, 8),
+                    EndpointAddr::from_parts(3, 8),
+                    3,
+                ),
+            )
+            .unwrap();
+            let c = Connection::new(
+                vec![Box::new(lc)],
+                traced_config(),
+                ConnectionParams::new(
+                    EndpointAddr::from_parts(3, 8),
+                    EndpointAddr::from_parts(2, 8),
+                    4,
+                ),
+            )
+            .unwrap();
+            (b2, c, cb, cc)
+        };
+        for conn in [&mut a, &mut b, &mut b2, &mut c] {
+            conn.set_probe(pa_obs::ProbeSink::ring(64));
+        }
+
+        a.send(b"hop0");
+        shuttle(&mut a, &mut b);
+        let (j, h) = b.last_recv_trace().unwrap();
+        assert_eq!(h, 0);
+
+        // The relay host forwards on its second leg.
+        b2.set_next_trace(j, h + 1);
+        b2.send(b"hop1");
+        let (j1, h1) = b2.last_sent_trace().unwrap();
+        assert_eq!((j1, h1), (j, 1), "continuation, not a fresh mint");
+        shuttle(&mut b2, &mut c);
+        assert_eq!(c.last_recv_trace(), Some((j, 1)));
+        b2.process_pending();
+
+        // The next b2 send mints its own journey again.
+        b2.send(b"fresh");
+        let (j2, h2) = b2.last_sent_trace().unwrap();
+        assert_ne!(j2, j);
+        assert_eq!(h2, 0);
+        assert_eq!(pa_obs::journey_origin(j2), b2.trace_origin());
+
+        // Reconstruction across all four rings shows one two-hop
+        // journey (complete on both legs).
+        let set = pa_obs::JourneySet::reconstruct(&[
+            a.probe().trace_ring().unwrap(),
+            b.probe().trace_ring().unwrap(),
+            b2.probe().trace_ring().unwrap(),
+            c.probe().trace_ring().unwrap(),
+        ]);
+        let two_hop = set.get(j).expect("relayed journey reconstructed");
+        assert_eq!(two_hop.hops.len(), 2);
+        assert!(two_hop.is_complete());
+    }
+
+    #[test]
+    fn untraced_peer_frame_diverts_to_slow_path() {
+        // A tracing receiver never fast-delivers a journey-0 frame: the
+        // delivery filter aborts with TRACE_MISSING and the layered
+        // traversal handles it. (Same-fingerprint peers always agree on
+        // trace_ctx; this exercises the defensive check with a frame
+        // whose trace field was zeroed in flight.)
+        let (mut a, mut b, ..) = pair(traced_config());
+        b.set_probe(pa_obs::ProbeSink::ring(64));
+        a.send(b"payload");
+        let mut frame = a.poll_transmit().unwrap();
+        // Zero the journey field bytes in the Message class. The frame
+        // starts with preamble + conn-ident (first frame), so locate the
+        // Message class from the back: [... proto | message | gossip |
+        // packing+payload].
+        let jf = a.trace_journey.unwrap();
+        let layout = a.layout().clone();
+        let msg_len = layout.class_len(Class::Message);
+        let gossip = layout.class_len(Class::Gossip);
+        let body = b"payload".len() + 1; // packing byte
+        let msg_start = frame.len() - body - gossip - msg_len;
+        let mut class = frame.get(msg_start, msg_len).unwrap().to_vec();
+        layout.write_field(jf, &mut class, a.order, 0);
+        for (i, byte) in class.iter().enumerate() {
+            frame.set_byte_at(msg_start + i, *byte);
+        }
+        // The checksum does not cover the Message class, so the frame
+        // is otherwise valid.
+        let outcome = b.deliver_frame(frame);
+        assert!(matches!(outcome, DeliverOutcome::Slow { msgs: 1 }));
+        assert!(b.last_recv_trace().is_none(), "journey 0 is not recorded");
+        let ring = b.probe().trace_ring().unwrap();
+        assert!(
+            ring.records().iter().any(|r| matches!(
+                r.event,
+                TraceEvent::SlowDeliver {
+                    cause: SlowCause::FilterReject
+                }
+            )),
+            "diverted by the delivery filter"
+        );
+    }
+
+    #[test]
+    fn journeys_cost_nothing_without_probe() {
+        // trace_ctx on but probe off: frames carry stamps (the wire
+        // format is a contract with the peer), yet no events are
+        // emitted anywhere.
+        let (mut a, mut b, ..) = pair(traced_config());
+        a.send(b"m");
+        shuttle(&mut a, &mut b);
+        assert!(a.last_sent_trace().is_some());
+        assert!(b.last_recv_trace().is_some());
+        assert!(a.probe().counts().is_none() && a.probe().trace_ring().is_none());
     }
 }

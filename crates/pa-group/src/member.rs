@@ -5,6 +5,7 @@ use crate::envelope::{Envelope, Kind};
 use crate::view::View;
 use pa_buf::Msg;
 use pa_core::{ConnHandle, Connection, ConnectionParams, Endpoint, Nanos, PaConfig};
+use pa_obs::{DropCause, ProbeSink, TraceEvent};
 use pa_stack::StackSpec;
 use pa_wire::EndpointAddr;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -63,6 +64,12 @@ pub struct Member {
     deliveries: VecDeque<GroupDelivery>,
     /// Total-order messages sent while we had no sequencer path yet.
     stats: GroupStats,
+    /// Local virtual clock (advanced by [`Member::tick`]); stamps
+    /// member-level probe events.
+    now: Nanos,
+    /// Member-level observability probe: membership changes and group
+    /// envelope outcomes surface here as `Control` / `Drop` events.
+    probe: ProbeSink,
 }
 
 /// Counters for a member.
@@ -95,6 +102,8 @@ impl Member {
             hold_back: BTreeMap::new(),
             deliveries: VecDeque::new(),
             stats: GroupStats::default(),
+            now: 0,
+            probe: ProbeSink::Noop,
         };
         m.install_view(view);
         m
@@ -118,6 +127,49 @@ impl Member {
     /// Counters.
     pub fn stats(&self) -> GroupStats {
         self.stats
+    }
+
+    /// Installs a member-level probe. Membership transitions surface as
+    /// `Control { layer: "membership" }` (plus `"sequencer"` when the
+    /// stamping duty moves), and rejected envelopes as
+    /// `Drop { reason: ByLayer("group") }`. Ring probes are labelled
+    /// with this member's id so merged timelines stay attributable.
+    pub fn set_probe(&mut self, mut probe: ProbeSink) {
+        if let Some(ring) = probe.trace_ring_mut() {
+            ring.set_conn(self.id);
+        }
+        self.probe = probe;
+    }
+
+    /// The member-level probe (counts, ring records).
+    pub fn probe(&self) -> &ProbeSink {
+        &self.probe
+    }
+
+    /// Mutable member-level probe access.
+    pub fn probe_mut(&mut self) -> &mut ProbeSink {
+        &mut self.probe
+    }
+
+    /// Installs a probe on the underlying accelerated connection to
+    /// `peer`, exposing the PA-level event stream (fast/slow path,
+    /// journeys, window controls) for one group link. Returns `false`
+    /// if no connection to `peer` exists in the current view.
+    pub fn set_peer_probe(&mut self, peer: u32, probe: ProbeSink) -> bool {
+        match self.conns.get(&peer) {
+            Some(&h) => {
+                self.endpoint.conn_mut(h).set_probe(probe);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The probe installed on the connection to `peer`, if any.
+    pub fn peer_probe(&self, peer: u32) -> Option<&ProbeSink> {
+        self.conns
+            .get(&peer)
+            .map(|&h| self.endpoint.conn(h).probe())
     }
 
     /// Network address of member `id`.
@@ -152,7 +204,8 @@ impl Member {
         // If the sequencer changed, drop undeliverable hold-back
         // entries from the old regime and resynchronize the stamp
         // stream at the highest point seen.
-        if view.sequencer() != self.view.sequencer() {
+        let sequencer_changed = view.sequencer() != self.view.sequencer();
+        if sequencer_changed {
             let resume = self
                 .hold_back
                 .keys()
@@ -165,6 +218,20 @@ impl Member {
             self.next_stamp = resume;
         }
         self.view = view;
+        // Membership is a control-plane act: surface the transition
+        // (and any sequencer handover) to whoever is listening.
+        if self.probe.enabled() {
+            self.probe.emit(
+                self.now,
+                TraceEvent::Control {
+                    layer: "membership",
+                },
+            );
+            if sequencer_changed {
+                self.probe
+                    .emit(self.now, TraceEvent::Control { layer: "sequencer" });
+            }
+        }
     }
 
     fn send_to(&mut self, peer: u32, env: &Envelope) {
@@ -228,13 +295,31 @@ impl Member {
         env.gseq = self.next_stamp;
         self.next_stamp += 1;
         self.stats.stamped += 1;
+        if self.probe.enabled() {
+            self.probe
+                .emit(self.now, TraceEvent::Control { layer: "ordering" });
+        }
         self.fan_out(&env);
         self.enqueue_ordered(env.origin, env.gseq, env.payload);
     }
 
+    /// Counts an envelope rejection on both the stats ledger and the
+    /// probe (one event per rejected envelope).
+    fn drop_envelope(&mut self) {
+        self.stats.dropped += 1;
+        if self.probe.enabled() {
+            self.probe.emit(
+                self.now,
+                TraceEvent::Drop {
+                    reason: DropCause::ByLayer("group"),
+                },
+            );
+        }
+    }
+
     fn enqueue_ordered(&mut self, origin: u32, gseq: u64, payload: Vec<u8>) {
         if gseq < self.next_deliver {
-            self.stats.dropped += 1; // duplicate of something delivered
+            self.drop_envelope(); // duplicate of something delivered
             return;
         }
         self.hold_back.insert(gseq, (origin, payload));
@@ -256,11 +341,11 @@ impl Member {
         self.endpoint.from_network(frame);
         while let Some(d) = self.endpoint.poll_delivery() {
             let Some(env) = Envelope::decode(d.msg.as_slice()) else {
-                self.stats.dropped += 1;
+                self.drop_envelope();
                 continue;
             };
             if !self.view.contains(env.origin) {
-                self.stats.dropped += 1; // departed member's residue
+                self.drop_envelope(); // departed member's residue
                 continue;
             }
             match env.kind {
@@ -276,7 +361,7 @@ impl Member {
                     if self.is_sequencer() {
                         self.stamp_and_fan_out(env);
                     } else {
-                        self.stats.dropped += 1; // we are not the sequencer
+                        self.drop_envelope(); // we are not the sequencer
                     }
                 }
                 Kind::TotalOrdered => {
@@ -301,8 +386,10 @@ impl Member {
         self.endpoint.process_all_pending();
     }
 
-    /// Advances retransmission timers on all connections.
+    /// Advances retransmission timers on all connections (and the
+    /// member's own probe clock).
     pub fn tick(&mut self, now: Nanos) {
+        self.now = now;
         self.endpoint.tick(now);
     }
 }
@@ -497,5 +584,77 @@ mod tests {
         // Each member delivered its own 10 plus the peer's 10.
         assert_eq!(g[0].stats().delivered, 20);
         assert_eq!(g[1].stats().delivered, 20);
+    }
+
+    #[test]
+    fn probes_count_membership_and_group_events() {
+        let mut g = group(&[1, 2, 3]);
+        for m in g.iter_mut() {
+            m.set_probe(ProbeSink::counting());
+        }
+        // PA-level probe on the accelerated 1→2 link; unknown peers
+        // are refused.
+        assert!(g[0].set_peer_probe(2, ProbeSink::counting()));
+        assert!(!g[0].set_peer_probe(99, ProbeSink::counting()));
+
+        // The sequencer (member 1) stamps one total-order multicast.
+        g[0].mcast_total(b"ordered");
+        g[1].mcast_fifo(b"fifo");
+        converge(&mut g);
+
+        let c0 = *g[0].probe().counts().unwrap();
+        assert_eq!(c0.controls, 1, "one stamp by the sequencer");
+        assert_eq!(c0.drops, 0);
+
+        // The PA under the group saw real frame traffic on 1→2.
+        let link = g[0].peer_probe(2).unwrap().counts().unwrap();
+        assert!(
+            link.fast_sends + link.slow_sends + link.queued >= 1,
+            "{link:?}"
+        );
+
+        // View change: the sequencer departs; survivors record both the
+        // membership transition and the sequencer handover.
+        let v = g[1].view().without(1);
+        g[1].install_view(v.clone());
+        g[2].install_view(v);
+        for m in &g[1..] {
+            let c = m.probe().counts().unwrap();
+            assert_eq!(
+                c.controls,
+                2,
+                "membership + sequencer handover at member {}",
+                m.id()
+            );
+        }
+
+        // Residue from the departed member is dropped AND counted on
+        // the probe, mirroring `GroupStats::dropped`.
+        g[0].mcast_fifo(b"ghost");
+        let (to, frame) = g[0].poll_transmit().unwrap();
+        assert_eq!(to, Member::addr_of(2));
+        g[1].from_network(frame);
+        let c1 = g[1].probe().counts().unwrap();
+        assert_eq!(c1.drops, 1, "{c1:?}");
+        assert_eq!(g[1].stats().dropped, 1);
+    }
+
+    #[test]
+    fn member_ring_probe_is_labelled_and_timestamped() {
+        let mut g = group(&[5, 6]);
+        g[1].set_probe(ProbeSink::ring(16));
+        g[1].tick(1_000);
+        let v = g[1].view().without(5);
+        g[1].install_view(v);
+        let ring = g[1].probe().trace_ring().unwrap();
+        let recs = ring.records();
+        // Membership + sequencer handover (5 was the sequencer).
+        assert_eq!(recs.len(), 2, "{recs:?}");
+        for r in &recs {
+            assert_eq!(r.conn, 6, "labelled with the member id");
+            assert_eq!(r.at, 1_000, "stamped with the member clock");
+        }
+        assert!(recs[0].event.to_string().contains("membership"));
+        assert!(recs[1].event.to_string().contains("sequencer"));
     }
 }

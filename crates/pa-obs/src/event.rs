@@ -153,6 +153,24 @@ pub enum TraceEvent {
         /// The emitting layer.
         layer: &'static str,
     },
+    /// A frame left the sender carrying an in-band trace context (the
+    /// `trace_ctx` Message-class field): one hop of a cross-endpoint
+    /// journey begins.
+    JourneySend {
+        /// The journey id stamped into the frame (origin tag in the
+        /// high 32 bits, per-origin sequence in the low 32).
+        journey: u64,
+        /// Hop counter as written on the wire (0 at the origin).
+        hop: u8,
+    },
+    /// A frame carrying a trace context arrived and was read back out
+    /// of the Message class by the receiver: the hop completes.
+    JourneyDeliver {
+        /// The journey id read from the frame.
+        journey: u64,
+        /// Hop counter as read off the wire.
+        hop: u8,
+    },
 }
 
 impl TraceEvent {
@@ -169,6 +187,17 @@ impl TraceEvent {
             TraceEvent::Drop { .. } => "drop",
             TraceEvent::BacklogDrain { .. } => "backlog-drain",
             TraceEvent::Control { .. } => "control",
+            TraceEvent::JourneySend { .. } => "journey-send",
+            TraceEvent::JourneyDeliver { .. } => "journey-deliver",
+        }
+    }
+
+    /// The journey id carried by this event, if it is a journey event.
+    pub fn journey(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::JourneySend { journey, .. }
+            | TraceEvent::JourneyDeliver { journey, .. } => Some(journey),
+            _ => None,
         }
     }
 
@@ -203,6 +232,20 @@ impl TraceEvent {
                 format!("backlog-drain frames={frames} msgs={msgs}")
             }
             TraceEvent::Control { layer } => format!("control layer={layer}"),
+            TraceEvent::JourneySend { journey, hop } => {
+                format!(
+                    "journey-send id={}:{} hop={hop}",
+                    journey >> 32,
+                    journey & 0xFFFF_FFFF
+                )
+            }
+            TraceEvent::JourneyDeliver { journey, hop } => {
+                format!(
+                    "journey-deliver id={}:{} hop={hop}",
+                    journey >> 32,
+                    journey & 0xFFFF_FFFF
+                )
+            }
         }
     }
 }
@@ -246,6 +289,18 @@ mod tests {
     }
 
     #[test]
+    fn journey_events_expose_their_id() {
+        let id = (9u64 << 32) | 42;
+        let e = TraceEvent::JourneySend {
+            journey: id,
+            hop: 0,
+        };
+        assert_eq!(e.journey(), Some(id));
+        assert_eq!(TraceEvent::FastSend.journey(), None);
+        assert!(e.to_string().contains("id=9:42"), "{e}");
+    }
+
+    #[test]
     fn display_covers_every_kind() {
         let events = [
             TraceEvent::FastSend,
@@ -270,6 +325,14 @@ mod tests {
             },
             TraceEvent::BacklogDrain { frames: 1, msgs: 4 },
             TraceEvent::Control { layer: "window" },
+            TraceEvent::JourneySend {
+                journey: (3 << 32) | 7,
+                hop: 0,
+            },
+            TraceEvent::JourneyDeliver {
+                journey: (3 << 32) | 7,
+                hop: 0,
+            },
         ];
         for e in events {
             let s = e.to_string();

@@ -13,6 +13,13 @@
 //! - [`TraceRing`] — a fixed-capacity, allocation-free ring of
 //!   [`TraceRecord`]s with logical timestamps and per-connection
 //!   sequence numbers;
+//! - [`JourneySet`] / [`Journey`] — cross-endpoint causal journeys:
+//!   joins `JourneySend`/`JourneyDeliver` events from several rings by
+//!   journey id into per-hop timelines with latency waterfalls;
+//! - [`FlightRecorder`] / [`TimeSeries`] — the time-series flight
+//!   recorder: virtual-time-cadenced sampling of [`MetricsSnapshot`]
+//!   deltas into ring-buffered series, with Prometheus-text and
+//!   JSON-lines exporters and an invariant-break [`Postmortem`] dump;
 //! - [`LatencyHisto`] — mergeable log2-bucketed (HDR-style) latency
 //!   histograms with p50/p90/p99/max export;
 //! - [`MetricsSnapshot`] — the unified `(scope, name) → value`
@@ -29,16 +36,22 @@
 
 pub mod event;
 pub mod histo;
+pub mod journey;
 pub mod probe;
 pub mod ring;
 pub mod rng;
 pub mod snapshot;
+pub mod timeseries;
 
 pub use event::{DropCause, FieldRef, Nanos, SlowCause, TraceEvent};
 pub use histo::{HistoSummary, LatencyHisto};
+pub use journey::{
+    journey_id, journey_origin, journey_seq, render_journey_id, HopLeg, Journey, JourneySet,
+};
 pub use probe::{EventCounts, NoopProbe, Probe, ProbeSink};
 pub use ring::{merge_timeline, TraceRecord, TraceRing};
 pub use snapshot::MetricsSnapshot;
+pub use timeseries::{FlightRecorder, Postmortem, TimeSeries};
 
 use std::fmt;
 

@@ -57,6 +57,10 @@ pub struct EventCounts {
     pub backlog_drains: u64,
     /// `Control` events.
     pub controls: u64,
+    /// `JourneySend` events.
+    pub journey_sends: u64,
+    /// `JourneyDeliver` events.
+    pub journey_delivers: u64,
 }
 
 impl EventCounts {
@@ -72,6 +76,8 @@ impl EventCounts {
             + self.drops
             + self.backlog_drains
             + self.controls
+            + self.journey_sends
+            + self.journey_delivers
     }
 
     #[inline]
@@ -87,6 +93,8 @@ impl EventCounts {
             TraceEvent::Drop { .. } => self.drops += 1,
             TraceEvent::BacklogDrain { .. } => self.backlog_drains += 1,
             TraceEvent::Control { .. } => self.controls += 1,
+            TraceEvent::JourneySend { .. } => self.journey_sends += 1,
+            TraceEvent::JourneyDeliver { .. } => self.journey_delivers += 1,
         }
     }
 }

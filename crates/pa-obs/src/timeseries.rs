@@ -1,0 +1,406 @@
+//! The time-series flight recorder.
+//!
+//! A [`FlightRecorder`] samples [`MetricsSnapshot`] *deltas* on a
+//! virtual-time cadence into fixed-capacity ring-buffered
+//! [`TimeSeries`] — how the fast-path ratio, drop rate, backlog depth
+//! and pool occupancy evolve over a run, not just their final totals.
+//! Like the trace ring, storage is bounded: a series holds the most
+//! recent `capacity` points and overwrites the oldest beyond that.
+//!
+//! Exporters: Prometheus text exposition ([`FlightRecorder::to_prometheus`])
+//! and JSON lines ([`FlightRecorder::to_json_lines`]). When a run's
+//! invariants break (a connection's delivery ledger stops balancing, or
+//! a disable counter wedges the send path), the host triggers a
+//! [`Postmortem`] dump that freezes the recorder's view of the failure.
+
+use crate::event::Nanos;
+use crate::snapshot::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One fixed-capacity ring-buffered series of `(at, value)` points.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    name: String,
+    capacity: usize,
+    buf: Vec<(Nanos, f64)>,
+    head: usize,
+    total: u64,
+}
+
+impl TimeSeries {
+    /// A series retaining the most recent `capacity` points (≥ 1).
+    pub fn new(name: &str, capacity: usize) -> TimeSeries {
+        let capacity = capacity.max(1);
+        TimeSeries {
+            name: name.to_string(),
+            capacity,
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point; overwrites the oldest when full.
+    pub fn push(&mut self, at: Nanos, value: f64) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push((at, value));
+        } else {
+            self.buf[self.head] = (at, value);
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Points recorded over the series' lifetime.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Points currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retained points, oldest first.
+    pub fn points(&self) -> Vec<(Nanos, f64)> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// The most recent point.
+    pub fn last(&self) -> Option<(Nanos, f64)> {
+        if self.buf.is_empty() {
+            None
+        } else if self.head == 0 {
+            self.buf.last().copied()
+        } else {
+            Some(self.buf[self.head - 1])
+        }
+    }
+}
+
+/// A frozen dump taken when an invariant broke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Postmortem {
+    /// When the invariant break was detected.
+    pub at: Nanos,
+    /// What broke (e.g. `delivery ledger out of balance on conn1`).
+    pub reason: String,
+    /// The recorder's full rendering at the moment of failure.
+    pub report: String,
+}
+
+/// Samples metrics deltas on a virtual-time cadence into ring-buffered
+/// series.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    interval: Nanos,
+    capacity: usize,
+    last_sample_at: Option<Nanos>,
+    prev: Option<MetricsSnapshot>,
+    series: BTreeMap<String, TimeSeries>,
+    samples: u64,
+    postmortem: Option<Postmortem>,
+}
+
+impl FlightRecorder {
+    /// A recorder sampling every `interval` virtual nanoseconds,
+    /// retaining `capacity` points per series.
+    pub fn new(interval: Nanos, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            interval: interval.max(1),
+            capacity: capacity.max(1),
+            last_sample_at: None,
+            prev: None,
+            series: BTreeMap::new(),
+            samples: 0,
+            postmortem: None,
+        }
+    }
+
+    /// The sampling cadence.
+    pub fn interval(&self) -> Nanos {
+        self.interval
+    }
+
+    /// True if a sample is due at `at` (one full interval has elapsed
+    /// since the last sample, or none has been taken yet).
+    pub fn due(&self, at: Nanos) -> bool {
+        match self.last_sample_at {
+            None => true,
+            Some(last) => at >= last + self.interval,
+        }
+    }
+
+    /// Samples if due at the snapshot's timestamp; returns whether a
+    /// sample was taken. `gauges` are instantaneous values (backlog
+    /// depth, pool occupancy) recorded verbatim alongside the counter
+    /// deltas.
+    pub fn maybe_sample(&mut self, snap: &MetricsSnapshot, gauges: &[(&str, f64)]) -> bool {
+        if !self.due(snap.at()) {
+            return false;
+        }
+        self.sample(snap, gauges);
+        true
+    }
+
+    /// Unconditionally takes one sample from `snap`.
+    ///
+    /// Counter series are *rates per interval*: the delta of the
+    /// counter since the previous sample. Derived series:
+    ///
+    /// - `fast_path_ratio` — fraction of this interval's path decisions
+    ///   (sends + deliveries) that took the fast path (recorded only
+    ///   when the interval saw any);
+    /// - `drops` — total frames dropped this interval (all `drops_*`
+    ///   counters summed);
+    /// - `frames` — frames in + out this interval.
+    pub fn sample(&mut self, snap: &MetricsSnapshot, gauges: &[(&str, f64)]) {
+        let at = snap.at();
+        let delta = match &self.prev {
+            Some(prev) => snap.delta(prev),
+            None => snap.clone(),
+        };
+
+        let fast = delta.total("fast_sends") + delta.total("fast_deliveries");
+        let slow = delta.total("slow_sends") + delta.total("slow_deliveries");
+        if fast + slow > 0 {
+            let ratio = fast as f64 / (fast + slow) as f64;
+            self.push("fast_path_ratio", at, ratio);
+        }
+        let drops: u64 = delta
+            .iter()
+            .filter(|(_, n, _)| n.starts_with("drops"))
+            .map(|(_, _, v)| v)
+            .sum();
+        self.push("drops", at, drops as f64);
+        let frames = delta.total("frames_in") + delta.total("frames_out");
+        self.push("frames", at, frames as f64);
+        for &(name, v) in gauges {
+            self.push(name, at, v);
+        }
+
+        self.prev = Some(snap.clone());
+        self.last_sample_at = Some(at);
+        self.samples += 1;
+    }
+
+    fn push(&mut self, name: &str, at: Nanos, v: f64) {
+        let cap = self.capacity;
+        self.series
+            .entry(name.to_string())
+            .or_insert_with(|| TimeSeries::new(name, cap))
+            .push(at, v);
+    }
+
+    /// Samples taken so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Looks a series up by name.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// All series, in deterministic (name) order.
+    pub fn series(&self) -> impl Iterator<Item = &TimeSeries> {
+        self.series.values()
+    }
+
+    /// Prometheus text exposition: the latest value of every series as
+    /// a gauge, with a millisecond timestamp.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for s in self.series.values() {
+            let Some((at, v)) = s.last() else { continue };
+            let name = prometheus_name(s.name());
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v} {}", at / 1_000_000);
+        }
+        out
+    }
+
+    /// JSON lines: every retained point of every series,
+    /// `{"at":N,"series":"...","value":V}`.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for s in self.series.values() {
+            for (at, v) in s.points() {
+                let _ = writeln!(
+                    out,
+                    "{{\"at\":{at},\"series\":\"{}\",\"value\":{v}}}",
+                    s.name()
+                );
+            }
+        }
+        out
+    }
+
+    /// Freezes a post-mortem dump: the reason, the last metrics
+    /// snapshot, and the full series history. Only the *first* trigger
+    /// is kept (the earliest failure is the interesting one).
+    pub fn trigger_postmortem(&mut self, at: Nanos, reason: &str, last: &MetricsSnapshot) {
+        if self.postmortem.is_some() {
+            return;
+        }
+        let mut report = String::new();
+        let _ = writeln!(report, "POSTMORTEM @ {at} ns: {reason}");
+        report.push_str(&last.render_table());
+        report.push_str("--- flight-recorder series ---\n");
+        report.push_str(&self.to_json_lines());
+        self.postmortem = Some(Postmortem {
+            at,
+            reason: reason.to_string(),
+            report,
+        });
+    }
+
+    /// The frozen dump, if an invariant broke.
+    pub fn postmortem(&self) -> Option<&Postmortem> {
+        self.postmortem.as_ref()
+    }
+}
+
+/// Sanitizes a series name into a Prometheus metric name with the
+/// `pa_` prefix.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("pa_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at: Nanos, fast: u64, slow: u64, drops: u64) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new(at);
+        s.record("conn0", "fast_sends", fast);
+        s.record("conn0", "slow_sends", slow);
+        s.record("conn0", "drops_malformed", drops);
+        s.record("conn0", "frames_out", fast + slow);
+        s
+    }
+
+    #[test]
+    fn series_ring_overwrites_oldest() {
+        let mut s = TimeSeries::new("x", 3);
+        for i in 0..5u64 {
+            s.push(i * 10, i as f64);
+        }
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s.points().iter().map(|&(at, _)| at).collect::<Vec<_>>(),
+            vec![20, 30, 40]
+        );
+        assert_eq!(s.last(), Some((40, 4.0)));
+    }
+
+    #[test]
+    fn cadence_gates_sampling() {
+        let mut fr = FlightRecorder::new(1_000, 16);
+        assert!(fr.maybe_sample(&snap(0, 10, 0, 0), &[]));
+        assert!(!fr.maybe_sample(&snap(500, 12, 0, 0), &[]), "not due yet");
+        assert!(fr.maybe_sample(&snap(1_000, 15, 5, 0), &[]));
+        assert_eq!(fr.samples(), 2);
+    }
+
+    #[test]
+    fn samples_record_deltas_not_totals() {
+        let mut fr = FlightRecorder::new(1, 16);
+        fr.sample(&snap(0, 10, 0, 0), &[]);
+        fr.sample(&snap(100, 30, 20, 3), &[]);
+        // Second interval: 20 fast, 20 slow → ratio 0.5; 3 drops.
+        let ratio = fr.get("fast_path_ratio").unwrap().points();
+        assert_eq!(ratio.last().unwrap().1, 0.5);
+        let drops = fr.get("drops").unwrap().last().unwrap();
+        assert_eq!(drops, (100, 3.0));
+    }
+
+    #[test]
+    fn quiet_interval_skips_ratio_but_keeps_counters() {
+        let mut fr = FlightRecorder::new(1, 16);
+        fr.sample(&snap(0, 10, 0, 0), &[]);
+        fr.sample(&snap(100, 10, 0, 0), &[]); // nothing happened
+        assert_eq!(fr.get("fast_path_ratio").unwrap().total(), 1);
+        assert_eq!(fr.get("drops").unwrap().total(), 2);
+    }
+
+    #[test]
+    fn gauges_are_recorded_verbatim() {
+        let mut fr = FlightRecorder::new(1, 16);
+        fr.sample(&snap(0, 1, 0, 0), &[("backlog_depth", 7.0)]);
+        assert_eq!(fr.get("backlog_depth").unwrap().last(), Some((0, 7.0)));
+    }
+
+    #[test]
+    fn prometheus_exports_latest_values() {
+        let mut fr = FlightRecorder::new(1, 16);
+        fr.sample(&snap(2_000_000, 9, 1, 0), &[("backlog_depth", 2.0)]);
+        let p = fr.to_prometheus();
+        assert!(p.contains("# TYPE pa_fast_path_ratio gauge"), "{p}");
+        assert!(p.contains("pa_fast_path_ratio 0.9 2"), "{p}");
+        assert!(p.contains("pa_backlog_depth 2 2"), "{p}");
+    }
+
+    #[test]
+    fn json_lines_cover_every_point() {
+        let mut fr = FlightRecorder::new(1, 16);
+        fr.sample(&snap(0, 1, 1, 0), &[]);
+        fr.sample(&snap(10, 2, 2, 0), &[]);
+        let j = fr.to_json_lines();
+        // fast_path_ratio ×2 + drops ×2 + frames ×2
+        assert_eq!(j.lines().count(), 6, "{j}");
+        assert!(
+            j.lines()
+                .all(|l| l.starts_with("{\"at\":") && l.ends_with('}')),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn postmortem_freezes_the_first_failure() {
+        let mut fr = FlightRecorder::new(1, 16);
+        fr.sample(&snap(0, 5, 0, 0), &[]);
+        let s = snap(50, 5, 0, 2);
+        fr.trigger_postmortem(50, "ledger out of balance", &s);
+        fr.trigger_postmortem(90, "second failure", &s);
+        let pm = fr.postmortem().unwrap();
+        assert_eq!(pm.at, 50);
+        assert!(pm.reason.contains("ledger"), "{}", pm.reason);
+        assert!(pm.report.contains("POSTMORTEM @ 50"), "{}", pm.report);
+        assert!(pm.report.contains("drops_malformed"), "{}", pm.report);
+        assert!(
+            pm.report.contains("flight-recorder series"),
+            "{}",
+            pm.report
+        );
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prometheus_name("fast-path ratio"), "pa_fast_path_ratio");
+    }
+}

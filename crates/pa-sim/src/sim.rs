@@ -18,6 +18,7 @@ use crate::metrics::Series;
 use crate::node::{NodeEvent, NodeSim, PostSchedule, Stamp};
 use crate::Nanos;
 use pa_core::{Connection, ConnectionParams, PaConfig};
+use pa_obs::{FlightRecorder, JourneySet, MetricsSnapshot, ProbeSink};
 use pa_stack::StackSpec;
 use pa_unet::{FaultConfig, LinkProfile, Netif, SimNet};
 use pa_wire::EndpointAddr;
@@ -78,6 +79,15 @@ impl SimConfig {
             compiled_filter: false,
         }
     }
+
+    /// The paper config with the in-band trace context on: frames
+    /// carry journey ids, so a traced run can be reconstructed into
+    /// causal journeys (call [`TwoNodeSim::enable_tracing`] too).
+    pub fn traced() -> SimConfig {
+        let mut cfg = SimConfig::paper();
+        cfg.pa.trace_ctx = true;
+        cfg
+    }
 }
 
 /// A timestamped event for the Figure 4 timeline.
@@ -129,6 +139,12 @@ pub struct TwoNodeSim {
     rpc_mode: bool,
     rpc_outstanding: bool,
     rpc_queue: std::collections::VecDeque<(Nanos, usize)>,
+    /// The time-series flight recorder, if attached.
+    recorder: Option<FlightRecorder>,
+    /// Consecutive flight-recorder samples each node's send path has
+    /// been wedged (backlog non-empty, prediction disabled, nothing
+    /// pending to re-enable it) — the disable-counter invariant.
+    wedge_samples: [u32; 2],
 }
 
 impl TwoNodeSim {
@@ -182,6 +198,126 @@ impl TwoNodeSim {
             rpc_mode: false,
             rpc_outstanding: false,
             rpc_queue: Default::default(),
+            recorder: None,
+            wedge_samples: [0, 0],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry: journeys and the flight recorder
+    // ------------------------------------------------------------------
+
+    /// Installs ring trace probes (capacity `ring_capacity` records) on
+    /// both nodes. With [`SimConfig::traced`] (or `pa.trace_ctx = true`)
+    /// every frame carries a journey id and the run's rings can be
+    /// joined back into causal journeys by [`TwoNodeSim::journeys`].
+    pub fn enable_tracing(&mut self, ring_capacity: usize) {
+        for node in &mut self.nodes {
+            node.conn.set_probe(ProbeSink::ring(ring_capacity));
+        }
+    }
+
+    /// Reconstructs the causal journeys observed by both nodes' trace
+    /// rings (empty if [`TwoNodeSim::enable_tracing`] was not called).
+    pub fn journeys(&self) -> JourneySet {
+        let rings: Vec<&pa_obs::TraceRing> = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.conn.probe().trace_ring())
+            .collect();
+        JourneySet::reconstruct(&rings)
+    }
+
+    /// Renders the per-hop latency waterfall of the traced run.
+    pub fn waterfall(&self) -> String {
+        self.journeys().waterfall()
+    }
+
+    /// Attaches a flight recorder sampling both nodes' counters every
+    /// `interval` virtual nanoseconds, retaining `capacity` points per
+    /// series. Sampling happens inside [`TwoNodeSim::run_until`]; it
+    /// also watches the run's invariants (per-node delivery ledger,
+    /// wedged disable counters) and freezes a post-mortem on the first
+    /// break.
+    pub fn attach_flight_recorder(&mut self, interval: Nanos, capacity: usize) {
+        self.recorder = Some(FlightRecorder::new(interval, capacity));
+        self.wedge_samples = [0, 0];
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// A unified metrics snapshot of the whole simulation at `at`:
+    /// per-node connection counters under scopes `node0` / `node1`,
+    /// plus sim-level delivery totals under `sim`.
+    pub fn metrics_snapshot(&self, at: Nanos) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new(at);
+        for (i, node) in self.nodes.iter().enumerate() {
+            node.conn
+                .stats()
+                .record_into(&mut snap, &format!("node{i}"));
+        }
+        snap.record("sim", "delivered_node0", self.delivered[0]);
+        snap.record("sim", "delivered_node1", self.delivered[1]);
+        snap.record("sim", "round_trips", self.round_trips);
+        snap
+    }
+
+    /// One flight-recorder sampling pass at `now`: counter deltas plus
+    /// instantaneous gauges (backlog depth, in-flight frames), and the
+    /// invariant watch.
+    fn sample_flight_recorder(&mut self, now: Nanos) {
+        if !self.recorder.as_ref().is_some_and(|fr| fr.due(now)) {
+            return;
+        }
+        let snap = self.metrics_snapshot(now);
+        let gauges = [
+            (
+                "backlog_depth_node0",
+                self.nodes[0].conn.backlog_len() as f64,
+            ),
+            (
+                "backlog_depth_node1",
+                self.nodes[1].conn.backlog_len() as f64,
+            ),
+            ("net_in_flight", self.net.in_flight() as f64),
+        ];
+        let mut failures: Vec<String> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.conn.stats().delivery_balanced() {
+                failures.push(format!("delivery ledger out of balance on node{i}"));
+            }
+            // Disable-counter watch: a backlog that cannot drain
+            // because the send prediction stays disabled with no
+            // pending work left to re-enable it. One sample can be a
+            // legitimate wait (window full, ack in flight); three
+            // consecutive samples with nothing in flight — and no
+            // retransmission timer armed that could recover — is a
+            // wedge.
+            let wedged = self.tick_every.is_none()
+                && node.conn.backlog_len() > 0
+                && !node.conn.send_prediction().enabled()
+                && !node.conn.has_pending()
+                && self.net.in_flight() == 0;
+            if wedged {
+                self.wedge_samples[i] += 1;
+                if self.wedge_samples[i] >= 3 {
+                    failures.push(format!(
+                        "send path wedged on node{i}: disable count {} with {} backlogged",
+                        node.conn.send_prediction().disable_count(),
+                        node.conn.backlog_len()
+                    ));
+                }
+            } else {
+                self.wedge_samples[i] = 0;
+            }
+        }
+        let fr = self.recorder.as_mut().expect("checked above");
+        fr.maybe_sample(&snap, &gauges);
+        for reason in failures {
+            fr.trigger_postmortem(now, &reason, &snap);
         }
     }
 
@@ -431,6 +567,11 @@ impl TwoNodeSim {
                     self.next_tick = self.tick_every.map(|dt| now + dt);
                 }
             }
+
+            // 5. Flight-recorder sampling (no-op when not attached).
+            if self.recorder.is_some() {
+                self.sample_flight_recorder(now);
+            }
         }
     }
 
@@ -608,6 +749,149 @@ mod tests {
             rx.drops_by_layer > 0 || rx.recv_filter_misses > 0,
             "faults must exercise the drop paths:\n{rx}"
         );
+    }
+
+    #[test]
+    fn traced_run_reconstructs_every_delivered_journey() {
+        // The tentpole acceptance: a traced 2-node run joins ≥ 99% of
+        // its delivered messages into complete journeys.
+        let mut sim = TwoNodeSim::new(&SimConfig::traced());
+        sim.enable_tracing(4096);
+        sim.set_behavior(1, AppBehavior::Sink);
+        sim.nodes[0].schedule = PostSchedule::WhenIdle;
+        sim.schedule_stream(0, 0, 200_000, 100, 8);
+        sim.run_until(200_000_000);
+        assert_eq!(sim.delivered[1], 100);
+        let set = sim.journeys();
+        // One journey per wired frame (packed frames carry several
+        // messages under one journey; control acks journey too).
+        let frames_out =
+            sim.nodes[0].conn.stats().frames_out + sim.nodes[1].conn.stats().frames_out;
+        assert_eq!(set.len() as u64, frames_out, "one journey per frame");
+        assert!(
+            set.completeness() >= 0.99,
+            "completeness {} ({}/{} complete, {} orphans)",
+            set.completeness(),
+            set.complete_count(),
+            set.len(),
+            set.orphan_delivers
+        );
+        assert_eq!(set.orphan_delivers, 0);
+        // Hop latencies are the sim's one-way times: fast one-ways sit
+        // near the paper's ~87 µs envelope.
+        let lats: Vec<u64> = set
+            .journeys()
+            .iter()
+            .filter_map(|j| j.total_latency())
+            .collect();
+        let min = *lats.iter().min().unwrap();
+        assert!(
+            (60_000..=120_000).contains(&min),
+            "fastest hop ≈ 87 µs, got {min}"
+        );
+        // The waterfall renders one line per hop plus a header.
+        let w = sim.waterfall();
+        assert_eq!(w.lines().count(), set.len() + 1, "{w}");
+        assert!(w.contains("1→2"), "{w}");
+    }
+
+    #[test]
+    fn traced_round_trips_pair_each_direction() {
+        let mut sim = TwoNodeSim::new(&SimConfig::traced());
+        sim.enable_tracing(1024);
+        sim.arm_closed_loop(10, 8, 0);
+        sim.run_until(100_000_000);
+        assert_eq!(sim.round_trips, 10);
+        let set = sim.journeys();
+        // Each round trip is two journeys (request and echo are
+        // separate frames, each minting its own id at its sender).
+        assert!(set.len() >= 20, "{} journeys", set.len());
+        assert!(set.completeness() >= 0.99, "{}", set.completeness());
+    }
+
+    #[test]
+    fn untraced_config_yields_no_journeys() {
+        let mut sim = TwoNodeSim::new(&SimConfig::paper());
+        sim.enable_tracing(256);
+        sim.schedule_send(0, 0, 8);
+        sim.run_until(10_000_000);
+        assert_eq!(sim.delivered[1], 1);
+        assert!(sim.journeys().is_empty(), "no trace_ctx, no journeys");
+    }
+
+    #[test]
+    fn flight_recorder_samples_a_streaming_run() {
+        let mut sim = TwoNodeSim::new(&SimConfig::paper());
+        sim.attach_flight_recorder(1_000_000, 256); // 1 ms cadence
+        sim.set_behavior(1, AppBehavior::Sink);
+        sim.nodes[0].schedule = PostSchedule::WhenIdle;
+        sim.schedule_stream(0, 0, 200_000, 100, 8);
+        sim.run_until(200_000_000);
+        let fr = sim.flight_recorder().unwrap();
+        assert!(fr.samples() >= 10, "{} samples", fr.samples());
+        let ratio = fr.get("fast_path_ratio").expect("ratio series");
+        assert!(ratio.last().unwrap().1 > 0.5, "{:?}", ratio.last());
+        assert!(fr.get("frames").is_some());
+        assert!(fr.get("backlog_depth_node0").is_some());
+        assert!(fr.postmortem().is_none(), "healthy run, no postmortem");
+        let prom = fr.to_prometheus();
+        assert!(prom.contains("pa_fast_path_ratio"), "{prom}");
+        let json = fr.to_json_lines();
+        assert!(json.lines().count() >= 30, "{}", json.lines().count());
+    }
+
+    #[test]
+    fn flight_recorder_survives_fault_storm_without_postmortem() {
+        // The ledger holds under faults (drop_accounting test proves
+        // it); the recorder must agree and keep quiet.
+        let mut cfg = SimConfig::paper();
+        cfg.faults = FaultConfig::harsh(11);
+        cfg.tick_every = Some(2_000_000);
+        let mut sim = TwoNodeSim::new(&cfg);
+        // Ticks keep sampling long past the stream; the capacity must
+        // retain the interesting (stormy) window too.
+        sim.attach_flight_recorder(5_000_000, 4096);
+        sim.set_behavior(1, AppBehavior::Sink);
+        sim.nodes[0].schedule = PostSchedule::WhenIdle;
+        sim.schedule_stream(0, 0, 500_000, 100, 8);
+        sim.run_until(10_000_000_000);
+        let fr = sim.flight_recorder().unwrap();
+        assert!(fr.samples() > 0);
+        assert!(
+            fr.postmortem().is_none(),
+            "{}",
+            fr.postmortem()
+                .map(|p| p.reason.clone())
+                .unwrap_or_default()
+        );
+        // The storm shows up in the drop series instead.
+        let drops = fr.get("drops").expect("drops series");
+        assert!(drops.points().iter().any(|&(_, v)| v > 0.0));
+    }
+
+    #[test]
+    fn wedged_send_path_freezes_a_postmortem() {
+        // A network that swallows everything and no retransmission
+        // timer: once the window fills, the send prediction stays
+        // disabled, the backlog can never drain, and the recorder's
+        // invariant watch must freeze a post-mortem naming the wedge.
+        let mut cfg = SimConfig::paper();
+        cfg.faults = FaultConfig {
+            drop: 1.0,
+            seed: 3,
+            ..FaultConfig::none()
+        };
+        let mut sim = TwoNodeSim::new(&cfg);
+        sim.attach_flight_recorder(100_000, 128);
+        sim.set_behavior(1, AppBehavior::Sink);
+        sim.nodes[0].schedule = PostSchedule::WhenIdle;
+        sim.schedule_stream(0, 0, 200_000, 60, 8);
+        sim.run_until(60_000_000);
+        let fr = sim.flight_recorder().unwrap();
+        let pm = fr.postmortem().expect("wedge detected");
+        assert!(pm.reason.contains("wedged"), "{}", pm.reason);
+        assert!(pm.report.contains("POSTMORTEM"), "{}", pm.report);
+        assert!(pm.report.contains("flight-recorder series"));
     }
 
     #[test]

@@ -16,9 +16,17 @@ use std::io::{self, Write};
 const LINKTYPE_USER0: u32 = 147;
 
 /// Link type: DLT_USER1 — the *annotated* capture mode. Every record
-/// starts with a one-byte pseudo-header carrying the [`PathTag`] (the
-/// path the frame took through the PA), then the raw frame.
+/// starts with a nine-byte pseudo-header — one byte carrying the
+/// [`PathTag`] (the path the frame took through the PA) followed by the
+/// journey id as a little-endian `u64` (0 when the frame carries no
+/// trace context) — then the raw frame. The journey id is the same
+/// value `pa_obs::JourneySet` keys on, so a capture record can be
+/// cross-referenced with a merged trace timeline (see
+/// `examples/trace_dump.rs`).
 const LINKTYPE_USER1: u32 = 148;
+
+/// Bytes of pseudo-header preceding each annotated frame.
+const ANNOTATION_LEN: u32 = 9;
 
 /// Classic libpcap magic (microsecond timestamps).
 const MAGIC: u32 = 0xA1B2_C3D4;
@@ -89,22 +97,39 @@ impl<W: Write> PcapWriter<W> {
     }
 
     /// Records one frame with its path annotation (annotated mode
-    /// only — plain captures have no room for the pseudo-header).
+    /// only — plain captures have no room for the pseudo-header). The
+    /// journey id is recorded as 0 (untraced); use
+    /// [`PcapWriter::record_journey`] for frames carrying a trace
+    /// context.
     pub fn record_tagged(&mut self, at: Nanos, tag: PathTag, frame: &[u8]) -> io::Result<()> {
+        self.record_journey(at, tag, 0, frame)
+    }
+
+    /// Records one frame with its path annotation *and* the journey id
+    /// stamped into its trace context (0 for untraced frames).
+    pub fn record_journey(
+        &mut self,
+        at: Nanos,
+        tag: PathTag,
+        journey: u64,
+        frame: &[u8],
+    ) -> io::Result<()> {
         assert!(
             self.annotated,
-            "record_tagged requires PcapWriter::annotated"
+            "record_journey requires PcapWriter::annotated"
         );
         let secs = (at / 1_000_000_000) as u32;
         let usecs = ((at % 1_000_000_000) / 1_000) as u32;
-        let total = frame.len() as u32 + 1;
+        let total = frame.len() as u32 + ANNOTATION_LEN;
         let cap = total.min(self.snaplen);
         self.sink.write_all(&secs.to_le_bytes())?;
         self.sink.write_all(&usecs.to_le_bytes())?;
         self.sink.write_all(&cap.to_le_bytes())?;
         self.sink.write_all(&total.to_le_bytes())?;
         self.sink.write_all(&[tag_to_byte(tag)])?;
-        self.sink.write_all(&frame[..(cap as usize - 1)])?;
+        self.sink.write_all(&journey.to_le_bytes())?;
+        self.sink
+            .write_all(&frame[..(cap - ANNOTATION_LEN) as usize])?;
         self.frames += 1;
         Ok(())
     }
@@ -136,9 +161,28 @@ impl<W: Write> PcapWriter<W> {
 }
 
 /// Parses an *annotated* capture (DLT_USER1) back into
-/// `(timestamp_ns, path_tag, frame)` records. Returns `None` for
-/// malformed input or a capture that is not in annotated mode.
+/// `(timestamp_ns, path_tag, frame)` records, discarding the journey
+/// ids. Returns `None` for malformed input or a capture that is not in
+/// annotated mode.
 pub fn parse_tagged(bytes: &[u8]) -> Option<Vec<(Nanos, PathTag, Vec<u8>)>> {
+    Some(
+        parse_journeys(bytes)?
+            .into_iter()
+            .map(|(at, tag, _journey, frame)| (at, tag, frame))
+            .collect(),
+    )
+}
+
+/// One parsed record of an annotated capture:
+/// `(timestamp_ns, path_tag, journey_id, frame)`.
+pub type JourneyRecord = (Nanos, PathTag, u64, Vec<u8>);
+
+/// Parses an *annotated* capture (DLT_USER1) back into
+/// `(timestamp_ns, path_tag, journey_id, frame)` records. A journey id
+/// of 0 means the frame carried no trace context; any other value is
+/// the id `pa_obs::JourneySet` keys on. Returns `None` for malformed
+/// input or a capture that is not in annotated mode.
+pub fn parse_journeys(bytes: &[u8]) -> Option<Vec<JourneyRecord>> {
     if bytes.len() < 24 {
         return None;
     }
@@ -157,14 +201,16 @@ pub fn parse_tagged(bytes: &[u8]) -> Option<Vec<(Nanos, PathTag, Vec<u8>)>> {
         let usecs = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4")) as u64;
         let cap = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().expect("4")) as usize;
         off += 16;
-        if cap == 0 || off + cap > bytes.len() {
-            return None; // every annotated record carries at least the tag byte
+        if cap < ANNOTATION_LEN as usize || off + cap > bytes.len() {
+            return None; // every annotated record carries the pseudo-header
         }
         let tag = byte_to_tag(bytes[off]);
+        let journey = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().expect("8"));
         out.push((
             secs * 1_000_000_000 + usecs * 1_000,
             tag,
-            bytes[off + 1..off + cap].to_vec(),
+            journey,
+            bytes[off + 9..off + cap].to_vec(),
         ));
         off += cap;
     }
@@ -272,6 +318,31 @@ mod tests {
             records[2],
             (3_000_000, PathTag::Dropped, b"dropped frame".to_vec())
         );
+    }
+
+    #[test]
+    fn annotated_capture_roundtrips_journey_ids() {
+        let mut w = PcapWriter::annotated(Vec::new()).unwrap();
+        let id = (0x000A_11CE_u64 << 32) | 7;
+        w.record_journey(1_000, PathTag::Fast, id, b"traced")
+            .unwrap();
+        w.record_tagged(2_000, PathTag::Control, b"untraced")
+            .unwrap();
+        let buf = w.finish().unwrap();
+
+        let full = parse_journeys(&buf).expect("valid annotated pcap");
+        assert_eq!(full.len(), 2);
+        assert_eq!(full[0], (1_000, PathTag::Fast, id, b"traced".to_vec()));
+        assert_eq!(
+            full[1],
+            (2_000, PathTag::Control, 0, b"untraced".to_vec()),
+            "record_tagged writes journey 0"
+        );
+
+        // The journey-unaware view agrees on everything else.
+        let tags = parse_tagged(&buf).expect("valid annotated pcap");
+        assert_eq!(tags[0], (1_000, PathTag::Fast, b"traced".to_vec()));
+        assert_eq!(tags[1], (2_000, PathTag::Control, b"untraced".to_vec()));
     }
 
     #[test]

@@ -7,31 +7,53 @@
 //! the Protocol Accelerator decided and *why*, and the wire dissector
 //! shows what the offending frame looked like.
 //!
+//! With `trace_ctx` enabled, every frame additionally carries an
+//! in-band journey id in its Message class. A tap on alice's outbound
+//! link records each frame into an annotated pcap (DLT_USER1) whose
+//! pseudo-header carries that journey id — so a capture record can be
+//! cross-referenced with the merged trace timeline: a delivered frame
+//! maps to a complete sender→receiver journey, and the corrupted frame
+//! maps to a journey that never completes, pointing straight at the
+//! drop.
+//!
 //! ```sh
 //! cargo run --example trace_dump
 //! ```
 
 use pa::core::{dissect, Connection, ConnectionParams, PaConfig};
-use pa::obs::{merge_timeline, FieldRef, ProbeSink, TraceEvent};
+use pa::obs::{
+    merge_timeline, render_journey_id, FieldRef, JourneySet, PathTag, ProbeSink, TraceEvent,
+};
 use pa::stack::StackSpec;
+use pa::unet::pcap::{parse_journeys, PcapWriter};
 use pa::wire::{Class, EndpointAddr};
 
 fn main() {
     let alice_addr = EndpointAddr::from_parts(0xA11CE, 1);
     let bob_addr = EndpointAddr::from_parts(0xB0B, 1);
 
+    // The paper's stack, with the in-band trace context switched on:
+    // both ends declare the journey fields in their Message class.
+    let cfg = PaConfig {
+        trace_ctx: true,
+        ..PaConfig::paper_default()
+    };
     let mut alice = Connection::new(
         StackSpec::paper().build(),
-        PaConfig::paper_default(),
+        cfg,
         ConnectionParams::new(alice_addr, bob_addr, 42),
     )
     .expect("valid stack");
     let mut bob = Connection::new(
         StackSpec::paper().build(),
-        PaConfig::paper_default(),
+        cfg,
         ConnectionParams::new(bob_addr, alice_addr, 43),
     )
     .expect("valid stack");
+
+    // A tap on alice's outbound link: an annotated pcap whose records
+    // carry the journey id stamped into each frame.
+    let mut tap = PcapWriter::annotated(Vec::new()).expect("in-memory pcap");
 
     // Switch tracing on: a 64-record ring per connection. With the
     // default `ProbeSink::Noop` all of the below costs one branch per
@@ -48,6 +70,9 @@ fn main() {
         bob.set_now(t);
         alice.send(text);
         while let Some(frame) = alice.poll_transmit() {
+            let (journey, _) = alice.last_sent_trace().expect("tracing on");
+            tap.record_journey(t, PathTag::Fast, journey, &frame.to_wire())
+                .expect("tap");
             bob.deliver_frame(frame);
         }
         while bob.poll_delivery().is_some() {}
@@ -69,12 +94,20 @@ fn main() {
     bob.set_now(t);
     alice.send(b"first (delayed by the network)");
     let delayed = alice.poll_transmit().expect("frame");
+    let (delayed_journey, _) = alice.last_sent_trace().expect("tracing on");
     // Run the deferred post-send now, or the next send would park in
     // the backlog behind it (the §3.4 serialization rule — which would
     // itself show up in the trace as a `queued` event).
     alice.process_pending();
     alice.send(b"second (arrives early)");
     let early = alice.poll_transmit().expect("frame");
+    let (early_journey, _) = alice.last_sent_trace().expect("tracing on");
+    // The tap sits on alice's NIC: it sees the frames in send order,
+    // even though the network will deliver them reordered.
+    tap.record_journey(t, PathTag::Fast, delayed_journey, &delayed.to_wire())
+        .expect("tap");
+    tap.record_journey(t, PathTag::Fast, early_journey, &early.to_wire())
+        .expect("tap");
     bob.deliver_frame(early);
     bob.deliver_frame(delayed);
     while bob.poll_delivery().is_some() {}
@@ -88,9 +121,12 @@ fn main() {
     alice.process_pending(); // clear Act 2's deferred post-send first
     alice.send(b"doomed");
     let mut corrupted = alice.poll_transmit().expect("frame");
+    let (doomed_journey, _) = alice.last_sent_trace().expect("tracing on");
     // Byte 7 is pure cookie (byte 0's top bits are the preamble flags).
     let evil = corrupted.byte_at(7) ^ 0xFF;
     corrupted.set_byte_at(7, evil);
+    tap.record_journey(t, PathTag::Faulted, doomed_journey, &corrupted.to_wire())
+        .expect("tap");
 
     println!("the corrupted frame, dissected:");
     println!("{}", dissect(&corrupted, bob.layout(), bob.field_names()));
@@ -126,6 +162,43 @@ fn main() {
             _ => {}
         }
     }
+
+    // --- Cross-reference: the pcap tap ⇄ the journeys ----------------
+    // Every record in the annotated capture names the journey stamped
+    // into its frame; joining it with the rings answers "what happened
+    // to the frame I captured?" without guessing by timestamps.
+    let set = JourneySet::reconstruct(&[
+        alice.probe().trace_ring().expect("ring"),
+        bob.probe().trace_ring().expect("ring"),
+    ]);
+    let capture = parse_journeys(&tap.finish().expect("tap")).expect("annotated pcap");
+    println!();
+    println!("alice's outbound tap, cross-referenced with the journeys:");
+    let mut undelivered = 0;
+    for (at, tag, journey, frame) in &capture {
+        assert_ne!(*journey, 0, "tracing is on: every frame is stamped");
+        let j = set
+            .get(*journey)
+            .expect("every tapped journey appears in the rings");
+        let verdict = match j.total_latency() {
+            Some(ns) => format!("delivered, {ns} ns sender→receiver"),
+            None => {
+                undelivered += 1;
+                "never delivered — see the drop above".to_string()
+            }
+        };
+        println!(
+            "  @{at:>6} ns  tag={:<7}  journey {:<10}  {:>3} bytes  {verdict}",
+            tag.label(),
+            render_journey_id(*journey),
+            frame.len(),
+        );
+    }
+    assert_eq!(capture.len(), 5, "five frames crossed the tap");
+    assert_eq!(
+        undelivered, 1,
+        "exactly the corrupted frame maps to an incomplete journey"
+    );
 
     println!();
     println!("bob's counters:\n{}", bob.stats());

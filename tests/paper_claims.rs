@@ -20,30 +20,55 @@ fn warm_rtt(cfg: &SimConfig) -> f64 {
     sim.rtt.summary().p50
 }
 
+/// The committed calibration anchors (EXPERIMENTS.md E1/E2, also the
+/// `crates/pa-bench/baselines/` regression baselines). The paper says
+/// ~170 µs RTT / 85 µs one-way; our calibrated model lands at 174 µs /
+/// 87 µs, and tier-1 holds the measurements to the *measured* anchors
+/// within ±2% so calibration drift is caught here, not just by the
+/// bench gate.
+const E2_RTT_NS: f64 = 174_000.0;
+const E1_ONE_WAY_NS: f64 = 87_000.0;
+const ANCHOR_TOL: f64 = 0.02;
+
+fn within(value: f64, anchor: f64, tol: f64) -> bool {
+    (value - anchor).abs() <= anchor * tol
+}
+
 #[test]
 fn claim_170us_round_trip() {
-    // "we achieve a roundtrip latency of 170 µsec using the PA"
+    // "we achieve a roundtrip latency of 170 µsec using the PA" —
+    // pinned to the E2 anchor: 174.0 µs measured.
     let rtt = warm_rtt(&SimConfig::paper());
     assert!(
-        (160_000.0..=180_000.0).contains(&rtt),
-        "steady-state RTT {rtt} ns vs paper ~170 µs"
+        within(rtt, E2_RTT_NS, ANCHOR_TOL),
+        "steady-state RTT {rtt} ns vs E2 anchor {E2_RTT_NS} ns (±2%); paper ~170 µs"
     );
 }
 
 #[test]
 fn claim_85us_one_way() {
-    // Table 4: one-way latency 85 µs.
+    // Table 4: one-way latency 85 µs — pinned to the E1 anchor:
+    // 87.0 µs measured.
     let mut sim = TwoNodeSim::new(&SimConfig::paper());
     sim.set_behavior(1, AppBehavior::Sink);
     sim.nodes[0].schedule = PostSchedule::WhenIdle; // pure sender
     sim.schedule_send(0, 0, 8); // warm-up (carries ident)
-    sim.schedule_send(0, 5_000_000, 8);
+    for i in 1..=8u64 {
+        sim.schedule_send(0, i * 5_000_000, 8); // spaced steady-state sends
+    }
     sim.run_until(50_000_000);
     let s = sim.one_way.summary();
     assert!(
-        (80_000.0..=90_000.0).contains(&s.min),
-        "steady one-way {} ns vs paper 85 µs",
+        within(s.min, E1_ONE_WAY_NS, ANCHOR_TOL),
+        "steady one-way {} ns vs E1 anchor {E1_ONE_WAY_NS} ns (±2%); paper 85 µs",
         s.min
+    );
+    // The anchor is the *fast-path* number: the steady-state p50 must
+    // sit on it too, not just a lucky minimum.
+    assert!(
+        within(s.p50, E1_ONE_WAY_NS, ANCHOR_TOL),
+        "one-way p50 {} ns vs E1 anchor {E1_ONE_WAY_NS} ns (±2%)",
+        s.p50
     );
 }
 

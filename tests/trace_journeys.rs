@@ -1,0 +1,245 @@
+//! Adversarial and randomized coverage for the trace machinery:
+//! `TraceRing` overflow behaviour, multi-ring merge determinism, and
+//! the journey-pairing invariant (journey reconstruction must never
+//! join a send from one connection with a deliver belonging to
+//! another).
+//!
+//! The randomized properties run as seeded deterministic cases over
+//! [`pa::obs::rng::SplitMix64`] (the workspace has no proptest
+//! dependency); a failure reproduces exactly and carries its case
+//! index in the panic message.
+
+use pa::obs::rng::{Rng, SplitMix64};
+use pa::obs::{journey_id, merge_timeline, JourneySet, TraceEvent, TraceRing};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// TraceRing overflow
+// ---------------------------------------------------------------------
+
+#[test]
+fn overflowed_ring_retains_the_newest_records_in_order() {
+    let mut r = TraceRing::new(16);
+    r.set_conn(1);
+    for i in 0..100u64 {
+        r.push(i * 10, TraceEvent::FastSend);
+    }
+    assert_eq!(r.total(), 100);
+    assert_eq!(r.len(), 16);
+    assert_eq!(r.overwritten(), 84);
+    let recs = r.records();
+    // Oldest-first, contiguous, and exactly the newest 16.
+    for (i, rec) in recs.iter().enumerate() {
+        assert_eq!(rec.seq, 84 + i as u64);
+        assert_eq!(rec.at, rec.seq * 10);
+    }
+}
+
+#[test]
+fn ring_overflow_orphans_delivers_instead_of_mispairing() {
+    // The sender's ring is tiny: early JourneySend records fall off.
+    // Their delivers must surface as *orphans*, never get paired with
+    // a surviving send for some other journey.
+    let mut send_ring = TraceRing::new(4);
+    send_ring.set_conn(1);
+    let mut recv_ring = TraceRing::new(64);
+    recv_ring.set_conn(2);
+    for seq in 1..=10u32 {
+        let id = journey_id(7, seq);
+        send_ring.push(
+            seq as u64 * 10,
+            TraceEvent::JourneySend {
+                journey: id,
+                hop: 0,
+            },
+        );
+        recv_ring.push(
+            seq as u64 * 10 + 5,
+            TraceEvent::JourneyDeliver {
+                journey: id,
+                hop: 0,
+            },
+        );
+    }
+    let set = JourneySet::reconstruct(&[&send_ring, &recv_ring]);
+    assert_eq!(set.len(), 4, "only the retained sends form journeys");
+    assert_eq!(set.complete_count(), 4);
+    assert_eq!(set.orphan_delivers, 6, "lost sends orphan their delivers");
+    for j in set.journeys() {
+        assert_eq!(j.hops.len(), 1);
+        assert_eq!(j.hops[0].sent_conn, 1);
+        assert_eq!(j.hops[0].recv_conn, Some(2));
+        assert_eq!(j.hops[0].latency(), Some(5));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-ring merge determinism
+// ---------------------------------------------------------------------
+
+/// Same events ⇒ identical merged timeline, no matter how the rings
+/// are ordered when merging, and no matter how pushes to *different*
+/// rings were interleaved in real time (per-ring order is what the seq
+/// numbers record; cross-ring interleaving must not matter).
+#[test]
+fn merge_timeline_is_deterministic_across_ring_and_insertion_order() {
+    let mut rng = SplitMix64::new(0x7472_6163_655f_6d67);
+    let kinds = [
+        TraceEvent::FastSend,
+        TraceEvent::FastDeliver { msgs: 1 },
+        TraceEvent::Control { layer: "window" },
+        TraceEvent::BacklogDrain { frames: 1, msgs: 2 },
+    ];
+    for case in 0..64 {
+        // Per-ring scripts with deliberately colliding timestamps
+        // (times drawn from 0..8) so ties exercise the (at, conn, seq)
+        // ordering contract.
+        let nrings = 2 + rng.gen_index(3);
+        let scripts: Vec<Vec<(u64, TraceEvent)>> = (0..nrings)
+            .map(|_| {
+                (0..rng.gen_index(24))
+                    .map(|_| (rng.gen_index(8) as u64, kinds[rng.gen_index(kinds.len())]))
+                    .collect()
+            })
+            .collect();
+
+        // Build the rings twice with different cross-ring interleaving:
+        // ring-at-a-time versus round-robin.
+        let build_sequential = || -> Vec<TraceRing> {
+            scripts
+                .iter()
+                .enumerate()
+                .map(|(c, script)| {
+                    let mut r = TraceRing::new(32);
+                    r.set_conn(c as u32);
+                    for &(at, e) in script {
+                        r.push(at, e);
+                    }
+                    r
+                })
+                .collect()
+        };
+        let build_round_robin = || -> Vec<TraceRing> {
+            let mut rings: Vec<TraceRing> = (0..nrings)
+                .map(|c| {
+                    let mut r = TraceRing::new(32);
+                    r.set_conn(c as u32);
+                    r
+                })
+                .collect();
+            let longest = scripts.iter().map(Vec::len).max().unwrap_or(0);
+            for i in 0..longest {
+                for (c, script) in scripts.iter().enumerate() {
+                    if let Some(&(at, e)) = script.get(i) {
+                        rings[c].push(at, e);
+                    }
+                }
+            }
+            rings
+        };
+
+        let a = build_sequential();
+        let b = build_round_robin();
+        let refs_a: Vec<&TraceRing> = a.iter().collect();
+        let mut refs_b: Vec<&TraceRing> = b.iter().collect();
+        let reference = merge_timeline(&refs_a);
+
+        // The merged timeline is sorted by the documented key.
+        for w in reference.windows(2) {
+            assert!(
+                (w[0].at, w[0].conn, w[0].seq) < (w[1].at, w[1].conn, w[1].seq),
+                "case {case}: merge must be strictly ordered by (at, conn, seq)"
+            );
+        }
+
+        // Rotate the ring argument order through every offset; combined
+        // with the interleaving change, the timeline must not budge.
+        for rot in 0..nrings {
+            refs_b.rotate_left(1);
+            let got = merge_timeline(&refs_b);
+            assert_eq!(
+                reference, got,
+                "case {case} rotation {rot}: merge depends on insertion/ring order"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journey pairing (formerly a proptest)
+// ---------------------------------------------------------------------
+
+/// Journey ids embed the minting connection's origin tag, so
+/// reconstruction can never pair a send from one connection pair with
+/// a deliver observed on another — even with many pairs interleaved in
+/// one merged timeline and frames lost at random.
+#[test]
+fn journey_reconstruction_never_pairs_events_across_connections() {
+    let mut rng = SplitMix64::new(0x6a6f_7572_6e65_7973);
+    for case in 0..100 {
+        let pairs = 1 + rng.gen_index(4);
+        // Pair k: sender ring labelled 10+2k, receiver 11+2k, and a
+        // distinct origin tag — exactly what pa-core derives from each
+        // connection's cookie.
+        let mut rings: Vec<TraceRing> = (0..2 * pairs)
+            .map(|i| {
+                let mut r = TraceRing::new(256);
+                r.set_conn(10 + i as u32);
+                r
+            })
+            .collect();
+        let mut expected: BTreeMap<u64, (u32, u32, bool)> = BTreeMap::new();
+        for k in 0..pairs {
+            let origin = 100 + k as u32;
+            let n = 1 + rng.gen_index(8);
+            for seq in 1..=n as u32 {
+                let id = journey_id(origin, seq);
+                let sent_at = rng.gen_index(1_000) as u64;
+                rings[2 * k].push(
+                    sent_at,
+                    TraceEvent::JourneySend {
+                        journey: id,
+                        hop: 0,
+                    },
+                );
+                let delivered = rng.gen_index(4) != 0;
+                if delivered {
+                    rings[2 * k + 1].push(
+                        sent_at + 1 + rng.gen_index(200) as u64,
+                        TraceEvent::JourneyDeliver {
+                            journey: id,
+                            hop: 0,
+                        },
+                    );
+                }
+                expected.insert(id, (10 + 2 * k as u32, 11 + 2 * k as u32, delivered));
+            }
+        }
+        let refs: Vec<&TraceRing> = rings.iter().collect();
+        let set = JourneySet::reconstruct(&refs);
+        assert_eq!(set.len(), expected.len(), "case {case}");
+        assert_eq!(set.orphan_delivers, 0, "case {case}");
+        for j in set.journeys() {
+            let &(sender, receiver, delivered) = expected.get(&j.id).expect("known id");
+            assert_eq!(j.hops.len(), 1, "case {case}");
+            let h = &j.hops[0];
+            assert_eq!(
+                h.sent_conn, sender,
+                "case {case}: send leg must come from the minting connection"
+            );
+            if delivered {
+                assert_eq!(
+                    h.recv_conn,
+                    Some(receiver),
+                    "case {case}: deliver leg must come from the pair's peer"
+                );
+                assert!(h.latency().unwrap() >= 1, "case {case}");
+            } else {
+                assert_eq!(
+                    h.recv_conn, None,
+                    "case {case}: a lost frame must not borrow another pair's deliver"
+                );
+            }
+        }
+    }
+}

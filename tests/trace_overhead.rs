@@ -1,0 +1,245 @@
+//! The zero-overhead-when-off guarantee, enforced at the byte level and
+//! at the allocator.
+//!
+//! Two claims, both load-bearing for the telemetry layer:
+//!
+//! 1. With `trace_ctx` disabled (the default), the compiled header layout
+//!    and the wire bytes are *byte-for-byte identical* to what PR 1
+//!    produced — journeys ride in optional Message-class fields that are
+//!    simply never declared when tracing is off, so an untraced build
+//!    cannot tell the telemetry code exists.
+//! 2. The default `ProbeSink::Noop` never allocates: attaching no probe
+//!    costs one branch per emit site and nothing on the heap.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pa::core::{Connection, ConnectionParams, PaConfig};
+use pa::obs::{DropCause, FieldRef, ProbeSink, SlowCause, TraceEvent};
+use pa::stack::StackSpec;
+use pa::wire::{ByteOrder, EndpointAddr};
+
+// ---------------------------------------------------------------------------
+// Counting allocator: integration-test binaries get their own global
+// allocator, so we can meter the Noop probe path without touching the
+// library crates.
+// ---------------------------------------------------------------------------
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+// ---------------------------------------------------------------------------
+// Golden bytes. Captured from the PR 1 engine (before trace_ctx existed)
+// with the exact recipe below: paper stack, paper defaults, hosts
+// (1,3) -> (2,3), seed 0x9601, big-endian, payload b"12345678", one
+// `process_pending` between the two sends. Everything on the wire is
+// deterministic — the cookie derives from the seed and no timestamps are
+// encoded — so any layout or codec change that perturbs an untraced
+// frame shows up here as a hex diff.
+// ---------------------------------------------------------------------------
+
+/// First frame: carries the full connection identification (first
+/// message rule, §2.2) plus the protocol header.
+const GOLDEN_FIRST: &str = "958e41d5bcdc829a000000000000000000000000000000010000000300000000000000000000000000000002000000\
+03686f7275732d7472616e73706f727400792f1b1f2e6a9c53000000000000000000014000000000000009\
+2f2b00000000003132333435363738";
+
+/// Second frame: steady state — 8-byte preamble (cookie), predicted
+/// protocol header, message header, payload.
+const GOLDEN_SECOND: &str = "158e41d5bcdc829a000000010000092f2a00000000003132333435363738";
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn golden_conn(pa: PaConfig) -> Connection {
+    Connection::new(
+        StackSpec::paper().build(),
+        pa,
+        ConnectionParams {
+            local: EndpointAddr::from_parts(1, 3),
+            peer: EndpointAddr::from_parts(2, 3),
+            seed: 0x9601,
+            order: ByteOrder::Big,
+        },
+    )
+    .expect("paper stack is valid")
+}
+
+fn first_two_frames(pa: PaConfig) -> (Vec<u8>, Vec<u8>) {
+    let mut conn = golden_conn(pa);
+    let _ = conn.send(b"12345678");
+    let f1 = conn.poll_transmit().expect("frame 1").to_wire();
+    conn.process_pending();
+    let _ = conn.send(b"12345678");
+    let f2 = conn.poll_transmit().expect("frame 2").to_wire();
+    (f1, f2)
+}
+
+#[test]
+fn untraced_wire_bytes_match_the_pr1_golden() {
+    let (f1, f2) = first_two_frames(PaConfig::paper_default());
+    assert_eq!(
+        hex(&f1),
+        GOLDEN_FIRST,
+        "first (identified) frame drifted from the PR 1 golden bytes"
+    );
+    assert_eq!(
+        hex(&f2),
+        GOLDEN_SECOND,
+        "steady-state frame drifted from the PR 1 golden bytes"
+    );
+}
+
+#[test]
+fn tracing_on_actually_changes_the_wire() {
+    // The golden test above only means something if the traced build is
+    // genuinely different: otherwise it would pass trivially even if the
+    // journey fields leaked into every layout.
+    let mut cfg = PaConfig::paper_default();
+    cfg.trace_ctx = true;
+    let (t1, t2) = first_two_frames(cfg);
+    assert_ne!(
+        hex(&t1),
+        GOLDEN_FIRST,
+        "trace_ctx must widen the Message class"
+    );
+    assert_ne!(hex(&t2), GOLDEN_SECOND);
+    let (u1, u2) = first_two_frames(PaConfig::paper_default());
+    assert!(
+        t1.len() > u1.len() && t2.len() > u2.len(),
+        "traced frames carry the journey fields: {} vs {}, {} vs {}",
+        t1.len(),
+        u1.len(),
+        t2.len(),
+        u2.len()
+    );
+}
+
+#[test]
+fn noop_probe_is_allocation_free() {
+    let mut probe = ProbeSink::Noop;
+    assert!(!probe.enabled());
+
+    // Exercise every event shape the engine emits, many times over; the
+    // Noop arm must be a single branch with no heap traffic.
+    let events = [
+        TraceEvent::FastSend,
+        TraceEvent::SlowDeliver {
+            cause: SlowCause::PredictMiss,
+        },
+        TraceEvent::PredictMiss {
+            field: FieldRef::new(1, 2),
+            expected: 3,
+            got: 4,
+        },
+        TraceEvent::Drop {
+            reason: DropCause::ByLayer("group"),
+        },
+        TraceEvent::Control {
+            layer: "membership",
+        },
+        TraceEvent::JourneySend {
+            journey: (7 << 32) | 1,
+            hop: 0,
+        },
+    ];
+
+    let before = allocations();
+    for round in 0..10_000u64 {
+        for ev in &events {
+            probe.emit(round, *ev);
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "ProbeSink::Noop allocated on the emit path"
+    );
+}
+
+#[test]
+fn untraced_connection_send_path_does_not_allocate_per_message() {
+    // Steady-state traffic on a warm, untraced connection pair must not
+    // grow its heap appetite round over round: the buffer pools settle,
+    // and the disabled telemetry layer adds no hidden per-message
+    // allocation on top. We measure two identical back-to-back windows
+    // and require the second to cost no more than the first — a leak or
+    // an un-pooled per-send allocation shows up as monotonic growth.
+    let mk = |l: u64, p: u64, seed: u64| {
+        Connection::new(
+            StackSpec::paper().build(),
+            PaConfig::paper_default(),
+            ConnectionParams {
+                local: EndpointAddr::from_parts(l, 3),
+                peer: EndpointAddr::from_parts(p, 3),
+                seed,
+                order: ByteOrder::Big,
+            },
+        )
+        .expect("paper stack is valid")
+    };
+    let mut a = mk(1, 2, 0x9601);
+    let mut b = mk(2, 1, 0x9602);
+    let window = |a: &mut Connection, b: &mut Connection| {
+        let before = allocations();
+        let mut round_trips = 0u32;
+        for _ in 0..128 {
+            let _ = a.send(b"12345678");
+            // Shuttle until quiet so window credit and acks keep flowing.
+            loop {
+                let mut moved = false;
+                while let Some(f) = a.poll_transmit() {
+                    b.deliver_frame(f);
+                    moved = true;
+                }
+                while let Some(f) = b.poll_transmit() {
+                    a.deliver_frame(f);
+                    moved = true;
+                }
+                a.process_pending();
+                b.process_pending();
+                if !moved {
+                    break;
+                }
+            }
+            while let Some(m) = b.poll_delivery() {
+                assert_eq!(m.to_wire(), b"12345678");
+                round_trips += 1;
+            }
+        }
+        assert_eq!(round_trips, 128);
+        allocations() - before
+    };
+    // Warm-up window: identification, pool growth, prediction settling.
+    let first = window(&mut a, &mut b);
+    // Steady window: must not out-allocate the warm-up.
+    let second = window(&mut a, &mut b);
+    assert!(
+        second <= first,
+        "steady-state window allocated {second} (> warm-up {first}): per-message heap growth"
+    );
+}
