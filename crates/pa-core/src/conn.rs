@@ -29,7 +29,11 @@ use crate::Nanos;
 use pa_buf::{Backlog, ByteOrder, Msg};
 use pa_filter::{CompiledProgram, Frame, Op, Program, ProgramBuilder, SlotId};
 use pa_obs::rng::SplitMix64;
-use pa_obs::{journey_id, DropCause, FieldRef, ProbeSink, SlowCause, TraceEvent};
+use pa_obs::{
+    journey_id, AttrCause, Attribution, DropCause, FieldRef, Finding, HoldRow, Invariant, MissRow,
+    MissTable, Phase, PhaseMeter, PhaseRow, ProbeSink, SlowCause, TraceEvent, XrayOp, XrayReport,
+    XrayTag, XrayTotals,
+};
 use pa_wire::{Class, CompiledLayout, Cookie, EndpointAddr, Field, LayoutBuilder, Preamble};
 use std::collections::VecDeque;
 use std::fmt;
@@ -173,6 +177,11 @@ struct SendWork {
     next: isize,
     msg: Msg,
     unusual: bool,
+    /// Who put this message on the send path: `"pa"` for application
+    /// sends, a layer name for control frames. Carried to the wire so a
+    /// later queued send can be charged to the control frame whose
+    /// post-processing is occupying the serialization rule.
+    origin: &'static str,
 }
 
 struct DeliverWork {
@@ -197,7 +206,7 @@ pub struct Connection {
     send_predict: Prediction,
     recv_predict: Prediction,
     backlog: Backlog,
-    pending_send: VecDeque<Msg>,
+    pending_send: VecDeque<(Msg, &'static str)>,
     pending_recv: VecDeque<RecvPost>,
     send_work: VecDeque<SendWork>,
     deliver_work: VecDeque<DeliverWork>,
@@ -218,6 +227,30 @@ pub struct Connection {
     /// Name of the last layer whose effects disabled the send
     /// prediction — attributed on `Queued` trace events.
     last_disable_layer: &'static str,
+    /// The attributed slow-path multiset: every `slow_sends`,
+    /// `queued_sends`, and `slow_deliveries` increment is mirrored by
+    /// exactly one `(op, layer, cause)` bump here. Always on — the
+    /// bumps only run on paths that already left the fast path.
+    attribution: Attribution,
+    /// Per-`(layer, field)` prediction-miss forensics.
+    miss_table: MissTable,
+    /// Per-layer pre/post/tick phase meters, parallel to `layers`.
+    phase_meters: Vec<PhaseMeter>,
+    /// Measure wall-clock time per phase call (opt-in; off by default
+    /// so the meters cost two array bumps per phase).
+    cycle_metering: bool,
+    /// Per-layer `[start, end)` instruction ranges in the send filter,
+    /// for attributing a rejection to the layer that contributed the
+    /// deciding instruction.
+    send_filter_spans: Vec<(usize, usize, &'static str)>,
+    /// Same for the delivery filter.
+    recv_filter_spans: Vec<(usize, usize, &'static str)>,
+    /// Why the most recent send operation went the way it did
+    /// (`XrayTag::none()` = fast path). Hosts read this to tag
+    /// annotated pcap captures.
+    last_send_explain: XrayTag,
+    /// Why the most recent accepted delivery went slow (`none` = fast).
+    last_deliver_explain: XrayTag,
     /// The in-band trace context fields (`trace_journey` /
     /// `trace_hop`), declared in the Message Specific class when
     /// `config.trace_ctx` is on. `None` otherwise — absent fields cost
@@ -284,14 +317,22 @@ impl Connection {
             .add_field(Class::ConnId, "stack_fingerprint", 64, None)
             .map_err(SetupError::Layout)?;
 
+        // Record each layer's `[start, end)` span in both filter
+        // programs as it contributes fragments, so a later rejection's
+        // deciding instruction can be attributed to its layer.
+        let mut send_filter_spans = Vec::with_capacity(layers.len() + 1);
+        let mut recv_filter_spans = Vec::with_capacity(layers.len() + 1);
         for layer in layers.iter_mut() {
             lb.begin_layer(layer.name());
+            let (s0, r0) = (send_fb.len(), recv_fb.len());
             let mut ctx = InitCtx {
                 layout: &mut lb,
                 send_filter: &mut send_fb,
                 recv_filter: &mut recv_fb,
             };
             layer.init(&mut ctx);
+            send_filter_spans.push((s0, send_fb.len(), layer.name()));
+            recv_filter_spans.push((r0, recv_fb.len(), layer.name()));
         }
 
         // In-band trace context (opt-in): a journey id and hop counter
@@ -310,6 +351,7 @@ impl Connection {
         let mut trace_h_slot = None;
         if config.trace_ctx {
             lb.begin_layer("trace");
+            let (trace_s0, trace_r0) = (send_fb.len(), recv_fb.len());
             let jf = lb
                 .add_field(Class::Message, "trace_journey", 64, None)
                 .map_err(SetupError::Layout)?;
@@ -336,12 +378,31 @@ impl Connection {
             trace_hop = Some(hf);
             trace_j_slot = Some(js);
             trace_h_slot = Some(hs);
+            send_filter_spans.push((trace_s0, send_fb.len(), "trace"));
+            recv_filter_spans.push((trace_r0, recv_fb.len(), "trace"));
         }
 
+        // Field names *and owners*: `LayerId` 0 is the engine's own
+        // `begin_layer("pa")`, 1..=n are the stacked layers in order,
+        // n+1 (if present) the trace pseudo-layer. The ownership map is
+        // what lets a prediction miss be charged to the layer whose
+        // field broke it.
+        let owner_of = |id: pa_wire::LayerId| -> &'static str {
+            let i = id.0 as usize;
+            if i == 0 {
+                "pa"
+            } else if i <= layers.len() {
+                layers[i - 1].name()
+            } else {
+                "trace"
+            }
+        };
         let mut field_names = crate::dissect::FieldNames::default();
         for class in Class::ALL {
-            for name in lb.field_names(class) {
-                field_names.push(class, name);
+            let names = lb.field_names(class);
+            let owners = lb.field_layers(class);
+            for (name, id) in names.iter().zip(owners) {
+                field_names.push_owned(class, name, owner_of(id));
             }
         }
         let layout = lb.compile(config.layout_mode).map_err(SetupError::Layout)?;
@@ -371,12 +432,21 @@ impl Connection {
         let recv_predict = Prediction::new(&layout, params.order);
         let cookie_local = Cookie::random(&mut rng);
 
+        let phase_meters = vec![PhaseMeter::default(); layers.len()];
         Ok(Connection {
             trace_origin: cookie_local.raw() as u32,
             cookie_local,
             cookie_peer: None,
             config,
             layers,
+            attribution: Attribution::default(),
+            miss_table: MissTable::default(),
+            phase_meters,
+            cycle_metering: false,
+            send_filter_spans,
+            recv_filter_spans,
+            last_send_explain: XrayTag::none(),
+            last_deliver_explain: XrayTag::none(),
             order: params.order,
             peer_order: params.order,
             peer_order_known: false,
@@ -517,6 +587,182 @@ impl Connection {
         crate::dissect::dissect(frame, &self.layout, &self.field_names)
     }
 
+    // ------------------------------------------------------------------
+    // Xray: fast-path explainability
+    // ------------------------------------------------------------------
+
+    /// The attributed slow-path multiset (always on): every
+    /// `slow_sends` / `queued_sends` / `slow_deliveries` increment is
+    /// mirrored by exactly one `(op, layer, cause)` bump.
+    pub fn attribution(&self) -> &Attribution {
+        &self.attribution
+    }
+
+    /// Per-`(layer, field)` prediction-miss forensics counters.
+    pub fn miss_table(&self) -> &MissTable {
+        &self.miss_table
+    }
+
+    /// Per-layer phase meters, parallel to [`Connection::layer_names`].
+    pub fn phase_meters(&self) -> &[PhaseMeter] {
+        &self.phase_meters
+    }
+
+    /// Layer names, bottom first (index = stack position; also the
+    /// `layer` byte in [`XrayTag`]s, with 255 = the engine).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Turns on wall-clock metering of every phase call
+    /// (`std::time::Instant` around each pre/post/tick callback).
+    pub fn enable_cycle_meter(&mut self) {
+        self.cycle_metering = true;
+    }
+
+    /// Why the most recent send operation missed (or took) the fast
+    /// path. [`XrayTag::none`] means fast path. Hosts read this right
+    /// after a send to annotate pcap captures.
+    pub fn last_send_explain(&self) -> XrayTag {
+        self.last_send_explain
+    }
+
+    /// Why the most recent accepted delivery missed (or took) the fast
+    /// path.
+    pub fn last_deliver_explain(&self) -> XrayTag {
+        self.last_deliver_explain
+    }
+
+    /// Enable-underflow violations survived by either prediction.
+    pub fn invariant_violations(&self) -> u64 {
+        self.send_predict.violations() + self.recv_predict.violations()
+    }
+
+    /// The layer charged with the deciding instruction at `pc` in a
+    /// filter program (`"pa"` for engine-contributed instructions).
+    fn span_layer(spans: &[(usize, usize, &'static str)], pc: u16) -> &'static str {
+        let pc = pc as usize;
+        spans
+            .iter()
+            .find(|(s, e, _)| pc >= *s && pc < *e)
+            .map(|&(_, _, name)| name)
+            .unwrap_or("pa")
+    }
+
+    /// The [`XrayTag`] layer byte for a layer name (stack index, or
+    /// [`XrayTag::ENGINE`] for the engine and pseudo-layers).
+    fn layer_byte(&self, name: &str) -> u8 {
+        self.layers
+            .iter()
+            .position(|l| l.name() == name)
+            .map(|i| i as u8)
+            .unwrap_or(XrayTag::ENGINE)
+    }
+
+    /// Renders an [`AttrCause`] with field names resolved through this
+    /// connection's layout.
+    fn render_cause(&self, cause: AttrCause) -> String {
+        match cause {
+            AttrCause::FieldMiss(f) => {
+                let class = Class::ALL[(f.class as usize).min(Class::ALL.len() - 1)];
+                format!(
+                    "field-miss({})",
+                    self.field_names.name(class, f.index as usize)
+                )
+            }
+            other => other.to_string(),
+        }
+    }
+
+    /// Builds the ranked "why is this connection off the fast path"
+    /// report: attribution findings, active disable holds, miss
+    /// forensics, per-layer phase call counts (virtual-time pricing is
+    /// added by the simulator), and the path-counter totals they all
+    /// reconcile against.
+    pub fn xray_report(&self) -> XrayReport {
+        let total_attr: u64 = self.attribution.entries().iter().map(|e| e.count).sum();
+        let findings = self
+            .attribution
+            .entries()
+            .iter()
+            .map(|e| Finding {
+                op: e.op,
+                layer: e.layer.to_string(),
+                cause: self.render_cause(e.cause),
+                count: e.count,
+                share: if total_attr == 0 {
+                    0.0
+                } else {
+                    e.count as f64 / total_attr as f64
+                },
+            })
+            .collect();
+
+        let mut holds = Vec::new();
+        for (direction, p) in [("send", &self.send_predict), ("recv", &self.recv_predict)] {
+            for h in p.holds() {
+                if h.active > 0 {
+                    holds.push(HoldRow {
+                        direction,
+                        layer: h.layer.to_string(),
+                        reason: h.reason.label().to_string(),
+                        active: h.active,
+                    });
+                }
+            }
+        }
+
+        let misses = self
+            .miss_table
+            .entries()
+            .iter()
+            .map(|m| {
+                let class = Class::ALL[(m.field.class as usize).min(Class::ALL.len() - 1)];
+                MissRow {
+                    layer: m.layer.to_string(),
+                    field: self.field_names.name(class, m.field.index as usize),
+                    count: m.count,
+                    last_predicted: m.last_predicted,
+                    last_actual: m.last_actual,
+                }
+            })
+            .collect();
+
+        let phases = self
+            .layers
+            .iter()
+            .zip(&self.phase_meters)
+            .map(|(l, m)| PhaseRow {
+                layer: l.name().to_string(),
+                calls: m.calls,
+                virt_ns: [0; 5],
+                cycle_ns: m.cycle_ns,
+            })
+            .collect();
+
+        let totals = XrayTotals {
+            fast_sends: self.stats.fast_sends,
+            slow_sends: self.stats.slow_sends,
+            queued_sends: self.stats.queued_sends,
+            fast_deliveries: self.stats.fast_deliveries,
+            slow_deliveries: self.stats.slow_deliveries,
+            invariant_violations: self.invariant_violations(),
+        };
+
+        let mut report = XrayReport {
+            scope: self.params.local.to_string(),
+            at: self.now,
+            findings,
+            holds,
+            misses,
+            phases,
+            totals,
+            notes: Vec::new(),
+        };
+        report.rank();
+        report
+    }
+
     /// True if deferred post-processing is queued in either direction.
     pub fn has_pending(&self) -> bool {
         !self.pending_send.is_empty() || !self.pending_recv.is_empty()
@@ -603,6 +849,32 @@ impl Connection {
         if !self.send_predict.enabled() || !self.pending_send.is_empty() || !self.backlog.is_empty()
         {
             self.stats.queued_sends += 1;
+            // Attribute the queue to exactly one (layer, cause): the
+            // deepest active disable hold if one exists, otherwise the
+            // engine-level serialization/backlog rule.
+            let (attr_layer, attr_cause) = if !self.send_predict.enabled() {
+                match self.send_predict.top_hold() {
+                    Some((layer, reason)) => (layer, AttrCause::Disabled(reason)),
+                    None => ("pa", AttrCause::Unattributed),
+                }
+            } else if !self.pending_send.is_empty() {
+                // Serialization rule: charge the layer whose control
+                // frame is awaiting post-processing if one is in the
+                // queue; otherwise it is the application's own previous
+                // send, which is the engine's doing ("pa").
+                let origin = self
+                    .pending_send
+                    .iter()
+                    .map(|(_, o)| *o)
+                    .find(|o| *o != "pa")
+                    .unwrap_or("pa");
+                (origin, AttrCause::PostSerialization)
+            } else {
+                ("pa", AttrCause::BacklogPending)
+            };
+            self.attribution
+                .bump(XrayOp::QueuedSend, attr_layer, attr_cause);
+            self.last_send_explain = XrayTag::from_cause(self.layer_byte(attr_layer), attr_cause);
             let disable_layer = if !self.send_predict.enabled() {
                 self.last_disable_layer
             } else {
@@ -637,6 +909,9 @@ impl Connection {
             self.fast_send(body)
         } else {
             self.stats.slow_sends += 1;
+            self.attribution
+                .bump(XrayOp::SlowSend, "pa", AttrCause::PredictOff);
+            self.last_send_explain = XrayTag::from_cause(XrayTag::ENGINE, AttrCause::PredictOff);
             self.emit(TraceEvent::SlowSend {
                 cause: SlowCause::PredictOff,
             });
@@ -656,21 +931,34 @@ impl Connection {
         let verdict = self.run_send_filter(&mut msg);
         if verdict == pa_filter::PASS {
             self.stats.fast_sends += 1;
+            self.last_send_explain = XrayTag::none();
             self.emit(TraceEvent::FastSend);
-            self.wire_out(msg, false);
+            self.wire_out(msg, false, "pa");
             SendOutcome::FastPath
         } else {
-            // Diagnosis (probe on only): find the deciding instruction
-            // by re-running the interpreter traced.
-            if self.probe.enabled() {
+            // Attribution (always on — this path already left the fast
+            // path): find the deciding instruction by re-running the
+            // interpreter traced, and charge the layer whose filter
+            // fragment contains it.
+            let attr_layer = {
                 let mut frame = Frame::new(&mut msg, &self.layout, self.order);
-                if let (_, Some(at)) = pa_filter::run_traced(&self.send_filter, &mut frame) {
-                    self.emit(TraceEvent::FilterReject {
-                        pc: at.pc,
-                        op: at.op,
-                    });
+                match pa_filter::run_traced(&self.send_filter, &mut frame) {
+                    (_, Some(at)) => {
+                        if self.probe.enabled() {
+                            self.emit(TraceEvent::FilterReject {
+                                pc: at.pc,
+                                op: at.op,
+                            });
+                        }
+                        Self::span_layer(&self.send_filter_spans, at.pc)
+                    }
+                    _ => "pa",
                 }
-            }
+            };
+            self.attribution
+                .bump(XrayOp::SlowSend, attr_layer, AttrCause::FilterReject);
+            self.last_send_explain =
+                XrayTag::from_cause(self.layer_byte(attr_layer), AttrCause::FilterReject);
             // Fall back: strip the speculative headers and run the
             // layered pre-send on the original body.
             let hdr = self.layout.class_len(Class::Protocol)
@@ -694,6 +982,7 @@ impl Connection {
             next: top,
             msg,
             unusual: false,
+            origin: "pa",
         });
         self.run_work();
     }
@@ -757,7 +1046,7 @@ impl Connection {
 
     /// Final send step: schedule post-processing, attach conn-ident if
     /// due, push the cookie preamble, queue the frame for the network.
-    fn wire_out(&mut self, mut msg: Msg, unusual: bool) {
+    fn wire_out(&mut self, mut msg: Msg, unusual: bool, origin: &'static str) {
         // The journey stamped into this frame (slots the filter just
         // copied into the header). Recorded for the host's pcap tagging
         // and emitted when a probe listens.
@@ -772,7 +1061,7 @@ impl Connection {
 
         // Post-processing operates on the frame image (protocol header
         // first), captured before preamble/ident are pushed.
-        self.pending_send.push_back(msg.clone());
+        self.pending_send.push_back((msg.clone(), origin));
 
         let include_ident = !self.config.cookies || unusual || self.ident_remaining > 0;
         if include_ident {
@@ -903,6 +1192,7 @@ impl Connection {
             match self.fast_deliver(frame) {
                 Ok(n) => {
                     self.stats.fast_deliveries += 1;
+                    self.last_deliver_explain = XrayTag::none();
                     self.emit(TraceEvent::FastDeliver { msgs: n as u32 });
                     self.finish_delivery();
                     DeliverOutcome::Fast { msgs: n }
@@ -926,9 +1216,15 @@ impl Connection {
                     SlowCause::PredictMiss
                 }
             };
-            if self.probe.enabled() {
-                self.diagnose_slow_deliver(cause, &mut frame);
-            }
+            // Forensics + attribution (always on — this frame already
+            // left the fast path): pinpoint the deciding filter
+            // instruction or the mispredicted fields, and charge the
+            // excursion to exactly one (layer, cause).
+            let (attr_layer, attr_cause) = self.attribute_slow_deliver(cause, &mut frame);
+            self.attribution
+                .bump(XrayOp::SlowDeliver, attr_layer, attr_cause);
+            self.last_deliver_explain =
+                XrayTag::from_cause(self.layer_byte(attr_layer), attr_cause);
             self.stats.slow_deliveries += 1;
             self.emit(TraceEvent::SlowDeliver { cause });
             let n = self.slow_deliver(frame);
@@ -937,43 +1233,82 @@ impl Connection {
         }
     }
 
-    /// Probe-only enrichment for a slow delivery: pinpoints the filter
-    /// instruction that rejected the frame, or the first protocol field
-    /// that broke the prediction. Costs nothing when tracing is off —
-    /// the caller gates on `probe.enabled()`.
-    fn diagnose_slow_deliver(&mut self, cause: SlowCause, frame: &mut Msg) {
+    /// Names the `(layer, cause)` of a slow delivery:
+    ///
+    /// - filter rejections charge the layer whose fragment contains the
+    ///   deciding instruction (found by re-running the interpreter
+    ///   traced),
+    /// - prediction misses diff the incoming protocol header against
+    ///   the predicted bytes field by field, record *every* mismatching
+    ///   `(owning layer, field)` in the miss table with its
+    ///   predicted/actual values, and charge the first one,
+    /// - a disabled prediction charges the deepest active hold.
+    ///
+    /// Emits the matching diagnosis events (`FilterReject` /
+    /// `PredictMiss`) when a probe listens.
+    fn attribute_slow_deliver(
+        &mut self,
+        cause: SlowCause,
+        frame: &mut Msg,
+    ) -> (&'static str, AttrCause) {
         match cause {
             SlowCause::FilterReject => {
                 let mut fr = Frame::new(frame, &self.layout, self.peer_order);
-                if let (_, Some(at)) = pa_filter::run_traced(&self.recv_filter, &mut fr) {
-                    self.emit(TraceEvent::FilterReject {
-                        pc: at.pc,
-                        op: at.op,
-                    });
+                match pa_filter::run_traced(&self.recv_filter, &mut fr) {
+                    (_, Some(at)) => {
+                        if self.probe.enabled() {
+                            self.emit(TraceEvent::FilterReject {
+                                pc: at.pc,
+                                op: at.op,
+                            });
+                        }
+                        (
+                            Self::span_layer(&self.recv_filter_spans, at.pc),
+                            AttrCause::FilterReject,
+                        )
+                    }
+                    _ => ("pa", AttrCause::FilterReject),
                 }
             }
+            SlowCause::PredictOff => ("pa", AttrCause::PredictOff),
+            SlowCause::PredictDisabled => match self.recv_predict.top_hold() {
+                Some((layer, reason)) => (layer, AttrCause::Disabled(reason)),
+                None => ("pa", AttrCause::Unattributed),
+            },
             SlowCause::PredictMiss => {
                 let proto_len = self.layout.class_len(Class::Protocol);
                 let Some(hdr) = frame.get(0, proto_len) else {
-                    return;
+                    return ("pa", AttrCause::Unattributed);
                 };
                 let hdr = hdr.to_vec();
+                let mut first: Option<(&'static str, FieldRef)> = None;
                 for i in 0..self.layout.class(Class::Protocol).field_count() {
                     let f = Field::new(Class::Protocol, i);
                     let got = self.layout.read_field(f, &hdr, self.peer_order);
                     let expected = self.recv_predict.get(&self.layout, f);
                     if got != expected {
                         let field = FieldRef::new(Class::Protocol.index() as u8, i as u16);
-                        self.emit(TraceEvent::PredictMiss {
-                            field,
-                            expected,
-                            got,
-                        });
-                        break;
+                        let owner = self.field_names.owner(Class::Protocol, i);
+                        self.miss_table.bump(owner, field, expected, got);
+                        if first.is_none() {
+                            first = Some((owner, field));
+                            if self.probe.enabled() {
+                                self.emit(TraceEvent::PredictMiss {
+                                    field,
+                                    expected,
+                                    got,
+                                });
+                            }
+                        }
                     }
                 }
+                match first {
+                    Some((owner, field)) => (owner, AttrCause::FieldMiss(field)),
+                    // The bytes differed but every readable field
+                    // matched (padding noise): visible as unattributed.
+                    None => ("pa", AttrCause::Unattributed),
+                }
             }
-            _ => {}
         }
     }
 
@@ -1059,6 +1394,7 @@ impl Connection {
             next,
             mut msg,
             unusual,
+            origin,
         } = work;
         if next < 0 {
             // Below the bottom layer: filter, preamble, wire.
@@ -1081,10 +1417,11 @@ impl Connection {
                 });
                 return;
             }
-            self.wire_out(msg, unusual);
+            self.wire_out(msg, unusual, origin);
             return;
         }
         let i = next as usize;
+        let t0 = self.meter_start();
         let (action, effects) = {
             let mut effects = Effects::default();
             let mut ctx = LayerCtx {
@@ -1098,6 +1435,7 @@ impl Connection {
             let action = self.layers[i].pre_send(&mut ctx, &mut msg);
             (action, effects)
         };
+        self.meter_record(i, Phase::PreSend, t0);
         self.apply_effects(i, effects);
         match action {
             SendAction::Continue => {
@@ -1105,6 +1443,7 @@ impl Connection {
                     next: next - 1,
                     msg,
                     unusual,
+                    origin,
                 });
             }
             SendAction::Split(parts) => {
@@ -1113,6 +1452,7 @@ impl Connection {
                         next: next - 1,
                         msg: part,
                         unusual,
+                        origin,
                     });
                 }
             }
@@ -1159,6 +1499,7 @@ impl Connection {
             }
             return;
         }
+        let t0 = self.meter_start();
         let (action, effects) = {
             let mut effects = Effects::default();
             let mut ctx = LayerCtx {
@@ -1172,6 +1513,7 @@ impl Connection {
             let action = self.layers[next].pre_deliver(&mut ctx, &mut msg);
             (action, effects)
         };
+        self.meter_record(next, Phase::PreDeliver, t0);
         self.apply_effects(next, effects);
         match action {
             DeliverAction::Continue => {
@@ -1202,26 +1544,78 @@ impl Connection {
         }
     }
 
+    /// Starts a cycle-meter sample if wall-clock metering is enabled.
+    ///
+    /// Returns `None` when metering is off, so the hot path pays only a
+    /// branch on a bool — no clock read.
+    #[inline]
+    fn meter_start(&self) -> Option<std::time::Instant> {
+        self.cycle_metering.then(std::time::Instant::now)
+    }
+
+    /// Records one phase invocation for `layer_idx`, folding in the
+    /// elapsed wall-clock nanoseconds when `t0` carries a sample.
+    #[inline]
+    fn meter_record(&mut self, layer_idx: usize, phase: Phase, t0: Option<std::time::Instant>) {
+        let dt = t0.map(|t| t.elapsed().as_nanos() as u64);
+        if let Some(meter) = self.phase_meters.get_mut(layer_idx) {
+            meter.record(phase, dt);
+        }
+    }
+
     /// Applies a layer's requested side effects. `layer_idx` is the
     /// emitting layer; downward messages enter below it, upward ones
     /// above it.
     fn apply_effects(&mut self, layer_idx: usize, effects: Effects) {
-        if effects.disable_send > 0 {
+        let name = self.layers[layer_idx].name();
+        if !effects.disable_send.is_empty() {
             // Remember who last held the send path shut, so a later
             // `Queued` event names the culprit.
-            self.last_disable_layer = self.layers[layer_idx].name();
+            self.last_disable_layer = name;
         }
-        for _ in 0..effects.disable_send.max(0) {
-            self.send_predict.disable();
+        for reason in effects.disable_send {
+            self.send_predict.disable_with(name, reason);
+            self.emit(TraceEvent::Disable {
+                layer: name,
+                reason,
+                send: true,
+            });
         }
-        for _ in 0..(-effects.disable_send).max(0) {
-            self.send_predict.enable();
+        for reason in effects.enable_send {
+            if self.send_predict.enable_with(name, reason) {
+                self.emit(TraceEvent::Enable {
+                    layer: name,
+                    reason,
+                    send: true,
+                });
+            } else {
+                self.emit(TraceEvent::InvariantViolation {
+                    layer: name,
+                    what: Invariant::EnableUnderflow,
+                });
+            }
         }
-        for _ in 0..effects.disable_recv.max(0) {
-            self.recv_predict.disable();
+        for reason in effects.disable_recv {
+            self.recv_predict.disable_with(name, reason);
+            self.emit(TraceEvent::Disable {
+                layer: name,
+                reason,
+                send: false,
+            });
         }
-        for _ in 0..(-effects.disable_recv).max(0) {
-            self.recv_predict.enable();
+        for reason in effects.enable_recv {
+            if self.recv_predict.enable_with(name, reason) {
+                self.emit(TraceEvent::Enable {
+                    layer: name,
+                    reason,
+                    send: false,
+                });
+            } else {
+                self.emit(TraceEvent::InvariantViolation {
+                    layer: name,
+                    what: Invariant::EnableUnderflow,
+                });
+            }
         }
         for (slot, v) in effects.send_slot_patches {
             self.send_filter.set_slot(slot, v);
@@ -1238,6 +1632,7 @@ impl Connection {
                 next: layer_idx as isize - 1,
                 msg,
                 unusual,
+                origin: name,
             });
         }
         for msg in effects.up {
@@ -1261,7 +1656,7 @@ impl Connection {
         let frames_before = self.stats.frames_out;
 
         loop {
-            if let Some(msg) = self.pending_send.pop_front() {
+            if let Some((msg, _origin)) = self.pending_send.pop_front() {
                 self.run_post_send(&msg, &mut report);
                 continue;
             }
@@ -1309,6 +1704,7 @@ impl Connection {
         report.post_send_frames += 1;
         self.stats.post_sends += 1;
         for i in (0..self.layers.len()).rev() {
+            let t0 = self.meter_start();
             let effects = {
                 let mut effects = Effects::default();
                 let mut ctx = LayerCtx {
@@ -1322,6 +1718,7 @@ impl Connection {
                 self.layers[i].post_send(&mut ctx, msg);
                 effects
             };
+            self.meter_record(i, Phase::PostSend, t0);
             self.apply_effects(i, effects);
         }
         self.run_work();
@@ -1339,6 +1736,7 @@ impl Connection {
         report.post_deliver_frames += 1;
         self.stats.post_delivers += 1;
         for i in start..=stop {
+            let t0 = self.meter_start();
             let effects = {
                 let mut effects = Effects::default();
                 let mut ctx = LayerCtx {
@@ -1352,6 +1750,7 @@ impl Connection {
                 self.layers[i].post_deliver(&mut ctx, &msg);
                 effects
             };
+            self.meter_record(i, Phase::PostDeliver, t0);
             self.apply_effects(i, effects);
         }
         self.run_work();
@@ -1391,6 +1790,7 @@ impl Connection {
     pub fn tick(&mut self, now: Nanos) {
         self.set_now(now);
         for i in 0..self.layers.len() {
+            let t0 = self.meter_start();
             let effects = {
                 let mut effects = Effects::default();
                 let mut ctx = LayerCtx {
@@ -1404,6 +1804,7 @@ impl Connection {
                 self.layers[i].on_tick(&mut ctx, now);
                 effects
             };
+            self.meter_record(i, Phase::Tick, t0);
             self.apply_effects(i, effects);
         }
         self.run_work();

@@ -13,16 +13,26 @@ use pa_wire::{Class, CompiledLayout, Preamble};
 use std::fmt::Write as _;
 
 /// Field names per class, in declaration order — collected by
-/// [`crate::Connection`] at init so dissection can label fields.
+/// [`crate::Connection`] at init so dissection can label fields — plus
+/// the *owning layer* of each field, the ownership map that lets the
+/// xray forensics charge a prediction miss to the layer whose field
+/// broke it.
 #[derive(Debug, Clone, Default)]
 pub struct FieldNames {
     names: [Vec<String>; 4],
+    owners: [Vec<&'static str>; 4],
 }
 
 impl FieldNames {
-    /// Records a declared field name.
+    /// Records a declared field name with unknown ownership.
     pub fn push(&mut self, class: Class, name: &str) {
+        self.push_owned(class, name, "?");
+    }
+
+    /// Records a declared field name together with its owning layer.
+    pub fn push_owned(&mut self, class: Class, name: &str, owner: &'static str) {
         self.names[class.index()].push(name.to_string());
+        self.owners[class.index()].push(owner);
     }
 
     /// Name of field `idx` in `class` (or a positional fallback).
@@ -31,6 +41,11 @@ impl FieldNames {
             .get(idx)
             .cloned()
             .unwrap_or_else(|| format!("{class}[{idx}]"))
+    }
+
+    /// Owning layer of field `idx` in `class` (`"?"` if unrecorded).
+    pub fn owner(&self, class: Class, idx: usize) -> &'static str {
+        self.owners[class.index()].get(idx).copied().unwrap_or("?")
     }
 
     /// Number of fields recorded for `class`.

@@ -24,6 +24,7 @@ use crate::predict::Prediction;
 use crate::Nanos;
 use pa_buf::{ByteOrder, Msg};
 use pa_filter::{Frame, ProgramBuilder};
+use pa_obs::DisableReason;
 use pa_wire::{CompiledLayout, LayoutBuilder};
 
 /// Verdict of a layer's pre-send phase.
@@ -82,10 +83,16 @@ pub struct Effects {
     pub down: Vec<(Msg, bool)>,
     /// Messages to hand upward (reassembled / released from reordering).
     pub up: Vec<Msg>,
-    /// Net change to the send prediction's disable counter.
-    pub disable_send: i32,
-    /// Net change to the delivery prediction's disable counter.
-    pub disable_recv: i32,
+    /// Attributed disables of the send prediction, one reason per
+    /// increment (§3.2's counter bump, named).
+    pub disable_send: Vec<DisableReason>,
+    /// Attributed enables of the send prediction; each must release a
+    /// hold this layer previously charged with the same reason.
+    pub enable_send: Vec<DisableReason>,
+    /// Attributed disables of the delivery prediction.
+    pub disable_recv: Vec<DisableReason>,
+    /// Attributed enables of the delivery prediction.
+    pub enable_recv: Vec<DisableReason>,
     /// Send-filter slot rewrites (§3.3: "part of the packet filter
     /// program may be rewritten when the protocol state is updated in
     /// the post-processing phase").
@@ -99,8 +106,10 @@ impl Effects {
     pub fn is_empty(&self) -> bool {
         self.down.is_empty()
             && self.up.is_empty()
-            && self.disable_send == 0
-            && self.disable_recv == 0
+            && self.disable_send.is_empty()
+            && self.enable_send.is_empty()
+            && self.disable_recv.is_empty()
+            && self.enable_recv.is_empty()
             && self.send_slot_patches.is_empty()
             && self.recv_slot_patches.is_empty()
     }
@@ -166,24 +175,27 @@ impl<'a> LayerCtx<'a> {
         self.effects.up.push(msg);
     }
 
-    /// Disables the predicted send header (e.g. window full).
-    pub fn disable_send(&mut self) {
-        self.effects.disable_send += 1;
+    /// Disables the predicted send header, naming why (e.g.
+    /// [`DisableReason::FullWindow`]). The engine attributes the hold
+    /// to the calling layer.
+    pub fn disable_send(&mut self, reason: DisableReason) {
+        self.effects.disable_send.push(reason);
     }
 
-    /// Re-enables the predicted send header.
-    pub fn enable_send(&mut self) {
-        self.effects.disable_send -= 1;
+    /// Re-enables the predicted send header, releasing the hold charged
+    /// under `reason` by this layer.
+    pub fn enable_send(&mut self, reason: DisableReason) {
+        self.effects.enable_send.push(reason);
     }
 
-    /// Disables the predicted delivery header.
-    pub fn disable_recv(&mut self) {
-        self.effects.disable_recv += 1;
+    /// Disables the predicted delivery header, naming why.
+    pub fn disable_recv(&mut self, reason: DisableReason) {
+        self.effects.disable_recv.push(reason);
     }
 
     /// Re-enables the predicted delivery header.
-    pub fn enable_recv(&mut self) {
-        self.effects.disable_recv -= 1;
+    pub fn enable_recv(&mut self, reason: DisableReason) {
+        self.effects.enable_recv.push(reason);
     }
 
     /// Rewrites a patchable constant in the send filter (applied by the
@@ -274,7 +286,7 @@ mod tests {
     fn effects_emptiness() {
         let mut e = Effects::default();
         assert!(e.is_empty());
-        e.disable_send += 1;
+        e.disable_send.push(DisableReason::FullWindow);
         assert!(!e.is_empty());
     }
 
@@ -298,14 +310,18 @@ mod tests {
         ctx.emit_down(Msg::from_payload(b"ack"));
         ctx.emit_down_unusual(Msg::from_payload(b"rexmit"));
         ctx.emit_up(Msg::from_payload(b"reassembled"));
-        ctx.disable_send();
-        ctx.disable_send();
-        ctx.enable_send();
+        ctx.disable_send(DisableReason::FullWindow);
+        ctx.disable_send(DisableReason::Resync);
+        ctx.enable_send(DisableReason::FullWindow);
         assert_eq!(effects.down.len(), 2);
         assert!(effects.down[1].1, "retransmission marked unusual");
         assert_eq!(effects.up.len(), 1);
-        assert_eq!(effects.disable_send, 1);
-        assert_eq!(effects.disable_recv, 0);
+        assert_eq!(
+            effects.disable_send,
+            vec![DisableReason::FullWindow, DisableReason::Resync]
+        );
+        assert_eq!(effects.enable_send, vec![DisableReason::FullWindow]);
+        assert!(effects.disable_recv.is_empty());
     }
 
     #[test]

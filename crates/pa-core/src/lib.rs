@@ -54,7 +54,12 @@ pub use endpoint::{ConnHandle, Delivery, Endpoint};
 pub use handshake::{Greeting, GreetingError};
 pub use layer::{DeliverAction, InitCtx, Layer, LayerCtx, SendAction};
 pub use packing::PackInfo;
-pub use predict::Prediction;
+pub use predict::{DisableHold, Prediction};
+
+// Layer authors need the disable-reason vocabulary to call
+// [`LayerCtx::disable_send`] and friends; re-export it so depending on
+// `pa-obs` directly stays optional.
+pub use pa_obs::DisableReason;
 pub use router::Router;
 pub use stats::ConnStats;
 

@@ -16,9 +16,35 @@
 //! a sliding window protocol is full). … By incrementing the counter, a
 //! layer disables the header. The layer eventually has to decrement the
 //! counter."
+//!
+//! The counter is no longer opaque: every increment is *attributed* to a
+//! `(layer, reason)` pair via [`Prediction::disable_with`], so at any
+//! moment the engine can answer "who is holding the fast path shut, and
+//! why" ([`Prediction::holds`], [`Prediction::top_hold`]). Legacy
+//! unattributed `disable()`/`enable()` still work — they charge the
+//! `"(unattributed)"` pseudo-layer, whose presence in a report is itself
+//! a finding. Enable-underflow (a layer enabling more than it disabled)
+//! no longer panics the endpoint: the decrement saturates and the
+//! violation is counted ([`Prediction::violations`]) so the engine can
+//! emit an invariant-violation probe event instead of dying.
 
 use pa_buf::ByteOrder;
+use pa_obs::DisableReason;
 use pa_wire::{Class, CompiledLayout, Field};
+
+/// One attributed disable hold: how often `(layer, reason)` has held
+/// this prediction shut, and how deeply it holds it right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisableHold {
+    /// The holding layer (`"(unattributed)"` for legacy callers).
+    pub layer: &'static str,
+    /// Why.
+    pub reason: DisableReason,
+    /// Currently-held nesting depth (0 = released).
+    pub active: u32,
+    /// Lifetime count of disables charged here.
+    pub total: u64,
+}
 
 /// The predicted headers for one direction, plus the disable counter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +53,8 @@ pub struct Prediction {
     gossip: Vec<u8>,
     order: ByteOrder,
     disable: u32,
+    holds: Vec<DisableHold>,
+    violations: u64,
 }
 
 impl Prediction {
@@ -38,6 +66,8 @@ impl Prediction {
             gossip: vec![0; layout.class_len(Class::Gossip)],
             order,
             disable: 0,
+            holds: Vec::new(),
+            violations: 0,
         }
     }
 
@@ -118,27 +148,94 @@ impl Prediction {
         self.disable == 0
     }
 
-    /// Increments the disable counter (layer blocks the fast path).
-    pub fn disable(&mut self) {
+    /// Increments the disable counter, charging `(layer, reason)` in
+    /// the attributed hold table (layer blocks the fast path).
+    pub fn disable_with(&mut self, layer: &'static str, reason: DisableReason) {
         self.disable += 1;
+        for h in &mut self.holds {
+            if h.layer == layer && h.reason == reason {
+                h.active += 1;
+                h.total += 1;
+                return;
+            }
+        }
+        self.holds.push(DisableHold {
+            layer,
+            reason,
+            active: 1,
+            total: 1,
+        });
     }
 
-    /// Decrements the disable counter. "When all layers have done so,
-    /// the header is automatically re-enabled."
+    /// Decrements the disable counter against the `(layer, reason)` hold
+    /// it was charged to. "When all layers have done so, the header is
+    /// automatically re-enabled."
     ///
-    /// # Panics
-    /// On underflow — a layer enabling more than it disabled is a
-    /// protocol-stack bug worth failing loudly on.
+    /// Returns `false` on underflow — an enable with no matching
+    /// disable. The decrement *saturates* instead of panicking (a
+    /// protocol-stack bug must not kill the endpoint); the violation is
+    /// counted and the caller is expected to emit an
+    /// `InvariantViolation` probe event.
+    #[must_use = "false means enable-underflow: count it and emit an invariant-violation event"]
+    pub fn enable_with(&mut self, layer: &'static str, reason: DisableReason) -> bool {
+        for h in &mut self.holds {
+            if h.layer == layer && h.reason == reason {
+                if h.active > 0 {
+                    h.active -= 1;
+                    // The global counter is the sum of active holds, so
+                    // it is provably > 0 here; saturate defensively
+                    // anyway.
+                    self.disable = self.disable.saturating_sub(1);
+                    return true;
+                }
+                break;
+            }
+        }
+        self.violations += 1;
+        false
+    }
+
+    /// Legacy unattributed disable (charges `"(unattributed)"`).
+    pub fn disable(&mut self) {
+        self.disable_with(UNATTRIBUTED_LAYER, DisableReason::Unattributed);
+    }
+
+    /// Legacy unattributed enable. Saturates on underflow (counted as a
+    /// violation) instead of panicking.
     pub fn enable(&mut self) {
-        assert!(self.disable > 0, "enable without matching disable");
-        self.disable -= 1;
+        let _ = self.enable_with(UNATTRIBUTED_LAYER, DisableReason::Unattributed);
     }
 
     /// Current disable count (diagnostics).
     pub fn disable_count(&self) -> u32 {
         self.disable
     }
+
+    /// The attributed hold table, in first-seen order. Entries with
+    /// `active == 0` are history (lifetime totals); entries with
+    /// `active > 0` are currently holding the fast path shut.
+    pub fn holds(&self) -> &[DisableHold] {
+        &self.holds
+    }
+
+    /// The currently-deepest active hold — the best single answer to
+    /// "which layer is blocking the fast path right now".
+    pub fn top_hold(&self) -> Option<(&'static str, DisableReason)> {
+        self.holds
+            .iter()
+            .filter(|h| h.active > 0)
+            .max_by_key(|h| h.active)
+            .map(|h| (h.layer, h.reason))
+    }
+
+    /// Enable-underflow violations survived so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
 }
+
+/// The pseudo-layer charged by legacy unattributed `disable()` calls.
+pub const UNATTRIBUTED_LAYER: &str = "(unattributed)";
 
 fn field_count(layout: &CompiledLayout, class: Class) -> usize {
     layout.class(class).field_count()
@@ -207,11 +304,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "enable without matching disable")]
-    fn enable_underflow_panics() {
+    fn enable_underflow_saturates_and_counts() {
+        // The old behaviour was an assert! — a stack bug panicked the
+        // endpoint. Now the decrement saturates, stays enabled, and the
+        // violation is counted for the invariant-violation probe event.
         let (l, ..) = layout();
         let mut p = Prediction::new(&l, ByteOrder::Big);
         p.enable();
+        assert!(p.enabled(), "saturated, not negative");
+        assert_eq!(p.disable_count(), 0);
+        assert_eq!(p.violations(), 1);
+
+        // Attributed mismatch: enabling a reason that was never
+        // disabled is a violation even while another hold is active.
+        p.disable_with("window", DisableReason::FullWindow);
+        assert!(!p.enable_with("window", DisableReason::FragPending));
+        assert_eq!(p.violations(), 2);
+        assert!(!p.enabled(), "the real hold is untouched");
+        assert!(p.enable_with("window", DisableReason::FullWindow));
+        assert!(p.enabled());
+    }
+
+    #[test]
+    fn holds_attribute_disables() {
+        let (l, ..) = layout();
+        let mut p = Prediction::new(&l, ByteOrder::Big);
+        p.disable_with("window", DisableReason::FullWindow);
+        p.disable_with("window", DisableReason::FullWindow);
+        p.disable_with("frag", DisableReason::FragPending);
+        assert!(!p.enabled());
+        assert_eq!(p.disable_count(), 3);
+        assert_eq!(p.top_hold(), Some(("window", DisableReason::FullWindow)));
+        assert!(p.enable_with("window", DisableReason::FullWindow));
+        assert!(p.enable_with("window", DisableReason::FullWindow));
+        assert_eq!(p.top_hold(), Some(("frag", DisableReason::FragPending)));
+        assert!(p.enable_with("frag", DisableReason::FragPending));
+        assert!(p.enabled());
+        assert_eq!(p.top_hold(), None);
+        // History survives release: lifetime totals for the report.
+        let w = p
+            .holds()
+            .iter()
+            .find(|h| h.layer == "window")
+            .expect("window hold recorded");
+        assert_eq!(w.total, 2);
+        assert_eq!(w.active, 0);
+        assert_eq!(p.violations(), 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! `(class, index)` pairs ([`FieldRef`]) and resolved to names only at
 //! render time, so emitting an event never touches the heap.
 
+use crate::xray::DisableReason;
 use std::fmt;
 
 /// Logical nanoseconds (the hosts' virtual clocks).
@@ -30,6 +31,30 @@ impl FieldRef {
     /// A field reference from raw ordinals.
     pub fn new(class: u8, index: u16) -> FieldRef {
         FieldRef { class, index }
+    }
+}
+
+/// Which engine invariant broke (kept as a fieldless enum so
+/// [`TraceEvent`] stays inside its 32-byte budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// `Prediction::enable()` without a matching `disable()`: the
+    /// counter would have gone negative and was saturated instead.
+    EnableUnderflow,
+}
+
+impl Invariant {
+    /// Short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Invariant::EnableUnderflow => "enable-underflow",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -171,6 +196,33 @@ pub enum TraceEvent {
         /// Hop counter as read off the wire.
         hop: u8,
     },
+    /// A layer disabled a predicted header, with attribution (§3.2's
+    /// counter bump, named).
+    Disable {
+        /// The disabling layer.
+        layer: &'static str,
+        /// Why the fast path is being held shut.
+        reason: DisableReason,
+        /// True for the send prediction, false for the receive one.
+        send: bool,
+    },
+    /// A layer re-enabled a predicted header it had disabled.
+    Enable {
+        /// The enabling layer.
+        layer: &'static str,
+        /// The reason whose hold is released.
+        reason: DisableReason,
+        /// True for the send prediction, false for the receive one.
+        send: bool,
+    },
+    /// An engine invariant was violated but survived (e.g. `enable()`
+    /// without a matching `disable()`, saturated instead of panicking).
+    InvariantViolation {
+        /// The layer at fault (`"pa"` when unattributable).
+        layer: &'static str,
+        /// Which invariant broke.
+        what: Invariant,
+    },
 }
 
 impl TraceEvent {
@@ -189,6 +241,9 @@ impl TraceEvent {
             TraceEvent::Control { .. } => "control",
             TraceEvent::JourneySend { .. } => "journey-send",
             TraceEvent::JourneyDeliver { .. } => "journey-deliver",
+            TraceEvent::Disable { .. } => "disable",
+            TraceEvent::Enable { .. } => "enable",
+            TraceEvent::InvariantViolation { .. } => "invariant-violation",
         }
     }
 
@@ -245,6 +300,25 @@ impl TraceEvent {
                     journey >> 32,
                     journey & 0xFFFF_FFFF
                 )
+            }
+            TraceEvent::Disable {
+                layer,
+                reason,
+                send,
+            } => {
+                let dir = if send { "send" } else { "recv" };
+                format!("disable layer={layer} reason={reason} dir={dir}")
+            }
+            TraceEvent::Enable {
+                layer,
+                reason,
+                send,
+            } => {
+                let dir = if send { "send" } else { "recv" };
+                format!("enable layer={layer} reason={reason} dir={dir}")
+            }
+            TraceEvent::InvariantViolation { layer, what } => {
+                format!("invariant-violation layer={layer} what={what}")
             }
         }
     }
@@ -332,6 +406,20 @@ mod tests {
             TraceEvent::JourneyDeliver {
                 journey: (3 << 32) | 7,
                 hop: 0,
+            },
+            TraceEvent::Disable {
+                layer: "window",
+                reason: DisableReason::FullWindow,
+                send: true,
+            },
+            TraceEvent::Enable {
+                layer: "window",
+                reason: DisableReason::FullWindow,
+                send: true,
+            },
+            TraceEvent::InvariantViolation {
+                layer: "window",
+                what: Invariant::EnableUnderflow,
             },
         ];
         for e in events {

@@ -27,6 +27,11 @@
 //!   lines;
 //! - [`PathTag`] — the per-frame path annotation used by the
 //!   annotated-pcap capture mode;
+//! - [`xray`] — fast-path explainability: attributed disable tokens
+//!   ([`DisableReason`]), per-(layer, cause) slow-path [`Attribution`]
+//!   multisets, prediction-miss forensics ([`MissTable`]), per-layer
+//!   pre/post [`PhaseMeter`]s, the 4-byte [`XrayTag`] pcap annotation,
+//!   and the [`XrayReport`] diagnosis engine;
 //! - [`rng`] — the workspace's dependency-free seedable PRNG
 //!   ([`rng::SplitMix64`]), shared by cookies, fault injection, GC
 //!   jitter, and randomized tests.
@@ -42,8 +47,9 @@ pub mod ring;
 pub mod rng;
 pub mod snapshot;
 pub mod timeseries;
+pub mod xray;
 
-pub use event::{DropCause, FieldRef, Nanos, SlowCause, TraceEvent};
+pub use event::{DropCause, FieldRef, Invariant, Nanos, SlowCause, TraceEvent};
 pub use histo::{HistoSummary, LatencyHisto};
 pub use journey::{
     journey_id, journey_origin, journey_seq, render_journey_id, HopLeg, Journey, JourneySet,
@@ -52,6 +58,10 @@ pub use probe::{EventCounts, NoopProbe, Probe, ProbeSink};
 pub use ring::{merge_timeline, TraceRecord, TraceRing};
 pub use snapshot::MetricsSnapshot;
 pub use timeseries::{FlightRecorder, Postmortem, TimeSeries};
+pub use xray::{
+    AttrCause, AttrEntry, Attribution, DisableReason, Finding, HoldRow, MissEntry, MissRow,
+    MissTable, Phase, PhaseMeter, PhaseRow, XrayOp, XrayReport, XrayTag, XrayTotals,
+};
 
 use std::fmt;
 

@@ -61,6 +61,12 @@ pub struct EventCounts {
     pub journey_sends: u64,
     /// `JourneyDeliver` events.
     pub journey_delivers: u64,
+    /// `Disable` events (attributed §3.2 counter bumps).
+    pub disables: u64,
+    /// `Enable` events.
+    pub enables: u64,
+    /// `InvariantViolation` events (survived engine bugs).
+    pub invariant_violations: u64,
 }
 
 impl EventCounts {
@@ -78,6 +84,9 @@ impl EventCounts {
             + self.controls
             + self.journey_sends
             + self.journey_delivers
+            + self.disables
+            + self.enables
+            + self.invariant_violations
     }
 
     #[inline]
@@ -95,6 +104,9 @@ impl EventCounts {
             TraceEvent::Control { .. } => self.controls += 1,
             TraceEvent::JourneySend { .. } => self.journey_sends += 1,
             TraceEvent::JourneyDeliver { .. } => self.journey_delivers += 1,
+            TraceEvent::Disable { .. } => self.disables += 1,
+            TraceEvent::Enable { .. } => self.enables += 1,
+            TraceEvent::InvariantViolation { .. } => self.invariant_violations += 1,
         }
     }
 }

@@ -21,6 +21,7 @@
 //! C-without-PA round trip lands at the paper's ~1.5 ms.
 
 use crate::Nanos;
+use pa_obs::{Phase, XrayReport};
 
 /// Implementation language of the *stack* code (the PA itself is always
 /// the paper's 1500 lines of C and is not scaled).
@@ -215,6 +216,37 @@ impl CostModel {
     pub fn control_send(&self) -> Nanos {
         self.fast_send_base + self.filter_run()
     }
+
+    /// Virtual-time price of *one* invocation of `phase` for the layer
+    /// named `name`, language-scaled.
+    ///
+    /// Tick callbacks are priced at zero: the paper's §5 breakdown
+    /// measures the four canonical phases only, and timers run off the
+    /// critical path.
+    pub fn phase_cost(&self, name: &str, phase: Phase) -> Nanos {
+        let c = layer_cost(name);
+        let raw = match phase {
+            Phase::PreSend => c.pre_send,
+            Phase::PostSend => c.post_send,
+            Phase::PreDeliver => c.pre_deliver,
+            Phase::PostDeliver => c.post_deliver,
+            Phase::Tick => 0,
+        };
+        self.scale(raw)
+    }
+
+    /// Prices an [`XrayReport`]'s phase table with this model:
+    /// `virt_ns = calls × per-invocation phase cost`, reproducing the
+    /// paper's critical-path breakdown (80 µs post-send / 50 µs
+    /// post-deliver per 4-layer frame) from observed invocation counts.
+    pub fn price_report(&self, report: &mut XrayReport) {
+        for row in &mut report.phases {
+            for phase in Phase::ALL {
+                row.virt_ns[phase as usize] =
+                    row.calls[phase as usize] * self.phase_cost(&row.layer, phase);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +320,32 @@ mod tests {
             (1_300_000..=1_700_000).contains(&rtt),
             "C no-PA RTT = {rtt} ns"
         );
+    }
+
+    #[test]
+    fn phase_pricing_reproduces_the_paper_breakdown() {
+        use pa_obs::PhaseRow;
+        let m = CostModel::paper_ml(paper_layers());
+        let mut report = XrayReport::default();
+        // One frame's worth of post phases across the 4-layer stack.
+        for name in ["bottom", "checksum", "window", "frag"] {
+            report.phases.push(PhaseRow {
+                layer: name.to_string(),
+                calls: [0, 1, 0, 1, 3],
+                virt_ns: [0; 5],
+                cycle_ns: [0; 5],
+            });
+        }
+        m.price_report(&mut report);
+        let post_send: u64 = report.phases.iter().map(|r| r.virt_ns[1]).sum();
+        let post_deliver: u64 = report.phases.iter().map(|r| r.virt_ns[3]).sum();
+        let tick: u64 = report.phases.iter().map(|r| r.virt_ns[4]).sum();
+        assert_eq!(post_send, 80_000, "§5 post-send anchor");
+        assert_eq!(post_deliver, 50_000, "§5 post-deliver anchor");
+        assert_eq!(tick, 0, "timers are off the critical path");
+        // The window row alone is the +15/+15 doubling anchor.
+        assert_eq!(report.phases[2].virt_ns[1], 15_000);
+        assert_eq!(report.phases[2].virt_ns[3], 15_000);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::gc::GcModel;
 use crate::Nanos;
 use pa_buf::Msg;
 use pa_core::{ConnStats, Connection, DeliverOutcome, SendOutcome};
-use pa_obs::{HistoSummary, LatencyHisto};
+use pa_obs::{HistoSummary, LatencyHisto, XrayReport};
 use pa_unet::Netif;
 use pa_wire::EndpointAddr;
 
@@ -177,6 +177,22 @@ impl NodeSim {
             cpu_busy: 0,
             histos: PathHistos::default(),
         }
+    }
+
+    /// A *priced* xray report for this node: the connection's
+    /// attribution, forensics, and phase-invocation counts, with every
+    /// phase row priced by this node's cost model (so the table shows
+    /// the paper's per-layer critical-path breakdown in virtual
+    /// nanoseconds), plus a virtual-CPU note.
+    pub fn xray_report(&self) -> XrayReport {
+        let mut r = self.conn.xray_report();
+        self.cost.price_report(&mut r);
+        r.at = self.cpu_free_at;
+        r.notes.push(format!(
+            "virtual cpu: busy {} ns, free at {} ns",
+            self.cpu_busy, self.cpu_free_at
+        ));
+        r
     }
 
     fn run_op<R>(&mut self, t: Nanos, op: impl FnOnce(&mut Connection) -> R) -> (Nanos, R) {

@@ -249,6 +249,38 @@ impl TwoNodeSim {
         self.recorder.as_ref()
     }
 
+    /// A priced [`pa_obs::XrayReport`] for one node, joined with the
+    /// flight recorder when one is attached: the report's notes gain
+    /// the recorder's sample count, any frozen post-mortem, and the
+    /// latest slow-path sample — the "why is this connection off the
+    /// fast path" diagnosis in one artifact.
+    pub fn xray_report(&self, node: usize) -> pa_obs::XrayReport {
+        let mut r = self.nodes[node].xray_report();
+        r.scope = format!("node{node} ({})", r.scope);
+        if let Some(fr) = &self.recorder {
+            r.notes
+                .push(format!("flight recorder: {} samples", fr.samples()));
+            if let Some((at, v)) = fr.get("fast_path_ratio").and_then(|ts| ts.last()) {
+                r.notes.push(format!(
+                    "last sample: fast-path ratio {:.1}% at {at} ns",
+                    v * 100.0
+                ));
+            }
+            if let Some((at, v)) = fr
+                .get(&format!("backlog_depth_node{node}"))
+                .and_then(|ts| ts.last())
+            {
+                r.notes
+                    .push(format!("last sample: backlog depth {v:.0} at {at} ns"));
+            }
+            if let Some(pm) = fr.postmortem() {
+                r.notes
+                    .push(format!("POST-MORTEM at {} ns: {}", pm.at, pm.reason));
+            }
+        }
+        r
+    }
+
     /// A unified metrics snapshot of the whole simulation at `at`:
     /// per-node connection counters under scopes `node0` / `node1`,
     /// plus sim-level delivery totals under `sim`.
@@ -304,8 +336,15 @@ impl TwoNodeSim {
             if wedged {
                 self.wedge_samples[i] += 1;
                 if self.wedge_samples[i] >= 3 {
+                    // The attributed hold table names the culprit.
+                    let hold = node
+                        .conn
+                        .send_prediction()
+                        .top_hold()
+                        .map(|(layer, reason)| format!(" (held by {layer}: {reason})"))
+                        .unwrap_or_default();
                     failures.push(format!(
-                        "send path wedged on node{i}: disable count {} with {} backlogged",
+                        "send path wedged on node{i}: disable count {} with {} backlogged{hold}",
                         node.conn.send_prediction().disable_count(),
                         node.conn.backlog_len()
                     ));

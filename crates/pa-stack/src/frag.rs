@@ -14,7 +14,7 @@
 //! which makes reassembly a simple append.
 
 use pa_buf::Msg;
-use pa_core::{DeliverAction, InitCtx, Layer, LayerCtx, SendAction};
+use pa_core::{DeliverAction, DisableReason, InitCtx, Layer, LayerCtx, SendAction};
 use pa_filter::Op;
 use pa_wire::{Class, Field};
 
@@ -155,6 +155,15 @@ impl Layer for FragLayer {
             return;
         }
         let hdr = self.header_len(ctx);
+        if !self.assembling {
+            // First fragment: hold the delivery fast path shut until the
+            // whole message is rebuilt, and say why. Every in-between
+            // fragment would miss prediction anyway (frag_flag = 1), but
+            // the attributed hold makes the episode legible: the xray
+            // report shows `frag / frag-pending` instead of a pile of
+            // per-fragment field misses.
+            ctx.disable_recv(DisableReason::FragPending);
+        }
         self.assembling = true;
         self.partial.extend_from_slice(&msg.as_slice()[hdr..]);
         if last == 1 {
@@ -164,6 +173,7 @@ impl Layer for FragLayer {
             whole.push_front_zeroed(hdr);
             self.assembling = false;
             self.messages_reassembled += 1;
+            ctx.enable_recv(DisableReason::FragPending);
             ctx.emit_up(whole);
         }
     }

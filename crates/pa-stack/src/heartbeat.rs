@@ -10,7 +10,7 @@
 //! pre-deliver and are consumed without disturbing the stream).
 
 use pa_buf::Msg;
-use pa_core::{DeliverAction, InitCtx, Layer, LayerCtx, Nanos, SendAction};
+use pa_core::{DeliverAction, DisableReason, InitCtx, Layer, LayerCtx, Nanos, SendAction};
 use pa_wire::{Class, Field};
 
 /// Heartbeat configuration.
@@ -41,6 +41,9 @@ pub struct HeartbeatLayer {
     heard_anything: bool,
     heartbeats_sent: u64,
     heartbeats_seen: u64,
+    /// True while this layer holds the send fast path shut because a
+    /// heartbeat just went out (cleared by the next post-send).
+    fast_held: bool,
 }
 
 impl HeartbeatLayer {
@@ -54,6 +57,7 @@ impl HeartbeatLayer {
             heard_anything: false,
             heartbeats_sent: 0,
             heartbeats_seen: 0,
+            fast_held: false,
         }
     }
 
@@ -104,6 +108,13 @@ impl Layer for HeartbeatLayer {
 
     fn post_send(&mut self, ctx: &mut LayerCtx<'_>, _msg: &Msg) {
         self.last_sent = ctx.now;
+        if self.fast_held {
+            // Traffic resumed (this post-send runs for the heartbeat's
+            // own control frame too, during the very next
+            // `process_pending`): release the hold.
+            ctx.enable_send(DisableReason::HeartbeatDue);
+            self.fast_held = false;
+        }
     }
 
     fn pre_deliver(&mut self, ctx: &mut LayerCtx<'_>, msg: &mut Msg) -> DeliverAction {
@@ -138,6 +149,17 @@ impl Layer for HeartbeatLayer {
         ctx.emit_down(hb);
         self.last_sent = now;
         self.heartbeats_sent += 1;
+        if !self.fast_held {
+            // The heartbeat's control frame is about to occupy the
+            // serialization rule anyway (its post-processing is pending
+            // until the host's next `process_pending`), so holding the
+            // fast path shut here changes nothing about *when* the next
+            // send queues — it changes the *attribution*: the queue is
+            // charged to `heartbeat / heartbeat-due` instead of the
+            // engine's generic post-serialization bucket.
+            ctx.disable_send(DisableReason::HeartbeatDue);
+            self.fast_held = true;
+        }
     }
 }
 

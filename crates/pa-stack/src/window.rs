@@ -18,7 +18,7 @@
 //!   released in sequence.
 
 use pa_buf::Msg;
-use pa_core::{DeliverAction, InitCtx, Layer, LayerCtx, Nanos, SendAction};
+use pa_core::{DeliverAction, DisableReason, InitCtx, Layer, LayerCtx, Nanos, SendAction};
 use pa_wire::{Class, Field};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -201,7 +201,7 @@ impl WindowLayer {
             ctx.emit_down(msg);
         }
         if self.fast_disabled && self.inflight.len() + self.drained_pending() < self.cfg.window {
-            ctx.enable_send();
+            ctx.enable_send(DisableReason::FullWindow);
             self.fast_disabled = false;
         }
     }
@@ -293,7 +293,7 @@ impl Layer for WindowLayer {
         ctx.send_predict.set(ctx.layout, f_type, mtype::DATA);
         ctx.send_predict.set(ctx.layout, f_ack, self.expected);
         if self.inflight.len() >= self.cfg.window && !self.fast_disabled {
-            ctx.disable_send();
+            ctx.disable_send(DisableReason::FullWindow);
             self.fast_disabled = true;
         }
     }

@@ -9,24 +9,28 @@
 //! simulated traces exactly reproducible.
 
 use crate::Nanos;
-use pa_obs::PathTag;
+use pa_obs::{PathTag, XrayTag};
 use std::io::{self, Write};
 
 /// Link type: DLT_USER0 (private use; PA frames are not Ethernet).
 const LINKTYPE_USER0: u32 = 147;
 
 /// Link type: DLT_USER1 — the *annotated* capture mode. Every record
-/// starts with a nine-byte pseudo-header — one byte carrying the
-/// [`PathTag`] (the path the frame took through the PA) followed by the
-/// journey id as a little-endian `u64` (0 when the frame carries no
-/// trace context) — then the raw frame. The journey id is the same
-/// value `pa_obs::JourneySet` keys on, so a capture record can be
-/// cross-referenced with a merged trace timeline (see
-/// `examples/trace_dump.rs`).
+/// starts with a thirteen-byte pseudo-header — one byte carrying the
+/// [`PathTag`] (the path the frame took through the PA), the journey id
+/// as a little-endian `u64` (0 when the frame carries no trace
+/// context), then the four-byte [`XrayTag`] naming *why* a slow/queued
+/// frame left the fast path (all-zero for fast frames) — then the raw
+/// frame. The journey id is the same value `pa_obs::JourneySet` keys
+/// on, so a capture record can be cross-referenced with a merged trace
+/// timeline (see `examples/trace_dump.rs`), and the xray tag decodes
+/// back into an attributed (layer, cause) with
+/// [`XrayTag::from_bytes`].
 const LINKTYPE_USER1: u32 = 148;
 
-/// Bytes of pseudo-header preceding each annotated frame.
-const ANNOTATION_LEN: u32 = 9;
+/// Bytes of pseudo-header preceding each annotated frame:
+/// 1 (path tag) + 8 (journey id) + 4 (xray cause).
+const ANNOTATION_LEN: u32 = 13;
 
 /// Classic libpcap magic (microsecond timestamps).
 const MAGIC: u32 = 0xA1B2_C3D4;
@@ -106,7 +110,9 @@ impl<W: Write> PcapWriter<W> {
     }
 
     /// Records one frame with its path annotation *and* the journey id
-    /// stamped into its trace context (0 for untraced frames).
+    /// stamped into its trace context (0 for untraced frames). The xray
+    /// cause is recorded as none; use [`PcapWriter::record_explained`]
+    /// for slow/queued frames whose attribution is known.
     pub fn record_journey(
         &mut self,
         at: Nanos,
@@ -114,9 +120,23 @@ impl<W: Write> PcapWriter<W> {
         journey: u64,
         frame: &[u8],
     ) -> io::Result<()> {
+        self.record_explained(at, tag, journey, XrayTag::none(), frame)
+    }
+
+    /// Records one frame with its path annotation, journey id, *and*
+    /// the attributed [`XrayTag`] explaining why it left the fast path
+    /// ([`XrayTag::none`] for fast frames) — the full pseudo-header.
+    pub fn record_explained(
+        &mut self,
+        at: Nanos,
+        tag: PathTag,
+        journey: u64,
+        why: XrayTag,
+        frame: &[u8],
+    ) -> io::Result<()> {
         assert!(
             self.annotated,
-            "record_journey requires PcapWriter::annotated"
+            "record_explained requires PcapWriter::annotated"
         );
         let secs = (at / 1_000_000_000) as u32;
         let usecs = ((at % 1_000_000_000) / 1_000) as u32;
@@ -128,6 +148,7 @@ impl<W: Write> PcapWriter<W> {
         self.sink.write_all(&total.to_le_bytes())?;
         self.sink.write_all(&[tag_to_byte(tag)])?;
         self.sink.write_all(&journey.to_le_bytes())?;
+        self.sink.write_all(&why.to_bytes())?;
         self.sink
             .write_all(&frame[..(cap - ANNOTATION_LEN) as usize])?;
         self.frames += 1;
@@ -177,12 +198,31 @@ pub fn parse_tagged(bytes: &[u8]) -> Option<Vec<(Nanos, PathTag, Vec<u8>)>> {
 /// `(timestamp_ns, path_tag, journey_id, frame)`.
 pub type JourneyRecord = (Nanos, PathTag, u64, Vec<u8>);
 
+/// One fully parsed record of an annotated capture:
+/// `(timestamp_ns, path_tag, journey_id, xray_cause, frame)`.
+pub type ExplainedRecord = (Nanos, PathTag, u64, XrayTag, Vec<u8>);
+
 /// Parses an *annotated* capture (DLT_USER1) back into
-/// `(timestamp_ns, path_tag, journey_id, frame)` records. A journey id
-/// of 0 means the frame carried no trace context; any other value is
-/// the id `pa_obs::JourneySet` keys on. Returns `None` for malformed
-/// input or a capture that is not in annotated mode.
+/// `(timestamp_ns, path_tag, journey_id, frame)` records, discarding
+/// the xray cause. A journey id of 0 means the frame carried no trace
+/// context; any other value is the id `pa_obs::JourneySet` keys on.
+/// Returns `None` for malformed input or a capture that is not in
+/// annotated mode.
 pub fn parse_journeys(bytes: &[u8]) -> Option<Vec<JourneyRecord>> {
+    Some(
+        parse_explained(bytes)?
+            .into_iter()
+            .map(|(at, tag, journey, _why, frame)| (at, tag, journey, frame))
+            .collect(),
+    )
+}
+
+/// Parses an *annotated* capture (DLT_USER1) back into
+/// `(timestamp_ns, path_tag, journey_id, xray_cause, frame)` records —
+/// the full pseudo-header, including *why* each slow/queued frame left
+/// the fast path. Returns `None` for malformed input or a capture that
+/// is not in annotated mode.
+pub fn parse_explained(bytes: &[u8]) -> Option<Vec<ExplainedRecord>> {
     if bytes.len() < 24 {
         return None;
     }
@@ -206,11 +246,18 @@ pub fn parse_journeys(bytes: &[u8]) -> Option<Vec<JourneyRecord>> {
         }
         let tag = byte_to_tag(bytes[off]);
         let journey = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().expect("8"));
+        let why = XrayTag::from_bytes([
+            bytes[off + 9],
+            bytes[off + 10],
+            bytes[off + 11],
+            bytes[off + 12],
+        ]);
         out.push((
             secs * 1_000_000_000 + usecs * 1_000,
             tag,
             journey,
-            bytes[off + 9..off + cap].to_vec(),
+            why,
+            bytes[off + ANNOTATION_LEN as usize..off + cap].to_vec(),
         ));
         off += cap;
     }
@@ -343,6 +390,40 @@ mod tests {
         let tags = parse_tagged(&buf).expect("valid annotated pcap");
         assert_eq!(tags[0], (1_000, PathTag::Fast, b"traced".to_vec()));
         assert_eq!(tags[1], (2_000, PathTag::Control, b"untraced".to_vec()));
+    }
+
+    #[test]
+    fn explained_capture_roundtrips_causes() {
+        use pa_obs::{AttrCause, DisableReason};
+
+        let mut w = PcapWriter::annotated(Vec::new()).unwrap();
+        let why = XrayTag::from_cause(2, AttrCause::Disabled(DisableReason::FullWindow));
+        w.record_explained(1_000, PathTag::Queued, 42, why, b"held")
+            .unwrap();
+        w.record_journey(2_000, PathTag::Fast, 43, b"fast").unwrap();
+        let buf = w.finish().unwrap();
+
+        let records = parse_explained(&buf).expect("valid annotated pcap");
+        assert_eq!(records.len(), 2);
+        let (at, tag, journey, cause, frame) = &records[0];
+        assert_eq!((*at, *tag, *journey), (1_000, PathTag::Queued, 42));
+        assert_eq!(frame, b"held");
+        assert_eq!(
+            cause.cause(),
+            Some(AttrCause::Disabled(DisableReason::FullWindow)),
+            "the attributed cause survives the pseudo-header roundtrip"
+        );
+        assert_eq!(
+            records[1].3.cause(),
+            None,
+            "record_journey writes XrayTag::none()"
+        );
+
+        // Journey- and tag-level views still agree on the frames.
+        let full = parse_journeys(&buf).expect("valid annotated pcap");
+        assert_eq!(full[0], (1_000, PathTag::Queued, 42, b"held".to_vec()));
+        let tags = parse_tagged(&buf).expect("valid annotated pcap");
+        assert_eq!(tags[1], (2_000, PathTag::Fast, b"fast".to_vec()));
     }
 
     #[test]

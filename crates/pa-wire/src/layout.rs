@@ -169,6 +169,14 @@ impl LayoutBuilder {
             .collect()
     }
 
+    /// The owning layer of each field declared in `class`, in
+    /// declaration order (parallel to [`LayoutBuilder::field_names`]).
+    /// This is the ownership map the xray forensics use to charge a
+    /// prediction miss to the layer whose field broke it.
+    pub fn field_layers(&self, class: Class) -> Vec<LayerId> {
+        self.specs[class.index()].iter().map(|s| s.layer).collect()
+    }
+
     /// Compiles the declarations into a wire layout.
     pub fn compile(&self, mode: LayoutMode) -> Result<CompiledLayout, LayoutError> {
         let mut classes: [ClassLayout; 4] = Default::default();

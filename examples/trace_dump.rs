@@ -16,6 +16,11 @@
 //! maps to a journey that never completes, pointing straight at the
 //! drop.
 //!
+//! The pseudo-header's final four bytes are the [`pa::obs::XrayTag`]
+//! read from [`Connection::last_send_explain`] at the tap: for frames
+//! that left the fast path it names the attributed (layer, cause), so
+//! the capture alone answers *why* a frame went slow.
+//!
 //! ```sh
 //! cargo run --example trace_dump
 //! ```
@@ -25,7 +30,7 @@ use pa::obs::{
     merge_timeline, render_journey_id, FieldRef, JourneySet, PathTag, ProbeSink, TraceEvent,
 };
 use pa::stack::StackSpec;
-use pa::unet::pcap::{parse_journeys, PcapWriter};
+use pa::unet::pcap::{parse_explained, PcapWriter};
 use pa::wire::{Class, EndpointAddr};
 
 fn main() {
@@ -112,13 +117,39 @@ fn main() {
     bob.deliver_frame(delayed);
     while bob.poll_delivery().is_some() {}
 
+    // --- Act 2½: a send parks behind the serialization rule ----------
+    // Act 2's deferred post-send is still pending, so this send is
+    // queued (§3.4). `last_send_explain` names the charged cause right
+    // at the send() call; the tap stamps it into the capture record so
+    // the pcap alone explains why the frame left the fast path.
+    alice.send(b"parked behind the serialization rule");
+    assert!(
+        alice.poll_transmit().is_none(),
+        "the queued send produces no frame until process_pending"
+    );
+    let parked_why = alice.last_send_explain();
+    assert!(parked_why.cause().is_some(), "the queued op is attributed");
+    alice.process_pending();
+    let parked = alice.poll_transmit().expect("backlog serviced");
+    let (parked_journey, _) = alice.last_sent_trace().expect("tracing on");
+    tap.record_explained(
+        t,
+        PathTag::Queued,
+        parked_journey,
+        parked_why,
+        &parked.to_wire(),
+    )
+    .expect("tap");
+    bob.deliver_frame(parked);
+    while bob.poll_delivery().is_some() {}
+
     // --- Act 3: the network corrupts a cookie ------------------------
     // A flipped cookie byte demultiplexes to no connection; without a
     // connection identification to recover by, the frame is dropped.
     t += 1_000;
     alice.set_now(t);
     bob.set_now(t);
-    alice.process_pending(); // clear Act 2's deferred post-send first
+    alice.process_pending(); // clear the parked send's deferred post-send first
     alice.send(b"doomed");
     let mut corrupted = alice.poll_transmit().expect("frame");
     let (doomed_journey, _) = alice.last_sent_trace().expect("tracing on");
@@ -171,11 +202,13 @@ fn main() {
         alice.probe().trace_ring().expect("ring"),
         bob.probe().trace_ring().expect("ring"),
     ]);
-    let capture = parse_journeys(&tap.finish().expect("tap")).expect("annotated pcap");
+    let layer_names = alice.layer_names();
+    let capture = parse_explained(&tap.finish().expect("tap")).expect("annotated pcap");
     println!();
     println!("alice's outbound tap, cross-referenced with the journeys:");
     let mut undelivered = 0;
-    for (at, tag, journey, frame) in &capture {
+    let mut explained = 0;
+    for (at, tag, journey, why, frame) in &capture {
         assert_ne!(*journey, 0, "tracing is on: every frame is stamped");
         let j = set
             .get(*journey)
@@ -187,17 +220,30 @@ fn main() {
                 "never delivered — see the drop above".to_string()
             }
         };
+        // The capture's XrayTag names why a frame left the fast path.
+        let why = match why.cause() {
+            Some(cause) => {
+                explained += 1;
+                let layer = layer_names.get(why.layer as usize).copied().unwrap_or("pa");
+                format!("  why: {cause} @ {layer}")
+            }
+            None => String::new(),
+        };
         println!(
-            "  @{at:>6} ns  tag={:<7}  journey {:<10}  {:>3} bytes  {verdict}",
+            "  @{at:>6} ns  tag={:<7}  journey {:<10}  {:>3} bytes  {verdict}{why}",
             tag.label(),
             render_journey_id(*journey),
             frame.len(),
         );
     }
-    assert_eq!(capture.len(), 5, "five frames crossed the tap");
+    assert_eq!(capture.len(), 6, "six frames crossed the tap");
     assert_eq!(
         undelivered, 1,
         "exactly the corrupted frame maps to an incomplete journey"
+    );
+    assert_eq!(
+        explained, 1,
+        "exactly the parked frame carries an attributed cause"
     );
 
     println!();

@@ -14,7 +14,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use pa::core::{Connection, ConnectionParams, PaConfig};
+use pa::core::{Connection, ConnectionParams, PaConfig, SendOutcome};
 use pa::obs::{DropCause, FieldRef, ProbeSink, SlowCause, TraceEvent};
 use pa::stack::StackSpec;
 use pa::wire::{ByteOrder, EndpointAddr};
@@ -178,6 +178,68 @@ fn noop_probe_is_allocation_free() {
         after - before,
         0,
         "ProbeSink::Noop allocated on the emit path"
+    );
+}
+
+#[test]
+fn xray_is_dormant_on_an_all_fast_path_connection() {
+    // The golden-bytes tests above already run against the
+    // xray-instrumented engine — the wire is proven byte-identical to
+    // the PR 1 capture *with* attribution compiled in. This test pins
+    // the other half of zero-overhead-when-off: the attribution
+    // multiset, miss table, and explain tags are bumped only on paths
+    // that already left the fast path, so a connection that never
+    // leaves it must end with every xray structure empty. The
+    // structures are Vec-backed and start with zero capacity; staying
+    // empty is staying off the heap.
+    let mut conn = golden_conn(PaConfig::paper_default());
+    assert!(!conn.probe().enabled(), "probes are off by default");
+
+    let first = conn.send(b"12345678");
+    assert_eq!(first, SendOutcome::FastPath);
+    let f1 = conn.poll_transmit().expect("frame 1").to_wire();
+    assert_eq!(hex(&f1), GOLDEN_FIRST, "instrumented build drifted");
+    conn.process_pending();
+
+    let before = allocations();
+    let baseline_attr = conn.attribution().entries().len();
+    for _ in 0..10 {
+        // Stay well inside the 16-entry window so nothing disables.
+        let out = conn.send(b"12345678");
+        assert_eq!(out, SendOutcome::FastPath);
+        let frame = conn.poll_transmit().expect("frame").to_wire();
+        assert!(
+            conn.last_send_explain().cause().is_none(),
+            "a fast send must carry no attribution"
+        );
+        assert_eq!(
+            frame.len(),
+            GOLDEN_SECOND.len() / 2,
+            "steady-state layout width drifted under instrumentation"
+        );
+        conn.process_pending();
+    }
+    let fast_allocs = allocations() - before;
+
+    assert!(conn.attribution().is_empty(), "attribution stayed empty");
+    assert_eq!(
+        conn.attribution().entries().len(),
+        baseline_attr,
+        "no attribution rows were added by fast traffic"
+    );
+    assert!(conn.miss_table().is_empty(), "no misses to record");
+    assert_eq!(conn.invariant_violations(), 0);
+    // The instrumentation is live, not compiled out: the phase meters
+    // saw the deferred post-sends — they just have nothing slow to say.
+    assert!(
+        conn.phase_meters().iter().any(|m| m.total_calls() > 0),
+        "phase meters must be counting"
+    );
+    // And the per-send heap appetite is the engine's own (buffers,
+    // pending queues) — bounded, not growing with the xray tables.
+    assert!(
+        fast_allocs < 2_000,
+        "fast-path sends allocated suspiciously much: {fast_allocs}"
     );
 }
 
