@@ -8,17 +8,19 @@
 //! reported as ns/op with the pa-obs log2 histogram supplying
 //! p50/p90/p99 across timing batches.
 
+use pa_bench::{BenchReport, Better};
 use pa_buf::{ByteOrder, Msg};
 use pa_core::{Connection, ConnectionParams, PaConfig};
-use pa_filter::{CompiledProgram, DigestKind, Frame, Op, ProgramBuilder};
+use pa_filter::{CompiledProgram, DigestKind, Frame, FusedProgram, Op, ProgramBuilder};
 use pa_obs::LatencyHisto;
 use pa_stack::StackSpec;
 use pa_wire::{Class, EndpointAddr, LayoutBuilder, LayoutMode, Preamble};
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Times `f` in batches and prints `name: <ns/op> (p50/p99 across batches)`.
-fn bench(name: &str, mut f: impl FnMut()) {
+/// Times `f` in batches, prints `name: <ns/op> (p50/p99 across
+/// batches)`, and returns the mean ns/op for report emission.
+fn bench(name: &str, mut f: impl FnMut()) -> f64 {
     // Warm-up: ~20 ms.
     let warm_until = Instant::now() + std::time::Duration::from_millis(20);
     while Instant::now() < warm_until {
@@ -47,6 +49,7 @@ fn bench(name: &str, mut f: impl FnMut()) {
         "{name:<44} {:>8.0} ns/op   (p50 {} / p99 {} over {} batches of {})",
         s.mean, s.p50, s.p99, s.count, batch
     );
+    s.mean
 }
 
 fn bench_header_access() {
@@ -109,9 +112,10 @@ fn filter_fixture() -> (pa_wire::CompiledLayout, pa_filter::Program) {
     (layout, pb.build().unwrap())
 }
 
-fn bench_filter_backends() {
+fn bench_filter_backends() -> f64 {
     let (layout, program) = filter_fixture();
     let compiled = CompiledProgram::compile(&program, &layout);
+    let fused = FusedProgram::fuse(&program, &layout, ByteOrder::Big);
     let make_msg = || {
         let mut m = Msg::from_payload(&[7u8; 64]);
         m.push_front_zeroed(layout.class_len(Class::Message));
@@ -129,6 +133,12 @@ fn bench_filter_backends() {
         bench("packet_filter/pre_resolved", || {
             black_box(compiled.run(program.slots(), &mut m, ByteOrder::Big));
         });
+    }
+    {
+        let mut m = make_msg();
+        bench("packet_filter/fused", || {
+            black_box(fused.run(program.slots(), &mut m));
+        })
     }
 }
 
@@ -168,6 +178,173 @@ fn bench_send_paths() {
             while conn.poll_transmit().is_some() {}
         });
     }
+}
+
+/// A warm peer pair for hot-path measurements.
+fn echo_pair(config: PaConfig) -> (Connection, Connection) {
+    let mk = |local: u64, peer: u64| {
+        Connection::new(
+            StackSpec::paper().build(),
+            config,
+            ConnectionParams::new(
+                EndpointAddr::from_parts(local, 1),
+                EndpointAddr::from_parts(peer, 1),
+                local,
+            ),
+        )
+        .unwrap()
+    };
+    (mk(20, 21), mk(21, 20))
+}
+
+/// One request/echo round trip — two fast sends + two fast deliveries
+/// with host-side recycling, then the deferred post drain. This is the
+/// native wall-clock shape of the PA's steady state: window credit
+/// piggybacks on the echo, so no pure acks and no retransmissions.
+fn echo_round_trip(a: &mut Connection, b: &mut Connection) {
+    a.send(black_box(&[7u8; 8]));
+    while let Some(f) = a.poll_transmit() {
+        b.deliver_frame(f);
+    }
+    while let Some(m) = b.poll_delivery() {
+        b.send(m.as_slice());
+        b.recycle(m);
+    }
+    while let Some(f) = b.poll_transmit() {
+        a.deliver_frame(f);
+    }
+    while let Some(m) = a.poll_delivery() {
+        a.recycle(m);
+    }
+    a.process_pending();
+    b.process_pending();
+}
+
+/// The headline rows of this PR: the native fast path with pooled
+/// recycling + fused filters, against the pre-recycling allocating arm
+/// (`pooling: false` — fresh `Msg` per send, cloned frame images, the
+/// code path as it was before explicit recycling landed). Returns
+/// `(pooled_fused, pooled_interpreted, allocating)` mean ns per round
+/// trip (4 hot operations each), whole-RTT including the deferred
+/// drain.
+fn bench_hot_path() -> (f64, f64, f64) {
+    let pooled_fused = {
+        let (mut a, mut b) = echo_pair(PaConfig::accelerated());
+        bench("hot_path/echo_rtt_pooled_fused", || {
+            echo_round_trip(&mut a, &mut b);
+        })
+    };
+    let pooled_interp = {
+        let (mut a, mut b) = echo_pair(PaConfig::paper_default());
+        bench("hot_path/echo_rtt_pooled_interpreted", || {
+            echo_round_trip(&mut a, &mut b);
+        })
+    };
+    let allocating = {
+        let cfg = PaConfig {
+            pooling: false,
+            ..PaConfig::paper_default()
+        };
+        let (mut a, mut b) = echo_pair(cfg);
+        bench("hot_path/echo_rtt_prepr_allocating", || {
+            echo_round_trip(&mut a, &mut b);
+        })
+    };
+    (pooled_fused, pooled_interp, allocating)
+}
+
+/// Hot operations only: times the four critical-path calls (two sends,
+/// two delivers) and leaves recycling and `process_pending` untimed —
+/// the deferred work is exactly what the PA masks (§3.1), so it does
+/// not belong in the critical-path number. Mirrors the measurement
+/// windows of `tests/hotpath_alloc.rs`. Two `Instant` spans per round
+/// trip (~50 ns overhead, identical across arms).
+fn bench_hot_ops(name: &str, config: PaConfig) -> f64 {
+    let (mut a, mut b) = echo_pair(config);
+    for _ in 0..256 {
+        echo_round_trip(&mut a, &mut b);
+    }
+    // Timer calibration: an empty span still counts roughly one clock
+    // read. Both arms pay it identically, which *compresses* their
+    // ratio, so it is measured here and subtracted from every batch —
+    // the comparison should be code vs code, not clock vs clock.
+    let span_overhead = {
+        let mut d = std::time::Duration::ZERO;
+        const N: u32 = 16 * 1024;
+        for _ in 0..N {
+            let t = Instant::now();
+            d += t.elapsed();
+        }
+        d / N
+    };
+    const BATCH: u64 = 256;
+    let mut histo = LatencyHisto::new();
+    let mut batches = Vec::with_capacity(40);
+    for _ in 0..40 {
+        let mut hot = std::time::Duration::ZERO;
+        for _ in 0..BATCH {
+            // Request: hot send + hot deliver.
+            let t = Instant::now();
+            a.send(black_box(&[7u8; 8]));
+            let f = a.poll_transmit().expect("request frame");
+            b.deliver_frame(f);
+            hot += t.elapsed();
+            let m = b.poll_delivery().expect("request delivered");
+            // Echo: hot send + hot deliver.
+            let t = Instant::now();
+            b.send(black_box(m.as_slice()));
+            let f = b.poll_transmit().expect("echo frame");
+            a.deliver_frame(f);
+            hot += t.elapsed();
+            b.recycle(m);
+            if let Some(m) = a.poll_delivery() {
+                a.recycle(m);
+            }
+            // Deferred drain, off the measured path.
+            a.process_pending();
+            b.process_pending();
+        }
+        // Per hot *operation*: 4 per round trip, 2 timed spans per
+        // round trip whose clock cost is subtracted.
+        let hot = hot.saturating_sub(span_overhead * (2 * BATCH as u32));
+        let per_op = hot.as_nanos() as u64 / (BATCH * 4);
+        histo.record(per_op);
+        batches.push(per_op);
+    }
+    let s = histo.summary();
+    // Trimmed mean: a shared box occasionally preempts a whole batch
+    // (orders-of-magnitude spikes); batches beyond 2x the fastest are
+    // scheduler noise, not the code, and are discarded. Genuine
+    // allocator variance (slow-path mallocs at 1.1-1.5x) stays in —
+    // amortized allocation cost is exactly what the allocating arm is
+    // here to exhibit.
+    let best = *batches.iter().min().expect("40 batches");
+    let kept: Vec<u64> = batches.into_iter().filter(|&b| b <= best * 2).collect();
+    let trimmed = kept.iter().sum::<u64>() as f64 / kept.len() as f64;
+    println!(
+        "{name:<44} {trimmed:>8.0} ns/op   (min {best} / p99 {}; {}/{} batches of {})",
+        s.p99,
+        kept.len(),
+        s.count,
+        BATCH * 4
+    );
+    trimmed
+}
+
+/// The acceptance-criterion rows: per-hot-operation cost, pooled+fused
+/// against the pre-PR allocating+interpreted arm. Returns
+/// `(pooled_fused, pooled_interpreted, allocating)` ns per hot op.
+fn bench_hot_ops_all() -> (f64, f64, f64) {
+    let pooled_fused = bench_hot_ops("hot_ops/pooled_fused", PaConfig::accelerated());
+    let pooled_interp = bench_hot_ops("hot_ops/pooled_interpreted", PaConfig::paper_default());
+    let allocating = bench_hot_ops(
+        "hot_ops/prepr_allocating",
+        PaConfig {
+            pooling: false,
+            ..PaConfig::paper_default()
+        },
+    );
+    (pooled_fused, pooled_interp, allocating)
 }
 
 fn bench_roundtrip() {
@@ -225,9 +402,38 @@ fn main() {
     println!("{}", "-".repeat(100));
     bench_header_access();
     bench_layout_compile();
-    bench_filter_backends();
+    let filter_fused_ns = bench_filter_backends();
     bench_send_paths();
+    let _rtt = bench_hot_path();
+    let (pooled_fused, pooled_interp, allocating) = bench_hot_ops_all();
     bench_roundtrip();
     bench_packing();
     bench_preamble();
+
+    // Report: per-hot-operation cost (a round trip is 2 sends + 2
+    // delivers; deferred drain untimed) plus the headline ratio — the
+    // pooled+fused fast path against the pre-recycling allocating arm.
+    // The ratio is the robust metric: it cancels machine speed, so the
+    // committed baseline survives CI hardware variance better than raw
+    // nanoseconds do.
+    // Raw ns rows carry a loose per-metric tolerance (they track the
+    // machine, not the code); the speedup ratio and the comparison arms
+    // gate tightly because ratios are hardware-independent. The
+    // tolerances attached here are informational — the ones the CI
+    // comparator honors live in the committed baseline file.
+    let mut report = BenchReport::new("micro");
+    report
+        .push_tol("hot_op_pooled_fused_ns", pooled_fused, Better::Lower, 1.5)
+        .push_tol("hot_op_pooled_interp_ns", pooled_interp, Better::Lower, 1.5)
+        .push_tol("hot_op_allocating_ns", allocating, Better::Lower, 1.5)
+        .push_tol(
+            "pooled_vs_allocating_speedup",
+            allocating / pooled_fused,
+            Better::Higher,
+            0.25,
+        )
+        .push_tol("filter_fused_ns", filter_fused_ns, Better::Lower, 1.5);
+    if !pa_bench::emit_and_compare(&report) {
+        std::process::exit(1);
+    }
 }

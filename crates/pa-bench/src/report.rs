@@ -49,6 +49,13 @@ pub struct Metric {
     pub value: f64,
     /// Its good direction.
     pub better: Better,
+    /// Optional per-metric tolerance overriding the global one. The
+    /// *baseline's* `tol` is what the comparator honors: virtual-time
+    /// metrics are exact and keep the tight global default, while
+    /// wall-clock nanosecond rows are hardware-dependent and carry a
+    /// loose tolerance so only their hardware-independent *ratios*
+    /// gate tightly.
+    pub tol: Option<f64>,
 }
 
 /// A bench's emitted report.
@@ -69,12 +76,25 @@ impl BenchReport {
         }
     }
 
-    /// Appends one metric.
+    /// Appends one metric (global tolerance).
     pub fn push(&mut self, name: &str, value: f64, better: Better) -> &mut Self {
         self.metrics.push(Metric {
             name: name.to_string(),
             value,
             better,
+            tol: None,
+        });
+        self
+    }
+
+    /// Appends one metric with a per-metric tolerance (meaningful in
+    /// the committed baseline; informational in emitted reports).
+    pub fn push_tol(&mut self, name: &str, value: f64, better: Better, tol: f64) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            value,
+            better,
+            tol: Some(tol),
         });
         self
     }
@@ -92,9 +112,13 @@ impl BenchReport {
         let _ = writeln!(out, "  \"metrics\": [");
         for (i, m) in self.metrics.iter().enumerate() {
             let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let tol = match m.tol {
+                Some(t) => format!(", \"tol\": {}", fmt_f64(t)),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "    {{\"name\": \"{}\", \"value\": {}, \"better\": \"{}\"}}{comma}",
+                "    {{\"name\": \"{}\", \"value\": {}, \"better\": \"{}\"{tol}}}{comma}",
                 m.name,
                 fmt_f64(m.value),
                 m.better.label()
@@ -122,10 +146,12 @@ impl BenchReport {
             let better = find_string(obj, "better")
                 .and_then(|s| Better::parse(&s))
                 .ok_or("metric missing \"better\"")?;
+            let tol = find_number(obj, "tol");
             metrics.push(Metric {
                 name,
                 value,
                 better,
+                tol,
             });
             rest = &rest[obj_end..];
         }
@@ -191,6 +217,9 @@ pub struct Delta {
     pub current: f64,
     /// Signed relative change, `(current - baseline) / baseline`.
     pub change: f64,
+    /// The tolerance this metric was judged against (the baseline's
+    /// per-metric `tol` when present, else the global one).
+    pub tol: f64,
     /// True if the change exceeds tolerance in the bad direction.
     pub regressed: bool,
 }
@@ -216,26 +245,32 @@ impl Comparison {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>14} {:>14} {:>8}  verdict (tolerance ±{:.0}%)",
+            "{:<28} {:>14} {:>14} {:>8} {:>7}  verdict (global tolerance ±{:.0}%)",
             "metric",
             "baseline",
             "current",
             "Δ%",
+            "tol%",
             tolerance * 100.0
         );
         for d in &self.deltas {
             let _ = writeln!(
                 out,
-                "{:<24} {:>14.3} {:>14.3} {:>+7.1}%  {}",
+                "{:<28} {:>14.3} {:>14.3} {:>+7.1}% {:>6.0}%  {}",
                 d.name,
                 d.baseline,
                 d.current,
                 d.change * 100.0,
+                d.tol * 100.0,
                 if d.regressed { "REGRESSED" } else { "ok" }
             );
         }
         for m in &self.missing {
-            let _ = writeln!(out, "{:<24} {:>14} {:>14} {:>8}  MISSING", m, "-", "-", "-");
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14} {:>14} {:>8} {:>7}  MISSING",
+                m, "-", "-", "-", "-"
+            );
         }
         let _ = writeln!(out, "verdict: {}", if self.ok() { "PASS" } else { "FAIL" });
         out
@@ -243,7 +278,8 @@ impl Comparison {
 }
 
 /// Compares `current` against `baseline`: a metric regresses when it
-/// moves more than `tolerance` (relative) in its bad direction —
+/// moves more than its tolerance (the baseline's per-metric `tol` when
+/// present, else the global `tolerance`) in its bad direction —
 /// latency up, rate down. Improvements never fail.
 pub fn compare(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Comparison {
     let mut deltas = Vec::new();
@@ -258,15 +294,17 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, tolerance: f64) ->
         } else {
             0.0
         };
+        let tol = b.tol.unwrap_or(tolerance);
         let regressed = match b.better {
-            Better::Lower => change > tolerance,
-            Better::Higher => change < -tolerance,
+            Better::Lower => change > tol,
+            Better::Higher => change < -tol,
         };
         deltas.push(Delta {
             name: b.name.clone(),
             baseline: b.value,
             current: c.value,
             change,
+            tol,
             regressed,
         });
     }
@@ -385,6 +423,32 @@ mod tests {
         cur.push("one_way_us", 40.0, Better::Lower) // much faster
             .push("msgs_per_sec", 150_000.0, Better::Higher); // much more
         assert!(compare(&cur, &base, 0.10).ok());
+    }
+
+    #[test]
+    fn per_metric_tolerance_overrides_global() {
+        // A wall-clock row with a loose per-metric tol survives a big
+        // swing that the global 10% would flag; the tight ratio row
+        // still gates. Round-trips through JSON so the comparator sees
+        // exactly what a committed baseline file would carry.
+        let mut base = BenchReport::new("micro");
+        base.push_tol("hot_op_ns", 100.0, Better::Lower, 1.5)
+            .push_tol("speedup", 1.45, Better::Higher, 0.25);
+        let base = BenchReport::parse(&base.to_json()).unwrap();
+        assert_eq!(base.get("hot_op_ns").unwrap().tol, Some(1.5));
+
+        let mut cur = BenchReport::new("micro");
+        cur.push("hot_op_ns", 230.0, Better::Lower) // +130 %: slow CI box
+            .push("speedup", 1.30, Better::Higher); // −10.3 %: within 25 %
+        let cmp = compare(&cur, &base, 0.10);
+        assert!(cmp.ok(), "{}", cmp.render(0.10));
+
+        let mut lost = BenchReport::new("micro");
+        lost.push("hot_op_ns", 110.0, Better::Lower)
+            .push("speedup", 1.00, Better::Higher); // optimization gone
+        let cmp = compare(&lost, &base, 0.10);
+        assert!(!cmp.ok());
+        assert!(cmp.deltas[1].regressed && !cmp.deltas[0].regressed);
     }
 
     #[test]

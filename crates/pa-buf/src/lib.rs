@@ -28,5 +28,5 @@ pub mod queue;
 
 pub use cursor::{ByteOrder, Reader, Writer};
 pub use msg::Msg;
-pub use pool::MsgPool;
+pub use pool::{MsgPool, PoolStats};
 pub use queue::Backlog;

@@ -97,10 +97,15 @@ impl Msg {
         self.regrows
     }
 
-    /// Prepends `bytes` in front of the live region.
+    /// Prepends `bytes` in front of the live region (single write — the
+    /// region is not zeroed first, it is about to be overwritten).
     pub fn push_front(&mut self, bytes: &[u8]) {
-        let zone = self.push_front_zeroed(bytes.len());
-        zone.copy_from_slice(bytes);
+        let n = bytes.len();
+        if self.start < n {
+            self.regrow_front(n);
+        }
+        self.start -= n;
+        self.data[self.start..self.start + n].copy_from_slice(bytes);
     }
 
     /// Prepends `n` zero bytes and returns the newly created front region

@@ -26,8 +26,8 @@ use crate::packing::{self, PackInfo};
 use crate::predict::Prediction;
 use crate::stats::ConnStats;
 use crate::Nanos;
-use pa_buf::{Backlog, ByteOrder, Msg};
-use pa_filter::{CompiledProgram, Frame, Op, Program, ProgramBuilder, SlotId};
+use pa_buf::{Backlog, ByteOrder, Msg, MsgPool, PoolStats};
+use pa_filter::{Frame, FuseStats, FusedProgram, Op, Program, ProgramBuilder, SlotId};
 use pa_obs::rng::SplitMix64;
 use pa_obs::{
     journey_id, AttrCause, Attribution, DropCause, FieldRef, Finding, HoldRow, Invariant, MissRow,
@@ -200,9 +200,19 @@ pub struct Connection {
     peer_order: ByteOrder,
     peer_order_known: bool,
     send_filter: Program,
-    send_compiled: CompiledProgram,
+    /// Send filter fused against the layout and our byte order (the
+    /// hot-path backend under [`FilterBackend::Compiled`]).
+    send_fused: FusedProgram,
     recv_filter: Program,
-    recv_compiled: CompiledProgram,
+    /// Delivery filter fused against the *peer's* byte order; re-fused
+    /// on the rare peer-order learn, never per message.
+    recv_fused: FusedProgram,
+    /// Number of fuse passes run (2 at setup, +1 per peer-order learn).
+    fuse_count: u64,
+    /// The §6 recycling pool: every hot-path buffer — send staging,
+    /// post-processing frame images, unpacked delivery pieces — is
+    /// borrowed here and returned after its deferred post phase.
+    pool: MsgPool,
     send_predict: Prediction,
     recv_predict: Prediction,
     backlog: Backlog,
@@ -408,8 +418,13 @@ impl Connection {
         let layout = lb.compile(config.layout_mode).map_err(SetupError::Layout)?;
         let send_filter = send_fb.build().map_err(SetupError::Filter)?;
         let recv_filter = recv_fb.build().map_err(SetupError::Filter)?;
-        let send_compiled = CompiledProgram::compile(&send_filter, &layout);
-        let recv_compiled = CompiledProgram::compile(&recv_filter, &layout);
+        // Fuse both filters once at handshake: field offsets, widths,
+        // and byte order resolved into a flat op array. The delivery
+        // side starts in our own order and re-fuses if the peer's
+        // preamble teaches us otherwise (once per connection, not per
+        // message).
+        let send_fused = FusedProgram::fuse(&send_filter, &layout, params.order);
+        let recv_fused = FusedProgram::fuse(&recv_filter, &layout, params.order);
 
         // Connection identification: `local` is what we send, `peer`
         // what we expect to receive. Always big-endian (compared as
@@ -432,6 +447,18 @@ impl Connection {
         let recv_predict = Prediction::new(&layout, params.order);
         let cookie_local = Cookie::random(&mut rng);
 
+        // Pool headroom: preamble (≤ 9 B) + conn-ident + the three
+        // class headers + the packing byte, so even the first
+        // (identified) frame prepends in place without regrowing.
+        // Never below the library default.
+        let hdr_len = layout.class_len(Class::Protocol)
+            + layout.class_len(Class::Message)
+            + layout.class_len(Class::Gossip);
+        let pool = MsgPool::new(
+            (16 + ident_len + hdr_len + 8).max(pa_buf::msg::DEFAULT_HEADROOM),
+            64,
+        );
+
         let phase_meters = vec![PhaseMeter::default(); layers.len()];
         Ok(Connection {
             trace_origin: cookie_local.raw() as u32,
@@ -451,9 +478,11 @@ impl Connection {
             peer_order: params.order,
             peer_order_known: false,
             send_filter,
-            send_compiled,
+            send_fused,
             recv_filter,
-            recv_compiled,
+            recv_fused,
+            fuse_count: 2,
+            pool,
             send_predict,
             recv_predict,
             backlog: Backlog::new(),
@@ -516,6 +545,41 @@ impl Connection {
     /// Per-connection counters.
     pub fn stats(&self) -> &ConnStats {
         &self.stats
+    }
+
+    /// Returns a delivered (or otherwise finished) buffer to this
+    /// connection's message pool (§6 explicit recycling). Hosts that
+    /// call [`Connection::poll_delivery`] should hand each buffer back
+    /// here once the application is done with it; a steady-state
+    /// connection then performs zero heap allocations per message.
+    /// With pooling off this simply drops the buffer.
+    pub fn recycle(&mut self, msg: Msg) {
+        if self.config.pooling {
+            self.pool.put(msg);
+        }
+    }
+
+    /// Buffer-pool counters: hits (recycled takes), misses (takes that
+    /// had to allocate), returns.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Buffers currently sitting idle in the pool's free list.
+    pub fn pool_idle(&self) -> usize {
+        self.pool.idle()
+    }
+
+    /// Fused-filter compile accounting: how many times filters were
+    /// fused (2 at construction, +1 when the peer's byte order is
+    /// learned and the delivery filter re-fuses), plus the send/recv
+    /// program resolution stats.
+    pub fn fuse_stats(&self) -> (u64, FuseStats, FuseStats) {
+        (
+            self.fuse_count,
+            self.send_fused.stats(),
+            self.recv_fused.stats(),
+        )
     }
 
     /// Installs a trace probe. Ring probes are labelled with this
@@ -759,6 +823,42 @@ impl Connection {
             totals,
             notes: Vec::new(),
         };
+        // Buffer-economics and filter-compilation context. Pool misses
+        // are *not* attribution entries — they never force a slow path,
+        // so they must not perturb the reconciling multiset — but a
+        // miss on the steady state is an excursion cause worth naming
+        // (a burst outran the retained buffers, or the host is not
+        // recycling deliveries).
+        if self.config.pooling {
+            let ps = self.pool.stats();
+            report.notes.push(format!(
+                "pool: {} hits / {} misses / {} returns ({} idle); \
+                 steady-state misses indicate a burst outran the pool \
+                 or deliveries are not being recycled",
+                ps.hits,
+                ps.misses,
+                ps.returns,
+                self.pool.idle()
+            ));
+        } else {
+            report
+                .notes
+                .push("pool: disabled (allocating comparison arm)".to_string());
+        }
+        if self.config.filter_backend == FilterBackend::Compiled {
+            let (s, r) = (self.send_fused.stats(), self.recv_fused.stats());
+            report.notes.push(format!(
+                "fused filters: {} fuses; send {} ops ({}/{} field ops \
+                 byte-aligned), recv {} ops ({}/{} byte-aligned)",
+                self.fuse_count,
+                s.ops,
+                s.byte_aligned,
+                s.field_ops,
+                r.ops,
+                r.byte_aligned,
+                r.field_ops
+            ));
+        }
         report.rank();
         report
     }
@@ -883,7 +983,8 @@ impl Connection {
                 "(post-serialization)"
             };
             self.emit(TraceEvent::Queued { disable_layer });
-            self.backlog.push(Msg::from_payload(payload));
+            let staged = self.new_payload_msg(payload);
+            self.backlog.push(staged);
             if !self.config.lazy_post {
                 // Eager hosts never leave work pending.
                 self.process_pending();
@@ -891,8 +992,8 @@ impl Connection {
             return SendOutcome::Queued;
         }
         let body = {
-            let mut b = Msg::from_payload(payload);
-            b.push_front(&PackInfo::Single.encode());
+            let mut b = self.new_payload_msg(payload);
+            PackInfo::Single.push_onto(&mut b);
             b
         };
         let outcome = self.send_body(body);
@@ -1023,10 +1124,7 @@ impl Connection {
                 let mut frame = Frame::new(msg, &self.layout, self.order);
                 pa_filter::run(&self.send_filter, &mut frame)
             }
-            FilterBackend::Compiled => {
-                self.send_compiled
-                    .run(self.send_filter.slots(), msg, self.order)
-            }
+            FilterBackend::Compiled => self.send_fused.run(self.send_filter.slots(), msg),
         }
     }
 
@@ -1037,10 +1135,33 @@ impl Connection {
                 let mut frame = Frame::new(msg, &self.layout, self.peer_order);
                 pa_filter::run(&self.recv_filter, &mut frame)
             }
-            FilterBackend::Compiled => {
-                self.recv_compiled
-                    .run(self.recv_filter.slots(), msg, self.peer_order)
-            }
+            FilterBackend::Compiled => self.recv_fused.run(self.recv_filter.slots(), msg),
+        }
+    }
+
+    /// A staging buffer holding `payload`: pooled (steady state: zero
+    /// allocations) or freshly allocated when pooling is off.
+    #[inline]
+    fn new_payload_msg(&mut self, payload: &[u8]) -> Msg {
+        if self.config.pooling {
+            self.pool.take_with(payload)
+        } else {
+            Msg::from_payload(payload)
+        }
+    }
+
+    /// A copy of `msg`'s live bytes for deferred post-processing:
+    /// borrowed from the pool (appended past the headroom so any
+    /// payload size reuses the retained capacity) or a plain clone when
+    /// pooling is off.
+    #[inline]
+    fn frame_image(&mut self, msg: &Msg) -> Msg {
+        if self.config.pooling {
+            let mut image = self.pool.take();
+            image.push_back(msg.as_slice());
+            image
+        } else {
+            msg.clone()
         }
     }
 
@@ -1060,8 +1181,12 @@ impl Connection {
         }
 
         // Post-processing operates on the frame image (protocol header
-        // first), captured before preamble/ident are pushed.
-        self.pending_send.push_back((msg.clone(), origin));
+        // first), captured before preamble/ident are pushed. The image
+        // is a pooled copy — the caller's buffer goes to the wire
+        // untouched (zero copy on the transmit path), and the image
+        // returns to the pool once its post phase has run.
+        let image = self.frame_image(&msg);
+        self.pending_send.push_back((image, origin));
 
         let include_ident = !self.config.cookies || unusual || self.ident_remaining > 0;
         if include_ident {
@@ -1148,8 +1273,11 @@ impl Connection {
         if !self.peer_order_known || self.peer_order != preamble.byte_order {
             self.peer_order = preamble.byte_order;
             self.peer_order_known = true;
-            let layout = self.layout.clone();
-            self.recv_predict.reorder(&layout, self.peer_order);
+            self.recv_predict.reorder(&self.layout, self.peer_order);
+            // The fused delivery filter baked the old order in; re-fuse
+            // once against the learned one.
+            self.recv_fused = FusedProgram::fuse(&self.recv_filter, &self.layout, self.peer_order);
+            self.fuse_count += 1;
         }
 
         if !Frame::fits(&frame, &self.layout) {
@@ -1166,13 +1294,17 @@ impl Connection {
         if let Some(jf) = self.trace_journey {
             let msg_off = self.layout.class_len(Class::Protocol);
             let msg_len = self.layout.class_len(Class::Message);
-            if let Some(bytes) = frame.get(msg_off, msg_len) {
-                let bytes = bytes.to_vec();
-                let journey = self.layout.read_field(jf, &bytes, self.peer_order);
+            // `frame` is a local, so the header borrow is independent
+            // of `self` — read in place, no copy.
+            let read = frame.get(msg_off, msg_len).map(|bytes| {
+                let journey = self.layout.read_field(jf, bytes, self.peer_order);
                 let hop = self
                     .trace_hop
-                    .map(|hf| self.layout.read_field(hf, &bytes, self.peer_order) as u8)
+                    .map(|hf| self.layout.read_field(hf, bytes, self.peer_order) as u8)
                     .unwrap_or(0);
+                (journey, hop)
+            });
+            if let Some((journey, hop)) = read {
                 if journey != 0 {
                     self.last_recv_trace = Some((journey, hop));
                     if self.probe.enabled() {
@@ -1277,14 +1409,15 @@ impl Connection {
             },
             SlowCause::PredictMiss => {
                 let proto_len = self.layout.class_len(Class::Protocol);
+                // `hdr` borrows the caller's frame, not `self`, so the
+                // attribution below can take `&mut self` without a copy.
                 let Some(hdr) = frame.get(0, proto_len) else {
                     return ("pa", AttrCause::Unattributed);
                 };
-                let hdr = hdr.to_vec();
                 let mut first: Option<(&'static str, FieldRef)> = None;
                 for i in 0..self.layout.class(Class::Protocol).field_count() {
                     let f = Field::new(Class::Protocol, i);
-                    let got = self.layout.read_field(f, &hdr, self.peer_order);
+                    let got = self.layout.read_field(f, hdr, self.peer_order);
                     let expected = self.recv_predict.get(&self.layout, f);
                     if got != expected {
                         let field = FieldRef::new(Class::Protocol.index() as u8, i as u16);
@@ -1320,41 +1453,123 @@ impl Connection {
 
     /// Fast delivery: strip headers, unpack, deliver; stack not entered.
     fn fast_deliver(&mut self, frame: Msg) -> Result<usize, DeliverOutcome> {
-        let mut body = frame.clone();
+        match self.deliver_and_defer(frame, 0) {
+            Ok(n) => Ok(n),
+            Err(frame) => {
+                self.stats.drops_malformed += 1;
+                self.emit(TraceEvent::Drop {
+                    reason: DropCause::Malformed,
+                });
+                if self.config.pooling {
+                    self.pool.put(frame);
+                }
+                Err(DeliverOutcome::Dropped(DropReason::Malformed))
+            }
+        }
+    }
+
+    /// Strips the stack headers off `frame`, unpacks the body into
+    /// application deliveries, and queues a frame image for the
+    /// deferred post-deliver phases. Shared by the fast path and the
+    /// top of the layered slow path — the two differ only in `start`
+    /// (which post phases still owe work).
+    ///
+    /// Pooled (the steady state — zero heap allocations):
+    /// - `Single`: the application receives the *original network
+    ///   buffer* with the headers skipped in place (zero-copy); the
+    ///   post phases get a pooled image copy.
+    /// - packed runs: each piece is a pooled copy of its body slice
+    ///   and the original frame itself *moves* into the post queue, so
+    ///   nothing is cloned.
+    ///
+    /// Non-pooled: the pre-recycling arm — clone the frame for the
+    /// image, allocate per unpacked piece — kept as the benchmark
+    /// comparison path. Wire bytes and stats are identical either way.
+    ///
+    /// On a malformed packing header/body the buffer is handed back as
+    /// `Err(frame)` so the caller can count, emit, and recycle it.
+    fn deliver_and_defer(&mut self, mut frame: Msg, start: usize) -> Result<usize, Msg> {
+        let stop = self.layers.len().saturating_sub(1);
         let hdr = self.layout.class_len(Class::Protocol)
             + self.layout.class_len(Class::Message)
             + self.layout.class_len(Class::Gossip);
-        body.skip_front(hdr);
-        let info = match PackInfo::pop_from(&mut body) {
-            Ok(i) => i,
-            Err(_) => {
-                self.stats.drops_malformed += 1;
-                self.emit(TraceEvent::Drop {
-                    reason: DropCause::Malformed,
-                });
-                return Err(DeliverOutcome::Dropped(DropReason::Malformed));
-            }
+        if !self.config.pooling {
+            let frame_image = frame.clone();
+            frame.skip_front(hdr);
+            let unpacked =
+                PackInfo::pop_from(&mut frame).and_then(|info| packing::unpack(&info, frame));
+            return match unpacked {
+                Ok(msgs) => {
+                    let n = msgs.len();
+                    self.stats.msgs_delivered += n as u64;
+                    self.deliveries.extend(msgs);
+                    self.pending_recv.push_back(RecvPost {
+                        msg: frame_image,
+                        start,
+                        stop,
+                    });
+                    Ok(n)
+                }
+                Err(_) => Err(frame_image),
+            };
+        }
+        if frame.len() < hdr {
+            return Err(frame);
+        }
+        let (info, used) = match PackInfo::decode(&frame.as_slice()[hdr..]) {
+            Ok(x) => x,
+            Err(_) => return Err(frame),
         };
-        let msgs = match packing::unpack(&info, body) {
-            Ok(m) => m,
-            Err(_) => {
-                self.stats.drops_malformed += 1;
-                self.emit(TraceEvent::Drop {
-                    reason: DropCause::Malformed,
+        let body_off = hdr + used;
+        match info {
+            PackInfo::Single => {
+                let mut image = self.pool.take();
+                image.push_back(frame.as_slice());
+                frame.skip_front(body_off);
+                self.stats.msgs_delivered += 1;
+                self.deliveries.push_back(frame);
+                self.pending_recv.push_back(RecvPost {
+                    msg: image,
+                    start,
+                    stop,
                 });
-                return Err(DeliverOutcome::Dropped(DropReason::Malformed));
+                Ok(1)
             }
-        };
-        let n = msgs.len();
-        self.stats.msgs_delivered += n as u64;
-        self.deliveries.extend(msgs);
-        let stop = self.layers.len().saturating_sub(1);
-        self.pending_recv.push_back(RecvPost {
-            msg: frame,
-            start: 0,
-            stop,
-        });
-        Ok(n)
+            ref packed => {
+                if frame.len() - body_off != packed.body_len() {
+                    return Err(frame);
+                }
+                let n = packed.count();
+                let mut off = body_off;
+                match packed {
+                    PackInfo::SameSize { count, size } => {
+                        for _ in 0..*count {
+                            let mut piece = self.pool.take();
+                            piece
+                                .push_back(frame.get(off, *size as usize).expect("length checked"));
+                            self.deliveries.push_back(piece);
+                            off += *size as usize;
+                        }
+                    }
+                    PackInfo::Variable { sizes } => {
+                        for &s in sizes {
+                            let mut piece = self.pool.take();
+                            piece.push_back(frame.get(off, s as usize).expect("length checked"));
+                            self.deliveries.push_back(piece);
+                            off += s as usize;
+                        }
+                    }
+                    PackInfo::Single => unreachable!(),
+                }
+                self.stats.msgs_delivered += n as u64;
+                self.pending_recv.push_back(RecvPost {
+                    msg: frame,
+                    start,
+                    stop,
+                });
+                Ok(n)
+            }
+        }
     }
 
     /// Layered pre-deliver traversal, bottom → top.
@@ -1477,24 +1692,10 @@ impl Connection {
         } = work;
         if next >= self.layers.len() {
             // Above the top layer: strip headers, unpack, deliver.
-            let stop = self.layers.len().saturating_sub(1);
-            let frame_image = msg.clone();
-            let hdr = self.layout.class_len(Class::Protocol)
-                + self.layout.class_len(Class::Message)
-                + self.layout.class_len(Class::Gossip);
-            msg.skip_front(hdr);
-            match PackInfo::pop_from(&mut msg).and_then(|info| packing::unpack(&info, msg)) {
-                Ok(msgs) => {
-                    self.stats.msgs_delivered += msgs.len() as u64;
-                    self.deliveries.extend(msgs);
-                    self.pending_recv.push_back(RecvPost {
-                        msg: frame_image,
-                        start,
-                        stop,
-                    });
-                }
-                Err(_) => {
-                    self.stats.drops_malformed += 1;
+            if let Err(frame) = self.deliver_and_defer(msg, start) {
+                self.stats.drops_malformed += 1;
+                if self.config.pooling {
+                    self.pool.put(frame);
                 }
             }
             return;
@@ -1658,6 +1859,9 @@ impl Connection {
         loop {
             if let Some((msg, _origin)) = self.pending_send.pop_front() {
                 self.run_post_send(&msg, &mut report);
+                if self.config.pooling {
+                    self.pool.put(msg);
+                }
                 continue;
             }
             if let Some(post) = self.pending_recv.pop_front() {
@@ -1730,6 +1934,9 @@ impl Connection {
         if start > stop {
             // A message emitted upward by the top layer has no layers
             // left to post-process.
+            if self.config.pooling {
+                self.pool.put(msg);
+            }
             return;
         }
         report.post_deliver_phases += (stop - start + 1) as u64;
@@ -1753,12 +1960,15 @@ impl Connection {
             self.meter_record(i, Phase::PostDeliver, t0);
             self.apply_effects(i, effects);
         }
+        if self.config.pooling {
+            self.pool.put(msg);
+        }
         self.run_work();
     }
 
     /// Drains one frame's worth of backlog; returns (messages, packed?).
     fn drain_backlog(&mut self) -> (u64, bool) {
-        let run = if self.config.packing {
+        let mut run = if self.config.packing {
             if self.config.variable_packing {
                 self.backlog.pop_run(self.config.max_pack)
             } else {
@@ -1776,7 +1986,23 @@ impl Connection {
             self.stats.packed_frames += 1;
             self.stats.packed_msgs += n;
         }
-        let body = packing::pack(&run);
+        let body = if run.len() == 1 {
+            // A lone backlogged message needs no assembly: prepend the
+            // packing byte into its headroom and wire it as-is.
+            let mut m = run.pop().expect("run non-empty");
+            PackInfo::Single.push_onto(&mut m);
+            m
+        } else {
+            let body = packing::pack(&run);
+            if self.config.pooling {
+                // Donate the staged run buffers back: the pool keeps
+                // their capacity for the next burst of sends.
+                for m in run {
+                    self.pool.put(m);
+                }
+            }
+            body
+        };
         self.send_body(body);
         (n, packed)
     }

@@ -178,7 +178,25 @@ impl Endpoint {
     pub fn metrics_snapshot(&self, at: Nanos) -> pa_obs::MetricsSnapshot {
         let mut snap = pa_obs::MetricsSnapshot::new(at);
         for (i, conn) in self.conns.iter().enumerate() {
-            conn.stats().record_into(&mut snap, &format!("conn{i}"));
+            let scope = format!("conn{i}");
+            conn.stats().record_into(&mut snap, &scope);
+            // Buffer-pool economics (§6 recycling) and fused-filter
+            // compile accounting ride the same registry so one snapshot
+            // answers both "what did the wire do" and "what did it
+            // cost in buffers".
+            let ps = conn.pool_stats();
+            snap.record(&scope, "pool_hits", ps.hits);
+            snap.record(&scope, "pool_misses", ps.misses);
+            snap.record(&scope, "pool_returns", ps.returns);
+            snap.record(&scope, "pool_idle", conn.pool_idle() as u64);
+            let (fuses, sf, rf) = conn.fuse_stats();
+            snap.record(&scope, "filter_fuses", fuses);
+            snap.record(&scope, "filter_fused_ops", (sf.ops + rf.ops) as u64);
+            snap.record(
+                &scope,
+                "filter_bit_fallback_ops",
+                (sf.bit_fallback + rf.bit_fallback) as u64,
+            );
         }
         snap.record("router", "cookie_hits", self.router.cookie_hits);
         snap.record("router", "ident_hits", self.router.ident_hits);

@@ -142,6 +142,43 @@ impl<'a> LayerCtx<'a> {
         Frame::new(msg, self.layout, self.order)
     }
 
+    /// Reads `f` out of `msg`'s frame without taking a mutable view —
+    /// the post-phase read path, where layers inspect a frame image
+    /// they do not own. Replaces the old idiom of cloning the message
+    /// just to build a [`Frame`] over the copy.
+    pub fn read_field(&self, msg: &Msg, f: pa_wire::Field) -> u64 {
+        use pa_wire::Class;
+        let proto = self.layout.class_len(Class::Protocol);
+        let base = match f.class {
+            Class::Protocol => 0,
+            Class::Message => proto,
+            Class::Gossip => proto + self.layout.class_len(Class::Message),
+            Class::ConnId => panic!("conn-id fields are not frame-resident"),
+        };
+        let len = self.layout.class_len(f.class);
+        self.layout
+            .read_field(f, &msg.as_slice()[base..base + len], self.order)
+    }
+
+    /// Borrowed `(protocol header, gossip header, body)` views of
+    /// `msg`'s frame — the read-only analogue of `Frame::proto_hdr` /
+    /// `Frame::gossip_hdr` / `Frame::body` for post phases that only
+    /// inspect a frame image they do not own (e.g. recomputing a
+    /// digest). Like [`LayerCtx::read_field`], this avoids cloning the
+    /// message just to build a mutable [`Frame`] view.
+    pub fn frame_parts<'m>(&self, msg: &'m Msg) -> (&'m [u8], &'m [u8], &'m [u8]) {
+        use pa_wire::Class;
+        let proto = self.layout.class_len(Class::Protocol);
+        let message = self.layout.class_len(Class::Message);
+        let gossip = self.layout.class_len(Class::Gossip);
+        let bytes = msg.as_slice();
+        (
+            &bytes[..proto],
+            &bytes[proto + message..proto + message + gossip],
+            &bytes[proto + message + gossip..],
+        )
+    }
+
     /// Builds a fresh frame for a layer-generated message (ack, nak,
     /// heartbeat): zeroed class headers around a single-message body.
     /// The layer writes its fields through [`LayerCtx::frame`]; layers
@@ -149,7 +186,7 @@ impl<'a> LayerCtx<'a> {
     pub fn control_frame(&self, payload: &[u8]) -> Msg {
         use pa_wire::Class;
         let mut m = Msg::from_payload(payload);
-        m.push_front(&crate::packing::PackInfo::Single.encode());
+        crate::packing::PackInfo::Single.push_onto(&mut m);
         let hdr = self.layout.class_len(Class::Protocol)
             + self.layout.class_len(Class::Message)
             + self.layout.class_len(Class::Gossip);

@@ -122,6 +122,25 @@ impl PackInfo {
         }
     }
 
+    /// Prepends the encoded header onto `msg` without heap allocation
+    /// for the fixed-size kinds — same bytes as [`PackInfo::encode`],
+    /// staged in a stack buffer. (`Variable` headers are unbounded and
+    /// stay on the heap; they only occur on the already-amortized
+    /// packed slow path.)
+    pub fn push_onto(&self, msg: &mut Msg) {
+        match self {
+            PackInfo::Single => msg.push_front(&[0u8]),
+            PackInfo::SameSize { count, size } => {
+                let mut b = [0u8; 7];
+                b[0] = 1;
+                b[1..3].copy_from_slice(&count.to_be_bytes());
+                b[3..7].copy_from_slice(&size.to_be_bytes());
+                msg.push_front(&b);
+            }
+            PackInfo::Variable { .. } => msg.push_front(&self.encode()),
+        }
+    }
+
     /// Decodes a header from the front of `bytes`, returning it and the
     /// number of bytes consumed.
     pub fn decode(bytes: &[u8]) -> Result<(PackInfo, usize), PackError> {
@@ -174,7 +193,7 @@ pub fn pack(msgs: &[Msg]) -> Msg {
     debug_assert!(!msgs.is_empty());
     if msgs.len() == 1 {
         let mut m = msgs[0].clone();
-        m.push_front(&PackInfo::Single.encode());
+        PackInfo::Single.push_onto(&mut m);
         return m;
     }
     let first_len = msgs[0].len();
@@ -192,7 +211,7 @@ pub fn pack(msgs: &[Msg]) -> Msg {
     for m in msgs {
         body.push_back(m.as_slice());
     }
-    body.push_front(&info.encode());
+    info.push_onto(&mut body);
     body
 }
 
@@ -282,6 +301,26 @@ mod tests {
             vec![3, 10, 0, 7]
         );
         assert_eq!(out[3].as_slice(), &[3u8; 7][..]);
+    }
+
+    #[test]
+    fn push_onto_matches_encode() {
+        for info in [
+            PackInfo::Single,
+            PackInfo::SameSize {
+                count: 300,
+                size: 0x0102_0304,
+            },
+            PackInfo::Variable {
+                sizes: vec![9, 0, 77],
+            },
+        ] {
+            let mut via_push = Msg::from_payload(b"body");
+            info.push_onto(&mut via_push);
+            let mut via_encode = Msg::from_payload(b"body");
+            via_encode.push_front(&info.encode());
+            assert_eq!(via_push.as_slice(), via_encode.as_slice());
+        }
     }
 
     #[test]

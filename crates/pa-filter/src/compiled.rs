@@ -221,6 +221,400 @@ fn binop(stack: &mut Vec<i64>, f: impl FnOnce(i64, i64) -> i64) {
     stack.push(f(next, top));
 }
 
+// ---------------------------------------------------------------------------
+// Fused programs: the hot-path backend.
+// ---------------------------------------------------------------------------
+
+/// A fused instruction: field reference *and* byte order resolved.
+///
+/// Where [`ROp`] still branches per message on "is this field aligned?"
+/// and "what byte order is the peer?", an `FOp` made both decisions at
+/// fuse time. Byte-aligned whole-byte fields become direct byte loads
+/// in the connection's negotiated order; sub-byte or unaligned fields
+/// fall back to network-bit-order access (which is order-insensitive by
+/// the layout contract, so baking is lossless).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FOp {
+    PushConst(i64),
+    PushSlot(u16),
+    /// Byte-aligned field, big-endian, bytes `off..off + len`.
+    PushFieldBe {
+        off: u32,
+        len: u32,
+    },
+    /// Byte-aligned field, little-endian.
+    PushFieldLe {
+        off: u32,
+        len: u32,
+    },
+    /// Unaligned or sub-byte field: network bit order.
+    PushFieldBits {
+        bit: u32,
+        bits: u32,
+    },
+    PopFieldBe {
+        off: u32,
+        len: u32,
+    },
+    PopFieldLe {
+        off: u32,
+        len: u32,
+    },
+    PopFieldBits {
+        bit: u32,
+        bits: u32,
+    },
+    PushSize,
+    PushBodySize,
+    Digest(DigestKind),
+    DigestHeaders(DigestKind),
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Not,
+    Dup,
+    Swap,
+    Drop,
+    Return(i64),
+    Abort(i64),
+}
+
+/// Depth of the inline evaluation stack. The verifier rejects any
+/// program needing more than [`crate::program::MAX_STACK`] entries, so
+/// every runnable program fits and fused execution never touches the
+/// heap. The const assertion keeps the two bounds honest.
+pub const FUSED_STACK_DEPTH: usize = 64;
+
+const _: () = assert!(
+    FUSED_STACK_DEPTH >= crate::program::MAX_STACK as usize,
+    "fused inline stack must cover the verifier's depth bound"
+);
+
+/// What a fuse pass resolved — surfaced in the metrics registry so an
+/// operator can see which connections run the allocation-free backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Total fused instructions.
+    pub ops: usize,
+    /// Field references resolved (read + write).
+    pub field_ops: usize,
+    /// Field references that became direct byte loads/stores.
+    pub byte_aligned: usize,
+    /// Field references on the network-bit-order fallback.
+    pub bit_fallback: usize,
+    /// The program's verified stack requirement.
+    pub max_depth: u32,
+}
+
+/// A filter program with field offsets *and* byte order pre-resolved
+/// into a flat op array — the §3.3 filter as it runs on the zero-
+/// allocation fast path.
+///
+/// Differences from [`CompiledProgram`]:
+///
+/// - the peer byte order is baked in at fuse time (re-fuse on the rare
+///   peer-order learn, not per message),
+/// - execution uses a fixed inline stack sized by the verifier's depth
+///   bound — no per-run `Vec`, no heap,
+/// - every field reference was bounds-checked once at fuse time against
+///   the layout (`frame_len()`); callers guarantee `msg.len() >=
+///   frame_len()` (the engine's `Frame::fits` gate), so the run loop
+///   carries no per-message range re-derivation.
+///
+/// Patchable slots still live in the source [`Program`]: `run` borrows
+/// the slot array, so post-processing rewrites are visible without a
+/// re-fuse — same contract as the other backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedProgram {
+    ops: Vec<FOp>,
+    proto_len: usize,
+    gossip_off: usize,
+    body_off: usize,
+    max_depth: u32,
+    stats: FuseStats,
+}
+
+impl FusedProgram {
+    /// Resolves `program` against `layout` with `order` baked in.
+    pub fn fuse(program: &Program, layout: &CompiledLayout, order: pa_buf::ByteOrder) -> Self {
+        let proto = layout.class_len(Class::Protocol);
+        let message = layout.class_len(Class::Message);
+        let gossip = layout.class_len(Class::Gossip);
+        let base_bits = |c: Class| -> u32 {
+            (match c {
+                Class::Protocol => 0,
+                Class::Message => proto,
+                Class::Gossip => proto + message,
+                Class::ConnId => unreachable!("verifier rejects conn-id fields"),
+            } as u32)
+                * 8
+        };
+        let mut stats = FuseStats {
+            max_depth: program.max_stack_depth(),
+            ..FuseStats::default()
+        };
+        // A field is a direct byte load iff byte-aligned and whole-byte
+        // wide — the same predicate `bits::read_field` applies per call;
+        // here it is evaluated exactly once.
+        let mut field = |f: pa_wire::Field, write: bool| -> FOp {
+            let p = layout.class(f.class).placement(f.index_in_class());
+            let bit = base_bits(f.class) + p.bit_offset;
+            stats.field_ops += 1;
+            if bit.is_multiple_of(8) && p.bits.is_multiple_of(8) {
+                stats.byte_aligned += 1;
+                let (off, len) = (bit / 8, p.bits / 8);
+                match (order, write) {
+                    (pa_buf::ByteOrder::Big, false) => FOp::PushFieldBe { off, len },
+                    (pa_buf::ByteOrder::Little, false) => FOp::PushFieldLe { off, len },
+                    (pa_buf::ByteOrder::Big, true) => FOp::PopFieldBe { off, len },
+                    (pa_buf::ByteOrder::Little, true) => FOp::PopFieldLe { off, len },
+                }
+            } else {
+                stats.bit_fallback += 1;
+                if write {
+                    FOp::PopFieldBits { bit, bits: p.bits }
+                } else {
+                    FOp::PushFieldBits { bit, bits: p.bits }
+                }
+            }
+        };
+        let ops: Vec<FOp> = program
+            .ops()
+            .iter()
+            .map(|op| match *op {
+                Op::PushConst(v) => FOp::PushConst(v),
+                Op::PushSlot(s) => FOp::PushSlot(s.0),
+                Op::PushField(f) => field(f, false),
+                Op::PopField(f) => field(f, true),
+                Op::PushSize => FOp::PushSize,
+                Op::PushBodySize => FOp::PushBodySize,
+                Op::Digest(k) => FOp::Digest(k),
+                Op::DigestHeaders(k) => FOp::DigestHeaders(k),
+                Op::Add => FOp::Add,
+                Op::Sub => FOp::Sub,
+                Op::Mul => FOp::Mul,
+                Op::And => FOp::And,
+                Op::Or => FOp::Or,
+                Op::Xor => FOp::Xor,
+                Op::Eq => FOp::Eq,
+                Op::Ne => FOp::Ne,
+                Op::Lt => FOp::Lt,
+                Op::Le => FOp::Le,
+                Op::Gt => FOp::Gt,
+                Op::Ge => FOp::Ge,
+                Op::Not => FOp::Not,
+                Op::Dup => FOp::Dup,
+                Op::Swap => FOp::Swap,
+                Op::Drop => FOp::Drop,
+                Op::Return(v) => FOp::Return(v),
+                Op::Abort(v) => FOp::Abort(v),
+            })
+            .collect();
+        stats.ops = ops.len();
+        FusedProgram {
+            ops,
+            proto_len: proto,
+            gossip_off: proto + message,
+            body_off: proto + message + gossip,
+            max_depth: program.max_stack_depth(),
+            stats,
+        }
+    }
+
+    /// What the fuse pass resolved.
+    pub fn stats(&self) -> FuseStats {
+        self.stats
+    }
+
+    /// Bytes of header this program's field references reach into.
+    /// Callers must guarantee `msg.len() >= frame_len()` before `run`
+    /// (the engine's `Frame::fits` gate does).
+    pub fn frame_len(&self) -> usize {
+        self.body_off
+    }
+
+    /// Number of fused instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Runs against the raw frame bytes of `msg`. Allocation-free: the
+    /// operand stack is inline (the verifier bounds depth below
+    /// [`FUSED_STACK_DEPTH`]), and byte order was baked at fuse time so
+    /// none is taken here.
+    #[inline]
+    pub fn run(&self, slots: &[i64], msg: &mut pa_buf::Msg) -> Verdict {
+        let mut stack = FixedStack {
+            buf: [0; FUSED_STACK_DEPTH],
+            sp: 0,
+        };
+        self.exec(slots, msg, &mut stack)
+    }
+
+    fn exec(&self, slots: &[i64], msg: &mut pa_buf::Msg, stack: &mut FixedStack) -> Verdict {
+        let total = msg.len();
+        let body_off = self.body_off;
+        let buf = msg.as_mut_slice();
+        for op in &self.ops {
+            match *op {
+                FOp::PushConst(v) => stack.push(v),
+                FOp::PushSlot(s) => stack.push(slots[s as usize]),
+                FOp::PushFieldBe { off, len } => {
+                    stack.push(load_be(buf, off as usize, len as usize) as i64)
+                }
+                FOp::PushFieldLe { off, len } => {
+                    stack.push(load_le(buf, off as usize, len as usize) as i64)
+                }
+                FOp::PushFieldBits { bit, bits: w } => {
+                    stack.push(bits::read_bits_be(buf, bit, w) as i64)
+                }
+                FOp::PopFieldBe { off, len } => {
+                    let v = mask_bytes(stack.pop() as u64, len);
+                    store_be(buf, off as usize, len as usize, v);
+                }
+                FOp::PopFieldLe { off, len } => {
+                    let v = mask_bytes(stack.pop() as u64, len);
+                    store_le(buf, off as usize, len as usize, v);
+                }
+                FOp::PopFieldBits { bit, bits: w } => {
+                    let v = stack.pop();
+                    bits::write_bits_be(buf, bit, w, bits::mask(v as u64, w));
+                }
+                FOp::PushSize => stack.push(total as i64),
+                FOp::PushBodySize => stack.push((total - body_off) as i64),
+                FOp::Digest(kind) => stack.push(kind.compute(&buf[body_off..]) as i64),
+                FOp::DigestHeaders(kind) => stack.push(kind.compute_multi(&[
+                    &buf[..self.proto_len],
+                    &buf[self.gossip_off..body_off],
+                    &buf[body_off..],
+                ]) as i64),
+                FOp::Add => stack.binop(|a, b| a.wrapping_add(b)),
+                FOp::Sub => stack.binop(|a, b| a.wrapping_sub(b)),
+                FOp::Mul => stack.binop(|a, b| a.wrapping_mul(b)),
+                FOp::And => stack.binop(|a, b| a & b),
+                FOp::Or => stack.binop(|a, b| a | b),
+                FOp::Xor => stack.binop(|a, b| a ^ b),
+                FOp::Eq => stack.binop(|a, b| (a == b) as i64),
+                FOp::Ne => stack.binop(|a, b| (a != b) as i64),
+                FOp::Lt => stack.binop(|a, b| (a < b) as i64),
+                FOp::Le => stack.binop(|a, b| (a <= b) as i64),
+                FOp::Gt => stack.binop(|a, b| (a > b) as i64),
+                FOp::Ge => stack.binop(|a, b| (a >= b) as i64),
+                FOp::Not => {
+                    let v = stack.pop();
+                    stack.push((v == 0) as i64);
+                }
+                FOp::Dup => {
+                    let v = stack.top();
+                    stack.push(v);
+                }
+                FOp::Swap => stack.swap_top(),
+                FOp::Drop => {
+                    stack.pop();
+                }
+                FOp::Return(v) => return v,
+                FOp::Abort(v) => {
+                    if stack.pop() != 0 {
+                        return v;
+                    }
+                }
+            }
+        }
+        crate::PASS
+    }
+}
+
+/// The inline operand stack. Depth was bounded by the verifier, so no
+/// growth and no heap — the paper's "verified loop-free filter" check
+/// done once, paid never.
+struct FixedStack {
+    buf: [i64; FUSED_STACK_DEPTH],
+    sp: usize,
+}
+
+impl FixedStack {
+    #[inline(always)]
+    fn push(&mut self, v: i64) {
+        self.buf[self.sp] = v;
+        self.sp += 1;
+    }
+    #[inline(always)]
+    fn pop(&mut self) -> i64 {
+        self.sp -= 1;
+        self.buf[self.sp]
+    }
+    #[inline(always)]
+    fn top(&self) -> i64 {
+        self.buf[self.sp - 1]
+    }
+    #[inline(always)]
+    fn swap_top(&mut self) {
+        self.buf.swap(self.sp - 1, self.sp - 2);
+    }
+    #[inline(always)]
+    fn binop(&mut self, f: impl FnOnce(i64, i64) -> i64) {
+        let top = self.pop();
+        let next = self.pop();
+        self.push(f(next, top));
+    }
+}
+
+#[inline(always)]
+fn load_be(buf: &[u8], off: usize, len: usize) -> u64 {
+    let mut v = 0u64;
+    for &b in &buf[off..off + len] {
+        v = (v << 8) | b as u64;
+    }
+    v
+}
+
+#[inline(always)]
+fn load_le(buf: &[u8], off: usize, len: usize) -> u64 {
+    let mut v = 0u64;
+    for (i, &b) in buf[off..off + len].iter().enumerate() {
+        v |= (b as u64) << (8 * i);
+    }
+    v
+}
+
+#[inline(always)]
+fn store_be(buf: &mut [u8], off: usize, len: usize, v: u64) {
+    for i in 0..len {
+        buf[off + i] = (v >> (8 * (len - 1 - i))) as u8;
+    }
+}
+
+#[inline(always)]
+fn store_le(buf: &mut [u8], off: usize, len: usize, v: u64) {
+    for (i, slot) in buf[off..off + len].iter_mut().enumerate() {
+        *slot = (v >> (8 * i)) as u8;
+    }
+}
+
+/// Masks `v` to its low `len` *bytes*.
+#[inline(always)]
+fn mask_bytes(v: u64, len: u32) -> u64 {
+    if len >= 8 {
+        v
+    } else {
+        v & ((1u64 << (len * 8)) - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,19 +643,33 @@ mod tests {
         m
     }
 
-    /// Runs a program through both backends; asserts identical verdicts
-    /// and identical resulting frames.
+    /// Runs a program through all three backends; asserts identical
+    /// verdicts and identical resulting frames.
     fn agree(layout: &CompiledLayout, program: &Program, payload: &[u8]) -> Verdict {
+        agree_in(layout, program, payload, ByteOrder::Big)
+    }
+
+    fn agree_in(
+        layout: &CompiledLayout,
+        program: &Program,
+        payload: &[u8],
+        order: ByteOrder,
+    ) -> Verdict {
         let mut m1 = frame_msg(layout, payload);
         let mut m2 = m1.clone();
+        let mut m3 = m1.clone();
         let v1 = {
-            let mut frame = Frame::new(&mut m1, layout, ByteOrder::Big);
+            let mut frame = Frame::new(&mut m1, layout, order);
             interp::run(program, &mut frame)
         };
         let compiled = CompiledProgram::compile(program, layout);
-        let v2 = compiled.run(program.slots(), &mut m2, ByteOrder::Big);
-        assert_eq!(v1, v2, "verdict mismatch");
-        assert_eq!(m1, m2, "frame mutation mismatch");
+        let v2 = compiled.run(program.slots(), &mut m2, order);
+        assert_eq!(v1, v2, "compiled verdict mismatch");
+        assert_eq!(m1, m2, "compiled frame mutation mismatch");
+        let fused = FusedProgram::fuse(program, layout, order);
+        let v3 = fused.run(program.slots(), &mut m3);
+        assert_eq!(v1, v3, "fused verdict mismatch");
+        assert_eq!(m1, m3, "fused frame mutation mismatch");
         v1
     }
 
@@ -363,5 +771,130 @@ mod tests {
         let mut check = Frame::new(&mut m, &layout, ByteOrder::Little);
         assert_eq!(check.read(seq), 0x0A0B0C0D);
         let _ = &mut check;
+    }
+
+    // -- fused backend ----------------------------------------------------
+
+    #[test]
+    fn fused_agrees_in_both_byte_orders() {
+        let (layout, seq, len_f, ck) = fixture();
+        let mut b = ProgramBuilder::new();
+        b.extend(vec![
+            Op::PushConst(0x1234_5678),
+            Op::PopField(seq),
+            Op::PushSize,
+            Op::PopField(len_f),
+            Op::Digest(DigestKind::Crc32),
+            Op::PopField(ck),
+            Op::PushField(seq),
+            Op::PushConst(0x1234_5678),
+            Op::Ne,
+            Op::Abort(9),
+            Op::Return(0),
+        ]);
+        let p = b.build().unwrap();
+        assert_eq!(agree_in(&layout, &p, b"payload", ByteOrder::Big), 0);
+        assert_eq!(agree_in(&layout, &p, b"payload", ByteOrder::Little), 0);
+    }
+
+    #[test]
+    fn fused_agrees_on_unaligned_bit_fields() {
+        // Sub-byte fields force the network-bit-order fallback ops.
+        let mut b = LayoutBuilder::new();
+        b.begin_layer("l");
+        let flag = b.add_field(Class::Protocol, "flag", 3, None).unwrap();
+        let tag = b.add_field(Class::Protocol, "tag", 13, None).unwrap();
+        let layout = b.compile(LayoutMode::Packed).unwrap();
+        let mut pb = ProgramBuilder::new();
+        pb.extend(vec![
+            Op::PushConst(5),
+            Op::PopField(flag),
+            Op::PushConst(0x1ABC),
+            Op::PopField(tag),
+            Op::PushField(flag),
+            Op::PushField(tag),
+            Op::Add,
+            Op::PushConst(5 + 0x1ABC),
+            Op::Ne,
+            Op::Abort(3),
+            Op::Return(0),
+        ]);
+        let p = pb.build().unwrap();
+        assert_eq!(agree_in(&layout, &p, b"x", ByteOrder::Big), 0);
+        assert_eq!(agree_in(&layout, &p, b"x", ByteOrder::Little), 0);
+        let fused = FusedProgram::fuse(&p, &layout, ByteOrder::Big);
+        let st = fused.stats();
+        assert_eq!(st.field_ops, 4);
+        assert_eq!(st.bit_fallback, 4, "sub-byte fields must take the bit path");
+        assert_eq!(st.byte_aligned, 0);
+    }
+
+    #[test]
+    fn fused_slot_patch_visible_without_refuse() {
+        let (layout, ..) = fixture();
+        let mut b = ProgramBuilder::new();
+        let s = b.alloc_slot(1);
+        b.extend(vec![Op::PushSlot(s), Op::Abort(8), Op::Return(0)]);
+        let mut p = b.build().unwrap();
+        let fused = FusedProgram::fuse(&p, &layout, ByteOrder::Big);
+        let mut m = frame_msg(&layout, b"");
+        assert_eq!(fused.run(p.slots(), &mut m), 8);
+        p.set_slot(s, 0);
+        let mut m = frame_msg(&layout, b"");
+        assert_eq!(fused.run(p.slots(), &mut m), 0);
+    }
+
+    #[test]
+    fn fused_stats_reflect_resolution() {
+        let (layout, seq, len_f, ck) = fixture();
+        let mut b = ProgramBuilder::new();
+        b.extend(vec![
+            Op::PushField(seq),
+            Op::PushSize,
+            Op::PopField(len_f),
+            Op::Digest(DigestKind::Xor8),
+            Op::PopField(ck),
+            Op::Drop,
+            Op::Return(0),
+        ]);
+        let p = b.build().unwrap();
+        let fused = FusedProgram::fuse(&p, &layout, ByteOrder::Big);
+        let st = fused.stats();
+        assert_eq!(st.ops, 7);
+        assert_eq!(st.field_ops, 3);
+        assert_eq!(st.byte_aligned, 3, "32/16/16-bit packed fields align");
+        assert_eq!(st.bit_fallback, 0);
+        assert_eq!(st.max_depth, p.max_stack_depth());
+        assert_eq!(fused.len(), 7);
+        assert!(!fused.is_empty());
+        assert_eq!(
+            fused.frame_len(),
+            layout.class_len(Class::Protocol)
+                + layout.class_len(Class::Message)
+                + layout.class_len(Class::Gossip)
+        );
+    }
+
+    #[test]
+    fn fused_handles_the_verifier_depth_bound() {
+        // A program at exactly MAX_STACK depth — the deepest anything
+        // runnable can be — must fit the inline stack and agree.
+        let (layout, ..) = fixture();
+        let n = crate::program::MAX_STACK as usize;
+        assert!(n <= FUSED_STACK_DEPTH, "const assertion mirrors this");
+        let mut ops: Vec<Op> = (0..n as i64).map(Op::PushConst).collect();
+        ops.extend(std::iter::repeat_n(Op::Add, n - 1));
+        let want: i64 = (0..n as i64).sum();
+        ops.extend(vec![
+            Op::PushConst(want),
+            Op::Ne,
+            Op::Abort(7),
+            Op::Return(0),
+        ]);
+        let mut b = ProgramBuilder::new();
+        b.extend(ops);
+        let p = b.build().unwrap();
+        assert_eq!(p.max_stack_depth() as usize, n);
+        assert_eq!(agree(&layout, &p, b""), 0);
     }
 }

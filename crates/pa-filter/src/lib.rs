@@ -41,7 +41,7 @@ pub mod interp;
 pub mod op;
 pub mod program;
 
-pub use compiled::CompiledProgram;
+pub use compiled::{CompiledProgram, FuseStats, FusedProgram, FUSED_STACK_DEPTH};
 pub use digest::DigestKind;
 pub use frame::Frame;
 pub use interp::{run, run_traced, RejectPoint};

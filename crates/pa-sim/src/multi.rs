@@ -106,6 +106,8 @@ impl ServerSim {
             let before = *self.conns[idx].stats();
             self.conns[idx].send(m.as_slice());
             self.charge(idx, done, before);
+            // Echo issued from the delivery buffer; recycle it (§6).
+            self.conns[idx].recycle(m);
         }
         self.flush(idx, net);
         if self.wakeups[idx].is_none() {
@@ -264,6 +266,7 @@ impl ClusterSim {
                     self.client_send(k, done);
                 }
             }
+            self.clients[k].recycle(m);
         }
     }
 

@@ -243,6 +243,15 @@ impl NodeSim {
         }
     }
 
+    /// Hands a consumed delivery buffer back to the connection's
+    /// message pool (§6 explicit recycling). The simulated application
+    /// calls this once it is done with a message so the steady state
+    /// allocates nothing. Free in virtual time: recycling is bookwork
+    /// the real PA does on the host's dime, not protocol processing.
+    pub fn recycle(&mut self, msg: Msg) {
+        self.conn.recycle(msg);
+    }
+
     /// Application send at time `t`. Returns completion time.
     pub fn app_send(
         &mut self,

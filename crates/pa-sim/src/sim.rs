@@ -530,6 +530,8 @@ impl TwoNodeSim {
                     }
                 }
             }
+            // The application is done with the buffer: recycle it (§6).
+            self.nodes[node].recycle(msg);
         }
     }
 

@@ -135,12 +135,9 @@ impl Layer for ChecksumLayer {
         // Count corruption observed (the drop verdict was recorded by
         // the engine; we recompute here because post sees every msg).
         let f_ck = self.f_ck.expect("init ran");
-        let mut m = msg.clone();
-        let frame = ctx.frame(&mut m);
-        let actual =
-            self.kind
-                .compute_multi(&[frame.proto_hdr(), frame.gossip_hdr(), frame.body()]);
-        if frame.read(f_ck) != actual {
+        let (proto, gossip, body) = ctx.frame_parts(msg);
+        let actual = self.kind.compute_multi(&[proto, gossip, body]);
+        if ctx.read_field(msg, f_ck) != actual {
             self.corrupt_seen += 1;
         }
     }

@@ -108,14 +108,14 @@ impl Layer for FragLayer {
             self.f_flag.expect("init ran"),
             self.f_last.expect("init ran"),
         );
-        let mut body = msg.clone();
-        body.skip_front(hdr);
-        let total = body.len().div_ceil(self.mtu);
+        let total = body_len.div_ceil(self.mtu);
         let mut parts = Vec::with_capacity(total);
+        let mut off = hdr;
         for i in 0..total {
-            let take = self.mtu.min(body.len());
-            let chunk = body.pop_front(take).expect("sized above");
-            let mut part = Msg::with_headroom(&chunk, 128);
+            let take = self.mtu.min(msg.len() - off);
+            let chunk = msg.get(off, take).expect("sized above");
+            let mut part = Msg::with_headroom(chunk, 128);
+            off += take;
             part.push_front_zeroed(hdr);
             {
                 let mut frame = ctx.frame(&mut part);
@@ -146,11 +146,7 @@ impl Layer for FragLayer {
             self.f_flag.expect("init ran"),
             self.f_last.expect("init ran"),
         );
-        let mut m = msg.clone();
-        let (flag, last) = {
-            let frame = ctx.frame(&mut m);
-            (frame.read(f_flag), frame.read(f_last))
-        };
+        let (flag, last) = (ctx.read_field(msg, f_flag), ctx.read_field(msg, f_last));
         if flag == 0 {
             return;
         }

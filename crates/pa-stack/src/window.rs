@@ -258,11 +258,7 @@ impl Layer for WindowLayer {
 
     fn post_send(&mut self, ctx: &mut LayerCtx<'_>, msg: &Msg) {
         let (f_seq, f_type, f_ack) = self.fields();
-        let mut m = msg.clone();
-        let (ty, seq) = {
-            let frame = ctx.frame(&mut m);
-            (frame.read(f_type), frame.read(f_seq))
-        };
+        let (ty, seq) = (ctx.read_field(msg, f_type), ctx.read_field(msg, f_seq));
         if ty != mtype::DATA {
             return;
         }
@@ -319,11 +315,11 @@ impl Layer for WindowLayer {
 
     fn post_deliver(&mut self, ctx: &mut LayerCtx<'_>, msg: &Msg) {
         let (f_seq, f_type, f_ack) = self.fields();
-        let mut m = msg.clone();
-        let (ty, seq, ackno) = {
-            let frame = ctx.frame(&mut m);
-            (frame.read(f_type), frame.read(f_seq), frame.read(f_ack))
-        };
+        let (ty, seq, ackno) = (
+            ctx.read_field(msg, f_type),
+            ctx.read_field(msg, f_seq),
+            ctx.read_field(msg, f_ack),
+        );
         // Cumulative acks arrive both as pure acks and as gossip on
         // data messages.
         self.process_ack(ctx, ackno);
