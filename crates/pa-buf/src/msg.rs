@@ -195,20 +195,24 @@ impl Msg {
         self.data[self.start + offset] = value;
     }
 
-    /// A sub-slice of the live bytes, or `None` if it overruns.
+    /// A sub-slice of the live bytes, or `None` if it overruns. The
+    /// checked addition keeps the bound total even for wire-derived
+    /// `offset`/`len` values large enough to wrap.
     pub fn get(&self, offset: usize, len: usize) -> Option<&[u8]> {
-        if offset + len > self.len() {
+        let end = offset.checked_add(len)?;
+        if end > self.len() {
             return None;
         }
-        Some(&self.data[self.start + offset..self.start + offset + len])
+        Some(&self.data[self.start + offset..self.start + end])
     }
 
     /// A mutable sub-slice of the live bytes, or `None` if it overruns.
     pub fn get_mut(&mut self, offset: usize, len: usize) -> Option<&mut [u8]> {
-        if offset + len > self.len() {
+        let end = offset.checked_add(len)?;
+        if end > self.len() {
             return None;
         }
-        Some(&mut self.data[self.start + offset..self.start + offset + len])
+        Some(&mut self.data[self.start + offset..self.start + end])
     }
 
     /// Resets to an empty message, retaining the allocation. Used by

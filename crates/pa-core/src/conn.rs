@@ -31,8 +31,8 @@ use pa_filter::{Frame, FuseStats, FusedProgram, Op, Program, ProgramBuilder, Slo
 use pa_obs::rng::SplitMix64;
 use pa_obs::{
     journey_id, AttrCause, Attribution, DropCause, FieldRef, Finding, HoldRow, Invariant, MissRow,
-    MissTable, Phase, PhaseMeter, PhaseRow, ProbeSink, SlowCause, TraceEvent, XrayOp, XrayReport,
-    XrayTag, XrayTotals,
+    MissTable, Phase, PhaseMeter, PhaseRow, ProbeSink, RejectBucket, RejectReason, SlowCause,
+    TraceEvent, XrayOp, XrayReport, XrayTag, XrayTotals,
 };
 use pa_wire::{Class, CompiledLayout, Cookie, EndpointAddr, Field, LayoutBuilder, Preamble};
 use std::collections::VecDeque;
@@ -120,21 +120,39 @@ pub enum DeliverOutcome {
         /// Application messages delivered.
         msgs: usize,
     },
-    /// Frame dropped before reaching any layer (unknown cookie,
-    /// truncated headers, not-our connection identification).
-    Dropped(DropReason),
+    /// Frame rejected before counting a delivery, with the structured
+    /// reason (see [`RejectReason`]): demux-level refusals (unknown /
+    /// stale / zero cookie, foreign ident) and structural refusals
+    /// (truncated headers, byte-order forgery, bad packing). The same
+    /// reason is simultaneously counted in `ConnStats::rejects`, rolled
+    /// up into the matching coarse drop counter, and mirrored into the
+    /// xray [`Attribution`] multiset — the three ledgers reconcile
+    /// exactly, even under adversarial wire input.
+    Dropped(RejectReason),
 }
 
-/// Why a frame was dropped by the PA itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DropReason {
-    /// Cookie not recognized and no connection identification present
-    /// (§2.2: "it is dropped").
-    UnknownCookie,
-    /// Connection identification present but not ours.
-    ForeignIdent,
-    /// Frame too short for preamble or class headers, or bad packing.
-    Malformed,
+/// Why a frame was dropped by the PA itself — the fine-grained
+/// hostile-wire taxonomy shared with the demux and the network
+/// interfaces (historical name kept; see [`RejectReason`]).
+pub type DropReason = RejectReason;
+
+/// The coarse [`DropCause`] a structured rejection renders as in trace
+/// events (the event stays within its fixed byte budget; the full
+/// reason lives in the ledger and the xray tag).
+fn reject_drop_cause(reason: RejectReason) -> DropCause {
+    match reason {
+        RejectReason::ForeignIdent => DropCause::ForeignIdent,
+        r if r.bucket() == RejectBucket::Cookie => DropCause::UnknownCookie,
+        _ => DropCause::Malformed,
+    }
+}
+
+/// Maps a packing decode/unpack error to its wire-taxonomy reason.
+fn pack_reject_reason(e: &packing::PackError) -> RejectReason {
+    match e {
+        packing::PackError::BadHeader => RejectReason::MalformedPackInfo,
+        packing::PackError::LengthMismatch { .. } => RejectReason::LengthMismatch,
+    }
 }
 
 /// Summary of one [`Connection::process_pending`] call, used by the
@@ -224,6 +242,10 @@ pub struct Connection {
     deliveries: VecDeque<Msg>,
     cookie_local: Cookie,
     cookie_peer: Option<Cookie>,
+    /// The cookie `cookie_peer` replaced, if any: frames still carrying
+    /// it are *stale* (a replay or a splice), counted as
+    /// [`RejectReason::StaleCookie`] rather than unknown.
+    cookie_peer_prev: Option<Cookie>,
     ident_local: Vec<u8>,
     ident_peer: Vec<u8>,
     ident_remaining: u32,
@@ -464,6 +486,7 @@ impl Connection {
             trace_origin: cookie_local.raw() as u32,
             cookie_local,
             cookie_peer: None,
+            cookie_peer_prev: None,
             config,
             layers,
             attribution: Attribution::default(),
@@ -910,8 +933,16 @@ impl Connection {
     }
 
     /// Records the peer's cookie (called by the router when an
-    /// identified frame re-binds it, and by greeting acceptance).
+    /// identified frame re-binds it, and by greeting acceptance). A
+    /// *different* cookie retires the previous one: frames still
+    /// carrying it are counted as [`RejectReason::StaleCookie`], never
+    /// routed.
     pub fn note_peer_cookie(&mut self, cookie: Cookie) {
+        if let Some(prev) = self.cookie_peer {
+            if prev != cookie {
+                self.cookie_peer_prev = Some(prev);
+            }
+        }
         self.cookie_peer = Some(cookie);
     }
 
@@ -924,6 +955,29 @@ impl Connection {
     /// already holds it via a greeting). Retransmissions still carry it.
     pub fn suppress_ident(&mut self) {
         self.ident_remaining = 0;
+    }
+
+    /// Forces the identification onto the next outgoing frame (a cookie
+    /// re-announcement: used after a suspected route loss, and by tests
+    /// that need an "unusual" identified frame on demand).
+    pub fn force_ident_next(&mut self) {
+        self.ident_remaining = self.ident_remaining.max(1);
+    }
+
+    /// Mints a fresh local (outgoing) cookie and forces the next
+    /// outgoing frame to carry the full connection identification so
+    /// the peer can re-bind its route — "the receiver remembers for
+    /// each connection what the current (incoming) cookie is" (§2.2),
+    /// so once the peer verifies the identified frame it retires the
+    /// old cookie as stale. Frames still on the wire under the old
+    /// cookie (or replayed from a capture of them) are then refused at
+    /// the peer's demux as [`RejectReason::StaleCookie`]. Protocol
+    /// state (sequencing, window, fragmentation) is untouched: rotation
+    /// changes the route capability, not the conversation.
+    pub fn rotate_cookie(&mut self, seed: u64) {
+        let mut rng = SplitMix64::new(seed ^ self.cookie_local.raw());
+        self.cookie_local = Cookie::random(&mut rng);
+        self.force_ident_next();
     }
 
     /// Pops the next frame to hand to the network, if any.
@@ -1208,54 +1262,92 @@ impl Connection {
     // Delivery path (Figure 3, from_network())
     // ------------------------------------------------------------------
 
+    /// Rejects a frame with the structured `reason`: bumps the coarse
+    /// drop counter the reason rolls up into, the fine-grained reject
+    /// ledger, and the xray attribution multiset (one row per reason,
+    /// charged to the engine), emits the drop trace event, and tags the
+    /// last-deliver explain slot so annotated captures show the refusal.
+    /// Exactly one coarse counter and one ledger slot move per call —
+    /// `delivery_balanced()` and `rejects_reconcile()` hold by
+    /// construction.
+    fn reject(&mut self, reason: RejectReason) -> DeliverOutcome {
+        debug_assert!(
+            reason.is_entry(),
+            "non-entry reasons are counted at their own site: {reason}"
+        );
+        match reason.bucket() {
+            RejectBucket::Cookie => self.stats.drops_unknown_cookie += 1,
+            RejectBucket::Malformed => self.stats.drops_malformed += 1,
+            RejectBucket::Layer => self.stats.drops_by_layer += 1,
+            RejectBucket::Send => self.stats.drops_send_rejected += 1,
+            RejectBucket::Netif => {}
+        }
+        self.stats.rejects.bump(reason);
+        let cause = AttrCause::Rejected(reason);
+        self.attribution.bump(XrayOp::Reject, "pa", cause);
+        self.last_deliver_explain = XrayTag::from_cause(XrayTag::ENGINE, cause);
+        self.emit(TraceEvent::Drop {
+            reason: reject_drop_cause(reason),
+        });
+        DeliverOutcome::Dropped(reason)
+    }
+
     /// Handles a raw frame from the network (single-connection hosts;
     /// multi-connection hosts route via [`crate::Endpoint`] and call
     /// [`Connection::handle_routed`]).
+    ///
+    /// Every byte here is attacker-controllable, so each check names
+    /// its [`RejectReason`] and nothing past this point is trusted
+    /// without a length check:
+    ///
+    /// - shorter than a preamble → `TruncatedPreamble`;
+    /// - the reserved all-zero cookie → `ZeroCookie` (no legitimate
+    ///   sender can mint it);
+    /// - ident advertised but missing → `TruncatedIdent`; present but
+    ///   foreign → `ForeignIdent`;
+    /// - cookie-only with the *retired* cookie → `StaleCookie`; with
+    ///   any other unknown cookie → `UnknownCookie` (§2.2: "it is
+    ///   dropped").
     pub fn deliver_frame(&mut self, mut frame: Msg) -> DeliverOutcome {
         self.stats.frames_in += 1;
         let preamble = match Preamble::pop_from(&mut frame) {
             Ok(p) => p,
-            Err(_) => {
-                self.stats.drops_malformed += 1;
-                self.emit(TraceEvent::Drop {
-                    reason: DropCause::Malformed,
-                });
-                return DeliverOutcome::Dropped(DropReason::Malformed);
-            }
+            Err(_) => return self.reject(RejectReason::TruncatedPreamble),
         };
+        if preamble.cookie.is_zero() {
+            return self.reject(RejectReason::ZeroCookie);
+        }
         if preamble.conn_ident_present {
             let ident_len = self.layout.class_len(Class::ConnId);
             let Some(ident) = frame.pop_front(ident_len) else {
-                self.stats.drops_malformed += 1;
-                self.emit(TraceEvent::Drop {
-                    reason: DropCause::Malformed,
-                });
-                return DeliverOutcome::Dropped(DropReason::Malformed);
+                return self.reject(RejectReason::TruncatedIdent);
             };
             if ident != self.ident_peer {
-                self.stats.drops_unknown_cookie += 1;
-                self.emit(TraceEvent::Drop {
-                    reason: DropCause::ForeignIdent,
-                });
-                return DeliverOutcome::Dropped(DropReason::ForeignIdent);
+                return self.reject(RejectReason::ForeignIdent);
             }
-            self.cookie_peer = Some(preamble.cookie);
+            self.note_peer_cookie(preamble.cookie);
         } else {
             if self.cookie_peer != Some(preamble.cookie) {
-                self.stats.drops_unknown_cookie += 1;
-                self.emit(TraceEvent::Drop {
-                    reason: DropCause::UnknownCookie,
-                });
-                return DeliverOutcome::Dropped(DropReason::UnknownCookie);
+                if self.cookie_peer_prev == Some(preamble.cookie) {
+                    return self.reject(RejectReason::StaleCookie);
+                }
+                return self.reject(RejectReason::UnknownCookie);
             }
         }
-        self.handle_routed(preamble, frame)
+        self.routed_inner(preamble, frame)
     }
 
     /// Handles a frame whose preamble (and conn-ident, if present) have
     /// been consumed by the router. `frame` starts at the protocol
-    /// header.
-    pub fn handle_routed(&mut self, preamble: Preamble, mut frame: Msg) -> DeliverOutcome {
+    /// header. Counts the frame into `frames_in` — router-demuxed
+    /// frames participate in this connection's `delivery_balanced()`
+    /// ledger exactly like directly delivered ones.
+    pub fn handle_routed(&mut self, preamble: Preamble, frame: Msg) -> DeliverOutcome {
+        self.stats.frames_in += 1;
+        self.routed_inner(preamble, frame)
+    }
+
+    fn routed_inner(&mut self, preamble: Preamble, mut frame: Msg) -> DeliverOutcome {
         // Correctness before speed: the *delivery-side* protocol state
         // must be current before this message's headers are checked
         // against it, so pending post-deliver work drains first. Pending
@@ -1269,8 +1361,18 @@ impl Connection {
         }
 
         // Learn the peer's byte order from its preamble; re-encode the
-        // delivery prediction if needed.
+        // delivery prediction if needed. Once an order is known, a
+        // *cookie-only* frame is not allowed to change it: honoring a
+        // flipped bit 62 would re-encode the prediction and re-fuse the
+        // delivery filter on one attacker-forgeable byte — a cheap
+        // way to evict the fast path ("masking" turned against us). A
+        // genuine order change (peer reboot on different hardware)
+        // re-identifies itself, so the flip is only honored alongside a
+        // full connection identification.
         if !self.peer_order_known || self.peer_order != preamble.byte_order {
+            if self.peer_order_known && !preamble.conn_ident_present {
+                return self.reject(RejectReason::ByteOrderConflict);
+            }
             self.peer_order = preamble.byte_order;
             self.peer_order_known = true;
             self.recv_predict.reorder(&self.layout, self.peer_order);
@@ -1281,11 +1383,7 @@ impl Connection {
         }
 
         if !Frame::fits(&frame, &self.layout) {
-            self.stats.drops_malformed += 1;
-            self.emit(TraceEvent::Drop {
-                reason: DropCause::Malformed,
-            });
-            return DeliverOutcome::Dropped(DropReason::Malformed);
+            return self.reject(RejectReason::ShortFrame);
         }
 
         // Read the in-band trace context (the frame is accepted from
@@ -1318,7 +1416,9 @@ impl Connection {
         let proto_len = self.layout.class_len(Class::Protocol);
         let predicted = self.config.predict
             && self.recv_predict.enabled()
-            && frame.get(0, proto_len).expect("fits checked") == self.recv_predict.proto();
+            && frame
+                .get(0, proto_len)
+                .is_some_and(|hdr| hdr == self.recv_predict.proto());
 
         if filter_verdict == pa_filter::PASS && predicted {
             match self.fast_deliver(frame) {
@@ -1455,15 +1555,11 @@ impl Connection {
     fn fast_deliver(&mut self, frame: Msg) -> Result<usize, DeliverOutcome> {
         match self.deliver_and_defer(frame, 0) {
             Ok(n) => Ok(n),
-            Err(frame) => {
-                self.stats.drops_malformed += 1;
-                self.emit(TraceEvent::Drop {
-                    reason: DropCause::Malformed,
-                });
+            Err((frame, reason)) => {
                 if self.config.pooling {
                     self.pool.put(frame);
                 }
-                Err(DeliverOutcome::Dropped(DropReason::Malformed))
+                Err(self.reject(reason))
             }
         }
     }
@@ -1487,12 +1583,26 @@ impl Connection {
     /// comparison path. Wire bytes and stats are identical either way.
     ///
     /// On a malformed packing header/body the buffer is handed back as
-    /// `Err(frame)` so the caller can count, emit, and recycle it.
-    fn deliver_and_defer(&mut self, mut frame: Msg, start: usize) -> Result<usize, Msg> {
+    /// `Err((frame, reason))` so the caller can count the structured
+    /// rejection, emit, and recycle it. A total function over arbitrary
+    /// frame bytes: every read past the header boundary is bounded by
+    /// an explicit length check first, and the piece walk counts what
+    /// it actually delivered.
+    fn deliver_and_defer(
+        &mut self,
+        mut frame: Msg,
+        start: usize,
+    ) -> Result<usize, (Msg, RejectReason)> {
         let stop = self.layers.len().saturating_sub(1);
         let hdr = self.layout.class_len(Class::Protocol)
             + self.layout.class_len(Class::Message)
             + self.layout.class_len(Class::Gossip);
+        // The slow path re-checks what `Frame::fits` checked at entry:
+        // layers may have reshaped the message in between, and this
+        // function must stay total either way.
+        if frame.len() < hdr {
+            return Err((frame, RejectReason::ShortFrame));
+        }
         if !self.config.pooling {
             let frame_image = frame.clone();
             frame.skip_front(hdr);
@@ -1510,17 +1620,19 @@ impl Connection {
                     });
                     Ok(n)
                 }
-                Err(_) => Err(frame_image),
+                Err(e) => Err((frame_image, pack_reject_reason(&e))),
             };
-        }
-        if frame.len() < hdr {
-            return Err(frame);
         }
         let (info, used) = match PackInfo::decode(&frame.as_slice()[hdr..]) {
             Ok(x) => x,
-            Err(_) => return Err(frame),
+            Err(e) => return Err((frame, pack_reject_reason(&e))),
         };
         let body_off = hdr + used;
+        // `decode` consumed `used` bytes out of `frame[hdr..]`, so
+        // `body_off <= frame.len()` — checked, not assumed.
+        let Some(body_len) = frame.len().checked_sub(body_off) else {
+            return Err((frame, RejectReason::MalformedPackInfo));
+        };
         match info {
             PackInfo::Single => {
                 let mut image = self.pool.take();
@@ -1536,38 +1648,51 @@ impl Connection {
                 Ok(1)
             }
             ref packed => {
-                if frame.len() - body_off != packed.body_len() {
-                    return Err(frame);
+                if body_len != packed.body_len() {
+                    return Err((frame, RejectReason::LengthMismatch));
                 }
-                let n = packed.count();
+                // The equality above proves the piece walk fits the
+                // body exactly; the per-piece reads below still go
+                // through checked `get` so the loop is total even if
+                // that reasoning ever broke — it counts what it
+                // actually delivered.
+                let mut delivered = 0usize;
                 let mut off = body_off;
                 match packed {
                     PackInfo::SameSize { count, size } => {
                         for _ in 0..*count {
+                            let Some(bytes) = frame.get(off, *size as usize) else {
+                                break;
+                            };
                             let mut piece = self.pool.take();
-                            piece
-                                .push_back(frame.get(off, *size as usize).expect("length checked"));
+                            piece.push_back(bytes);
                             self.deliveries.push_back(piece);
                             off += *size as usize;
+                            delivered += 1;
                         }
                     }
                     PackInfo::Variable { sizes } => {
                         for &s in sizes {
+                            let Some(bytes) = frame.get(off, s as usize) else {
+                                break;
+                            };
                             let mut piece = self.pool.take();
-                            piece.push_back(frame.get(off, s as usize).expect("length checked"));
+                            piece.push_back(bytes);
                             self.deliveries.push_back(piece);
                             off += s as usize;
+                            delivered += 1;
                         }
                     }
                     PackInfo::Single => unreachable!(),
                 }
-                self.stats.msgs_delivered += n as u64;
+                debug_assert_eq!(delivered, packed.count(), "walk matched the validated body");
+                self.stats.msgs_delivered += delivered as u64;
                 self.pending_recv.push_back(RecvPost {
                     msg: frame,
                     start,
                     stop,
                 });
-                Ok(n)
+                Ok(delivered)
             }
         }
     }
@@ -1618,6 +1743,7 @@ impl Connection {
                 // A message the stack let through but the filter refuses
                 // (oversized with no frag layer, etc.).
                 self.stats.drops_send_rejected += 1;
+                self.stats.rejects.bump(RejectReason::FilterReject);
                 if self.probe.enabled() {
                     let mut frame = Frame::new(&mut msg, &self.layout, self.order);
                     if let (_, Some(at)) = pa_filter::run_traced(&self.send_filter, &mut frame) {
@@ -1691,9 +1817,12 @@ impl Connection {
             mut msg,
         } = work;
         if next >= self.layers.len() {
-            // Above the top layer: strip headers, unpack, deliver.
-            if let Err(frame) = self.deliver_and_defer(msg, start) {
-                self.stats.drops_malformed += 1;
+            // Above the top layer: strip headers, unpack, deliver. A
+            // malformed packing here is the "deliberate exception" of
+            // `delivery_balanced()`: the frame already counted a slow
+            // delivery, and also counts one structured reject.
+            if let Err((frame, reason)) = self.deliver_and_defer(msg, start) {
+                let _ = self.reject(reason);
                 if self.config.pooling {
                     self.pool.put(frame);
                 }
@@ -1731,8 +1860,14 @@ impl Connection {
                     stop: next,
                 });
             }
-            DeliverAction::Drop(_) => {
+            DeliverAction::Drop(why) => {
                 self.stats.drops_by_layer += 1;
+                // The window layer's duplicate verdict is the replay
+                // case of the wire taxonomy; other layer verdicts stay
+                // outside it (they are policy, not wire structure).
+                if why == "duplicate" {
+                    self.stats.rejects.bump(RejectReason::ReplayedSeq);
+                }
                 self.emit(TraceEvent::Drop {
                     reason: DropCause::ByLayer(self.layers[next].name()),
                 });
@@ -2222,6 +2357,45 @@ mod tests {
     }
 
     #[test]
+    fn rotate_cookie_mints_fresh_reannounces_ident_and_stales_the_old() {
+        let (mut a, mut b, _ca, _cb) = pair(PaConfig::paper_default());
+        a.send(b"m0");
+        a.process_pending();
+        shuttle(&mut a, &mut b);
+        let old = a.local_cookie();
+
+        // Steady state: cookie-only frames. Capture one for replay.
+        a.send(b"m1");
+        a.process_pending();
+        let captured = a.poll_transmit().unwrap().to_wire();
+        assert_eq!(captured[0] & 0x80, 0, "steady state is cookie-only");
+        b.deliver_frame(Msg::from_wire(captured.clone()));
+        while b.poll_delivery().is_some() {}
+
+        a.rotate_cookie(0x5EED);
+        assert_ne!(a.local_cookie(), old, "rotation mints a fresh cookie");
+        a.send(b"m2");
+        a.process_pending();
+        let bytes = a.poll_transmit().unwrap().to_wire();
+        assert_ne!(bytes[0] & 0x80, 0, "rotation re-announces the ident");
+        let word = u64::from_be_bytes(bytes[..8].try_into().unwrap());
+        assert_eq!(
+            word & !(0b11u64 << 62),
+            a.local_cookie().raw(),
+            "the re-announcement carries the new cookie"
+        );
+        b.deliver_frame(Msg::from_wire(bytes));
+        assert_eq!(b.peer_cookie(), Some(a.local_cookie()));
+
+        // A pre-rotation capture replays as stale, not unknown — and
+        // the ledger accounts it.
+        let out = b.deliver_frame(Msg::from_wire(captured));
+        assert_eq!(out, DeliverOutcome::Dropped(RejectReason::StaleCookie));
+        assert!(b.stats().delivery_balanced());
+        assert!(b.stats().rejects_reconcile());
+    }
+
+    #[test]
     fn first_send_is_fast_and_carries_ident() {
         let (mut a, mut b, ca, _cb) = pair(PaConfig::paper_default());
         assert_eq!(a.send(b"m0"), SendOutcome::FastPath);
@@ -2647,13 +2821,27 @@ mod tests {
                 }
             }
             assert!(after.delivery_balanced(), "{counter}:\n{after}");
+            // The structured ledger moved by exactly one, in exactly
+            // the named reason, and still reconciles with the coarse
+            // drop counters.
+            assert_eq!(
+                after.rejects.get(expect),
+                before.rejects.get(expect) + 1,
+                "{counter}: reject ledger"
+            );
+            assert_eq!(
+                after.rejects.total(),
+                before.rejects.total() + 1,
+                "{counter}: exactly one reject counted"
+            );
+            assert!(after.rejects_reconcile(), "{counter}:\n{after}");
         };
 
         // Malformed: too short for even a preamble.
         case(
             &mut b,
             Msg::from_wire(vec![1, 2, 3]),
-            DropReason::Malformed,
+            DropReason::TruncatedPreamble,
             "drops_malformed",
         );
 

@@ -75,24 +75,31 @@ impl Greeting {
     }
 
     /// Deserializes a greeting blob.
+    ///
+    /// Total over arbitrary input: every read is a checked chunk split,
+    /// and the ident copy is bounded by the bytes actually present — a
+    /// forged length cannot buy an allocation or a panic.
     pub fn decode(bytes: &[u8]) -> Result<Greeting, GreetingError> {
-        if bytes.len() < 4 {
+        let Some((magic, rest)) = bytes.split_first_chunk::<4>() else {
             return Err(GreetingError::Truncated);
-        }
-        if &bytes[..4] != MAGIC {
+        };
+        if magic != MAGIC {
             return Err(GreetingError::BadMagic);
         }
-        if bytes.len() < 14 {
+        let Some((cookie_bytes, rest)) = rest.split_first_chunk::<8>() else {
             return Err(GreetingError::Truncated);
-        }
-        let cookie = Cookie::from_raw(u64::from_be_bytes(bytes[4..12].try_into().expect("8")));
-        let len = u16::from_be_bytes([bytes[12], bytes[13]]) as usize;
-        if bytes.len() < 14 + len {
+        };
+        let cookie = Cookie::from_raw(u64::from_be_bytes(*cookie_bytes));
+        let Some((len_bytes, rest)) = rest.split_first_chunk::<2>() else {
             return Err(GreetingError::Truncated);
-        }
+        };
+        let len = u16::from_be_bytes(*len_bytes) as usize;
+        let Some(ident) = rest.get(..len) else {
+            return Err(GreetingError::Truncated);
+        };
         Ok(Greeting {
             cookie,
-            ident: bytes[14..14 + len].to_vec(),
+            ident: ident.to_vec(),
         })
     }
 }

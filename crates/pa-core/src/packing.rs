@@ -73,6 +73,18 @@ impl fmt::Display for PackError {
 
 impl std::error::Error for PackError {}
 
+/// Upper bound on zero-length pieces a single same-size pack may carry.
+///
+/// A 7-byte `SameSize { count: 65535, size: 0 }` header would otherwise
+/// describe 65 535 empty application messages — a ~9 000× delivery
+/// amplification an attacker gets for free, since the zero size makes
+/// the body-length check vacuous. Real packs come from draining a send
+/// backlog, which is orders of magnitude smaller than this cap, so no
+/// legitimate sender is affected ([`pack`] debug-asserts the same
+/// bound). `Variable` packs need no cap: every piece costs the sender
+/// four wire bytes of header, so amplification is bounded by bytes paid.
+pub const MAX_EMPTY_PIECES: usize = 1024;
+
 impl PackInfo {
     /// Number of application messages this header describes.
     pub fn count(&self) -> usize {
@@ -143,6 +155,14 @@ impl PackInfo {
 
     /// Decodes a header from the front of `bytes`, returning it and the
     /// number of bytes consumed.
+    ///
+    /// Total and allocation-bounded over arbitrary wire input: the only
+    /// allocation (`Variable`'s size list) happens *after* the length
+    /// check proves the sender shipped four bytes per entry, so memory
+    /// committed is at most a quarter of the bytes received — a forged
+    /// count cannot buy a large allocation with a short frame. Zero-size
+    /// same-size packs are capped at [`MAX_EMPTY_PIECES`] to bound the
+    /// delivery amplification a 7-byte header can describe.
     pub fn decode(bytes: &[u8]) -> Result<(PackInfo, usize), PackError> {
         match bytes.first() {
             Some(0) => Ok((PackInfo::Single, 1)),
@@ -153,6 +173,9 @@ impl PackInfo {
                 let count = u16::from_be_bytes([bytes[1], bytes[2]]);
                 let size = u32::from_be_bytes([bytes[3], bytes[4], bytes[5], bytes[6]]);
                 if count == 0 {
+                    return Err(PackError::BadHeader);
+                }
+                if size == 0 && count as usize > MAX_EMPTY_PIECES {
                     return Err(PackError::BadHeader);
                 }
                 Ok((PackInfo::SameSize { count, size }, 7))
@@ -191,6 +214,10 @@ impl PackInfo {
 /// header otherwise (caller has already decided packing is allowed).
 pub fn pack(msgs: &[Msg]) -> Msg {
     debug_assert!(!msgs.is_empty());
+    debug_assert!(
+        msgs.len() <= MAX_EMPTY_PIECES || msgs.iter().any(|m| !m.is_empty()),
+        "an all-empty pack this large would be refused by the receiver"
+    );
     if msgs.len() == 1 {
         let mut m = msgs[0].clone();
         PackInfo::Single.push_onto(&mut m);
@@ -217,6 +244,11 @@ pub fn pack(msgs: &[Msg]) -> Msg {
 
 /// Splits a packed body (packing header already popped) into individual
 /// application messages.
+///
+/// Total over arbitrary input: the piece walk uses checked pops, so even
+/// a hand-built `PackInfo` whose promises disagree with the body (which
+/// [`PackInfo::decode`] plus the up-front length check make impossible
+/// for wire-derived headers) yields an error rather than a panic.
 pub fn unpack(info: &PackInfo, mut body: Msg) -> Result<Vec<Msg>, PackError> {
     match info {
         PackInfo::Single => Ok(vec![body]),
@@ -228,9 +260,17 @@ pub fn unpack(info: &PackInfo, mut body: Msg) -> Result<Vec<Msg>, PackError> {
                     actual: body.len(),
                 });
             }
+            if *size == 0 && *count as usize > MAX_EMPTY_PIECES {
+                return Err(PackError::BadHeader);
+            }
             let mut out = Vec::with_capacity(*count as usize);
             for _ in 0..*count {
-                let piece = body.pop_front(*size as usize).expect("length checked");
+                let Some(piece) = body.pop_front(*size as usize) else {
+                    return Err(PackError::LengthMismatch {
+                        expected,
+                        actual: body.len(),
+                    });
+                };
                 out.push(Msg::from_payload(&piece));
             }
             Ok(out)
@@ -245,7 +285,12 @@ pub fn unpack(info: &PackInfo, mut body: Msg) -> Result<Vec<Msg>, PackError> {
             }
             let mut out = Vec::with_capacity(sizes.len());
             for &s in sizes {
-                let piece = body.pop_front(s as usize).expect("length checked");
+                let Some(piece) = body.pop_front(s as usize) else {
+                    return Err(PackError::LengthMismatch {
+                        expected,
+                        actual: body.len(),
+                    });
+                };
                 out.push(Msg::from_payload(&piece));
             }
             Ok(out)
@@ -366,6 +411,81 @@ mod tests {
         let short = Msg::from_payload(&[0u8; 15]);
         assert!(matches!(
             unpack(&info, short),
+            Err(PackError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_variable_count_cannot_buy_an_allocation() {
+        // A kind-2 header claiming 65 535 pieces on a 10-byte frame: the
+        // length check (`need = 3 + 4·count` bytes present) fires before
+        // the size list is collected, so the forged count never converts
+        // into a 65 535-entry allocation. This is the allocation-bounded
+        // decode invariant: memory committed ≤ bytes received.
+        let mut forged = vec![2u8, 0xFF, 0xFF];
+        forged.extend_from_slice(&[0u8; 7]); // 10 bytes total
+        assert_eq!(PackInfo::decode(&forged), Err(PackError::BadHeader));
+
+        // The same count with the bytes actually present decodes fine —
+        // the sender paid four bytes per entry.
+        let mut honest = vec![2u8, 0, 2];
+        honest.extend_from_slice(&0u32.to_be_bytes());
+        honest.extend_from_slice(&3u32.to_be_bytes());
+        let (info, used) = PackInfo::decode(&honest).unwrap();
+        assert_eq!(used, 11);
+        assert_eq!(info, PackInfo::Variable { sizes: vec![0, 3] });
+    }
+
+    #[test]
+    fn forged_zero_size_amplification_rejected() {
+        // `SameSize { count: 65535, size: 0 }` passes every length check
+        // vacuously (0 × 65535 == 0 body bytes) yet promises 65 535
+        // deliveries from a 7-byte header. The decode cap refuses it.
+        let forged = [1u8, 0xFF, 0xFF, 0, 0, 0, 0];
+        assert_eq!(PackInfo::decode(&forged), Err(PackError::BadHeader));
+        // Just over the cap: refused; at the cap: accepted.
+        let over = (MAX_EMPTY_PIECES as u16 + 1).to_be_bytes();
+        assert_eq!(
+            PackInfo::decode(&[1, over[0], over[1], 0, 0, 0, 0]),
+            Err(PackError::BadHeader)
+        );
+        let at = (MAX_EMPTY_PIECES as u16).to_be_bytes();
+        let (info, _) = PackInfo::decode(&[1, at[0], at[1], 0, 0, 0, 0]).unwrap();
+        assert_eq!(info.count(), MAX_EMPTY_PIECES);
+        // Unpack enforces the same bound on hand-built headers.
+        assert_eq!(
+            unpack(
+                &PackInfo::SameSize {
+                    count: MAX_EMPTY_PIECES as u16 + 1,
+                    size: 0
+                },
+                Msg::from_payload(&[])
+            ),
+            Err(PackError::BadHeader)
+        );
+        // Nonzero sizes are untouched by the cap: the body-length check
+        // already bounds them by bytes received.
+        let (info, _) = PackInfo::decode(&[1, 0xFF, 0xFF, 0, 0, 0, 1]).unwrap();
+        assert_eq!(
+            info,
+            PackInfo::SameSize {
+                count: 0xFFFF,
+                size: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unpack_never_panics_on_disagreeing_handbuilt_info() {
+        // decode() can't produce these, but unpack is total anyway.
+        let info = PackInfo::Variable { sizes: vec![5, 5] };
+        assert!(matches!(
+            unpack(&info, Msg::from_payload(&[0u8; 9])),
+            Err(PackError::LengthMismatch { .. })
+        ));
+        let info = PackInfo::SameSize { count: 3, size: 4 };
+        assert!(matches!(
+            unpack(&info, Msg::from_payload(&[0u8; 13])),
             Err(PackError::LengthMismatch { .. })
         ));
     }

@@ -15,15 +15,41 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConnKey(pub usize);
 
+/// Outcome of a cookie demux probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CookieLookup {
+    /// The current cookie of a live connection.
+    Hit(ConnKey),
+    /// A cookie this connection *used to* have before it re-bound — a
+    /// replay or splice of old traffic. Refused, never routed: the key
+    /// is returned for accounting only.
+    Stale(ConnKey),
+    /// Never seen.
+    Unknown,
+}
+
 /// Maps cookies and connection identifications to connections.
+///
+/// Each connection has exactly one *current* incoming cookie ("the
+/// receiver remembers for each connection what the current (incoming)
+/// cookie is"). Re-binding a different cookie retires the old one into
+/// the stale set: frames still carrying it are rejected and counted as
+/// stale, so an attacker replaying pre-rebind traffic (or splicing it
+/// from a capture) cannot reach the connection through a dead cookie.
 #[derive(Debug, Default)]
 pub struct Router {
     by_cookie: HashMap<u64, ConnKey>,
+    /// Retired cookies: refused at demux, kept for attribution.
+    stale_cookies: HashMap<u64, ConnKey>,
+    /// `ConnKey.0 → raw cookie` — the one live binding per connection.
+    current_cookie: HashMap<usize, u64>,
     by_ident: HashMap<Vec<u8>, ConnKey>,
     /// Lookups served by the cookie map.
     pub cookie_hits: u64,
     /// Lookups served by the ident map.
     pub ident_hits: u64,
+    /// Lookups that matched only a retired cookie (refused).
+    pub stale_hits: u64,
     /// Lookups that failed entirely.
     pub misses: u64,
 }
@@ -40,22 +66,56 @@ impl Router {
     }
 
     /// Binds an incoming cookie to a connection ("the receiver remembers
-    /// for each connection what the current (incoming) cookie is").
+    /// for each connection what the current (incoming) cookie is"). A
+    /// *different* cookie for the same connection retires the previous
+    /// one into the stale set; re-binding a retired cookie revives it.
     pub fn bind_cookie(&mut self, cookie: Cookie, key: ConnKey) {
-        self.by_cookie.insert(cookie.raw(), key);
+        let raw = cookie.raw();
+        if let Some(&prev) = self.current_cookie.get(&key.0) {
+            if prev != raw {
+                self.by_cookie.remove(&prev);
+                self.stale_cookies.insert(prev, key);
+            }
+        }
+        self.stale_cookies.remove(&raw);
+        self.current_cookie.insert(key.0, raw);
+        self.by_cookie.insert(raw, key);
     }
 
-    /// Cookie-based lookup (the common case).
+    /// Cookie demux: live hit, stale (refused, accounted), or unknown.
+    pub fn demux_cookie(&mut self, cookie: Cookie) -> CookieLookup {
+        if let Some(&k) = self.by_cookie.get(&cookie.raw()) {
+            self.cookie_hits += 1;
+            return CookieLookup::Hit(k);
+        }
+        if let Some(&k) = self.stale_cookies.get(&cookie.raw()) {
+            self.stale_hits += 1;
+            return CookieLookup::Stale(k);
+        }
+        self.misses += 1;
+        CookieLookup::Unknown
+    }
+
+    /// Like [`Router::demux_cookie`], but without moving any counter:
+    /// a pure probe for conflict checks (is this cookie already the
+    /// live route of some connection?).
+    pub fn demux_cookie_peek(&self, cookie: Cookie) -> CookieLookup {
+        if let Some(&k) = self.by_cookie.get(&cookie.raw()) {
+            return CookieLookup::Hit(k);
+        }
+        if let Some(&k) = self.stale_cookies.get(&cookie.raw()) {
+            return CookieLookup::Stale(k);
+        }
+        CookieLookup::Unknown
+    }
+
+    /// Cookie-based lookup (the common case). Stale cookies do *not*
+    /// resolve — use [`Router::demux_cookie`] to distinguish them from
+    /// unknowns.
     pub fn lookup_cookie(&mut self, cookie: Cookie) -> Option<ConnKey> {
-        match self.by_cookie.get(&cookie.raw()) {
-            Some(&k) => {
-                self.cookie_hits += 1;
-                Some(k)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        match self.demux_cookie(cookie) {
+            CookieLookup::Hit(k) => Some(k),
+            CookieLookup::Stale(_) | CookieLookup::Unknown => None,
         }
     }
 
@@ -76,12 +136,19 @@ impl Router {
     /// Removes a connection's entries (teardown).
     pub fn remove(&mut self, key: ConnKey) {
         self.by_cookie.retain(|_, &mut v| v != key);
+        self.stale_cookies.retain(|_, &mut v| v != key);
+        self.current_cookie.remove(&key.0);
         self.by_ident.retain(|_, &mut v| v != key);
     }
 
-    /// Number of bound cookies.
+    /// Number of live cookie bindings (at most one per connection).
     pub fn cookie_count(&self) -> usize {
         self.by_cookie.len()
+    }
+
+    /// Number of retired cookies still tracked for stale accounting.
+    pub fn stale_count(&self) -> usize {
+        self.stale_cookies.len()
     }
 
     /// Number of registered identifications.
@@ -121,16 +188,54 @@ mod tests {
     }
 
     #[test]
-    fn rebinding_cookie_replaces() {
+    fn rebinding_cookie_retires_the_old_one() {
         // A peer restarting picks a new cookie; the ident re-finds the
-        // connection and the new cookie binds.
+        // connection and the new cookie binds. The *old* cookie must
+        // not keep routing — replayed pre-restart frames are stale.
         let mut r = Router::new();
         let key = ConnKey(0);
         r.bind_cookie(Cookie::from_raw(1), key);
         r.bind_cookie(Cookie::from_raw(2), key);
-        assert_eq!(r.lookup_cookie(Cookie::from_raw(1)), Some(key));
         assert_eq!(r.lookup_cookie(Cookie::from_raw(2)), Some(key));
-        assert_eq!(r.cookie_count(), 2);
+        assert_eq!(r.lookup_cookie(Cookie::from_raw(1)), None, "retired");
+        assert_eq!(
+            r.demux_cookie(Cookie::from_raw(1)),
+            CookieLookup::Stale(key)
+        );
+        assert_eq!(r.demux_cookie(Cookie::from_raw(3)), CookieLookup::Unknown);
+        assert_eq!(r.cookie_count(), 1, "one live binding per connection");
+        assert_eq!(r.stale_count(), 1);
+        assert_eq!(r.stale_hits, 2, "lookup_cookie + demux_cookie");
+        assert_eq!(r.misses, 1);
+
+        // Re-binding the retired cookie revives it and retires the other.
+        r.bind_cookie(Cookie::from_raw(1), key);
+        assert_eq!(r.demux_cookie(Cookie::from_raw(1)), CookieLookup::Hit(key));
+        assert_eq!(
+            r.demux_cookie(Cookie::from_raw(2)),
+            CookieLookup::Stale(key)
+        );
+        assert_eq!(r.cookie_count(), 1);
+    }
+
+    #[test]
+    fn stale_cookie_of_one_conn_never_routes_to_another() {
+        let mut r = Router::new();
+        r.bind_cookie(Cookie::from_raw(10), ConnKey(0));
+        r.bind_cookie(Cookie::from_raw(20), ConnKey(1));
+        // Conn 0 re-binds; its old cookie is stale, conn 1 untouched.
+        r.bind_cookie(Cookie::from_raw(11), ConnKey(0));
+        assert_eq!(
+            r.demux_cookie(Cookie::from_raw(10)),
+            CookieLookup::Stale(ConnKey(0))
+        );
+        assert_eq!(
+            r.demux_cookie(Cookie::from_raw(20)),
+            CookieLookup::Hit(ConnKey(1))
+        );
+        r.remove(ConnKey(0));
+        assert_eq!(r.demux_cookie(Cookie::from_raw(10)), CookieLookup::Unknown);
+        assert_eq!(r.demux_cookie(Cookie::from_raw(11)), CookieLookup::Unknown);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! the whole point of the PA is moving traffic from the slow path to the
 //! fast path — so the engine counts every outcome.
 
+use pa_obs::{RejectBucket, RejectLedger, RejectReason};
 use std::fmt;
 
 /// Counters kept by each [`crate::Connection`].
@@ -50,6 +51,11 @@ pub struct ConnStats {
     pub control_msgs: u64,
     /// Frames that carried the connection identification.
     pub ident_frames_out: u64,
+    /// The fine-grained reject taxonomy: every coarse drop above is the
+    /// roll-up of one or more [`RejectReason`]s counted here, and
+    /// [`ConnStats::rejects_reconcile`] proves the two ledgers agree
+    /// exactly — even under adversarial wire input.
+    pub rejects: RejectLedger,
 }
 
 impl ConnStats {
@@ -98,11 +104,39 @@ impl ConnStats {
         self.fast_deliveries as f64 / denom
     }
 
+    /// Number of entries returned by [`ConnStats::fields`]: the coarse
+    /// counters plus one `reject_*` row per [`RejectReason`].
+    pub const FIELD_COUNT: usize = 20 + RejectReason::COUNT;
+
+    /// The fine-vs-coarse ledger invariant, the hostile-wire
+    /// counterpart of [`ConnStats::delivery_balanced`]:
+    ///
+    /// - every cookie-bucket reject is one `drops_unknown_cookie`,
+    /// - every malformed-bucket reject is one `drops_malformed`,
+    /// - layer-bucket rejects (`replayed-seq`) are a subset of
+    ///   `drops_by_layer` (layers can drop for reasons outside the wire
+    ///   taxonomy),
+    /// - send-bucket rejects (`filter-reject`) are a subset of
+    ///   `drops_send_rejected` (which also counts layer pre-send
+    ///   rejections),
+    /// - netif-bucket rejects never reach a connection, so none may
+    ///   appear here.
+    pub fn rejects_reconcile(&self) -> bool {
+        self.rejects.bucket_total(RejectBucket::Cookie) == self.drops_unknown_cookie
+            && self.rejects.bucket_total(RejectBucket::Malformed) == self.drops_malformed
+            && self.rejects.bucket_total(RejectBucket::Layer) <= self.drops_by_layer
+            && self.rejects.bucket_total(RejectBucket::Send) <= self.drops_send_rejected
+            && self.rejects.bucket_total(RejectBucket::Netif) == 0
+    }
+
     /// Every counter as a stable `(name, value)` list — the single
     /// source of truth for the [`fmt::Display`] table and for feeding a
-    /// [`pa_obs::MetricsSnapshot`], so the two can never disagree.
-    pub fn fields(&self) -> [(&'static str, u64); 20] {
-        [
+    /// [`pa_obs::MetricsSnapshot`], so the two can never disagree. The
+    /// first 20 entries are the coarse counters; the rest mirror the
+    /// reject ledger as `reject_<reason>` rows.
+    pub fn fields(&self) -> [(&'static str, u64); Self::FIELD_COUNT] {
+        let mut out = [("", 0u64); Self::FIELD_COUNT];
+        let coarse = [
             ("fast_sends", self.fast_sends),
             ("slow_sends", self.slow_sends),
             ("queued_sends", self.queued_sends),
@@ -123,7 +157,12 @@ impl ConnStats {
             ("post_delivers", self.post_delivers),
             ("control_msgs", self.control_msgs),
             ("ident_frames_out", self.ident_frames_out),
-        ]
+        ];
+        out[..coarse.len()].copy_from_slice(&coarse);
+        for (i, (reason, count)) in self.rejects.iter().enumerate() {
+            out[coarse.len() + i] = (reason.metric_name(), count);
+        }
+        out
     }
 
     /// Records every counter under `scope` in a metrics snapshot.
@@ -198,6 +237,43 @@ mod tests {
             !table.contains("drops_malformed"),
             "zero counters omitted:\n{table}"
         );
+    }
+
+    #[test]
+    fn reject_ledger_mirrors_into_fields_and_reconciles() {
+        let mut s = ConnStats {
+            frames_in: 3,
+            drops_unknown_cookie: 2,
+            drops_malformed: 1,
+            ..Default::default()
+        };
+        s.rejects.bump(RejectReason::UnknownCookie);
+        s.rejects.bump(RejectReason::StaleCookie);
+        s.rejects.bump(RejectReason::TruncatedPreamble);
+        assert!(s.delivery_balanced(), "{s}");
+        assert!(s.rejects_reconcile(), "{s}");
+        let fields = s.fields();
+        assert_eq!(fields.len(), ConnStats::FIELD_COUNT);
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("reject_unknown_cookie"), 1);
+        assert_eq!(get("reject_stale_cookie"), 1);
+        assert_eq!(get("reject_truncated_preamble"), 1);
+        assert_eq!(get("reject_byte_order_conflict"), 0);
+
+        // A cookie-bucket reject missing its coarse twin is visible.
+        s.rejects.bump(RejectReason::ZeroCookie);
+        assert!(!s.rejects_reconcile());
+        s.drops_unknown_cookie += 1;
+        assert!(s.rejects_reconcile());
+        // Netif reasons must never land in a connection's ledger.
+        s.rejects.bump(RejectReason::OversizedDatagram);
+        assert!(!s.rejects_reconcile());
     }
 
     #[test]

@@ -142,6 +142,12 @@ impl CompiledProgram {
     /// [`Frame`]). `slots` come from the source program so patches are
     /// shared.
     pub fn run(&self, slots: &[i64], msg: &mut pa_buf::Msg, order: pa_buf::ByteOrder) -> Verdict {
+        // Totality guard: field offsets were resolved against the class
+        // headers, so a message shorter than `body_off` cannot be
+        // executed over — refuse instead of indexing past the end.
+        if msg.len() < self.body_off {
+            return crate::SHORT_FRAME;
+        }
         let mut stack: Vec<i64> = Vec::with_capacity(self.max_depth as usize);
         let total = msg.len();
         let body_off = self.body_off;
@@ -458,6 +464,12 @@ impl FusedProgram {
     /// none is taken here.
     #[inline]
     pub fn run(&self, slots: &[i64], msg: &mut pa_buf::Msg) -> Verdict {
+        // Totality guard, same as the other backends: the fuse pass
+        // bounds-checked every field reference against `frame_len()`
+        // once; a message shorter than that is refused, not indexed.
+        if msg.len() < self.body_off {
+            return crate::SHORT_FRAME;
+        }
         let mut stack = FixedStack {
             buf: [0; FUSED_STACK_DEPTH],
             sp: 0,
@@ -873,6 +885,56 @@ mod tests {
                 + layout.class_len(Class::Message)
                 + layout.class_len(Class::Gossip)
         );
+    }
+
+    #[test]
+    fn short_frames_refused_by_every_backend() {
+        // A frame shorter than the class headers must yield SHORT_FRAME
+        // from all three backends — never an out-of-bounds panic. The
+        // program exercises field reads, writes, digests and body-size,
+        // i.e. every op class that touches the frame.
+        let (layout, seq, len_f, ck) = fixture();
+        let hdr = layout.class_len(Class::Protocol)
+            + layout.class_len(Class::Message)
+            + layout.class_len(Class::Gossip);
+        let mut b = ProgramBuilder::new();
+        b.extend(vec![
+            Op::PushField(seq),
+            Op::Drop,
+            Op::PushBodySize,
+            Op::PopField(len_f),
+            Op::Digest(DigestKind::Crc32),
+            Op::PopField(ck),
+            Op::DigestHeaders(DigestKind::Xor8),
+            Op::Drop,
+            Op::Return(0),
+        ]);
+        let p = b.build().unwrap();
+        let compiled = CompiledProgram::compile(&p, &layout);
+        let fused = FusedProgram::fuse(&p, &layout, ByteOrder::Big);
+        for short_len in 0..hdr {
+            let mut m = Msg::from_wire(vec![0xA5; short_len]);
+            assert_eq!(
+                compiled.run(p.slots(), &mut m, ByteOrder::Big),
+                crate::SHORT_FRAME,
+                "compiled, len {short_len}"
+            );
+            assert_eq!(
+                fused.run(p.slots(), &mut m),
+                crate::SHORT_FRAME,
+                "fused, len {short_len}"
+            );
+            let mut frame = Frame::new(&mut m, &layout, ByteOrder::Big);
+            assert!(frame.is_short());
+            assert_eq!(
+                interp::run(&p, &mut frame),
+                crate::SHORT_FRAME,
+                "interp, len {short_len}"
+            );
+        }
+        // At exactly the header length the guard opens.
+        let mut m = Msg::from_wire(vec![0u8; hdr]);
+        assert_eq!(compiled.run(p.slots(), &mut m, ByteOrder::Big), 0);
     }
 
     #[test]

@@ -60,6 +60,15 @@ impl<'a> Frame<'a> {
                 + layout.class_len(Class::Gossip)
     }
 
+    /// True if the underlying message is too short for the class headers
+    /// — the already-built-view twin of [`Frame::fits`]. The interpreter
+    /// refuses to execute over a short frame ([`crate::SHORT_FRAME`]),
+    /// so even a caller that skipped the `fits` gate cannot be panicked
+    /// by truncated wire bytes.
+    pub fn is_short(&self) -> bool {
+        self.msg.len() < self.body_off
+    }
+
     /// The byte order fields are encoded in.
     pub fn order(&self) -> ByteOrder {
         self.order

@@ -31,6 +31,12 @@ pub fn run(program: &Program, frame: &mut Frame<'_>) -> Verdict {
 /// decided, for diagnostic tracing. A PASS (including falling off the
 /// end) carries no reject point.
 pub fn run_traced(program: &Program, frame: &mut Frame<'_>) -> (Verdict, Option<RejectPoint>) {
+    // Refuse to execute over a frame shorter than the class headers the
+    // program's field references reach into — the totality guard that
+    // makes arbitrary truncated wire bytes unable to panic a filter run.
+    if frame.is_short() {
+        return (crate::SHORT_FRAME, None);
+    }
     // Exact stack requirement was computed by the verifier; a small
     // fixed-capacity Vec avoids reallocation in the common case.
     let mut stack: Vec<i64> = Vec::with_capacity(program.max_stack_depth() as usize);

@@ -53,3 +53,15 @@ pub type Verdict = i64;
 
 /// The verdict meaning "take the fast path".
 pub const PASS: Verdict = 0;
+
+/// The verdict every backend returns — without executing a single
+/// instruction — when the message is shorter than the class headers the
+/// program's field references reach into. Programs built from `Op`s can
+/// only `Return`/`Abort` values they contain as literals, and those are
+/// author-chosen small codes, so this sentinel cannot collide with a
+/// legitimate program verdict in practice; callers route it to the slow
+/// path like any other non-PASS code, where the engine's own short-frame
+/// reject attributes the drop. The guard makes every filter backend
+/// *total* over arbitrary wire bytes: no frame, however truncated, can
+/// make a filter run panic.
+pub const SHORT_FRAME: Verdict = i64::MIN;

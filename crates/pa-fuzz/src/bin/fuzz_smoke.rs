@@ -1,0 +1,78 @@
+//! CI entry point: replay the committed regression corpus, then run
+//! the deterministic mutation storm over both transports.
+//!
+//! Environment knobs (all optional):
+//!
+//! - `FUZZ_SEED`  — master seed (decimal or 0x-hex; default 1).
+//! - `FUZZ_ITERS` — storm iterations for the in-memory campaign
+//!   (default 40 000; each iteration injects ~2–3 frames, so the
+//!   default comfortably exceeds 100 000 injected frames).
+//! - `FUZZ_UDP_ITERS` — iterations for the UDP-loopback campaign
+//!   (default 4 000; 0 disables the socket leg for hermetic hosts).
+//!
+//! On any panic the process prints the seed, the last frame injected
+//! (as a hexdump), and writes the same report to
+//! `target/fuzz-failure.txt` so CI can upload it as an artifact.
+//! Reproduce with `FUZZ_SEED=<seed> cargo run -p pa-fuzz --bin
+//! fuzz_smoke`.
+
+use pa_fuzz::{
+    hexdump, regression_corpus, replay_corpus, run_campaign, run_udp_campaign, FuzzConfig,
+};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("{name}={v:?} is not a number"))
+        }
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let seed = env_u64("FUZZ_SEED", 1);
+    let iters = env_u64("FUZZ_ITERS", 40_000);
+    let udp_iters = env_u64("FUZZ_UDP_ITERS", 4_000);
+
+    // On failure, leave a reproduction artifact behind.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let frame = pa_fuzz::last_injection();
+        let mut report = format!(
+            "fuzz_smoke failure\nseed: {seed:#x}\npanic: {info}\nlast injected frame:\n{}",
+            frame
+                .as_deref()
+                .map(hexdump)
+                .unwrap_or_else(|| "(none)\n".into())
+        );
+        report.push_str(&format!(
+            "reproduce: FUZZ_SEED={seed:#x} FUZZ_ITERS={iters} FUZZ_UDP_ITERS={udp_iters} \
+             cargo run -p pa-fuzz --bin fuzz_smoke\n"
+        ));
+        eprintln!("{report}");
+        let _ = std::fs::create_dir_all("target");
+        let _ = std::fs::write("target/fuzz-failure.txt", report);
+        default_hook(info);
+    }));
+
+    let n = replay_corpus(&regression_corpus());
+    println!("corpus: {n} entries replayed clean");
+
+    let report = run_campaign(&FuzzConfig::new(seed, iters));
+    print!("{report}");
+    assert!(report.recovered, "in-memory campaign did not recover");
+
+    if udp_iters > 0 {
+        let udp = run_udp_campaign(&FuzzConfig::new(seed ^ 0x0DD_BA11, udp_iters));
+        print!("{udp}");
+        assert!(udp.recovered, "udp campaign did not recover");
+        println!("total frames injected: {}", report.injected + udp.injected);
+    }
+    println!("fuzz_smoke: OK");
+}

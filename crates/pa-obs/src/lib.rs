@@ -32,6 +32,11 @@
 //!   multisets, prediction-miss forensics ([`MissTable`]), per-layer
 //!   pre/post [`PhaseMeter`]s, the 4-byte [`XrayTag`] pcap annotation,
 //!   and the [`XrayReport`] diagnosis engine;
+//! - [`reject`] — the hostile-wire reject taxonomy: [`RejectReason`]
+//!   (why an input byte sequence was refused), [`RejectBucket`] (which
+//!   coarse drop counter it reconciles against), and the `Copy`
+//!   per-reason [`RejectLedger`] shared by connections, the endpoint
+//!   demux, and the network interfaces;
 //! - [`rng`] — the workspace's dependency-free seedable PRNG
 //!   ([`rng::SplitMix64`]), shared by cookies, fault injection, GC
 //!   jitter, and randomized tests.
@@ -43,6 +48,7 @@ pub mod event;
 pub mod histo;
 pub mod journey;
 pub mod probe;
+pub mod reject;
 pub mod ring;
 pub mod rng;
 pub mod snapshot;
@@ -55,6 +61,7 @@ pub use journey::{
     journey_id, journey_origin, journey_seq, render_journey_id, HopLeg, Journey, JourneySet,
 };
 pub use probe::{EventCounts, NoopProbe, Probe, ProbeSink};
+pub use reject::{RejectBucket, RejectLedger, RejectReason};
 pub use ring::{merge_timeline, TraceRecord, TraceRing};
 pub use snapshot::MetricsSnapshot;
 pub use timeseries::{FlightRecorder, Postmortem, TimeSeries};

@@ -30,6 +30,7 @@
 //! path. Report construction allocates freely — it runs off-path.
 
 use crate::event::FieldRef;
+use crate::reject::RejectReason;
 use crate::Nanos;
 use std::fmt;
 
@@ -131,6 +132,10 @@ pub enum XrayOp {
     /// A delivery that ran the layered pre-deliver traversal
     /// (`ConnStats::slow_deliveries`).
     SlowDeliver,
+    /// A receive-entry rejection: the frame was refused at
+    /// `deliver_frame`/demux and counted in the reject ledger
+    /// (`ConnStats::rejects`, entry reasons only).
+    Reject,
 }
 
 impl XrayOp {
@@ -140,6 +145,7 @@ impl XrayOp {
             XrayOp::SlowSend => "slow-send",
             XrayOp::QueuedSend => "queued-send",
             XrayOp::SlowDeliver => "slow-deliver",
+            XrayOp::Reject => "reject",
         }
     }
 }
@@ -168,6 +174,9 @@ pub enum AttrCause {
     PostSerialization,
     /// Older messages were already waiting in the backlog (FIFO order).
     BacklogPending,
+    /// A hostile or malformed wire input was refused with the named
+    /// reason (mirrors the [`crate::RejectLedger`] one-for-one).
+    Rejected(RejectReason),
     /// The engine could not name a more specific cause (its presence in
     /// a report is itself a finding).
     Unattributed,
@@ -184,6 +193,7 @@ impl AttrCause {
             AttrCause::PredictOff => "predict-off",
             AttrCause::PostSerialization => "post-serialization",
             AttrCause::BacklogPending => "backlog-pending",
+            AttrCause::Rejected(_) => "rejected",
             AttrCause::Unattributed => "unattributed",
         }
     }
@@ -196,6 +206,7 @@ impl fmt::Display for AttrCause {
             AttrCause::FieldMiss(field) => {
                 write!(f, "field-miss({}:{})", field.class, field.index)
             }
+            AttrCause::Rejected(reason) => write!(f, "rejected({reason})"),
             other => f.write_str(other.label()),
         }
     }
@@ -414,6 +425,9 @@ pub mod xray_tag_kind {
     pub const QUEUED: u8 = 5;
     /// Attribution present but cause un-namable.
     pub const UNATTRIBUTED: u8 = 6;
+    /// Hostile-wire rejection; `a` = [`super::RejectReason::index`],
+    /// `b` unused.
+    pub const REJECTED: u8 = 7;
 }
 
 /// A 4-byte attribution tag carried in annotated pcap pseudo-headers:
@@ -451,6 +465,7 @@ impl XrayTag {
             AttrCause::PredictOff => (xray_tag_kind::PREDICT_OFF, 0, 0),
             AttrCause::PostSerialization => (xray_tag_kind::QUEUED, 1, 0),
             AttrCause::BacklogPending => (xray_tag_kind::QUEUED, 2, 0),
+            AttrCause::Rejected(reason) => (xray_tag_kind::REJECTED, reason.index() as u8, 0),
             AttrCause::Unattributed => (xray_tag_kind::UNATTRIBUTED, 0, 0),
         };
         XrayTag { kind, layer, a, b }
@@ -471,6 +486,11 @@ impl XrayTag {
             } else {
                 AttrCause::PostSerialization
             }),
+            xray_tag_kind::REJECTED => Some(
+                RejectReason::from_index(self.a as usize)
+                    .map(AttrCause::Rejected)
+                    .unwrap_or(AttrCause::Unattributed),
+            ),
             _ => Some(AttrCause::Unattributed),
         }
     }
@@ -813,6 +833,8 @@ mod tests {
             AttrCause::PredictOff,
             AttrCause::PostSerialization,
             AttrCause::BacklogPending,
+            AttrCause::Rejected(RejectReason::ByteOrderConflict),
+            AttrCause::Rejected(RejectReason::StaleCookie),
             AttrCause::Unattributed,
         ];
         for c in causes {

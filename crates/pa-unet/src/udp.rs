@@ -9,15 +9,25 @@
 use crate::netif::{Arrival, Netif};
 use crate::Nanos;
 use pa_buf::Msg;
+use pa_obs::{RejectLedger, RejectReason};
 use pa_wire::EndpointAddr;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 
-/// Maximum datagram we expect (frames are far smaller).
+/// Default maximum frame accepted (frames are far smaller; a whole UDP
+/// datagram always fits).
 const MAX_DATAGRAM: usize = 65_536;
 
 /// A UDP-backed network interface.
+///
+/// Frames larger than the configured maximum are refused on the send
+/// side ([`RejectReason::OversizedDatagram`]) and *detected* — not
+/// silently clipped — on the receive side: the receive buffer carries
+/// one sentinel byte beyond the maximum, so a read that fills it proves
+/// the kernel truncated the datagram, and the partial frame is dropped
+/// and counted ([`RejectReason::TruncatedDatagram`]) instead of being
+/// handed upstack as if it were what the peer sent.
 #[derive(Debug)]
 pub struct UdpNet {
     socket: UdpSocket,
@@ -25,11 +35,24 @@ pub struct UdpNet {
     peers: HashMap<EndpointAddr, SocketAddr>,
     rev: HashMap<SocketAddr, EndpointAddr>,
     buf: Vec<u8>,
+    max_frame: usize,
+    rejects: RejectLedger,
 }
 
 impl UdpNet {
     /// Binds a socket and labels it with `local`.
     pub fn bind(local: EndpointAddr, addr: &str) -> io::Result<UdpNet> {
+        Self::bind_with_max_frame(local, addr, MAX_DATAGRAM)
+    }
+
+    /// Like [`UdpNet::bind`], but with an explicit per-frame size cap.
+    /// The receive buffer is `max_frame + 1` bytes: the extra byte is
+    /// the truncation sentinel.
+    pub fn bind_with_max_frame(
+        local: EndpointAddr,
+        addr: &str,
+        max_frame: usize,
+    ) -> io::Result<UdpNet> {
         let socket = UdpSocket::bind(addr)?;
         socket.set_nonblocking(true)?;
         Ok(UdpNet {
@@ -37,7 +60,9 @@ impl UdpNet {
             local,
             peers: HashMap::new(),
             rev: HashMap::new(),
-            buf: vec![0u8; MAX_DATAGRAM],
+            buf: vec![0u8; max_frame + 1],
+            max_frame,
+            rejects: RejectLedger::default(),
         })
     }
 
@@ -51,10 +76,27 @@ impl UdpNet {
         self.peers.insert(ep, addr);
         self.rev.insert(addr, ep);
     }
+
+    /// Frames this interface refused, by reason (netif bucket only:
+    /// oversized sends, truncated reads).
+    pub fn rejects(&self) -> &RejectLedger {
+        &self.rejects
+    }
+
+    /// The configured per-frame size cap.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
 }
 
 impl Netif for UdpNet {
     fn send(&mut self, _from: EndpointAddr, to: EndpointAddr, frame: Msg, _now: Nanos) {
+        if frame.len() > self.max_frame {
+            // The peer's receive buffer would clip this; refusing it
+            // here keeps "bytes on the wire" == "bytes the app sent".
+            self.rejects.bump(RejectReason::OversizedDatagram);
+            return;
+        }
         if let Some(addr) = self.peers.get(&to) {
             // Best effort: UDP may drop; so may we. The stack recovers.
             let _ = self.socket.send_to(frame.as_slice(), addr);
@@ -62,22 +104,33 @@ impl Netif for UdpNet {
     }
 
     fn poll_arrival(&mut self, now: Nanos) -> Option<Arrival> {
-        match self.socket.recv_from(&mut self.buf) {
-            Ok((n, src)) => {
-                let from = self
-                    .rev
-                    .get(&src)
-                    .copied()
-                    .unwrap_or(EndpointAddr::from_parts(0, 0));
-                Some(Arrival {
-                    from,
-                    to: self.local,
-                    frame: Msg::from_wire(self.buf[..n].to_vec()),
-                    at: now,
-                })
+        loop {
+            match self.socket.recv_from(&mut self.buf) {
+                Ok((n, src)) => {
+                    if n > self.max_frame {
+                        // The read reached the sentinel byte: the
+                        // datagram was at least `max_frame + 1` bytes
+                        // and the kernel may have discarded its tail.
+                        // A partial frame must not masquerade as a
+                        // complete one — drop, count, keep polling.
+                        self.rejects.bump(RejectReason::TruncatedDatagram);
+                        continue;
+                    }
+                    let from = self
+                        .rev
+                        .get(&src)
+                        .copied()
+                        .unwrap_or(EndpointAddr::from_parts(0, 0));
+                    return Some(Arrival {
+                        from,
+                        to: self.local,
+                        frame: Msg::from_wire(self.buf[..n].to_vec()),
+                        at: now,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return None,
+                Err(_) => return None,
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
-            Err(_) => None,
         }
     }
 
@@ -130,5 +183,71 @@ mod tests {
         // No peer registered: no panic, nothing sent.
         a.send(ep(1), ep(9), Msg::from_payload(b"void"), 0);
         assert!(a.poll_arrival(0).is_none());
+    }
+
+    /// Polls `net` until a frame arrives or ~100 ms pass.
+    fn poll_for(net: &mut UdpNet) -> Option<Arrival> {
+        for _ in 0..100 {
+            if let Some(arr) = net.poll_arrival(0) {
+                return Some(arr);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        None
+    }
+
+    #[test]
+    fn truncated_datagram_detected_and_dropped_not_clipped() {
+        // Regression: `poll_arrival` used to hand a kernel-truncated
+        // read upstack as if it were the full frame. With a small
+        // max-frame the sentinel byte detects the clip; the partial
+        // frame is dropped and counted, and traffic that fits still
+        // flows afterwards.
+        let mut rx = UdpNet::bind_with_max_frame(ep(2), "127.0.0.1:0", 32).unwrap();
+        let mut tx = UdpNet::bind(ep(1), "127.0.0.1:0").unwrap();
+        let rx_addr = rx.local_socket_addr().unwrap();
+        tx.add_peer(ep(2), rx_addr);
+        rx.add_peer(ep(1), tx.local_socket_addr().unwrap());
+
+        // 100 bytes into a 32-byte-max receiver: the kernel clips the
+        // read at 33 bytes (our sentinel), which must NOT surface as a
+        // 33-byte frame.
+        tx.send(ep(1), ep(2), Msg::from_payload(&[0xEE; 100]), 0);
+        // Follow with a frame that fits, to prove the storm didn't
+        // wedge the interface.
+        tx.send(ep(1), ep(2), Msg::from_payload(b"fits fine"), 0);
+
+        let arr = poll_for(&mut rx).expect("the fitting frame must arrive");
+        assert_eq!(arr.frame.as_slice(), b"fits fine");
+        // Drain until the clipped datagram has been seen and counted
+        // (loopback normally orders it first, but don't rely on that).
+        for _ in 0..100 {
+            if rx.rejects().total() == 1 {
+                break;
+            }
+            let _ = rx.poll_arrival(0);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(rx.rejects().get(RejectReason::TruncatedDatagram), 1);
+        assert_eq!(rx.rejects().total(), 1, "exactly one reject counted");
+    }
+
+    #[test]
+    fn oversized_send_refused_and_counted() {
+        let mut tx = UdpNet::bind_with_max_frame(ep(1), "127.0.0.1:0", 16).unwrap();
+        let mut rx = UdpNet::bind(ep(2), "127.0.0.1:0").unwrap();
+        tx.add_peer(ep(2), rx.local_socket_addr().unwrap());
+        assert_eq!(tx.max_frame(), 16);
+
+        tx.send(ep(1), ep(2), Msg::from_payload(&[1u8; 17]), 0);
+        assert_eq!(tx.rejects().get(RejectReason::OversizedDatagram), 1);
+        // Nothing was put on the wire.
+        assert!(poll_for(&mut rx).is_none());
+
+        // A frame at exactly the cap goes through.
+        tx.send(ep(1), ep(2), Msg::from_payload(&[2u8; 16]), 0);
+        let arr = poll_for(&mut rx).expect("frame at the cap arrives");
+        assert_eq!(arr.frame.len(), 16);
+        assert_eq!(tx.rejects().total(), 1);
     }
 }

@@ -38,20 +38,23 @@ impl EndpointAddr {
     }
 
     /// Decodes from wire bytes; `None` if too short.
+    ///
+    /// Total over arbitrary input: the checked-chunk reads are the only
+    /// accesses, so no byte pattern or length can panic here.
     pub fn decode(bytes: &[u8]) -> Option<EndpointAddr> {
-        if bytes.len() < Self::WIRE_LEN {
-            return None;
-        }
-        let mut host = [0u8; 16];
-        host.copy_from_slice(&bytes[..16]);
-        let port = u32::from_be_bytes(bytes[16..20].try_into().expect("checked length"));
-        Some(EndpointAddr { host, port })
+        let (host, rest) = bytes.split_first_chunk::<16>()?;
+        let port_bytes = rest.first_chunk::<4>()?;
+        Some(EndpointAddr {
+            host: *host,
+            port: u32::from_be_bytes(*port_bytes),
+        })
     }
 
     /// The low 64 bits of the host id (round-trips
     /// [`EndpointAddr::from_parts`]).
     pub fn host_id(&self) -> u64 {
-        u64::from_be_bytes(self.host[8..16].try_into().expect("fixed width"))
+        let low = self.host.last_chunk::<8>().expect("host is 16 bytes");
+        u64::from_be_bytes(*low)
     }
 }
 

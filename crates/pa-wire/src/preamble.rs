@@ -85,11 +85,14 @@ impl Preamble {
     }
 
     /// Decodes from wire bytes.
+    ///
+    /// Total over arbitrary input: the checked-chunk read is the only
+    /// access, so no byte pattern or length can panic here.
     pub fn decode(bytes: &[u8]) -> Result<Preamble, TruncatedPreamble> {
-        if bytes.len() < PREAMBLE_LEN {
+        let Some(head) = bytes.first_chunk::<PREAMBLE_LEN>() else {
             return Err(TruncatedPreamble { had: bytes.len() });
-        }
-        let word = u64::from_be_bytes(bytes[..PREAMBLE_LEN].try_into().expect("checked length"));
+        };
+        let word = u64::from_be_bytes(*head);
         Ok(Preamble {
             conn_ident_present: word >> 63 != 0,
             byte_order: if (word >> 62) & 1 != 0 {

@@ -15,6 +15,8 @@
 //! - [`core`] — the PA engine: prediction, fast paths, packing, router,
 //! - [`stack`] — Horus-style protocol layers in canonical pre/post form,
 //! - [`unet`] — simulated and real user-level network interfaces,
+//! - [`fuzz`] — the deterministic structure-aware wire fuzzer, its
+//!   adversarial campaign harness, and the regression corpus,
 //! - [`sim`] — the virtual-time simulator and the paper's experiments,
 //! - [`group`] — the multicast extension of the paper's first footnote:
 //!   FIFO and total-order group communication over PA connections.
@@ -25,6 +27,7 @@
 pub use pa_buf as buf;
 pub use pa_core as core;
 pub use pa_filter as filter;
+pub use pa_fuzz as fuzz;
 pub use pa_group as group;
 pub use pa_obs as obs;
 pub use pa_sim as sim;

@@ -1,0 +1,284 @@
+//! Adversarial demux: cookie forgery, stale-cookie replay after a peer
+//! restart, and cross-connection splicing.
+//!
+//! The fuzz crate (`pa-fuzz`) throws randomized storms at the demux;
+//! this test is the *surgical* version of the same attacks. Every
+//! injected frame is built to hit one specific [`RejectReason`] and
+//! the test asserts the reject ledger reconciles **exactly** — not
+//! "roughly survived", but every forged frame accounted by exactly one
+//! reason, zero cross-connection deliveries, and both connections
+//! still passing traffic after the storm.
+//!
+//! [`RejectReason`]: pa::obs::RejectReason
+
+use pa::buf::Msg;
+use pa::core::config::PaConfig;
+use pa::core::conn::{Connection, ConnectionParams, DeliverOutcome};
+use pa::core::endpoint::Endpoint;
+use pa::obs::rng::{Rng, SplitMix64};
+use pa::obs::RejectReason;
+use pa::stack::StackSpec;
+use pa::wire::EndpointAddr;
+
+/// Preamble flag bits (bit 63 ident-present, bit 62 byte-order).
+const FLAG_MASK: u64 = 0b11u64 << 62;
+
+const SERVER_HOST: u64 = 10;
+const CLIENT_HOSTS: [u64; 2] = [1, 2];
+
+fn paper_conn(local: u64, peer: u64, seed: u64) -> Connection {
+    Connection::new(
+        StackSpec::paper().build(),
+        PaConfig::paper_default(),
+        ConnectionParams::new(
+            EndpointAddr::from_parts(local, 1),
+            EndpointAddr::from_parts(peer, 1),
+            seed,
+        ),
+    )
+    .expect("valid paper stack")
+}
+
+fn marker(i: usize) -> Vec<u8> {
+    format!("client-{i}-marked-payload").into_bytes()
+}
+
+/// One bidirectional shuttle round: clients → server, server →
+/// clients, everyone ticks. Client→server wire bytes are appended to
+/// `captured[i]`; server deliveries are checked against the marker rule
+/// (a payload carrying client A's marker must arrive on A's
+/// connection) and counted.
+fn shuttle(
+    server: &mut Endpoint,
+    clients: &mut [Endpoint; 2],
+    captured: &mut [Vec<Vec<u8>>; 2],
+    delivered: &mut [u64; 2],
+    now: u64,
+) {
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.process_all_pending();
+        c.tick(now);
+        while let Some((_, f)) = c.poll_transmit() {
+            let bytes = f.to_wire();
+            captured[i].push(bytes.clone());
+            server.from_network(Msg::from_wire(bytes));
+        }
+    }
+    server.process_all_pending();
+    server.tick(now);
+    while let Some((to, f)) = server.poll_transmit() {
+        let i = CLIENT_HOSTS
+            .iter()
+            .position(|&h| EndpointAddr::from_parts(h, 1) == to)
+            .expect("server only talks to the two clients");
+        clients[i].from_network(f);
+    }
+    while let Some(d) = server.poll_delivery() {
+        let payload = d.msg.to_wire();
+        for (i, m) in [marker(0), marker(1)].iter().enumerate() {
+            if payload.starts_with(m) {
+                assert_eq!(
+                    d.conn.0, i,
+                    "CROSS-CONNECTION DELIVERY: client {i}'s payload arrived on conn {}",
+                    d.conn.0
+                );
+                delivered[i] += 1;
+            }
+        }
+    }
+    for c in clients.iter_mut() {
+        while c.poll_delivery().is_some() {}
+    }
+}
+
+/// True if the first wire byte has the conn-ident-present bit clear —
+/// i.e. the frame routes by cookie alone and is replayable as such.
+fn is_cookie_only(bytes: &[u8]) -> bool {
+    !bytes.is_empty() && bytes[0] & 0x80 == 0
+}
+
+#[test]
+fn forged_spliced_and_stale_frames_are_exactly_accounted() {
+    let mut rng = SplitMix64::new(0xAD5E_2026);
+    let mut server = Endpoint::new();
+    for (i, &h) in CLIENT_HOSTS.iter().enumerate() {
+        server.add_connection(paper_conn(SERVER_HOST, h, 0x5E44_0000 + i as u64));
+    }
+    let mut clients = [
+        {
+            let mut e = Endpoint::new();
+            e.add_connection(paper_conn(CLIENT_HOSTS[0], SERVER_HOST, 0xC000_0001));
+            e
+        },
+        {
+            let mut e = Endpoint::new();
+            e.add_connection(paper_conn(CLIENT_HOSTS[1], SERVER_HOST, 0xC000_0002));
+            e
+        },
+    ];
+    let mut captured: [Vec<Vec<u8>>; 2] = [Vec::new(), Vec::new()];
+    let mut delivered = [0u64; 2];
+    let mut now = 0u64;
+    let handle = pa::core::endpoint::ConnHandle(0);
+
+    // Warm-up: both clients push marked traffic until the server has
+    // learned both cookies and plenty of cookie-only frames are in the
+    // capture corpus.
+    for _ in 0..20 {
+        now += 1_000_000;
+        clients[0].send(handle, &marker(0));
+        clients[1].send(handle, &marker(1));
+        shuttle(
+            &mut server,
+            &mut clients,
+            &mut captured,
+            &mut delivered,
+            now,
+        );
+    }
+    for _ in 0..20 {
+        now += 1_000_000;
+        shuttle(
+            &mut server,
+            &mut clients,
+            &mut captured,
+            &mut delivered,
+            now,
+        );
+    }
+    assert!(delivered[0] > 0 && delivered[1] > 0, "warm-up must deliver");
+    assert_eq!(server.rejects().total(), 0, "clean warm-up, clean ledger");
+
+    let live = [
+        clients[0].conn(handle).local_cookie().raw(),
+        clients[1].conn(handle).local_cookie().raw(),
+    ];
+    let server_cookies = [
+        server
+            .conn(pa::core::endpoint::ConnHandle(0))
+            .local_cookie()
+            .raw(),
+        server
+            .conn(pa::core::endpoint::ConnHandle(1))
+            .local_cookie()
+            .raw(),
+    ];
+
+    // ---- Attack 1: forged cookies -----------------------------------
+    // Random nonzero cookies that are not any live binding, ident bit
+    // clear: each one must be refused as exactly one UnknownCookie.
+    let mut expect_unknown = 0u64;
+    for _ in 0..150 {
+        let cookie = loop {
+            let c = rng.next_u64() & !FLAG_MASK;
+            if c != 0 && !live.contains(&c) && !server_cookies.contains(&c) {
+                break c;
+            }
+        };
+        let mut frame = cookie.to_be_bytes().to_vec();
+        let junk = rng.gen_index(64);
+        frame.extend((0..junk).map(|_| (rng.next_u32() & 0xFF) as u8));
+        let out = server.from_network(Msg::from_wire(frame));
+        assert_eq!(out, DeliverOutcome::Dropped(RejectReason::UnknownCookie));
+        expect_unknown += 1;
+    }
+
+    // ---- Attack 2: cross-connection splices -------------------------
+    // Client 2's captured bodies grafted behind a forged preamble: the
+    // cookie is unknown, so the splice never reaches *any* connection —
+    // in particular never client 1's.
+    for donor in captured[1].iter().filter(|b| b.len() > 8).take(50) {
+        let cookie = loop {
+            let c = rng.next_u64() & !FLAG_MASK;
+            if c != 0 && !live.contains(&c) && !server_cookies.contains(&c) {
+                break c;
+            }
+        };
+        let mut frame = cookie.to_be_bytes().to_vec();
+        frame.extend_from_slice(&donor[8..]);
+        let out = server.from_network(Msg::from_wire(frame));
+        assert_eq!(out, DeliverOutcome::Dropped(RejectReason::UnknownCookie));
+        expect_unknown += 1;
+    }
+
+    // ---- Attack 3: stale-cookie replay after a rotation -------------
+    // Client 1 rotates its cookie (suspected route compromise). The
+    // next identified frame re-binds the route and retires the old
+    // cookie. Replaying the pre-rotation capture must then hit
+    // StaleCookie — never route anywhere.
+    let old_cookie_only: Vec<Vec<u8>> = captured[0]
+        .iter()
+        .filter(|b| is_cookie_only(b))
+        .cloned()
+        .collect();
+    assert!(
+        old_cookie_only.len() >= 10,
+        "warm-up must have produced replayable cookie-only frames, got {}",
+        old_cookie_only.len()
+    );
+    clients[0]
+        .conn_mut(handle)
+        .rotate_cookie(0xB007_C0FF_EE00u64);
+    for _ in 0..10 {
+        now += 1_000_000;
+        clients[0].send(handle, &marker(0));
+        shuttle(
+            &mut server,
+            &mut clients,
+            &mut captured,
+            &mut delivered,
+            now,
+        );
+    }
+    let new_cookie = clients[0].conn(handle).local_cookie().raw();
+    assert_ne!(new_cookie, live[0], "rotation mints a fresh cookie");
+
+    let mut expect_stale = 0u64;
+    for frame in old_cookie_only.iter().take(60) {
+        let out = server.from_network(Msg::from_wire(frame.clone()));
+        assert_eq!(
+            out,
+            DeliverOutcome::Dropped(RejectReason::StaleCookie),
+            "pre-rotation frames must be refused as stale"
+        );
+        expect_stale += 1;
+    }
+
+    // ---- Exact accounting -------------------------------------------
+    let ledger = server.rejects();
+    assert_eq!(ledger.get(RejectReason::UnknownCookie), expect_unknown);
+    assert_eq!(ledger.get(RejectReason::StaleCookie), expect_stale);
+    assert_eq!(
+        ledger.total(),
+        expect_unknown + expect_stale,
+        "no attack frame leaked into another reject bucket"
+    );
+    assert!(server.demux_balanced());
+    for i in 0..2 {
+        let stats = server.conn(pa::core::endpoint::ConnHandle(i)).stats();
+        assert!(stats.delivery_balanced(), "conn {i}: {stats}");
+        assert!(stats.rejects_reconcile(), "conn {i}: {stats}");
+    }
+
+    // ---- Liveness: the storm wedged nothing -------------------------
+    let before = delivered;
+    for _ in 0..60 {
+        now += 1_000_000;
+        if delivered[0] > before[0] && delivered[1] > before[1] {
+            break;
+        }
+        clients[0].send(handle, &marker(0));
+        clients[1].send(handle, &marker(1));
+        shuttle(
+            &mut server,
+            &mut clients,
+            &mut captured,
+            &mut delivered,
+            now,
+        );
+    }
+    assert!(
+        delivered[0] > before[0] && delivered[1] > before[1],
+        "both connections must still pass traffic after the storm"
+    );
+}

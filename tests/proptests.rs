@@ -286,6 +286,86 @@ fn preamble_decode_never_panics() {
 }
 
 // ---------------------------------------------------------------------
+// Decode totality: every wire-facing decoder is a *total function* over
+// arbitrary bytes — it returns Ok/Some or Err/None, it never panics and
+// never allocates proportionally to a length field it has not checked.
+// This is the hostile-wire contract the fuzzer (pa-fuzz) soaks; these
+// properties pin it at the unit level.
+// ---------------------------------------------------------------------
+
+#[test]
+fn wire_decoders_are_total_over_arbitrary_bytes() {
+    use pa::core::handshake::Greeting;
+    use pa::wire::EndpointAddr;
+    let mut rng = SplitMix64::new(0x7061_6e69_635f_6672);
+    for _ in 0..2048 {
+        let bytes = rand_bytes(&mut rng, 95);
+        let _ = Preamble::decode(&bytes);
+        let _ = EndpointAddr::decode(&bytes);
+        let _ = PackInfo::decode(&bytes);
+        let _ = Greeting::decode(&bytes);
+    }
+    // Interesting short lengths deserve exhaustive coverage: every
+    // byte count from empty up to a few words, all-ones and all-zeros.
+    for len in 0..=64usize {
+        for fill in [0x00u8, 0xFF, 0x80, 0x01] {
+            let bytes = vec![fill; len];
+            let _ = Preamble::decode(&bytes);
+            let _ = EndpointAddr::decode(&bytes);
+            let _ = PackInfo::decode(&bytes);
+            let _ = Greeting::decode(&bytes);
+        }
+    }
+}
+
+#[test]
+fn full_deliver_path_is_total_over_arbitrary_bytes() {
+    use pa::core::endpoint::Endpoint;
+    use pa::core::{Connection, ConnectionParams, PaConfig};
+    use pa::stack::StackSpec;
+    use pa::wire::EndpointAddr;
+    let mut rng = SplitMix64::new(0x6465_6c69_7665_7221);
+    let mut ep = Endpoint::new();
+    ep.add_connection(
+        Connection::new(
+            StackSpec::paper().build(),
+            PaConfig::paper_default(),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(9, 1),
+                EndpointAddr::from_parts(8, 1),
+                0x70_2026,
+            ),
+        )
+        .expect("valid"),
+    );
+    // Pure noise, then noise behind a syntactically valid preamble
+    // (cookie-only and ident-claiming), so the demux, the ident probe,
+    // the fused delivery filter, and the class-header checks all see
+    // hostile bytes — the outcome must always be a value, never a
+    // panic, and the ledger must account every frame.
+    for case in 0..4096 {
+        let mut bytes = rand_bytes(&mut rng, 160);
+        match case % 3 {
+            1 => {
+                let word = rng.next_u64() & !(0b11u64 << 62);
+                bytes.splice(0..0, word.to_be_bytes());
+            }
+            2 => {
+                let word = (rng.next_u64() & !(0b1u64 << 62)) | (0b1u64 << 63);
+                bytes.splice(0..0, word.to_be_bytes());
+            }
+            _ => {}
+        }
+        let _ = ep.from_network(Msg::from_wire(bytes));
+        assert!(ep.demux_balanced(), "case {case}");
+    }
+    ep.process_all_pending();
+    let h = pa::core::endpoint::ConnHandle(0);
+    assert!(ep.conn(h).stats().delivery_balanced());
+    assert!(ep.conn(h).stats().rejects_reconcile());
+}
+
+// ---------------------------------------------------------------------
 // Packet filter: programs that pass verification never panic at run
 // time, whatever the frame contents — and both backends agree.
 // ---------------------------------------------------------------------
