@@ -273,6 +273,13 @@ impl Endpoint {
                 "filter_bit_fallback_ops",
                 (sf.bit_fallback + rf.bit_fallback) as u64,
             );
+            // Trace-ring overflow: a probe ring quietly overwriting its
+            // oldest records is lost forensic data — surface it in the
+            // registry like every other bounded structure.
+            if let Some(ring) = conn.probe().trace_ring() {
+                snap.record(&scope, "trace_records_retained", ring.len() as u64);
+                snap.record(&scope, "trace_records_overwritten", ring.overwritten());
+            }
         }
         snap.record("router", "cookie_hits", self.router.cookie_hits);
         snap.record("router", "ident_hits", self.router.ident_hits);

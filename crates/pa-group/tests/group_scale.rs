@@ -1,0 +1,148 @@
+//! Where does group overhead concentrate at scale? (ROADMAP 5b)
+//!
+//! A sequencer-based total-order group has an obvious asymmetry: every
+//! ordered multicast is one request frame *to* the sequencer and a
+//! fan-out of N−1 stamped frames *from* it, while an ordinary member
+//! only receives the fan-out. The paper's PA masks per-connection
+//! layering overhead, but nothing masks an O(N) hot spot — the
+//! question is whether the telemetry plane can *show* it from sketches
+//! alone, without per-member exact histograms.
+//!
+//! This test runs a 128-member group (8128 underlying accelerated
+//! connections; override with PA_GROUP_SCALE) for several rounds of
+//! concurrent total-order traffic, records each member's frames
+//! handled per round into a [`pa_obs::ScopePlane`] (endpoint
+//! `sequencer` vs `members` — the roll-up asks the load question
+//! directly), and asserts:
+//!
+//! - the total order stays identical at every member (scale does not
+//!   break correctness),
+//! - the sequencer endpoint's sketch sits far above the member
+//!   endpoint's (p50 ratio ≥ 4×; the true asymptote is ~N),
+//! - the plane's top-connections ranking names the sequencer first,
+//! - the roll-up reconciles exactly and stays within its byte budget
+//!   at group scale.
+
+use pa_group::{GroupConfig, Member, View};
+use pa_obs::{ScopeConfig, ScopePlane, XrayTag};
+
+/// Members in the scaled group (override with PA_GROUP_SCALE).
+fn group_size() -> u32 {
+    std::env::var("PA_GROUP_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+const ROUNDS: usize = 6;
+const SENDERS_PER_ROUND: usize = 4;
+
+/// Moves frames between members until quiescent, counting frames
+/// handled (sent + received) per member index.
+fn shuttle(members: &mut [Member], handled: &mut [u64]) {
+    for _ in 0..1024 {
+        let mut moved = false;
+        for i in 0..members.len() {
+            while let Some((to, frame)) = members[i].poll_transmit() {
+                handled[i] += 1;
+                moved = true;
+                let Some(j) = members.iter().position(|m| Member::addr_of(m.id()) == to) else {
+                    continue;
+                };
+                handled[j] += 1;
+                members[j].from_network(frame);
+            }
+        }
+        for m in members.iter_mut() {
+            m.process_pending();
+        }
+        if !moved {
+            return;
+        }
+    }
+    panic!("group did not quiesce");
+}
+
+#[test]
+fn sequencer_concentrates_group_overhead_at_scale() {
+    let n = group_size();
+    let ids: Vec<u32> = (1..=n).collect();
+    let view = View::new(1, ids.iter().copied());
+    let mut members: Vec<Member> = ids
+        .iter()
+        .map(|&id| Member::new(id, view.clone(), GroupConfig::default()))
+        .collect();
+    assert!(members[0].is_sequencer(), "lowest id stamps");
+
+    // One plane for the whole group: endpoint = duty class, one conn
+    // series per member. `n` members need `n` dedicated series, so the
+    // byte cap is sized to the group up front — admission control is
+    // exercised by the churn tests, not this one.
+    let mut cfg = ScopeConfig::default();
+    cfg.max_endpoints = 2;
+    cfg.byte_cap = (n as usize + 8) * cfg.series_footprint();
+    let mut plane = ScopePlane::new(cfg);
+    let keys: Vec<_> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let class = if i == 0 { "sequencer" } else { "members" };
+            plane.register(class, &format!("m{id:03}"))
+        })
+        .collect();
+
+    let mut handled = vec![0u64; members.len()];
+    for round in 0..ROUNDS {
+        // A rotating set of senders multicasts concurrently.
+        for s in 0..SENDERS_PER_ROUND {
+            let k = (1 + round * SENDERS_PER_ROUND + s) % members.len();
+            members[k].mcast_total(&[round as u8, k as u8]);
+        }
+        handled.iter_mut().for_each(|h| *h = 0);
+        shuttle(&mut members, &mut handled);
+        let at = (round as u64 + 1) * 1_000_000;
+        for (i, &h) in handled.iter().enumerate() {
+            plane.record(keys[i], h, at, 0, XrayTag::none());
+        }
+    }
+
+    // Correctness at scale: every member delivered the same dense
+    // total order.
+    let orders: Vec<Vec<(u32, u64)>> = members
+        .iter_mut()
+        .map(|m| {
+            let mut o = Vec::new();
+            while let Some(d) = m.poll_delivery() {
+                o.push((d.from, d.order.expect("total-order traffic")));
+            }
+            o
+        })
+        .collect();
+    assert_eq!(orders[0].len(), ROUNDS * SENDERS_PER_ROUND);
+    let stamps: Vec<u64> = orders[0].iter().map(|&(_, g)| g).collect();
+    assert_eq!(stamps, (0..stamps.len() as u64).collect::<Vec<_>>());
+    for (i, o) in orders.iter().enumerate().skip(1) {
+        assert_eq!(o, &orders[0], "member index {i} disagrees on the order");
+    }
+
+    // The roll-up holds at group cardinality.
+    assert_eq!(plane.records(), (ROUNDS * members.len()) as u64);
+    assert!(plane.rollup_reconciles(), "sketch roll-up reconciles");
+    assert!(plane.within_budget(), "{} bytes", plane.mem_bytes());
+    assert_eq!(plane.denied_conns(), 0, "every member got a series");
+
+    // The load question, answered from sketches alone: the sequencer's
+    // median frames-per-round dwarfs the ordinary member's. The true
+    // ratio grows like N; ≥4× is the conservative floor that still
+    // rules out "roughly uniform".
+    let seq_p50 = plane.endpoint("sequencer").unwrap().sketch().p50();
+    let mem_p50 = plane.endpoint("members").unwrap().sketch().p50();
+    assert!(
+        seq_p50 >= mem_p50.saturating_mul(4),
+        "sequencer p50 {seq_p50} vs member p50 {mem_p50}: overhead must concentrate"
+    );
+
+    // Ranking agrees: the busiest connection series is the sequencer's.
+    let top = plane.top_conns(0.5, 3);
+    assert_eq!(top[0].0, "m001", "top by p50: {top:?}");
+}

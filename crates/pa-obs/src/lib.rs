@@ -39,23 +39,43 @@
 //!   demux, and the network interfaces;
 //! - [`rng`] — the workspace's dependency-free seedable PRNG
 //!   ([`rng::SplitMix64`]), shared by cookies, fault injection, GC
-//!   jitter, and randomized tests.
+//!   jitter, and randomized tests;
+//! - [`sketch`] — mergeable log-bucketed quantile sketches
+//!   ([`QuantileSketch`]): fixed-size windows, α-bounded relative
+//!   error, and a canonical form that makes merge exactly associative
+//!   and commutative — roll-up reconciliation is plain `==`;
+//! - [`exemplar`] — seeded per-octave Algorithm-R reservoirs
+//!   ([`ExemplarSet`]) attaching concrete `(value, at, journey,
+//!   XrayTag)` samples to the slow bands of a sketch;
+//! - [`scope`] — the aggregate telemetry plane ([`ScopePlane`]):
+//!   per-conn → per-endpoint → cluster sketch roll-up under a hard
+//!   byte cap, with counted overflow/denial instead of silent loss,
+//!   top-N ranking, and a Prometheus exposition with OpenMetrics
+//!   exemplar annotations;
+//! - [`watchdog`] — the virtual-time health sampler ([`Watchdog`]):
+//!   stall, delivery-ledger, and SLO-burn detection feeding
+//!   [`FlightRecorder`] postmortems.
 //!
 //! pa-obs sits below every other crate in the workspace and has no
 //! dependencies, so any layer can emit events without cycles.
 
 pub mod event;
+pub mod exemplar;
 pub mod histo;
 pub mod journey;
 pub mod probe;
 pub mod reject;
 pub mod ring;
 pub mod rng;
+pub mod scope;
+pub mod sketch;
 pub mod snapshot;
 pub mod timeseries;
+pub mod watchdog;
 pub mod xray;
 
 pub use event::{DropCause, FieldRef, Invariant, Nanos, SlowCause, TraceEvent};
+pub use exemplar::{octave_of, Exemplar, ExemplarSet};
 pub use histo::{HistoSummary, LatencyHisto};
 pub use journey::{
     journey_id, journey_origin, journey_seq, render_journey_id, HopLeg, Journey, JourneySet,
@@ -63,8 +83,11 @@ pub use journey::{
 pub use probe::{EventCounts, NoopProbe, Probe, ProbeSink};
 pub use reject::{RejectBucket, RejectLedger, RejectReason};
 pub use ring::{merge_timeline, TraceRecord, TraceRing};
+pub use scope::{ScopeConfig, ScopeKey, ScopePlane, ScopeSeries};
+pub use sketch::{QuantileSketch, SketchConfig, SketchSummary};
 pub use snapshot::MetricsSnapshot;
-pub use timeseries::{FlightRecorder, Postmortem, TimeSeries};
+pub use timeseries::{FlightRecorder, Postmortem, TimeSeries, DEFAULT_MAX_SERIES};
+pub use watchdog::{WatchAlert, WatchInput, Watchdog, WatchdogConfig};
 pub use xray::{
     AttrCause, AttrEntry, Attribution, DisableReason, Finding, HoldRow, MissEntry, MissRow,
     MissTable, Phase, PhaseMeter, PhaseRow, XrayOp, XrayReport, XrayTag, XrayTotals,

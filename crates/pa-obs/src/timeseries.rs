@@ -90,6 +90,18 @@ impl TimeSeries {
             Some(self.buf[self.head - 1])
         }
     }
+
+    /// Points pushed and since overwritten by the ring.
+    pub fn overwritten(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Heap + inline footprint in bytes (capacity-accurate).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<TimeSeries>()
+            + self.name.capacity()
+            + self.buf.capacity() * std::mem::size_of::<(Nanos, f64)>()
+    }
 }
 
 /// A frozen dump taken when an invariant broke.
@@ -109,24 +121,41 @@ pub struct Postmortem {
 pub struct FlightRecorder {
     interval: Nanos,
     capacity: usize,
+    max_series: usize,
     last_sample_at: Option<Nanos>,
     prev: Option<MetricsSnapshot>,
     series: BTreeMap<String, TimeSeries>,
     samples: u64,
+    dropped_points: u64,
     postmortem: Option<Postmortem>,
 }
 
+/// Default cap on distinct series per recorder (see
+/// [`FlightRecorder::with_limits`]).
+pub const DEFAULT_MAX_SERIES: usize = 64;
+
 impl FlightRecorder {
     /// A recorder sampling every `interval` virtual nanoseconds,
-    /// retaining `capacity` points per series.
+    /// retaining `capacity` points per series, with the default
+    /// [`DEFAULT_MAX_SERIES`] series cap.
     pub fn new(interval: Nanos, capacity: usize) -> FlightRecorder {
+        FlightRecorder::with_limits(interval, capacity, DEFAULT_MAX_SERIES)
+    }
+
+    /// A recorder with an explicit series cap: memory is bounded by
+    /// `max_series × capacity` points. Pushes that would create a
+    /// series beyond the cap are counted in
+    /// [`FlightRecorder::dropped_points`] — never silently lost.
+    pub fn with_limits(interval: Nanos, capacity: usize, max_series: usize) -> FlightRecorder {
         FlightRecorder {
             interval: interval.max(1),
             capacity: capacity.max(1),
+            max_series: max_series.max(1),
             last_sample_at: None,
             prev: None,
             series: BTreeMap::new(),
             samples: 0,
+            dropped_points: 0,
             postmortem: None,
         }
     }
@@ -199,6 +228,10 @@ impl FlightRecorder {
     }
 
     fn push(&mut self, name: &str, at: Nanos, v: f64) {
+        if !self.series.contains_key(name) && self.series.len() >= self.max_series {
+            self.dropped_points += 1;
+            return;
+        }
         let cap = self.capacity;
         self.series
             .entry(name.to_string())
@@ -209,6 +242,64 @@ impl FlightRecorder {
     /// Samples taken so far.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// The series cap.
+    pub fn max_series(&self) -> usize {
+        self.max_series
+    }
+
+    /// Points refused because the series cap was reached.
+    pub fn dropped_points(&self) -> u64 {
+        self.dropped_points
+    }
+
+    /// Points pushed and since overwritten by the per-series rings.
+    pub fn overwritten_points(&self) -> u64 {
+        self.series.values().map(|s| s.overwritten()).sum()
+    }
+
+    /// Heap + inline footprint in bytes (capacity-accurate).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<FlightRecorder>()
+            + self
+                .series
+                .iter()
+                .map(|(k, s)| k.capacity() + 16 + s.mem_bytes())
+                .sum::<usize>()
+            + self
+                .prev
+                .as_ref()
+                .map(|p| p.iter().count() * 64)
+                .unwrap_or(0)
+            + self
+                .postmortem
+                .as_ref()
+                .map(|p| p.report.capacity() + p.reason.capacity())
+                .unwrap_or(0)
+    }
+
+    /// Exports the recorder's own bookkeeping into the metrics
+    /// registry under `scope` — the recorder watches the system, and
+    /// this line watches the recorder: ring overwrites and capped-out
+    /// series stop being invisible.
+    pub fn record_into(&self, snap: &mut MetricsSnapshot, scope: &str) {
+        snap.record(scope, "samples", self.samples);
+        snap.record(scope, "series", self.series.len() as u64);
+        snap.record(scope, "series_cap", self.max_series as u64);
+        snap.record(
+            scope,
+            "points_retained",
+            self.series.values().map(|s| s.len() as u64).sum(),
+        );
+        snap.record(scope, "points_overwritten", self.overwritten_points());
+        snap.record(scope, "points_dropped", self.dropped_points);
+        snap.record(scope, "mem_bytes", self.mem_bytes() as u64);
+        snap.record(
+            scope,
+            "postmortems",
+            if self.postmortem.is_some() { 1 } else { 0 },
+        );
     }
 
     /// Looks a series up by name.
@@ -402,5 +493,39 @@ mod tests {
     #[test]
     fn prometheus_names_are_sanitized() {
         assert_eq!(prometheus_name("fast-path ratio"), "pa_fast_path_ratio");
+    }
+
+    #[test]
+    fn series_cap_drops_visibly() {
+        let mut fr = FlightRecorder::with_limits(1, 4, 2);
+        // The derived series (fast_path_ratio, drops, frames) already
+        // exceed a cap of 2 — the third is refused and counted.
+        fr.sample(&snap(0, 5, 5, 1), &[("backlog_depth", 1.0)]);
+        assert_eq!(fr.series().count(), 2);
+        assert!(fr.dropped_points() >= 2, "{}", fr.dropped_points());
+        let mut reg = MetricsSnapshot::new(0);
+        fr.record_into(&mut reg, "recorder");
+        assert_eq!(reg.get("recorder", "series"), Some(2));
+        assert_eq!(
+            reg.get("recorder", "points_dropped"),
+            Some(fr.dropped_points())
+        );
+    }
+
+    #[test]
+    fn overwritten_points_are_accounted() {
+        let mut fr = FlightRecorder::new(1, 2);
+        for i in 0..5u64 {
+            fr.sample(&snap(i * 10, i * 3, 0, 0), &[]);
+        }
+        // drops + frames keep 2 of 5 points each; ratio series varies.
+        assert!(fr.overwritten_points() >= 6, "{}", fr.overwritten_points());
+        let mut reg = MetricsSnapshot::new(0);
+        fr.record_into(&mut reg, "recorder");
+        assert_eq!(
+            reg.get("recorder", "points_overwritten"),
+            Some(fr.overwritten_points())
+        );
+        assert!(reg.get("recorder", "mem_bytes").unwrap() > 0);
     }
 }

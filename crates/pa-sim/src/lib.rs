@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod cost;
 pub mod experiments;
 pub mod gc;
@@ -37,6 +38,7 @@ pub mod multi;
 pub mod node;
 pub mod sim;
 
+pub use churn::{ChurnConfig, ChurnSim};
 pub use cost::{CostModel, Language};
 pub use gc::{GcModel, GcPolicy};
 pub use metrics::{Series, Summary};

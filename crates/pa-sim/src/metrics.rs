@@ -25,6 +25,11 @@ impl Series {
         self.samples.push(v as f64);
     }
 
+    /// The raw samples, in recording order.
+    pub fn values(&self) -> &[f64] {
+        &self.samples
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()

@@ -21,6 +21,7 @@ use crate::node::{NodeSim, PostSchedule};
 use crate::sim::SimConfig;
 use crate::Nanos;
 use pa_core::{Connection, ConnectionParams};
+use pa_obs::{ScopeConfig, ScopeKey, ScopePlane};
 use pa_unet::{Netif, SimNet};
 use pa_wire::EndpointAddr;
 use std::collections::HashMap;
@@ -156,10 +157,17 @@ pub struct ClusterSim {
     remaining: Vec<u64>,
     next_id: u64,
     sent_at: HashMap<u64, (Nanos, usize)>,
-    /// Completed request latencies.
+    /// Completed request latencies (all clients pooled).
     pub rtt: Series,
+    /// Completed request latencies per client — the per-connection
+    /// ground truth the scope plane's sketches roll up.
+    pub rtt_by_client: Vec<Series>,
     /// Total completed requests.
     pub completed: u64,
+    /// The pa-scope roll-up plane, if attached: one series per client
+    /// connection, rolled up per server CPU (the §6 partitioning) and
+    /// into one cluster sketch.
+    scope: Option<(ScopePlane, Vec<ScopeKey>)>,
 }
 
 impl ClusterSim {
@@ -220,8 +228,35 @@ impl ClusterSim {
             next_id: 1,
             sent_at: HashMap::new(),
             rtt: Series::new(),
+            rtt_by_client: (0..n_clients).map(|_| Series::new()).collect(),
             completed: 0,
+            scope: None,
         }
+    }
+
+    /// Attaches a pa-scope roll-up plane: every client connection gets
+    /// its own sketch series, rolled up per server CPU (endpoint =
+    /// `cpuN`, the §6 partitioning unit) and into one cluster sketch.
+    /// Clients beyond the plane's slot budget degrade explicitly into
+    /// the overflow series — counted, never silently dropped.
+    pub fn attach_scope(&mut self, cfg: ScopeConfig) {
+        let n_cpus = self.server.cpus.len();
+        let mut plane = ScopePlane::new(cfg);
+        let keys = (0..self.clients.len())
+            .map(|k| plane.register(&format!("cpu{}", k % n_cpus), &format!("client{k:04}")))
+            .collect();
+        self.scope = Some((plane, keys));
+    }
+
+    /// The attached scope plane, if any.
+    pub fn scope_plane(&self) -> Option<&ScopePlane> {
+        self.scope.as_ref().map(|(p, _)| p)
+    }
+
+    /// The server-side connections, one per client (ledger checks,
+    /// reject/attribution aggregation).
+    pub fn server_conns(&self) -> &[Connection] {
+        &self.server.conns
     }
 
     /// Convenience: the paper's config with occasional GC (the §6
@@ -260,6 +295,18 @@ impl ClusterSim {
             if let Some((t0, origin)) = self.sent_at.remove(&id) {
                 debug_assert_eq!(origin, k);
                 self.rtt.push_nanos(done - t0);
+                self.rtt_by_client[k].push_nanos(done - t0);
+                if let Some((plane, keys)) = &mut self.scope {
+                    let conn = &self.clients[k].conn;
+                    let journey = conn.last_recv_trace().map(|(j, _)| j).unwrap_or(0);
+                    plane.record(
+                        keys[k],
+                        done - t0,
+                        done,
+                        journey,
+                        conn.last_deliver_explain(),
+                    );
+                }
                 self.completed += 1;
                 if self.remaining[k] > 0 {
                     self.remaining[k] -= 1;
@@ -388,5 +435,34 @@ mod tests {
         let c = run_cluster(8, 2, 100);
         assert_eq!(c.completed, 800);
         assert_eq!(c.rtt.len(), 800);
+        assert_eq!(c.rtt_by_client.len(), 8);
+        assert!(c.rtt_by_client.iter().all(|s| s.len() == 100));
+    }
+
+    #[test]
+    fn cluster_scope_rolls_up_per_cpu_and_per_client() {
+        let cfg = ClusterSim::paper_occasional_gc();
+        let mut c = ClusterSim::new(&cfg, 8, 2);
+        c.attach_scope(ScopeConfig::default());
+        c.run(50, 30_000_000_000);
+        assert_eq!(c.completed, 400);
+        let plane = c.scope_plane().expect("attached");
+        assert_eq!(plane.records(), 400);
+        assert_eq!(plane.cluster().sketch().count(), 400);
+        assert!(plane.rollup_reconciles());
+        assert!(plane.within_budget(), "{} bytes", plane.mem_bytes());
+        // Every client got a dedicated series (8 ≤ default slots) and
+        // its sketch count matches its exact per-client series.
+        for k in 0..8 {
+            let s = plane.conn(&format!("client{k:04}")).expect("dedicated");
+            assert_eq!(s.sketch().count() as usize, c.rtt_by_client[k].len());
+        }
+        // The plane's cluster max is the same sample the pooled exact
+        // series saw (sketches keep exact min/max).
+        assert_eq!(plane.cluster().sketch().max(), c.rtt.summary().max as u64);
+        // Top-N ranking is well-formed: 8 entries, descending p99.
+        let top = plane.top_conns(0.99, 8);
+        assert_eq!(top.len(), 8);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
     }
 }

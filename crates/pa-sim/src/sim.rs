@@ -18,7 +18,10 @@ use crate::metrics::Series;
 use crate::node::{NodeEvent, NodeSim, PostSchedule, Stamp};
 use crate::Nanos;
 use pa_core::{Connection, ConnectionParams, PaConfig};
-use pa_obs::{FlightRecorder, JourneySet, MetricsSnapshot, ProbeSink};
+use pa_obs::{
+    FlightRecorder, JourneySet, MetricsSnapshot, ProbeSink, ScopeConfig, ScopeKey, ScopePlane,
+    WatchInput, Watchdog, WatchdogConfig,
+};
 use pa_stack::StackSpec;
 use pa_unet::{FaultConfig, LinkProfile, Netif, SimNet};
 use pa_wire::EndpointAddr;
@@ -109,6 +112,12 @@ struct AppEvent {
     size: usize,
 }
 
+/// The attached scope plane plus each node's registered series key.
+struct ScopeState {
+    plane: ScopePlane,
+    keys: [ScopeKey; 2],
+}
+
 /// The two-node simulator.
 pub struct TwoNodeSim {
     /// The two hosts; node 0 is conventionally the client.
@@ -141,6 +150,13 @@ pub struct TwoNodeSim {
     rpc_queue: std::collections::VecDeque<(Nanos, usize)>,
     /// The time-series flight recorder, if attached.
     recorder: Option<FlightRecorder>,
+    /// The pa-scope roll-up plane, if attached: per-connection →
+    /// per-endpoint → cluster mergeable latency sketches with sampled
+    /// exemplars, fed one sample per completed latency measurement.
+    scope: Option<ScopeState>,
+    /// The health watchdog, if attached: samples progress/backlog/
+    /// ledger/p99 on its own virtual-time cadence.
+    watchdog: Option<Watchdog>,
     /// Consecutive flight-recorder samples each node's send path has
     /// been wedged (backlog non-empty, prediction disabled, nothing
     /// pending to re-enable it) — the disable-counter invariant.
@@ -199,6 +215,8 @@ impl TwoNodeSim {
             rpc_outstanding: false,
             rpc_queue: Default::default(),
             recorder: None,
+            scope: None,
+            watchdog: None,
             wedge_samples: [0, 0],
         }
     }
@@ -249,6 +267,43 @@ impl TwoNodeSim {
         self.recorder.as_ref()
     }
 
+    /// Attaches a pa-scope roll-up plane: every completed latency
+    /// measurement (round trip at its origin, one-way at the receiver)
+    /// is recorded into the owning node's connection sketch, its
+    /// endpoint sketch, and the cluster sketch, with reservoir-sampled
+    /// exemplars carrying the delivery's journey id and
+    /// [`pa_obs::XrayTag`]. The plane is telemetry *beside* the stack —
+    /// attaching it never changes wire bytes or connection behaviour.
+    pub fn attach_scope(&mut self, cfg: ScopeConfig) {
+        let mut plane = ScopePlane::new(cfg);
+        let keys = [
+            plane.register("node0", "node0/conn0"),
+            plane.register("node1", "node1/conn0"),
+        ];
+        self.scope = Some(ScopeState { plane, keys });
+    }
+
+    /// The attached scope plane, if any.
+    pub fn scope_plane(&self) -> Option<&ScopePlane> {
+        self.scope.as_ref().map(|s| &s.plane)
+    }
+
+    /// Attaches a health watchdog sampling the run on its own
+    /// virtual-time cadence: progress = total deliveries + round trips,
+    /// backlog = both nodes' send backlogs, ledger = both delivery
+    /// ledgers, p99 = the scope plane's cluster sketch (0 when no plane
+    /// is attached, which keeps SLO-burn detection off). Alerts are
+    /// forwarded to the flight recorder as post-mortems when one is
+    /// attached.
+    pub fn attach_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.watchdog = Some(Watchdog::new(cfg));
+    }
+
+    /// The attached watchdog, if any.
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.watchdog.as_ref()
+    }
+
     /// A priced [`pa_obs::XrayReport`] for one node, joined with the
     /// flight recorder when one is attached: the report's notes gain
     /// the recorder's sample count, any frozen post-mortem, and the
@@ -294,6 +349,17 @@ impl TwoNodeSim {
         snap.record("sim", "delivered_node0", self.delivered[0]);
         snap.record("sim", "delivered_node1", self.delivered[1]);
         snap.record("sim", "round_trips", self.round_trips);
+        if let Some(scope) = &self.scope {
+            scope.plane.record_into(&mut snap, "scope");
+        }
+        if let Some(fr) = &self.recorder {
+            fr.record_into(&mut snap, "recorder");
+        }
+        if let Some(wd) = &self.watchdog {
+            snap.record("watchdog", "samples", wd.samples());
+            snap.record("watchdog", "alerts_total", wd.alerts_total());
+            snap.record("watchdog", "ledger_broken", wd.ledger_broken() as u64);
+        }
         snap
     }
 
@@ -493,6 +559,23 @@ impl TwoNodeSim {
         self.nodes[0].app_send(now, &payload, &mut self.net, local);
     }
 
+    /// Records one completed latency sample into the scope plane (a
+    /// no-op when none is attached). The exemplar carries the
+    /// delivering connection's last received journey id (0 when the
+    /// trace context is off) and its last deliver-explain tag, so an
+    /// aggregate anomaly drills down to a causal trace.
+    fn record_scope(&mut self, node: usize, value: Nanos, at: Nanos) {
+        let Some(scope) = &mut self.scope else {
+            return;
+        };
+        let conn = &self.nodes[node].conn;
+        let journey = conn.last_recv_trace().map(|(j, _)| j).unwrap_or(0);
+        let tag = conn.last_deliver_explain();
+        scope
+            .plane
+            .record(scope.keys[node], value, at, journey, tag);
+    }
+
     fn handle_deliveries(&mut self, node: usize, done: Nanos, delivered: Vec<pa_buf::Msg>) {
         self.delivered[node] += delivered.len() as u64;
         for msg in delivered {
@@ -508,12 +591,14 @@ impl TwoNodeSim {
                     self.rtt.push_nanos(done - t0);
                     self.round_trips += 1;
                     self.sent_at.remove(&id);
+                    self.record_scope(node, done - t0, done);
                     if node == 0 && self.rpc_mode {
                         self.rpc_send_queued(done);
                     }
                 }
                 Some(&(t0, _)) => {
                     self.one_way.push_nanos(done - t0);
+                    self.record_scope(node, done - t0, done);
                 }
                 None => {}
             }
@@ -612,6 +697,48 @@ impl TwoNodeSim {
             // 5. Flight-recorder sampling (no-op when not attached).
             if self.recorder.is_some() {
                 self.sample_flight_recorder(now);
+            }
+
+            // 6. Watchdog sampling (no-op when not attached).
+            if self.watchdog.is_some() {
+                self.observe_watchdog(now);
+            }
+        }
+    }
+
+    /// One watchdog pass at `now` (gated by the watchdog's own
+    /// cadence). Fired alerts become flight-recorder post-mortems when
+    /// a recorder is attached; either way they stay queryable through
+    /// [`TwoNodeSim::watchdog`].
+    fn observe_watchdog(&mut self, now: Nanos) {
+        if !self.watchdog.as_ref().is_some_and(|wd| wd.due(now)) {
+            return;
+        }
+        let input = WatchInput {
+            at: now,
+            progress: self.delivered[0] + self.delivered[1] + self.round_trips,
+            backlog: (self.nodes[0].conn.backlog_len() + self.nodes[1].conn.backlog_len()) as u64,
+            ledger_ok: self
+                .nodes
+                .iter()
+                .all(|n| n.conn.stats().delivery_balanced()),
+            p99_ns: self
+                .scope
+                .as_ref()
+                .map(|s| s.plane.cluster().sketch().p99())
+                .unwrap_or(0),
+        };
+        let alerts = self
+            .watchdog
+            .as_mut()
+            .expect("checked above")
+            .observe(input);
+        if !alerts.is_empty() && self.recorder.is_some() {
+            let snap = self.metrics_snapshot(now);
+            if let Some(fr) = self.recorder.as_mut() {
+                for alert in &alerts {
+                    fr.trigger_postmortem(now, &format!("watchdog: {alert}"), &snap);
+                }
             }
         }
     }
@@ -933,6 +1060,168 @@ mod tests {
         assert!(pm.reason.contains("wedged"), "{}", pm.reason);
         assert!(pm.report.contains("POSTMORTEM"), "{}", pm.report);
         assert!(pm.report.contains("flight-recorder series"));
+    }
+
+    #[test]
+    fn scope_plane_rolls_up_per_delivery_latencies() {
+        // Traced streaming run with a scope plane attached: every
+        // one-way completion lands in the per-conn, per-endpoint, and
+        // cluster sketches, the roll-up reconciles exactly, and the
+        // exemplars carry journey ids that resolve to real journeys.
+        let mut sim = TwoNodeSim::new(&SimConfig::traced());
+        sim.enable_tracing(4096);
+        sim.attach_scope(pa_obs::ScopeConfig::default());
+        sim.set_behavior(1, AppBehavior::Sink);
+        sim.nodes[0].schedule = PostSchedule::WhenIdle;
+        sim.schedule_stream(0, 0, 200_000, 100, 8);
+        sim.run_until(200_000_000);
+        assert_eq!(sim.delivered[1], 100);
+        let plane = sim.scope_plane().expect("attached");
+        assert_eq!(plane.records(), 100);
+        assert_eq!(plane.cluster().sketch().count(), 100);
+        // All samples were receiver-side one-ways on node1.
+        let node1 = plane.conn("node1/conn0").expect("registered");
+        assert_eq!(node1.sketch().count(), 100);
+        assert!(plane.rollup_reconciles(), "roll-up must reconcile");
+        assert!(plane.within_budget(), "{} bytes", plane.mem_bytes());
+        // The fastest delivery sits in the one-way envelope (~87 µs);
+        // the stream saturates the receiver, so the upper quantiles
+        // include queueing and must order correctly above it.
+        let sk = plane.cluster().sketch();
+        let min = sk.min();
+        assert!((60_000..=120_000).contains(&min), "min = {min} ns");
+        assert!(sk.p50() >= min && sk.p99() >= sk.p50());
+        // Exemplar drill-down: each sampled exemplar names a journey
+        // the trace rings actually reconstruct.
+        let set = sim.journeys();
+        let exemplars: Vec<_> = plane.cluster().exemplars().iter().collect();
+        assert!(!exemplars.is_empty(), "exemplars sampled");
+        for ex in exemplars {
+            assert!(ex.journey != 0, "traced run mints journey ids");
+            assert!(
+                set.journeys().iter().any(|j| j.id == ex.journey),
+                "exemplar journey {} resolves",
+                pa_obs::render_journey_id(ex.journey)
+            );
+        }
+    }
+
+    #[test]
+    fn scope_plane_is_inert_on_the_measurements() {
+        // Attaching the plane is telemetry beside the stack: an
+        // identical seeded run with and without it produces identical
+        // latencies and connection counters.
+        let run = |with_scope: bool| {
+            let mut sim = TwoNodeSim::new(&SimConfig::paper());
+            if with_scope {
+                sim.attach_scope(pa_obs::ScopeConfig::default());
+            }
+            sim.arm_closed_loop(20, 8, 0);
+            sim.run_until(100_000_000);
+            (
+                sim.rtt.summary().mean,
+                sim.nodes[0].conn.stats().frames_out,
+                sim.nodes[1].conn.stats().fast_deliveries,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn watchdog_stays_healthy_on_a_clean_run() {
+        let mut sim = TwoNodeSim::new(&SimConfig::paper());
+        sim.attach_scope(pa_obs::ScopeConfig::default());
+        sim.attach_watchdog(pa_obs::WatchdogConfig::default());
+        sim.set_behavior(1, AppBehavior::Sink);
+        sim.nodes[0].schedule = PostSchedule::WhenIdle;
+        sim.schedule_stream(0, 0, 200_000, 100, 8);
+        sim.run_until(200_000_000);
+        let wd = sim.watchdog().expect("attached");
+        assert!(wd.samples() > 0, "watchdog sampled");
+        assert!(wd.healthy(), "alerts: {:?}", wd.alerts());
+        assert_eq!(wd.alerts_total(), 0);
+    }
+
+    #[test]
+    fn watchdog_stall_freezes_a_postmortem() {
+        // The wedge scenario again, but detected by the generic
+        // watchdog (flat progress + standing backlog) rather than the
+        // recorder's bespoke disable-counter watch: the recorder's own
+        // cadence is set far past the horizon so the post-mortem can
+        // only come from the watchdog.
+        let mut cfg = SimConfig::paper();
+        cfg.faults = FaultConfig {
+            drop: 1.0,
+            seed: 3,
+            ..FaultConfig::none()
+        };
+        let mut sim = TwoNodeSim::new(&cfg);
+        sim.attach_flight_recorder(1_000_000_000, 16);
+        sim.attach_watchdog(pa_obs::WatchdogConfig {
+            cadence: 100_000,
+            ..Default::default()
+        });
+        sim.set_behavior(1, AppBehavior::Sink);
+        sim.nodes[0].schedule = PostSchedule::WhenIdle;
+        sim.schedule_stream(0, 0, 200_000, 60, 8);
+        sim.run_until(60_000_000);
+        let wd = sim.watchdog().expect("attached");
+        assert!(!wd.healthy());
+        assert!(
+            wd.alerts()
+                .iter()
+                .any(|(_, a)| matches!(a, pa_obs::WatchAlert::Stall { .. })),
+            "{:?}",
+            wd.alerts()
+        );
+        let pm = sim.flight_recorder().unwrap().postmortem().expect("frozen");
+        assert!(pm.reason.contains("watchdog"), "{}", pm.reason);
+        assert!(pm.reason.contains("stall"), "{}", pm.reason);
+    }
+
+    #[test]
+    fn watchdog_slo_burn_needs_a_scope_plane() {
+        // An absurdly tight SLO burns immediately — but only when a
+        // scope plane supplies the p99; without one the signal stays 0
+        // and the watchdog keeps quiet.
+        let run = |with_scope: bool| {
+            let mut sim = TwoNodeSim::new(&SimConfig::paper());
+            if with_scope {
+                sim.attach_scope(pa_obs::ScopeConfig::default());
+            }
+            sim.attach_watchdog(pa_obs::WatchdogConfig {
+                cadence: 1_000_000,
+                slo_p99_ns: 1_000, // 1 µs: every delivery busts it
+                burn_windows: 2,
+                ..Default::default()
+            });
+            sim.set_behavior(1, AppBehavior::Sink);
+            sim.nodes[0].schedule = PostSchedule::WhenIdle;
+            sim.schedule_stream(0, 0, 200_000, 50, 8);
+            sim.run_until(200_000_000);
+            sim.watchdog().unwrap().alerts_total()
+        };
+        assert_eq!(run(false), 0, "no plane, no p99, no burn");
+        assert!(run(true) > 0, "plane-fed p99 trips the burn alert");
+    }
+
+    #[test]
+    fn metrics_snapshot_exports_the_telemetry_plane() {
+        let mut sim = TwoNodeSim::new(&SimConfig::paper());
+        sim.attach_scope(pa_obs::ScopeConfig::default());
+        sim.attach_flight_recorder(1_000_000, 64);
+        sim.attach_watchdog(pa_obs::WatchdogConfig::default());
+        sim.set_behavior(1, AppBehavior::Sink);
+        sim.nodes[0].schedule = PostSchedule::WhenIdle;
+        sim.schedule_stream(0, 0, 200_000, 20, 8);
+        sim.run_until(100_000_000);
+        let snap = sim.metrics_snapshot(sim.now());
+        assert_eq!(snap.get("scope", "records"), Some(20));
+        assert!(snap.get("scope", "mem_bytes").is_some_and(|v| v > 0));
+        assert!(snap.get("recorder", "samples").is_some_and(|v| v > 0));
+        assert_eq!(snap.get("recorder", "postmortems"), Some(0));
+        assert!(snap.get("watchdog", "samples").is_some_and(|v| v > 0));
+        assert_eq!(snap.get("watchdog", "ledger_broken"), Some(0));
     }
 
     #[test]

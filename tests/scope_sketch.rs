@@ -1,0 +1,185 @@
+//! Sketch correctness, proved against randomized workloads.
+//!
+//! Two claims back the whole pa-scope roll-up design:
+//!
+//! 1. **Merge is exactly associative, commutative, and idempotent on
+//!    the empty sketch.** The sketch keeps a canonical form — a
+//!    contiguous key window anchored at the highest observed key, with
+//!    below-window mass folded into `collapsed` — that is a pure
+//!    function of the inserted multiset. Any shard/merge order over
+//!    the same samples therefore produces the *same struct*, `==` and
+//!    all. The roll-up reconciliation checks in `ScopePlane` and the
+//!    churn scenario lean on this being exact, not approximate.
+//!
+//! 2. **Quantiles carry the advertised error bound.** Against an exact
+//!    sorted oracle, every reported quantile sits within the DDSketch
+//!    guarantee: the value at rank `q ± 1%` scaled by the relative
+//!    accuracy `α`.
+//!
+//! All randomness is seeded [`SplitMix64`] — failures reproduce.
+
+use pa::obs::rng::{Rng, SplitMix64};
+use pa::obs::{QuantileSketch, SketchConfig};
+
+fn sketch_of(cfg: SketchConfig, samples: &[u64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new(cfg);
+    for &v in samples {
+        s.record(v);
+    }
+    s
+}
+
+fn merged(cfg: SketchConfig, parts: &[&QuantileSketch]) -> QuantileSketch {
+    let mut m = QuantileSketch::new(cfg);
+    for p in parts {
+        m.merge(p);
+    }
+    m
+}
+
+/// A workload drawn from one of several shapes, chosen by the trial
+/// index: uniform, exponential-ish octave spread, bimodal, heavy-tail.
+/// Wide magnitude ranges force the bucket window to shift and collapse.
+fn workload(rng: &mut SplitMix64, trial: usize, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| match trial % 4 {
+            0 => rng.gen_range_inclusive(1, 1_000_000),
+            1 => 1u64 << rng.gen_range_inclusive(0, 40),
+            2 => {
+                if rng.gen_bool(0.5) {
+                    rng.gen_range_inclusive(100, 200)
+                } else {
+                    rng.gen_range_inclusive(1_000_000, 2_000_000)
+                }
+            }
+            _ => {
+                let base = rng.gen_range_inclusive(1_000, 10_000);
+                if rng.gen_bool(0.01) {
+                    base * 10_000
+                } else {
+                    base
+                }
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn merge_is_associative_commutative_and_canonical() {
+    let cfg = SketchConfig::default_scope();
+    let mut rng = SplitMix64::new(0x5CE7_C401);
+    for trial in 0..24 {
+        let n = 200 + (trial * 97) % 800;
+        let a_s = workload(&mut rng, trial, n);
+        let b_s = workload(&mut rng, trial + 1, n / 2);
+        let c_s = workload(&mut rng, trial + 2, n / 3 + 1);
+        let (a, b, c) = (
+            sketch_of(cfg, &a_s),
+            sketch_of(cfg, &b_s),
+            sketch_of(cfg, &c_s),
+        );
+
+        // Associativity: (A ∪ B) ∪ C == A ∪ (B ∪ C), exactly.
+        let left = merged(cfg, &[&merged(cfg, &[&a, &b]), &c]);
+        let right = merged(cfg, &[&a, &merged(cfg, &[&b, &c])]);
+        assert_eq!(left, right, "trial {trial}: merge must associate");
+
+        // Commutativity: A ∪ B == B ∪ A.
+        assert_eq!(
+            merged(cfg, &[&a, &b]),
+            merged(cfg, &[&b, &a]),
+            "trial {trial}: merge must commute"
+        );
+
+        // Idempotence on empty: merging the empty sketch changes
+        // nothing, in either direction.
+        let empty = QuantileSketch::new(cfg);
+        assert_eq!(merged(cfg, &[&a, &empty]), a, "trial {trial}: A ∪ ∅");
+        assert_eq!(merged(cfg, &[&empty, &a]), a, "trial {trial}: ∅ ∪ A");
+
+        // Canonical form, the property underneath all of the above:
+        // shard-then-merge equals inserting the pooled stream into one
+        // sketch. This is what lets `rollup_reconciles` use plain `==`.
+        let mut pooled: Vec<u64> = Vec::new();
+        pooled.extend_from_slice(&a_s);
+        pooled.extend_from_slice(&b_s);
+        pooled.extend_from_slice(&c_s);
+        assert_eq!(
+            left,
+            sketch_of(cfg, &pooled),
+            "trial {trial}: merged shards must equal the pooled sketch"
+        );
+    }
+}
+
+/// Exact quantile by the ceiling-rank rule on a sorted copy.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn quantiles_stay_within_the_advertised_bound() {
+    let cfg = SketchConfig::default_scope();
+    let alpha = cfg.alpha + 1e-9;
+    let mut rng = SplitMix64::new(0x5CE7_C402);
+    for trial in 0..12 {
+        let samples = workload(&mut rng, trial, 5_000);
+        let sketch = sketch_of(cfg, &samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        // Exact extremes: min and max are tracked outside the buckets.
+        assert_eq!(sketch.min(), sorted[0], "trial {trial}: exact min");
+        assert_eq!(
+            sketch.max(),
+            *sorted.last().unwrap(),
+            "trial {trial}: exact max"
+        );
+        assert_eq!(sketch.count(), samples.len() as u64);
+
+        // Every quantile within ±1 rank-percent and ±α relative value
+        // of the oracle — the acceptance bound for the whole plane.
+        // The bound is advertised for ranks served by live buckets;
+        // ranks that fell into below-window collapsed mass (possible
+        // only when a workload spans more octaves than the window, and
+        // always visible via `collapsed()`) are exempt.
+        for &q in &[0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999] {
+            let rank = (q * samples.len() as f64).ceil() as u64;
+            if rank <= sketch.collapsed() {
+                continue;
+            }
+            let got = sketch.quantile(q);
+            let lo = oracle_quantile(&sorted, (q - 0.01).max(0.0)) as f64 * (1.0 - alpha);
+            let hi = oracle_quantile(&sorted, (q + 0.01).min(1.0)) as f64 * (1.0 + alpha);
+            assert!(
+                (got as f64) >= lo && (got as f64) <= hi,
+                "trial {trial}: q={q} got {got}, oracle band [{lo:.0}, {hi:.0}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn collapse_is_accounted_never_silent() {
+    // A range wide enough to overflow any fixed window: the sketch must
+    // keep the highest keys, fold the rest into `collapsed`, and keep
+    // count()/min() exact. With γ = (1+α)/(1−α) and α = 0.01 the window
+    // spans ~2^512·ln(2)/ln(γ) octaves — force it with a tiny config.
+    let cfg = SketchConfig {
+        alpha: 0.01,
+        max_buckets: 8,
+    };
+    let mut s = QuantileSketch::new(cfg);
+    for e in 0..40u32 {
+        s.record(1u64 << e);
+    }
+    assert_eq!(s.count(), 40);
+    assert_eq!(s.min(), 1, "min survives the collapse");
+    assert_eq!(s.max(), 1 << 39);
+    assert!(s.collapsed() > 0, "window overflow must be visible");
+    assert!(s.window_len() <= 8, "window stays bounded");
+    // Collapsed mass is charged below the window: high quantiles are
+    // still served from live buckets.
+    assert!(s.p99() >= 1u64 << 38);
+}

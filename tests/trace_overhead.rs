@@ -15,7 +15,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use pa::core::{Connection, ConnectionParams, PaConfig, SendOutcome};
-use pa::obs::{DropCause, FieldRef, ProbeSink, SlowCause, TraceEvent};
+use pa::obs::{
+    DropCause, FieldRef, ProbeSink, ScopeConfig, ScopePlane, SlowCause, TraceEvent, XrayTag,
+};
 use pa::stack::StackSpec;
 use pa::wire::{ByteOrder, EndpointAddr};
 
@@ -304,4 +306,69 @@ fn untraced_connection_send_path_does_not_allocate_per_message() {
         second <= first,
         "steady-state window allocated {second} (> warm-up {first}): per-message heap growth"
     );
+}
+
+#[test]
+fn scope_plane_is_out_of_band_for_the_wire() {
+    // The pa-scope telemetry plane lives entirely beside the engine: a
+    // host records latencies into it *about* a connection, the
+    // connection itself never sees it. An untraced connection producing
+    // frames while every send is mirrored into a plane must still emit
+    // the PR 1 golden bytes — telemetry on the aggregate path cannot
+    // perturb the wire.
+    let mut plane = ScopePlane::new(ScopeConfig::default());
+    let key = plane.register("golden", "golden/conn0");
+    let mut conn = golden_conn(PaConfig::paper_default());
+    let _ = conn.send(b"12345678");
+    let f1 = conn.poll_transmit().expect("frame 1").to_wire();
+    plane.record(key, f1.len() as u64, 1_000, 0, XrayTag::none());
+    conn.process_pending();
+    let _ = conn.send(b"12345678");
+    let f2 = conn.poll_transmit().expect("frame 2").to_wire();
+    plane.record(key, f2.len() as u64, 2_000, 0, XrayTag::none());
+    assert_eq!(
+        hex(&f1),
+        GOLDEN_FIRST,
+        "wire drifted with a plane beside it"
+    );
+    assert_eq!(hex(&f2), GOLDEN_SECOND);
+    assert_eq!(plane.records(), 2);
+    assert!(plane.rollup_reconciles());
+}
+
+#[test]
+fn scope_record_path_is_allocation_free_at_steady_state() {
+    // The budget story requires it: every pa-scope structure is
+    // fixed-size after registration — sketch windows are preallocated,
+    // reservoirs hold a bounded band set, and Algorithm R replaces in
+    // place. So once the value range has been seen (bands touched,
+    // window anchored), the record path must never hit the allocator.
+    let mut plane = ScopePlane::new(ScopeConfig::default());
+    let key = plane.register("hot", "hot/conn0");
+    // Warm-up: touch every octave band and anchor the bucket window.
+    for i in 0..50_000u64 {
+        plane.record(
+            key,
+            1 + (i * 2_654_435_761) % (1 << 22),
+            i,
+            i,
+            XrayTag::none(),
+        );
+    }
+    let before = allocations();
+    for i in 0..50_000u64 {
+        plane.record(
+            key,
+            1 + (i * 2_654_435_761) % (1 << 22),
+            i,
+            i,
+            XrayTag::none(),
+        );
+    }
+    let grew = allocations() - before;
+    assert_eq!(
+        grew, 0,
+        "steady-state ScopePlane::record allocated {grew} times"
+    );
+    assert!(plane.within_budget());
 }
