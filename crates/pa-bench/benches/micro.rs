@@ -267,16 +267,9 @@ fn bench_hot_ops(name: &str, config: PaConfig) -> f64 {
     // Timer calibration: an empty span still counts roughly one clock
     // read. Both arms pay it identically, which *compresses* their
     // ratio, so it is measured here and subtracted from every batch —
-    // the comparison should be code vs code, not clock vs clock.
-    let span_overhead = {
-        let mut d = std::time::Duration::ZERO;
-        const N: u32 = 16 * 1024;
-        for _ in 0..N {
-            let t = Instant::now();
-            d += t.elapsed();
-        }
-        d / N
-    };
+    // the comparison should be code vs code, not clock vs clock. The
+    // same helper de-biases the engine's cycle meters.
+    let span_overhead = pa_obs::timer::span_overhead();
     const BATCH: u64 = 256;
     let mut histo = LatencyHisto::new();
     let mut batches = Vec::with_capacity(40);

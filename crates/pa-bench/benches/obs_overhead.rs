@@ -68,15 +68,9 @@ fn bench_hot_ops(name: &str, mut plane: Option<(&mut ScopePlane, pa_obs::ScopeKe
     for _ in 0..256 {
         echo_round_trip(&mut a, &mut b);
     }
-    let span_overhead = {
-        let mut d = std::time::Duration::ZERO;
-        const N: u32 = 16 * 1024;
-        for _ in 0..N {
-            let t = Instant::now();
-            d += t.elapsed();
-        }
-        d / N
-    };
+    // Shared calibration helper — the same one that de-biases the
+    // engine's cycle meters.
+    let span_overhead = pa_obs::timer::span_overhead();
     const BATCH: u64 = 256;
     let mut histo = LatencyHisto::new();
     let mut batches = Vec::with_capacity(40);

@@ -30,9 +30,9 @@ use pa_buf::{Backlog, ByteOrder, Msg, MsgPool, PoolStats};
 use pa_filter::{Frame, FuseStats, FusedProgram, Op, Program, ProgramBuilder, SlotId};
 use pa_obs::rng::SplitMix64;
 use pa_obs::{
-    journey_id, AttrCause, Attribution, DropCause, FieldRef, Finding, HoldRow, Invariant, MissRow,
-    MissTable, Phase, PhaseMeter, PhaseRow, ProbeSink, RejectBucket, RejectReason, SlowCause,
-    TraceEvent, XrayOp, XrayReport, XrayTag, XrayTotals,
+    journey_id, AttrCause, Attribution, DropCause, FieldRef, Finding, HoldRow, Invariant,
+    LeakCause, LeakLedger, MissRow, MissTable, Phase, PhaseMeter, PhaseRow, ProbeSink,
+    RejectBucket, RejectReason, SlowCause, TraceEvent, XrayOp, XrayReport, XrayTag, XrayTotals,
 };
 use pa_wire::{Class, CompiledLayout, Cookie, EndpointAddr, Field, LayoutBuilder, Preamble};
 use std::collections::VecDeque;
@@ -271,6 +271,16 @@ pub struct Connection {
     /// Measure wall-clock time per phase call (opt-in; off by default
     /// so the meters cost two array bumps per phase).
     cycle_metering: bool,
+    /// When set, every metered phase call is running on a later
+    /// operation's critical path (a synchronous drain, eager post
+    /// processing, a receive re-fuse) and is charged as *leaked*
+    /// instead of masked. Scopes are set/restored around the guilty
+    /// call sites; they never nest across operations.
+    leak_scope: Option<LeakCause>,
+    /// The `(layer, phase, cause)` leak multiset mirroring the leaked
+    /// sub-counts of `phase_meters`, plus engine leaks (re-fuse) the
+    /// per-layer meters cannot hold.
+    leaks: LeakLedger,
     /// Per-layer `[start, end)` instruction ranges in the send filter,
     /// for attributing a rejection to the layer that contributed the
     /// deciding instruction.
@@ -493,6 +503,8 @@ impl Connection {
             miss_table: MissTable::default(),
             phase_meters,
             cycle_metering: false,
+            leak_scope: None,
+            leaks: LeakLedger::default(),
             send_filter_spans,
             recv_filter_spans,
             last_send_explain: XrayTag::none(),
@@ -703,8 +715,22 @@ impl Connection {
 
     /// Turns on wall-clock metering of every phase call
     /// (`std::time::Instant` around each pre/post/tick callback).
+    /// Calibrates the shared timer-overhead correction
+    /// ([`pa_obs::timer::span_overhead_ns`]) once and biases every
+    /// meter with it, so short phase spans are de-biased exactly like
+    /// bench rows.
     pub fn enable_cycle_meter(&mut self) {
         self.cycle_metering = true;
+        let bias = pa_obs::timer::span_overhead_ns();
+        for m in &mut self.phase_meters {
+            m.set_bias(bias);
+        }
+    }
+
+    /// The critical-path leak ledger: post-class work that a later
+    /// operation had to wait on, keyed `(layer, phase, cause)`.
+    pub fn leaks(&self) -> &LeakLedger {
+        &self.leaks
     }
 
     /// Why the most recent send operation missed (or took) the fast
@@ -824,6 +850,9 @@ impl Connection {
                 calls: m.calls,
                 virt_ns: [0; 5],
                 cycle_ns: m.cycle_ns,
+                leaked_calls: m.leaked_calls,
+                leaked_virt_ns: [0; 5],
+                leaked_cycle_ns: m.leaked_cycle_ns,
             })
             .collect();
 
@@ -880,6 +909,18 @@ impl Connection {
                 r.ops,
                 r.byte_aligned,
                 r.field_ops
+            ));
+        }
+        if !self.leaks.is_empty() {
+            let worst = self.leaks.top().expect("non-empty ledger has a top");
+            report.notes.push(format!(
+                "critical-path leaks: {} phase calls waited on by a later \
+                 operation; worst bucket {}/{} ({}, {} calls)",
+                self.leaks.total_calls(),
+                worst.layer,
+                worst.phase.label(),
+                worst.cause,
+                worst.calls
             ));
         }
         report.rank();
@@ -1040,8 +1081,11 @@ impl Connection {
             let staged = self.new_payload_msg(payload);
             self.backlog.push(staged);
             if !self.config.lazy_post {
-                // Eager hosts never leave work pending.
-                self.process_pending();
+                // Eager hosts never leave work pending — and pay for
+                // it on the critical path, which the meters record.
+                self.with_leak_scope(LeakCause::EagerPost, |c| {
+                    c.process_pending();
+                });
             }
             return SendOutcome::Queued;
         }
@@ -1052,7 +1096,9 @@ impl Connection {
         };
         let outcome = self.send_body(body);
         if !self.config.lazy_post {
-            self.process_pending();
+            self.with_leak_scope(LeakCause::EagerPost, |c| {
+                c.process_pending();
+            });
         }
         outcome
     }
@@ -1357,7 +1403,11 @@ impl Connection {
         // reply has been delivered. Under saturation the next arrival
         // pays for the drain — the dashed-line case of Figure 4.
         if !self.pending_recv.is_empty() {
-            self.drain_recv_posts();
+            // This arrival waits on the previous frame's post-deliver
+            // phases: charge them as leaked, not masked.
+            self.with_leak_scope(LeakCause::ArrivalDrain, |c| {
+                c.drain_recv_posts();
+            });
         }
 
         // Learn the peer's byte order from its preamble; re-encode the
@@ -1373,13 +1423,28 @@ impl Connection {
             if self.peer_order_known && !preamble.conn_ident_present {
                 return self.reject(RejectReason::ByteOrderConflict);
             }
+            // A *mid-stream* order change (peer re-identified from
+            // different hardware) re-fuses a filter a delivery is
+            // already waiting on — a critical-path leak. The first
+            // learn on a fresh connection is setup cost, not a leak.
+            let midstream = self.peer_order_known && self.peer_order != preamble.byte_order;
             self.peer_order = preamble.byte_order;
             self.peer_order_known = true;
             self.recv_predict.reorder(&self.layout, self.peer_order);
             // The fused delivery filter baked the old order in; re-fuse
-            // once against the learned one.
+            // once against the learned one. The delivery that triggered
+            // the re-fuse waits on it — engine work the per-layer
+            // meters cannot hold, so it goes straight to the leak
+            // ledger as `("pa", recv-refuse)`.
+            let t0 = self.meter_start();
             self.recv_fused = FusedProgram::fuse(&self.recv_filter, &self.layout, self.peer_order);
             self.fuse_count += 1;
+            if midstream {
+                let bias = self.phase_meters.first().map_or(0, |m| m.bias_ns);
+                let ns = t0.map_or(0, |t| (t.elapsed().as_nanos() as u64).saturating_sub(bias));
+                self.leaks
+                    .bump("pa", Phase::PreDeliver, LeakCause::RecvRefuse, 1, ns);
+            }
         }
 
         if !Frame::fits(&frame, &self.layout) {
@@ -1547,7 +1612,9 @@ impl Connection {
 
     fn finish_delivery(&mut self) {
         if !self.config.lazy_post {
-            self.process_pending();
+            self.with_leak_scope(LeakCause::EagerPost, |c| {
+                c.process_pending();
+            });
         }
     }
 
@@ -1890,13 +1957,33 @@ impl Connection {
     }
 
     /// Records one phase invocation for `layer_idx`, folding in the
-    /// elapsed wall-clock nanoseconds when `t0` carries a sample.
+    /// elapsed wall-clock nanoseconds when `t0` carries a sample. Runs
+    /// inside an active leak scope, the invocation is additionally
+    /// flagged leaked in the meter and mirrored — same count, same
+    /// de-biased nanoseconds — into the leak ledger, so the two stay
+    /// exactly reconcilable.
     #[inline]
     fn meter_record(&mut self, layer_idx: usize, phase: Phase, t0: Option<std::time::Instant>) {
         let dt = t0.map(|t| t.elapsed().as_nanos() as u64);
-        if let Some(meter) = self.phase_meters.get_mut(layer_idx) {
-            meter.record(phase, dt);
+        let leaked = self.leak_scope;
+        let Some(meter) = self.phase_meters.get_mut(layer_idx) else {
+            return;
+        };
+        let charged = meter.record_flagged(phase, dt, leaked.is_some());
+        if let Some(cause) = leaked {
+            let layer = self.layers.get(layer_idx).map_or("?", |l| l.name());
+            self.leaks.bump(layer, phase, cause, 1, charged);
         }
+    }
+
+    /// Runs `f` with the critical-path leak scope set to `cause`,
+    /// restoring the previous scope afterwards. Every phase call
+    /// metered inside is charged as leaked.
+    fn with_leak_scope<T>(&mut self, cause: LeakCause, f: impl FnOnce(&mut Self) -> T) -> T {
+        let prev = self.leak_scope.replace(cause);
+        let out = f(self);
+        self.leak_scope = prev;
+        out
     }
 
     /// Applies a layer's requested side effects. `layer_idx` is the
@@ -2170,7 +2257,9 @@ impl Connection {
         }
         self.run_work();
         if !self.config.lazy_post {
-            self.process_pending();
+            self.with_leak_scope(LeakCause::EagerPost, |c| {
+                c.process_pending();
+            });
         }
     }
 }

@@ -53,12 +53,22 @@
 //!   top-N ranking, and a Prometheus exposition with OpenMetrics
 //!   exemplar annotations;
 //! - [`watchdog`] — the virtual-time health sampler ([`Watchdog`]):
-//!   stall, delivery-ledger, and SLO-burn detection feeding
-//!   [`FlightRecorder`] postmortems.
+//!   stall, delivery-ledger, SLO-burn, and mask-leak detection feeding
+//!   [`FlightRecorder`] postmortems;
+//! - [`critpath`] — critical-path masking analysis: every measured
+//!   cycle attributed to exactly one of {on-path, masked, leaked}
+//!   ([`MaskingLedger`], with exact conservation against the
+//!   [`PhaseMeter`]s), per-message causal DAGs ([`CritDag`]) with
+//!   critical-path extraction, the `(layer, phase, cause)`
+//!   [`LeakLedger`], and a Chrome/Perfetto trace-event exporter
+//!   ([`perfetto_trace`] / [`validate_trace_json`]);
+//! - [`timer`] — the shared `Instant` span-overhead calibration used
+//!   by both the bench harness and the cycle meters.
 //!
 //! pa-obs sits below every other crate in the workspace and has no
 //! dependencies, so any layer can emit events without cycles.
 
+pub mod critpath;
 pub mod event;
 pub mod exemplar;
 pub mod histo;
@@ -70,10 +80,15 @@ pub mod rng;
 pub mod scope;
 pub mod sketch;
 pub mod snapshot;
+pub mod timer;
 pub mod timeseries;
 pub mod watchdog;
 pub mod xray;
 
+pub use critpath::{
+    perfetto_trace, validate_trace_json, CritDag, CritNode, LeakCause, LeakEntry, LeakLedger,
+    MaskDomain, MaskRow, MaskingLedger, WorkClass,
+};
 pub use event::{DropCause, FieldRef, Invariant, Nanos, SlowCause, TraceEvent};
 pub use exemplar::{octave_of, Exemplar, ExemplarSet};
 pub use histo::{HistoSummary, LatencyHisto};

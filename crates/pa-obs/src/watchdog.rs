@@ -36,6 +36,10 @@ pub struct WatchdogConfig {
     pub burn_windows: u32,
     /// Consecutive no-progress-with-backlog samples before an alert.
     pub stall_windows: u32,
+    /// Leaked share of protocol work (pa_obs::critpath) tolerated, in
+    /// permille. 0 turns mask-leak detection off. Uses the same
+    /// consecutive-window count as SLO burn (`burn_windows`).
+    pub max_leak_permille: u64,
     /// Alerts retained (older ones are counted, not stored).
     pub max_alerts: usize,
 }
@@ -47,6 +51,7 @@ impl Default for WatchdogConfig {
             slo_p99_ns: 0,
             burn_windows: 3,
             stall_windows: 3,
+            max_leak_permille: 0,
             max_alerts: 16,
         }
     }
@@ -68,6 +73,9 @@ pub struct WatchInput {
     pub ledger_ok: bool,
     /// Cluster-level p99 from the scope plane (0 if no samples yet).
     pub p99_ns: u64,
+    /// Leaked share of protocol work in permille, from the masking
+    /// ledger (pa_obs::critpath). 0 when no critpath analysis runs.
+    pub leak_permille: u64,
 }
 
 /// One detected failure.
@@ -91,6 +99,15 @@ pub enum WatchAlert {
         /// The configured objective.
         slo_ns: u64,
     },
+    /// Post-phase work kept leaking onto the critical path.
+    MaskLeak {
+        /// Consecutive leaking windows.
+        windows: u32,
+        /// The leaked share observed at detection, in permille.
+        permille: u64,
+        /// The configured tolerance, in permille.
+        limit: u64,
+    },
 }
 
 impl WatchAlert {
@@ -100,6 +117,7 @@ impl WatchAlert {
             WatchAlert::Stall { .. } => "stall",
             WatchAlert::LedgerBreak => "ledger-break",
             WatchAlert::SloBurn { .. } => "slo-burn",
+            WatchAlert::MaskLeak { .. } => "mask-leak",
         }
     }
 }
@@ -122,6 +140,14 @@ impl fmt::Display for WatchAlert {
                 f,
                 "slo-burn: p99={p99_ns}ns over objective {slo_ns}ns for {windows} windows"
             ),
+            WatchAlert::MaskLeak {
+                windows,
+                permille,
+                limit,
+            } => write!(
+                f,
+                "mask-leak: {permille}‰ of protocol work on the critical path (limit {limit}‰) for {windows} windows"
+            ),
         }
     }
 }
@@ -135,6 +161,7 @@ pub struct Watchdog {
     last_progress: u64,
     stall_streak: u32,
     burn_streak: u32,
+    leak_streak: u32,
     ledger_broken: bool,
     samples: u64,
     alerts: Vec<(Nanos, WatchAlert)>,
@@ -150,6 +177,7 @@ impl Watchdog {
             last_progress: 0,
             stall_streak: 0,
             burn_streak: 0,
+            leak_streak: 0,
             ledger_broken: false,
             samples: 0,
             alerts: Vec::new(),
@@ -209,6 +237,19 @@ impl Watchdog {
             self.burn_streak = 0;
         }
 
+        if self.cfg.max_leak_permille > 0 && input.leak_permille > self.cfg.max_leak_permille {
+            self.leak_streak += 1;
+            if self.leak_streak == self.cfg.burn_windows {
+                fired.push(WatchAlert::MaskLeak {
+                    windows: self.leak_streak,
+                    permille: input.leak_permille,
+                    limit: self.cfg.max_leak_permille,
+                });
+            }
+        } else {
+            self.leak_streak = 0;
+        }
+
         self.last_at = Some(input.at);
         self.last_progress = input.progress;
         for alert in &fired {
@@ -258,6 +299,7 @@ mod tests {
             backlog,
             ledger_ok: true,
             p99_ns: 100,
+            leak_permille: 0,
         }
     }
 
@@ -339,6 +381,7 @@ mod tests {
             backlog: 0,
             ledger_ok: true,
             p99_ns: 5_000,
+            leak_permille: 0,
         };
         assert!(w.observe(hot(0, 1)).is_empty());
         let fired = w.observe(hot(1_000_000, 2));
@@ -353,6 +396,39 @@ mod tests {
         // A cool sample resets the streak.
         assert!(w.observe(input(2_000_000, 3, 0)).is_empty());
         assert_eq!(w.burn_streak, 0);
+    }
+
+    #[test]
+    fn mask_leak_needs_consecutive_windows_and_resets() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            max_leak_permille: 50,
+            burn_windows: 2,
+            ..WatchdogConfig::default()
+        });
+        let leaky = |at, progress| WatchInput {
+            leak_permille: 400,
+            ..input(at, progress, 0)
+        };
+        assert!(w.observe(leaky(0, 1)).is_empty());
+        let fired = w.observe(leaky(1_000_000, 2));
+        assert_eq!(
+            fired,
+            vec![WatchAlert::MaskLeak {
+                windows: 2,
+                permille: 400,
+                limit: 50
+            }]
+        );
+        // A clean sample resets the streak; the alert can re-fire.
+        assert!(w.observe(input(2_000_000, 3, 0)).is_empty());
+        assert_eq!(w.leak_streak, 0);
+        assert!(w.observe(leaky(3_000_000, 4)).is_empty());
+        assert_eq!(w.observe(leaky(4_000_000, 5)).len(), 1);
+        // Off by default: permille never trips a zero limit.
+        let mut off = Watchdog::new(WatchdogConfig::default());
+        assert!(off.observe(leaky(0, 1)).is_empty());
+        assert!(off.observe(leaky(1_000_000, 2)).is_empty());
+        assert!(off.observe(leaky(2_000_000, 3)).is_empty());
     }
 
     #[test]

@@ -381,6 +381,12 @@ impl Phase {
 
 /// Per-layer phase execution meters: call counts always, measured
 /// cycle time (`std::time::Instant`) when the host opts in.
+///
+/// Each phase bucket additionally tracks its *leaked* sub-count: the
+/// invocations (and their time) that ran inside a critical-path leak
+/// scope — see `pa_obs::critpath`. Leaked counts are always `<=` the
+/// totals, so `total - leaked` and `leaked` partition every bucket
+/// exactly; the masking ledger's conservation check rides on that.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseMeter {
     /// Invocations of each phase, indexed by [`Phase`].
@@ -388,20 +394,61 @@ pub struct PhaseMeter {
     /// Measured wall-clock nanoseconds per phase (0 unless cycle
     /// metering was enabled).
     pub cycle_ns: [u64; 5],
+    /// Invocations that ran inside a critical-path leak scope.
+    pub leaked_calls: [u64; 5],
+    /// Measured nanoseconds of the leaked invocations.
+    pub leaked_cycle_ns: [u64; 5],
+    /// Per-span timer overhead subtracted from each measured span
+    /// (`pa_obs::timer::span_overhead_ns`, set by the host when it
+    /// enables cycle metering). 0 = no correction.
+    pub bias_ns: u64,
 }
 
 impl PhaseMeter {
     /// Records one invocation of `phase`, optionally with measured time.
     pub fn record(&mut self, phase: Phase, cycle_ns: Option<u64>) {
-        self.calls[phase as usize] += 1;
-        if let Some(ns) = cycle_ns {
-            self.cycle_ns[phase as usize] += ns;
+        self.record_flagged(phase, cycle_ns, false);
+    }
+
+    /// Records one invocation, marking it leaked if it ran inside a
+    /// critical-path leak scope. Returns the de-biased nanoseconds
+    /// actually charged (0 when unmetered), so the caller can charge
+    /// the same figure to a leak ledger without re-measuring.
+    pub fn record_flagged(&mut self, phase: Phase, cycle_ns: Option<u64>, leaked: bool) -> u64 {
+        let i = phase as usize;
+        self.calls[i] += 1;
+        let ns = cycle_ns.map_or(0, |ns| ns.saturating_sub(self.bias_ns));
+        if cycle_ns.is_some() {
+            self.cycle_ns[i] += ns;
         }
+        if leaked {
+            self.leaked_calls[i] += 1;
+            if cycle_ns.is_some() {
+                self.leaked_cycle_ns[i] += ns;
+            }
+        }
+        ns
+    }
+
+    /// Sets the timer-overhead correction applied to every later
+    /// measured span (see `pa_obs::timer`).
+    pub fn set_bias(&mut self, ns: u64) {
+        self.bias_ns = ns;
     }
 
     /// Total invocations across phases.
     pub fn total_calls(&self) -> u64 {
         self.calls.iter().sum()
+    }
+
+    /// Total measured nanoseconds across phases.
+    pub fn total_cycle_ns(&self) -> u64 {
+        self.cycle_ns.iter().sum()
+    }
+
+    /// Total leaked invocations across phases.
+    pub fn total_leaked_calls(&self) -> u64 {
+        self.leaked_calls.iter().sum()
     }
 }
 
@@ -544,6 +591,14 @@ pub struct PhaseRow {
     /// Measured wall-clock nanoseconds (0 unless cycle metering was
     /// on).
     pub cycle_ns: [u64; 5],
+    /// Invocations that ran inside a critical-path leak scope
+    /// (`<= calls` per phase; see `pa_obs::critpath`).
+    pub leaked_calls: [u64; 5],
+    /// Virtual-time price of the leaked invocations (filled by the
+    /// same cost model that prices `virt_ns`).
+    pub leaked_virt_ns: [u64; 5],
+    /// Measured nanoseconds of the leaked invocations.
+    pub leaked_cycle_ns: [u64; 5],
 }
 
 /// A resolved prediction-miss forensics row.
@@ -741,6 +796,29 @@ impl XrayReport {
                     sum(Phase::PostDeliver) as f64 / 1_000.0,
                 ));
             }
+            let leaked_calls: u64 = self
+                .phases
+                .iter()
+                .map(|r| r.leaked_calls.iter().sum::<u64>())
+                .sum();
+            if leaked_calls > 0 {
+                let leaked_ns: u64 = self
+                    .phases
+                    .iter()
+                    .map(|r| {
+                        if priced {
+                            r.leaked_virt_ns.iter().sum::<u64>()
+                        } else {
+                            r.leaked_cycle_ns.iter().sum::<u64>()
+                        }
+                    })
+                    .sum();
+                s.push_str(&format!(
+                    "  !! critical-path leaks: {} phase calls ({:.1}µs) ran where a delivery had to wait (see masking ledger)\n",
+                    leaked_calls,
+                    leaked_ns as f64 / 1_000.0
+                ));
+            }
         }
 
         for note in &self.notes {
@@ -806,6 +884,23 @@ mod tests {
         assert_eq!(p.calls[Phase::PostDeliver as usize], 1);
         assert_eq!(p.cycle_ns[Phase::PostDeliver as usize], 1_500);
         assert_eq!(p.total_calls(), 2);
+    }
+
+    #[test]
+    fn phase_meter_tracks_leaks_and_debiases() {
+        let mut p = PhaseMeter::default();
+        p.set_bias(100);
+        let charged = p.record_flagged(Phase::PostDeliver, Some(1_500), true);
+        assert_eq!(charged, 1_400, "timer overhead subtracted");
+        p.record_flagged(Phase::PostDeliver, Some(1_000), false);
+        assert_eq!(p.calls[Phase::PostDeliver as usize], 2);
+        assert_eq!(p.cycle_ns[Phase::PostDeliver as usize], 2_300);
+        assert_eq!(p.leaked_calls[Phase::PostDeliver as usize], 1);
+        assert_eq!(p.leaked_cycle_ns[Phase::PostDeliver as usize], 1_400);
+        // Bias never drives a span negative.
+        let charged = p.record_flagged(Phase::Tick, Some(40), true);
+        assert_eq!(charged, 0);
+        assert_eq!(p.total_leaked_calls(), 2);
     }
 
     #[test]

@@ -34,8 +34,9 @@ use crate::multi::ClusterSim;
 use crate::sim::SimConfig;
 use crate::Nanos;
 use pa_obs::{
-    AttrEntry, FlightRecorder, MetricsSnapshot, QuantileSketch, RejectLedger, ScopeConfig,
-    ScopePlane, WatchInput, Watchdog, WatchdogConfig,
+    AttrEntry, FlightRecorder, LeakLedger, MaskDomain, MaskingLedger, MetricsSnapshot, Phase,
+    QuantileSketch, RejectLedger, ScopeConfig, ScopePlane, WatchInput, Watchdog, WatchdogConfig,
+    WorkClass,
 };
 use pa_unet::FaultConfig;
 
@@ -131,6 +132,13 @@ pub struct ChurnSim {
     /// Slow-path attribution merged over every connection: where the
     /// per-(layer, cause) overhead concentrated.
     pub holds: Vec<AttrEntry>,
+    /// Masking attribution merged over every connection of every wave
+    /// (virtual-time domain): on-path vs masked vs leaked work, plus
+    /// the engine's per-op fast-path cost as on-path rows.
+    pub masking: MaskingLedger,
+    /// Critical-path leaks merged over every connection: which
+    /// `(layer, phase, cause)` buckets a later delivery had to wait on.
+    pub leaks: LeakLedger,
     clock: Nanos,
     waves_run: usize,
     conn_seq: usize,
@@ -154,6 +162,8 @@ impl ChurnSim {
             expected: 0,
             rejects: RejectLedger::new(),
             holds: Vec::new(),
+            masking: MaskingLedger::empty("churn", MaskDomain::Virtual),
+            leaks: LeakLedger::default(),
             clock: 0,
             waves_run: 0,
             conn_seq: 0,
@@ -234,9 +244,19 @@ impl ChurnSim {
         self.merged
             .merge(wave.scope_plane().expect("attached").cluster().sketch());
 
-        // Aggregate the wave's reject taxonomy, attribution, and
-        // ledger health from both sides of every connection.
+        // Aggregate the wave's reject taxonomy, attribution, masking
+        // ledger, and ledger health from both sides of every
+        // connection. One cost model prices every conn's phase table
+        // (same stack throughout the wave).
         let mut wave_ledger_ok = true;
+        let cost = (sim_cfg.cost)(
+            wave.clients[0]
+                .conn
+                .layer_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
         for conn in wave
             .clients
             .iter()
@@ -256,6 +276,27 @@ impl ChurnSim {
                     None => self.holds.push(*e),
                 }
             }
+            let mut report = conn.xray_report();
+            cost.price_report(&mut report);
+            let mut ml = MaskingLedger::from_phases("churn", &report.phases, MaskDomain::Virtual);
+            let sends = stats.fast_sends + stats.slow_sends;
+            let delivers = stats.fast_deliveries + stats.slow_deliveries;
+            ml.push_engine(
+                "engine/send",
+                Phase::PreSend,
+                WorkClass::OnPath,
+                sends,
+                sends * cost.fast_send(),
+            );
+            ml.push_engine(
+                "engine/deliver",
+                Phase::PreDeliver,
+                WorkClass::OnPath,
+                delivers,
+                delivers * cost.fast_deliver(),
+            );
+            self.masking.merge(&ml);
+            self.leaks.merge(conn.leaks());
         }
         self.ledger_ok &= wave_ledger_ok;
 
@@ -268,6 +309,7 @@ impl ChurnSim {
             backlog: wave_expected - wave.completed,
             ledger_ok: wave_ledger_ok,
             p99_ns: self.plane.cluster().sketch().p99(),
+            leak_permille: self.masking.leak_permille(),
         });
 
         self.clock = wave_end;
@@ -298,6 +340,9 @@ impl ChurnSim {
         snap.record("churn", "completed", self.completed);
         snap.record("churn", "expected", self.expected);
         snap.record("churn", "lost", self.expected - self.completed);
+        snap.record("masking", "masked_permille", self.masking.masked_permille());
+        snap.record("masking", "leak_permille", self.masking.leak_permille());
+        snap.record("masking", "leaked_calls", self.leaks.total_calls());
         for (reason, n) in self.rejects.iter() {
             if n > 0 {
                 snap.record("rejects", reason.label(), n);

@@ -242,8 +242,12 @@ impl CostModel {
     pub fn price_report(&self, report: &mut XrayReport) {
         for row in &mut report.phases {
             for phase in Phase::ALL {
-                row.virt_ns[phase as usize] =
-                    row.calls[phase as usize] * self.phase_cost(&row.layer, phase);
+                let unit = self.phase_cost(&row.layer, phase);
+                row.virt_ns[phase as usize] = row.calls[phase as usize] * unit;
+                // Leaked sub-counts get the same per-invocation price,
+                // so `leaked_virt_ns <= virt_ns` holds bucket by bucket
+                // and the masking ledger's conservation stays exact.
+                row.leaked_virt_ns[phase as usize] = row.leaked_calls[phase as usize] * unit;
             }
         }
     }
@@ -332,8 +336,7 @@ mod tests {
             report.phases.push(PhaseRow {
                 layer: name.to_string(),
                 calls: [0, 1, 0, 1, 3],
-                virt_ns: [0; 5],
-                cycle_ns: [0; 5],
+                ..Default::default()
             });
         }
         m.price_report(&mut report);

@@ -19,8 +19,9 @@ use crate::node::{NodeEvent, NodeSim, PostSchedule, Stamp};
 use crate::Nanos;
 use pa_core::{Connection, ConnectionParams, PaConfig};
 use pa_obs::{
-    FlightRecorder, JourneySet, MetricsSnapshot, ProbeSink, ScopeConfig, ScopeKey, ScopePlane,
-    WatchInput, Watchdog, WatchdogConfig,
+    CritDag, CritNode, FlightRecorder, Journey, JourneySet, MaskDomain, MaskingLedger,
+    MetricsSnapshot, Phase, ProbeSink, ScopeConfig, ScopeKey, ScopePlane, WatchInput, Watchdog,
+    WatchdogConfig, WorkClass, XrayTag,
 };
 use pa_stack::StackSpec;
 use pa_unet::{FaultConfig, LinkProfile, Netif, SimNet};
@@ -91,6 +92,18 @@ impl SimConfig {
         cfg.pa.trace_ctx = true;
         cfg
     }
+
+    /// The forced-leak regression scenario: the paper config with lazy
+    /// post-processing off, so every post phase runs synchronously
+    /// inside the send/deliver/tick that triggered it — §3.1's masking
+    /// rule broken on purpose, pinning post-phase work onto the
+    /// critical path. The leak detector must charge all of it to
+    /// `(layer, eager-post)` and the masking ratio must collapse.
+    pub fn forced_leak() -> SimConfig {
+        let mut cfg = SimConfig::paper();
+        cfg.pa.lazy_post = false;
+        cfg
+    }
 }
 
 /// A timestamped event for the Figure 4 timeline.
@@ -116,6 +129,28 @@ struct AppEvent {
 struct ScopeState {
     plane: ScopePlane,
     keys: [ScopeKey; 2],
+}
+
+/// The attached critical-path telemetry: a *dedicated* scope plane
+/// (masking permille samples merged into the latency plane's cluster
+/// sketch would wreck its quantiles and its roll-up reconciliation)
+/// holding one masking-ratio series per node under the `mask`
+/// endpoint and one on-path-cost series per (layer, node) under
+/// `onpath/<layer>`.
+struct CritState {
+    plane: ScopePlane,
+    /// Sampling cadence in virtual ns.
+    cadence: Nanos,
+    /// Last sample instant.
+    last_at: Option<Nanos>,
+    /// Per-node masking-ratio series (each sample is a permille).
+    mask_keys: [ScopeKey; 2],
+    /// Per-node `(layer name, series key)` on-path-cost series (each
+    /// sample is the on-path ns that layer accrued since the previous
+    /// sample).
+    layer_keys: [Vec<(String, ScopeKey)>; 2],
+    /// Cumulative per-layer on-path ns at the previous sample.
+    last_onpath: [Vec<u64>; 2],
 }
 
 /// The two-node simulator.
@@ -157,6 +192,8 @@ pub struct TwoNodeSim {
     /// The health watchdog, if attached: samples progress/backlog/
     /// ledger/p99 on its own virtual-time cadence.
     watchdog: Option<Watchdog>,
+    /// The critical-path masking telemetry, if attached.
+    critpath: Option<CritState>,
     /// Consecutive flight-recorder samples each node's send path has
     /// been wedged (backlog non-empty, prediction disabled, nothing
     /// pending to re-enable it) — the disable-counter invariant.
@@ -217,6 +254,7 @@ impl TwoNodeSim {
             recorder: None,
             scope: None,
             watchdog: None,
+            critpath: None,
             wedge_samples: [0, 0],
         }
     }
@@ -302,6 +340,281 @@ impl TwoNodeSim {
     /// The attached watchdog, if any.
     pub fn watchdog(&self) -> Option<&Watchdog> {
         self.watchdog.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Critical-path masking analysis
+    // ------------------------------------------------------------------
+
+    /// Attaches the critical-path telemetry plane: every `cadence`
+    /// virtual ns (and on [`TwoNodeSim::force_critpath_sample`]) each
+    /// node's cumulative masking ratio is sampled as a permille into
+    /// the `mask` endpoint, and each layer's freshly accrued on-path
+    /// cost into `onpath/<layer>`. A dedicated plane — never the
+    /// latency plane from [`TwoNodeSim::attach_scope`] — so the two
+    /// unit domains cannot pollute each other's quantiles. Attaching
+    /// it changes no wire bytes and no engine decisions.
+    pub fn attach_critpath(&mut self, cfg: ScopeConfig, cadence: Nanos) {
+        let mut plane = ScopePlane::new(cfg);
+        let mask_keys = [
+            plane.register("mask", "mask/node0"),
+            plane.register("mask", "mask/node1"),
+        ];
+        let names = self.nodes[0].conn.layer_names();
+        let mk = |plane: &mut ScopePlane, node: usize| {
+            names
+                .iter()
+                .map(|l| {
+                    let key =
+                        plane.register(&format!("onpath/{l}"), &format!("onpath/{l}/node{node}"));
+                    (l.to_string(), key)
+                })
+                .collect::<Vec<_>>()
+        };
+        let layer_keys = [mk(&mut plane, 0), mk(&mut plane, 1)];
+        self.critpath = Some(CritState {
+            plane,
+            cadence,
+            last_at: None,
+            mask_keys,
+            layer_keys,
+            last_onpath: [vec![0; names.len()], vec![0; names.len()]],
+        });
+    }
+
+    /// The attached critical-path plane, if any.
+    pub fn critpath_plane(&self) -> Option<&ScopePlane> {
+        self.critpath.as_ref().map(|c| &c.plane)
+    }
+
+    /// The masking ledger of one node in the virtual-time domain:
+    /// every priced phase call attributed to exactly one of {on-path,
+    /// masked, leaked}, from the same priced phase table that
+    /// [`TwoNodeSim::xray_report`] renders — so
+    /// [`MaskingLedger::conserves`] against that table is exact. On
+    /// top of the per-layer rows it adds *engine* rows (marked so
+    /// conservation skips them): the fast-path engine cost of every
+    /// send and delivery as on-path work, and any mid-stream receive
+    /// re-fuses the engine charged to the leak ledger.
+    pub fn masking_ledger(&self, node: usize) -> MaskingLedger {
+        let report = self.nodes[node].xray_report();
+        let mut ml =
+            MaskingLedger::from_phases(&format!("node{node}"), &report.phases, MaskDomain::Virtual);
+        let stats = self.nodes[node].conn.stats();
+        let cost = &self.nodes[node].cost;
+        let sends = stats.fast_sends + stats.slow_sends;
+        let delivers = stats.fast_deliveries + stats.slow_deliveries;
+        ml.push_engine(
+            "engine/send",
+            Phase::PreSend,
+            WorkClass::OnPath,
+            sends,
+            sends * cost.fast_send(),
+        );
+        ml.push_engine(
+            "engine/deliver",
+            Phase::PreDeliver,
+            WorkClass::OnPath,
+            delivers,
+            delivers * cost.fast_deliver(),
+        );
+        // Engine-level leaks (receive re-fuse) have no virtual price in
+        // the cost model; the call counts still surface in the ledger.
+        for e in &self.nodes[node].conn.leaks().entries {
+            if e.layer == "pa" {
+                ml.push_engine("engine/refuse", e.phase, WorkClass::Leaked, e.calls, 0);
+            }
+        }
+        ml
+    }
+
+    /// Both nodes' masking ledgers merged.
+    pub fn masking_ledger_all(&self) -> MaskingLedger {
+        let mut ml = self.masking_ledger(0);
+        ml.merge(&self.masking_ledger(1));
+        ml
+    }
+
+    /// The run's current critical-path leak rate in permille of all
+    /// attributed work (both nodes).
+    pub fn leak_permille(&self) -> u64 {
+        self.masking_ledger_all().leak_permille()
+    }
+
+    /// One cadence-gated critical-path sampling pass.
+    fn sample_critpath(&mut self, now: Nanos) {
+        let due = match &self.critpath {
+            Some(cs) => cs.last_at.is_none_or(|t| now >= t + cs.cadence),
+            None => false,
+        };
+        if due {
+            self.force_critpath_sample(now);
+        }
+    }
+
+    /// Takes one critical-path telemetry sample right now (also runs
+    /// on the attached cadence inside [`TwoNodeSim::run_until`]; call
+    /// this after a run ends to capture the final state). No-op when
+    /// [`TwoNodeSim::attach_critpath`] was never called.
+    pub fn force_critpath_sample(&mut self, now: Nanos) {
+        if self.critpath.is_none() {
+            return;
+        }
+        let ledgers = [self.masking_ledger(0), self.masking_ledger(1)];
+        let cs = self.critpath.as_mut().expect("checked above");
+        cs.last_at = Some(now);
+        for (node, ml) in ledgers.iter().enumerate() {
+            cs.plane.record(
+                cs.mask_keys[node],
+                ml.masked_permille(),
+                now,
+                0,
+                XrayTag::none(),
+            );
+            for (i, (layer, key)) in cs.layer_keys[node].iter().enumerate() {
+                let cum: u64 = ml
+                    .rows
+                    .iter()
+                    .filter(|r| !r.engine && r.layer == *layer)
+                    .map(|r| r.on_path_ns)
+                    .sum();
+                let delta = cum.saturating_sub(cs.last_onpath[node][i]);
+                cs.last_onpath[node][i] = cum;
+                // Zero-delta windows mean the layer stayed entirely off
+                // the critical path — the healthy steady state. Only
+                // actual on-path work becomes a sample, so the series
+                // quantiles describe the cost *when it happens*.
+                if delta > 0 {
+                    cs.plane.record(*key, delta, now, 0, XrayTag::none());
+                }
+            }
+        }
+    }
+
+    /// Reconstructs per-message causal DAGs from the traced journeys
+    /// (at most `limit`, in reconstruction order; empty when
+    /// [`TwoNodeSim::enable_tracing`] was off). Each observed hop
+    /// contributes the on-path chain *send → wire → demux+deliver*
+    /// with the cost model's fast-path durations anchored to the
+    /// hop's trace timestamps, the deferred post-send/post-deliver
+    /// work as masked nodes on lane 1 with happens-before edges from
+    /// their trigger, and a deliver→send edge into the next hop. In a
+    /// forced-leak run ([`SimConfig::forced_leak`]) the post nodes
+    /// instead sit *on* the chain as leaked work — exactly how the
+    /// leak looked to the wire.
+    pub fn critpath_dags(&self, limit: usize) -> Vec<CritDag> {
+        let set = self.journeys();
+        let eager = !self.nodes[0].conn.config().lazy_post;
+        // Trace rings are labelled with the connection's host id.
+        let host0 = self.nodes[0].conn.local_addr().host_id() as u32;
+        set.journeys()
+            .iter()
+            .take(limit)
+            .map(|j| self.journey_dag(j, eager, host0))
+            .collect()
+    }
+
+    fn journey_dag(&self, j: &Journey, eager: bool, host0: u32) -> CritDag {
+        let host = |label: u32| usize::from(label != host0);
+        let mut dag = CritDag::new();
+        // Tail of the on-path chain from the previous hop (the deliver
+        // node, or in eager mode the leaked post-deliver it waits on).
+        let mut prev: Option<usize> = None;
+        for leg in &j.hops {
+            let sender = host(leg.sent_conn);
+            let cost = &self.nodes[sender].cost;
+            let (fs, ps) = (cost.fast_send(), cost.post_send_frame());
+            let send_end = if eager {
+                leg.sent_at.saturating_sub(ps)
+            } else {
+                leg.sent_at
+            };
+            let send = dag.node(CritNode {
+                label: format!("send-pre+filter h{}", leg.hop),
+                host: sender as u32,
+                lane: 0,
+                class: WorkClass::OnPath,
+                start: send_end.saturating_sub(fs),
+                dur: fs,
+            });
+            if let Some(p) = prev {
+                dag.edge(p, send);
+            }
+            let mut chain = send;
+            if eager {
+                // Post-send ran synchronously before the frame left.
+                let post = dag.node(CritNode {
+                    label: format!("post-send h{} (leaked)", leg.hop),
+                    host: sender as u32,
+                    lane: 0,
+                    class: WorkClass::Leaked,
+                    start: send_end,
+                    dur: ps,
+                });
+                dag.edge(send, post);
+                chain = post;
+            } else {
+                let post = dag.node(CritNode {
+                    label: format!("post-send h{}", leg.hop),
+                    host: sender as u32,
+                    lane: 1,
+                    class: WorkClass::Masked,
+                    start: leg.sent_at,
+                    dur: ps,
+                });
+                dag.edge(send, post);
+            }
+            let Some(recv_at) = leg.recv_at else {
+                // Lost on the wire: the chain ends here.
+                prev = None;
+                continue;
+            };
+            let receiver = leg.recv_conn.map(host).unwrap_or(1 - sender);
+            let rcost = &self.nodes[receiver].cost;
+            let (fd, pd) = (rcost.fast_deliver(), rcost.post_deliver_frame());
+            let wire = dag.node(CritNode {
+                label: format!("wire h{}", leg.hop),
+                host: sender as u32,
+                lane: 0,
+                class: WorkClass::OnPath,
+                start: leg.sent_at,
+                dur: recv_at.saturating_sub(fd).saturating_sub(leg.sent_at),
+            });
+            dag.edge(chain, wire);
+            let deliver = dag.node(CritNode {
+                label: format!("demux+filter+deliver h{}", leg.hop),
+                host: receiver as u32,
+                lane: 0,
+                class: WorkClass::OnPath,
+                start: recv_at.saturating_sub(fd),
+                dur: fd,
+            });
+            dag.edge(wire, deliver);
+            if eager {
+                let post = dag.node(CritNode {
+                    label: format!("post-deliver h{} (leaked)", leg.hop),
+                    host: receiver as u32,
+                    lane: 0,
+                    class: WorkClass::Leaked,
+                    start: recv_at,
+                    dur: pd,
+                });
+                dag.edge(deliver, post);
+                prev = Some(post);
+            } else {
+                let post = dag.node(CritNode {
+                    label: format!("post-deliver h{}", leg.hop),
+                    host: receiver as u32,
+                    lane: 1,
+                    class: WorkClass::Masked,
+                    start: recv_at,
+                    dur: pd,
+                });
+                dag.edge(deliver, post);
+                prev = Some(deliver);
+            }
+        }
+        dag
     }
 
     /// A priced [`pa_obs::XrayReport`] for one node, joined with the
@@ -703,6 +1016,11 @@ impl TwoNodeSim {
             if self.watchdog.is_some() {
                 self.observe_watchdog(now);
             }
+
+            // 7. Critical-path sampling (no-op when not attached).
+            if self.critpath.is_some() {
+                self.sample_critpath(now);
+            }
         }
     }
 
@@ -714,6 +1032,19 @@ impl TwoNodeSim {
         if !self.watchdog.as_ref().is_some_and(|wd| wd.due(now)) {
             return;
         }
+        // Ledger construction allocates; only pay for it when someone
+        // consumes the leak rate (the mask-leak detector, or the
+        // critpath plane is attached and an operator will look).
+        let leak_permille = if self.critpath.is_some()
+            || self
+                .watchdog
+                .as_ref()
+                .is_some_and(|wd| wd.config().max_leak_permille > 0)
+        {
+            self.leak_permille()
+        } else {
+            0
+        };
         let input = WatchInput {
             at: now,
             progress: self.delivered[0] + self.delivered[1] + self.round_trips,
@@ -727,6 +1058,7 @@ impl TwoNodeSim {
                 .as_ref()
                 .map(|s| s.plane.cluster().sketch().p99())
                 .unwrap_or(0),
+            leak_permille,
         };
         let alerts = self
             .watchdog

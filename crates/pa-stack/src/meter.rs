@@ -33,6 +33,12 @@ pub struct MeterCounters {
 #[derive(Debug, Default)]
 pub struct MeterLayer {
     counters: Rc<MeterCounters>,
+    /// Busy-wait this long inside each post phase. The real layers'
+    /// phases finish in nanoseconds, which makes wall-clock masking
+    /// tests unreadable noise — a calibrated spin gives the cycle
+    /// meters (and the critpath leak ledger) something measurable and
+    /// attributable to chew on. 0 (the default) spins not at all.
+    post_spin: std::time::Duration,
 }
 
 impl MeterLayer {
@@ -41,6 +47,23 @@ impl MeterLayer {
         let layer = MeterLayer::default();
         let counters = layer.counters.clone();
         (layer, counters)
+    }
+
+    /// A meter whose post phases busy-wait for `spin` — measurable
+    /// post work for wall-clock masking/leak tests.
+    pub fn with_post_spin(spin: std::time::Duration) -> (MeterLayer, Rc<MeterCounters>) {
+        let (mut layer, counters) = MeterLayer::new();
+        layer.post_spin = spin;
+        (layer, counters)
+    }
+
+    fn spin(&self) {
+        if !self.post_spin.is_zero() {
+            let t0 = std::time::Instant::now();
+            while t0.elapsed() < self.post_spin {
+                std::hint::spin_loop();
+            }
+        }
     }
 }
 
@@ -65,6 +88,7 @@ impl Layer for MeterLayer {
         self.counters
             .bytes_out
             .set(self.counters.bytes_out.get() + msg.len() as u64);
+        self.spin();
     }
 
     fn pre_deliver(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &mut Msg) -> DeliverAction {
@@ -81,6 +105,7 @@ impl Layer for MeterLayer {
         self.counters
             .bytes_in
             .set(self.counters.bytes_in.get() + msg.len() as u64);
+        self.spin();
     }
 }
 
@@ -160,5 +185,32 @@ mod tests {
         a.send(b"slow");
         assert_eq!(c.pre_sends.get(), 1);
         assert_eq!(c.post_sends.get(), 1);
+    }
+
+    #[test]
+    fn post_spin_gives_the_cycle_meters_measurable_work() {
+        let spin = std::time::Duration::from_micros(50);
+        let (ml, c) = MeterLayer::with_post_spin(spin);
+        let mut a = Connection::new(
+            vec![Box::new(ml)],
+            PaConfig::paper_default(),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(1, 6),
+                EndpointAddr::from_parts(2, 6),
+                53,
+            ),
+        )
+        .unwrap();
+        a.enable_cycle_meter();
+        a.send(b"spin");
+        a.process_pending();
+        assert_eq!(c.post_sends.get(), 1);
+        // Phase index 1 = post-send. The spin dominates any timer
+        // bias, so the metered time is within a factor of the knob.
+        let post_send_ns = a.phase_meters()[0].cycle_ns[1];
+        assert!(
+            post_send_ns >= spin.as_nanos() as u64 / 2,
+            "spin not visible to the meter: {post_send_ns} ns"
+        );
     }
 }

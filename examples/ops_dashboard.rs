@@ -130,6 +130,34 @@ fn main() {
         println!("{}", t.render());
     }
 
+    // The §3.1 scorecard: how much protocol work stayed off the
+    // critical path across every connection that ever lived, and —
+    // when it did not — which (layer, cause) put it there.
+    println!("-- masking (critical path) --");
+    println!(
+        "ratio {:.3}   on-path {:>10}   masked {:>10}   leaked {:>10} ({}‰ of all work)",
+        churn.masking.masking_ratio(),
+        us(churn.masking.on_path_ns()),
+        us(churn.masking.masked_ns()),
+        us(churn.masking.leaked_ns()),
+        churn.masking.leak_permille()
+    );
+    if churn.leaks.is_empty() {
+        println!("no critical-path leaks detected\n");
+    } else {
+        println!("-- top leaked (layer, cause) --");
+        let mut t = Table::new(&["layer", "phase", "cause", "calls"]);
+        for e in churn.leaks.sorted().iter().take(8) {
+            t.row(&[
+                e.layer.clone(),
+                e.phase.label().to_string(),
+                e.cause.label().to_string(),
+                e.calls.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
     if churn.rejects.total() > 0 {
         println!("-- reject taxonomy --");
         let mut t = Table::new(&["reason", "count", "share"]);
