@@ -259,6 +259,10 @@ pub struct Connection {
     /// Name of the last layer whose effects disabled the send
     /// prediction — attributed on `Queued` trace events.
     last_disable_layer: &'static str,
+    /// Reusable `Effects` buffer for phase calls: drained after every
+    /// apply, so steady-state layers that emit effects (slot patches,
+    /// control messages) reuse its capacity instead of allocating.
+    effects_scratch: Effects,
     /// The attributed slow-path multiset: every `slow_sends`,
     /// `queued_sends`, and `slow_deliveries` increment is mirrored by
     /// exactly one `(op, layer, cause)` bump here. Always on — the
@@ -537,6 +541,7 @@ impl Connection {
             now: 0,
             probe: ProbeSink::Noop,
             last_disable_layer: "(init)",
+            effects_scratch: Effects::default(),
             trace_journey,
             trace_hop,
             trace_j_slot,
@@ -1830,8 +1835,8 @@ impl Connection {
         }
         let i = next as usize;
         let t0 = self.meter_start();
-        let (action, effects) = {
-            let mut effects = Effects::default();
+        let (action, mut effects) = {
+            let mut effects = std::mem::take(&mut self.effects_scratch);
             let mut ctx = LayerCtx {
                 layout: &self.layout,
                 order: self.order,
@@ -1844,7 +1849,8 @@ impl Connection {
             (action, effects)
         };
         self.meter_record(i, Phase::PreSend, t0);
-        self.apply_effects(i, effects);
+        self.apply_effects(i, &mut effects);
+        self.effects_scratch = effects;
         match action {
             SendAction::Continue => {
                 self.send_work.push_back(SendWork {
@@ -1897,8 +1903,8 @@ impl Connection {
             return;
         }
         let t0 = self.meter_start();
-        let (action, effects) = {
-            let mut effects = Effects::default();
+        let (action, mut effects) = {
+            let mut effects = std::mem::take(&mut self.effects_scratch);
             let mut ctx = LayerCtx {
                 layout: &self.layout,
                 order: self.peer_order,
@@ -1911,7 +1917,8 @@ impl Connection {
             (action, effects)
         };
         self.meter_record(next, Phase::PreDeliver, t0);
-        self.apply_effects(next, effects);
+        self.apply_effects(next, &mut effects);
+        self.effects_scratch = effects;
         match action {
             DeliverAction::Continue => {
                 self.deliver_work.push_back(DeliverWork {
@@ -1989,14 +1996,18 @@ impl Connection {
     /// Applies a layer's requested side effects. `layer_idx` is the
     /// emitting layer; downward messages enter below it, upward ones
     /// above it.
-    fn apply_effects(&mut self, layer_idx: usize, effects: Effects) {
+    fn apply_effects(&mut self, layer_idx: usize, effects: &mut Effects) {
+        // Drains (rather than consumes) so the caller can return the
+        // scratch `Effects` to the connection with its vector capacity
+        // intact — post phases that patch filter slots every batch
+        // would otherwise pay one heap allocation per phase forever.
         let name = self.layers[layer_idx].name();
         if !effects.disable_send.is_empty() {
             // Remember who last held the send path shut, so a later
             // `Queued` event names the culprit.
             self.last_disable_layer = name;
         }
-        for reason in effects.disable_send {
+        for reason in effects.disable_send.drain(..) {
             self.send_predict.disable_with(name, reason);
             self.emit(TraceEvent::Disable {
                 layer: name,
@@ -2004,7 +2015,7 @@ impl Connection {
                 send: true,
             });
         }
-        for reason in effects.enable_send {
+        for reason in effects.enable_send.drain(..) {
             if self.send_predict.enable_with(name, reason) {
                 self.emit(TraceEvent::Enable {
                     layer: name,
@@ -2018,7 +2029,7 @@ impl Connection {
                 });
             }
         }
-        for reason in effects.disable_recv {
+        for reason in effects.disable_recv.drain(..) {
             self.recv_predict.disable_with(name, reason);
             self.emit(TraceEvent::Disable {
                 layer: name,
@@ -2026,7 +2037,7 @@ impl Connection {
                 send: false,
             });
         }
-        for reason in effects.enable_recv {
+        for reason in effects.enable_recv.drain(..) {
             if self.recv_predict.enable_with(name, reason) {
                 self.emit(TraceEvent::Enable {
                     layer: name,
@@ -2040,13 +2051,13 @@ impl Connection {
                 });
             }
         }
-        for (slot, v) in effects.send_slot_patches {
+        for (slot, v) in effects.send_slot_patches.drain(..) {
             self.send_filter.set_slot(slot, v);
         }
-        for (slot, v) in effects.recv_slot_patches {
+        for (slot, v) in effects.recv_slot_patches.drain(..) {
             self.recv_filter.set_slot(slot, v);
         }
-        for (msg, unusual) in effects.down {
+        for (msg, unusual) in effects.down.drain(..) {
             self.stats.control_msgs += 1;
             self.emit(TraceEvent::Control {
                 layer: self.layers[layer_idx].name(),
@@ -2058,7 +2069,7 @@ impl Connection {
                 origin: name,
             });
         }
-        for msg in effects.up {
+        for msg in effects.up.drain(..) {
             self.deliver_work.push_back(DeliverWork {
                 next: layer_idx + 1,
                 start: layer_idx + 1,
@@ -2131,8 +2142,8 @@ impl Connection {
         self.stats.post_sends += 1;
         for i in (0..self.layers.len()).rev() {
             let t0 = self.meter_start();
-            let effects = {
-                let mut effects = Effects::default();
+            let mut effects = {
+                let mut effects = std::mem::take(&mut self.effects_scratch);
                 let mut ctx = LayerCtx {
                     layout: &self.layout,
                     order: self.order,
@@ -2145,7 +2156,8 @@ impl Connection {
                 effects
             };
             self.meter_record(i, Phase::PostSend, t0);
-            self.apply_effects(i, effects);
+            self.apply_effects(i, &mut effects);
+            self.effects_scratch = effects;
         }
         self.run_work();
     }
@@ -2166,8 +2178,8 @@ impl Connection {
         self.stats.post_delivers += 1;
         for i in start..=stop {
             let t0 = self.meter_start();
-            let effects = {
-                let mut effects = Effects::default();
+            let mut effects = {
+                let mut effects = std::mem::take(&mut self.effects_scratch);
                 let mut ctx = LayerCtx {
                     layout: &self.layout,
                     order: self.peer_order,
@@ -2180,7 +2192,8 @@ impl Connection {
                 effects
             };
             self.meter_record(i, Phase::PostDeliver, t0);
-            self.apply_effects(i, effects);
+            self.apply_effects(i, &mut effects);
+            self.effects_scratch = effects;
         }
         if self.config.pooling {
             self.pool.put(msg);
@@ -2239,8 +2252,8 @@ impl Connection {
         self.set_now(now);
         for i in 0..self.layers.len() {
             let t0 = self.meter_start();
-            let effects = {
-                let mut effects = Effects::default();
+            let mut effects = {
+                let mut effects = std::mem::take(&mut self.effects_scratch);
                 let mut ctx = LayerCtx {
                     layout: &self.layout,
                     order: self.order,
@@ -2253,7 +2266,8 @@ impl Connection {
                 effects
             };
             self.meter_record(i, Phase::Tick, t0);
-            self.apply_effects(i, effects);
+            self.apply_effects(i, &mut effects);
+            self.effects_scratch = effects;
         }
         self.run_work();
         if !self.config.lazy_post {
@@ -2284,8 +2298,15 @@ mod tests {
     use crate::layer::NullLayer;
     use pa_filter::{DigestKind, Op};
     use pa_wire::Field;
-    use std::cell::Cell;
-    use std::rc::Rc;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    // `Layer: Send` exists so a whole connection can be shipped to a
+    // drain thread; pin that property at compile time.
+    const _: () = {
+        const fn assert_send<T: Send>() {}
+        assert_send::<Connection>();
+    };
 
     /// A sequence-number layer instrumented with call counters —
     /// exercises fields, filters, prediction, disable, and the
@@ -2296,25 +2317,25 @@ mod tests {
         ck_f: Option<Field>,
         next_send: u64,
         next_recv: u64,
-        pre_sends: Rc<Cell<u32>>,
-        post_sends: Rc<Cell<u32>>,
-        pre_delivers: Rc<Cell<u32>>,
-        post_delivers: Rc<Cell<u32>>,
+        pre_sends: Arc<AtomicU32>,
+        post_sends: Arc<AtomicU32>,
+        pre_delivers: Arc<AtomicU32>,
+        post_delivers: Arc<AtomicU32>,
     }
 
     struct Counters {
-        pre_sends: Rc<Cell<u32>>,
-        post_sends: Rc<Cell<u32>>,
-        pre_delivers: Rc<Cell<u32>>,
-        post_delivers: Rc<Cell<u32>>,
+        pre_sends: Arc<AtomicU32>,
+        post_sends: Arc<AtomicU32>,
+        pre_delivers: Arc<AtomicU32>,
+        post_delivers: Arc<AtomicU32>,
     }
 
     fn seq_layer() -> (SeqLayer, Counters) {
         let c = Counters {
-            pre_sends: Rc::new(Cell::new(0)),
-            post_sends: Rc::new(Cell::new(0)),
-            pre_delivers: Rc::new(Cell::new(0)),
-            post_delivers: Rc::new(Cell::new(0)),
+            pre_sends: Arc::new(AtomicU32::new(0)),
+            post_sends: Arc::new(AtomicU32::new(0)),
+            pre_delivers: Arc::new(AtomicU32::new(0)),
+            post_delivers: Arc::new(AtomicU32::new(0)),
         };
         let l = SeqLayer {
             seq_f: None,
@@ -2370,21 +2391,21 @@ mod tests {
         }
 
         fn pre_send(&mut self, ctx: &mut LayerCtx<'_>, msg: &mut Msg) -> SendAction {
-            self.pre_sends.set(self.pre_sends.get() + 1);
+            self.pre_sends.fetch_add(1, Ordering::Relaxed);
             let f = self.seq_f.unwrap();
             ctx.frame(msg).write(f, self.next_send);
             SendAction::Continue
         }
 
         fn post_send(&mut self, ctx: &mut LayerCtx<'_>, _msg: &Msg) {
-            self.post_sends.set(self.post_sends.get() + 1);
+            self.post_sends.fetch_add(1, Ordering::Relaxed);
             self.next_send += 1;
             let f = self.seq_f.unwrap();
             ctx.send_predict.set(ctx.layout, f, self.next_send);
         }
 
         fn pre_deliver(&mut self, ctx: &mut LayerCtx<'_>, msg: &mut Msg) -> DeliverAction {
-            self.pre_delivers.set(self.pre_delivers.get() + 1);
+            self.pre_delivers.fetch_add(1, Ordering::Relaxed);
             let f = self.seq_f.unwrap();
             let seq = ctx.frame(msg).read(f);
             if seq == self.next_recv {
@@ -2395,7 +2416,7 @@ mod tests {
         }
 
         fn post_deliver(&mut self, ctx: &mut LayerCtx<'_>, msg: &Msg) {
-            self.post_delivers.set(self.post_delivers.get() + 1);
+            self.post_delivers.fetch_add(1, Ordering::Relaxed);
             let f = self.seq_f.unwrap();
             let mut m = msg.clone();
             let seq = ctx.frame(&mut m).read(f);
@@ -2488,7 +2509,11 @@ mod tests {
     fn first_send_is_fast_and_carries_ident() {
         let (mut a, mut b, ca, _cb) = pair(PaConfig::paper_default());
         assert_eq!(a.send(b"m0"), SendOutcome::FastPath);
-        assert_eq!(ca.pre_sends.get(), 0, "fast path entered no layer");
+        assert_eq!(
+            ca.pre_sends.load(Ordering::Relaxed),
+            0,
+            "fast path entered no layer"
+        );
         assert_eq!(a.stats().ident_frames_out, 1);
         let got = shuttle(&mut a, &mut b);
         assert_eq!(got, vec![b"m0".to_vec()]);
@@ -2506,10 +2531,14 @@ mod tests {
             a.process_pending();
             b.process_pending();
         }
-        assert_eq!(ca.pre_sends.get(), 0);
-        assert_eq!(ca.post_sends.get(), 5);
-        assert_eq!(cb.pre_delivers.get(), 0, "all deliveries predicted");
-        assert_eq!(cb.post_delivers.get(), 5);
+        assert_eq!(ca.pre_sends.load(Ordering::Relaxed), 0);
+        assert_eq!(ca.post_sends.load(Ordering::Relaxed), 5);
+        assert_eq!(
+            cb.pre_delivers.load(Ordering::Relaxed),
+            0,
+            "all deliveries predicted"
+        );
+        assert_eq!(cb.post_delivers.load(Ordering::Relaxed), 5);
         assert_eq!(b.stats().fast_deliveries, 5);
     }
 
@@ -2591,7 +2620,7 @@ mod tests {
             );
             assert!(!a.has_pending(), "eager mode drains immediately");
         }
-        assert_eq!(ca.post_sends.get(), 4);
+        assert_eq!(ca.post_sends.load(Ordering::Relaxed), 4);
         let got = shuttle(&mut a, &mut b);
         assert_eq!(got.len(), 4);
     }
@@ -2605,10 +2634,10 @@ mod tests {
         };
         let (mut a, mut b, ca, cb) = pair(cfg);
         a.send(b"slow");
-        assert_eq!(ca.pre_sends.get(), 1, "layer entered");
+        assert_eq!(ca.pre_sends.load(Ordering::Relaxed), 1, "layer entered");
         let got = shuttle(&mut a, &mut b);
         assert_eq!(got, vec![b"slow".to_vec()]);
-        assert!(cb.pre_delivers.get() >= 1);
+        assert!(cb.pre_delivers.load(Ordering::Relaxed) >= 1);
         assert_eq!(a.stats().slow_sends, 1);
     }
 

@@ -255,7 +255,14 @@ impl<'a> LayerCtx<'a> {
 /// write message headers. State changes belong in post phases (and in
 /// emissions, which are post-style by construction). The engine's
 /// correctness tests include a checker layer that asserts this.
-pub trait Layer {
+///
+/// Layers are `Send`: a `Connection` (and therefore its whole stack)
+/// can be handed to another OS thread — the post-drain worker ships
+/// connections over an SPSC ring to run post phases off-core (§3.1's
+/// deferral taken to a second core). A layer is still never *shared*:
+/// exactly one thread drives it at a time, so `Sync` is not required
+/// and interior state needs no atomics.
+pub trait Layer: Send {
     /// Short name for reports and layouts.
     fn name(&self) -> &'static str;
 

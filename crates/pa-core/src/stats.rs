@@ -171,6 +171,47 @@ impl ConnStats {
             snapshot.record(scope, name, value);
         }
     }
+
+    /// The growth since `earlier` (a copy of these stats taken before
+    /// some window of work), per counter, saturating. Brackets taken
+    /// around disjoint windows — e.g. the main thread around its pre
+    /// phases and the drain thread around its post phases — partition
+    /// the connection's totals exactly, so per-domain shards folded
+    /// from these deltas merge back into balanced ledgers with plain
+    /// `==` (see `pa_obs::domain`).
+    pub fn delta(&self, earlier: &ConnStats) -> ConnStats {
+        ConnStats {
+            fast_sends: self.fast_sends.saturating_sub(earlier.fast_sends),
+            slow_sends: self.slow_sends.saturating_sub(earlier.slow_sends),
+            queued_sends: self.queued_sends.saturating_sub(earlier.queued_sends),
+            packed_msgs: self.packed_msgs.saturating_sub(earlier.packed_msgs),
+            packed_frames: self.packed_frames.saturating_sub(earlier.packed_frames),
+            frames_out: self.frames_out.saturating_sub(earlier.frames_out),
+            frames_in: self.frames_in.saturating_sub(earlier.frames_in),
+            fast_deliveries: self.fast_deliveries.saturating_sub(earlier.fast_deliveries),
+            slow_deliveries: self.slow_deliveries.saturating_sub(earlier.slow_deliveries),
+            msgs_delivered: self.msgs_delivered.saturating_sub(earlier.msgs_delivered),
+            drops_unknown_cookie: self
+                .drops_unknown_cookie
+                .saturating_sub(earlier.drops_unknown_cookie),
+            drops_by_layer: self.drops_by_layer.saturating_sub(earlier.drops_by_layer),
+            drops_malformed: self.drops_malformed.saturating_sub(earlier.drops_malformed),
+            drops_send_rejected: self
+                .drops_send_rejected
+                .saturating_sub(earlier.drops_send_rejected),
+            recv_filter_misses: self
+                .recv_filter_misses
+                .saturating_sub(earlier.recv_filter_misses),
+            predict_misses: self.predict_misses.saturating_sub(earlier.predict_misses),
+            post_sends: self.post_sends.saturating_sub(earlier.post_sends),
+            post_delivers: self.post_delivers.saturating_sub(earlier.post_delivers),
+            control_msgs: self.control_msgs.saturating_sub(earlier.control_msgs),
+            ident_frames_out: self
+                .ident_frames_out
+                .saturating_sub(earlier.ident_frames_out),
+            rejects: self.rejects.delta(&earlier.rejects),
+        }
+    }
 }
 
 impl fmt::Display for ConnStats {
@@ -274,6 +315,34 @@ mod tests {
         // Netif reasons must never land in a connection's ledger.
         s.rejects.bump(RejectReason::OversizedDatagram);
         assert!(!s.rejects_reconcile());
+    }
+
+    #[test]
+    fn delta_brackets_partition_every_field() {
+        let mut s = ConnStats::default();
+        let cp0 = s;
+        s.fast_sends = 5;
+        s.frames_in = 3;
+        s.rejects.bump(RejectReason::UnknownCookie);
+        let cp1 = s;
+        s.fast_sends = 9;
+        s.post_sends = 2;
+        s.rejects.bump(RejectReason::ShortFrame);
+        let d1 = cp1.delta(&cp0);
+        let d2 = s.delta(&cp1);
+        assert_eq!(d1.fast_sends, 5);
+        assert_eq!(d2.fast_sends, 4);
+        assert_eq!(d2.post_sends, 2);
+        assert_eq!(d2.rejects.get(RejectReason::ShortFrame), 1);
+        assert_eq!(d2.rejects.get(RejectReason::UnknownCookie), 0);
+        // Every field (including the reject ledger) re-sums exactly.
+        for ((name, total), ((_, a), (_, b))) in s
+            .fields()
+            .iter()
+            .zip(d1.fields().iter().zip(d2.fields().iter()))
+        {
+            assert_eq!(*total, a + b, "{name}");
+        }
     }
 
     #[test]

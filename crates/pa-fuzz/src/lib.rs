@@ -29,6 +29,15 @@ pub mod corpus;
 pub mod harness;
 pub mod mutate;
 
+/// The workspace PRNG, re-exported so fuzz tooling (and anything
+/// replaying a committed corpus) names one generator: `pa_fuzz::rng`
+/// *is* [`pa_obs::rng`] — same types, same streams. The committed
+/// corpus entries are derived from these streams, so the stream
+/// contract is pinned by `tests/rng_streams.rs`; a SplitMix64 change
+/// that altered draw `k` of any seed would invalidate every committed
+/// corpus and is a breaking change, not a refactor.
+pub use pa_obs::rng;
+
 pub use corpus::{regression_corpus, replay_corpus, CorpusEntry};
 pub use harness::{run_campaign, run_udp_campaign, CampaignReport, FuzzConfig};
 pub use mutate::{apply, draw_mutation, hexdump, Mutation};

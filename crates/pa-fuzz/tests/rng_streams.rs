@@ -1,0 +1,126 @@
+//! The PRNG stream contract behind the committed fuzz corpora.
+//!
+//! `pa_fuzz::rng` re-exports `pa_obs::rng` — one SplitMix64 for the
+//! whole workspace. Every committed corpus entry, every campaign
+//! replay, and every "re-run with this seed" instruction in a failure
+//! report assumes draw `k` of seed `s` is the same today as the day the
+//! corpus was committed. These tests pin that contract:
+//!
+//! - the raw streams match the canonical SplitMix64 reference values
+//!   (Steele, Lea & Flood) through the *re-exported* path,
+//! - the re-export is the same type as the pa-obs original (a second
+//!   implementation can't silently drift in),
+//! - the generated regression corpus is byte-pinned by length + FNV-1a
+//!   fingerprint, entry by entry.
+//!
+//! If a change here is intentional, it invalidates every committed
+//! corpus and every recorded seed — regenerate them all, in the same
+//! change.
+
+use pa_fuzz::rng::{Rng, SplitMix64};
+
+fn fnv64(b: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &x in b {
+        h ^= x as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn reexport_is_the_same_type_as_the_origin() {
+    // Compiles only if `pa_fuzz::rng::SplitMix64` IS
+    // `pa_obs::rng::SplitMix64` — not a copy.
+    let r: pa_obs::rng::SplitMix64 = SplitMix64::new(7);
+    let mut a = r;
+    let mut b = pa_fuzz::rng::SplitMix64::new(7);
+    assert_eq!(a.next_u64(), b.next_u64());
+}
+
+#[test]
+fn canonical_reference_vectors_via_the_reexport() {
+    // Seed 0, first outputs of the canonical C implementation.
+    let mut r = SplitMix64::new(0);
+    assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+    assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    // Deep draw: position 1000 of seed 0 (the whole stream is pinned,
+    // not just its head).
+    let mut r = SplitMix64::new(0);
+    let v = (0..1000).map(|_| r.next_u64()).last().unwrap();
+    assert_eq!(v, 0x14E0_ABB2_BFCF_7C3E);
+    // The corpus base seed (see `pa_fuzz::corpus`): mutation entry k
+    // draws from seed 0xC0_4955 + k.
+    let mut r = SplitMix64::new(0xC0_4955);
+    assert_eq!(r.next_u64(), 0x591E_FF55_BF0E_C293);
+    assert_eq!(r.next_u64(), 0x148C_E1E9_AE5F_82A8);
+    assert_eq!(r.next_u64(), 0x62E4_D7A4_35D0_55DD);
+}
+
+#[test]
+fn committed_corpus_is_byte_pinned() {
+    // (name, byte length, FNV-1a 64 of the bytes) for every entry the
+    // generator emits — hand-crafted regressions and seeded mutants
+    // alike. A mismatch means either the mutators, the canonical
+    // frame, or the PRNG stream changed; all three invalidate
+    // committed corpora.
+    const PINNED: &[(&str, usize, u64)] = &[
+        ("empty", 0, 0xCBF29CE484222325),
+        ("truncated-preamble", 3, 0x15D8BC1C8508284E),
+        ("zero-cookie", 32, 0xA59AAD376277953D),
+        ("zero-cookie-with-ident-bit", 32, 0x51F42088DD97D5BD),
+        ("unknown-cookie", 24, 0xEFB08EE175B6502B),
+        ("unknown-cookie-little-endian-bit", 24, 0x6C400C99412A8B45),
+        ("ident-claimed-no-ident-bytes", 8, 0x13825A05A7DE21E9),
+        ("pack-forge-same-size-65535x0", 9, 0xE3F0007EA0120681),
+        ("pack-forge-variable-65535", 10, 0xD31A1E946E62A980),
+        ("greeting-truncated", 6, 0xC6A69827FF834675),
+        ("greeting-forged-ident-len", 19, 0xACB79738E0F9FC5A),
+        ("truncate", 44, 0xB69717FA05D2DF55),
+        ("bitflip", 127, 0x701D4D88A041FADA),
+        ("preamble-forge", 127, 0xE78AB9E0E05EEDC2),
+        ("cookie-forge", 127, 0x322ED5AA72DE03CE),
+        ("byteorder-flip", 127, 0x2FE37FFD84BB5E1E),
+        ("identbit-flip", 127, 0xE7E232F0B263A85E),
+        ("pack-forge", 127, 0x7F45CECDDB4EAD29),
+        ("duplicate", 127, 0xB50B0AE3E64A2DDE),
+        ("reorder", 127, 0xB50B0AE3E64A2DDE),
+        ("splice", 127, 0x73B6FD815E3823CB),
+        ("random-bytes", 10, 0x80D476792023FBFC),
+    ];
+    let corpus = pa_fuzz::regression_corpus();
+    assert_eq!(
+        corpus.len(),
+        PINNED.len(),
+        "corpus gained or lost entries — re-pin deliberately"
+    );
+    for (entry, &(name, len, fp)) in corpus.iter().zip(PINNED) {
+        assert_eq!(entry.name, name, "corpus order changed");
+        assert_eq!(entry.bytes.len(), len, "entry {name} length drifted");
+        assert_eq!(
+            fnv64(&entry.bytes),
+            fp,
+            "entry {name} bytes drifted — PRNG stream or mutator changed"
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_mutate_identically() {
+    // The property every recorded failure seed depends on: the same
+    // seed applied to the same frame produces the same mutant.
+    use pa_fuzz::{apply, draw_mutation};
+    let frame: Vec<u8> = (0..64u8).collect();
+    for seed in [0u64, 1, 0xC0_4955, u64::MAX] {
+        let mut r1 = SplitMix64::new(seed);
+        let mut r2 = SplitMix64::new(seed);
+        let m1 = draw_mutation(&mut r1);
+        let m2 = draw_mutation(&mut r2);
+        assert_eq!(m1, m2);
+        assert_eq!(
+            apply(m1, &mut r1, &frame, Some(&frame)),
+            apply(m2, &mut r2, &frame, Some(&frame)),
+        );
+    }
+}

@@ -738,11 +738,15 @@ fn json_escape(s: &str) -> String {
 pub fn perfetto_trace(dags: &[CritDag]) -> String {
     let mut events: Vec<String> = Vec::new();
     let mut hosts: Vec<u32> = Vec::new();
+    let mut extra_lanes: Vec<(u32, u32)> = Vec::new();
     let mut flow_id = 0u64;
     for dag in dags {
         for n in &dag.nodes {
             if !hosts.contains(&n.host) {
                 hosts.push(n.host);
+            }
+            if n.lane >= 2 && !extra_lanes.contains(&(n.host, n.lane)) {
+                extra_lanes.push((n.host, n.lane));
             }
             events.push(format!(
                 "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"class\":\"{}\"}}}}",
@@ -784,6 +788,15 @@ pub fn perfetto_trace(dags: &[CritDag]) -> String {
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{h},\"tid\":{tid},\"args\":{{\"name\":\"{lane}\"}}}}"
             ));
         }
+    }
+    // Lanes ≥ 2 are real OS threads (the post-drain worker and future
+    // pa-shard cores) — name each one its own track.
+    extra_lanes.sort_unstable();
+    for (h, tid) in extra_lanes {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{h},\"tid\":{tid},\"args\":{{\"name\":\"drain thread {}\"}}}}",
+            tid - 1
+        ));
     }
     format!(
         "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
@@ -1009,6 +1022,35 @@ mod tests {
         // 5 slices + 4*2 flow halves + 1 process + 2 thread metadata.
         assert_eq!(events, 16);
         assert!(json.contains("\"displayTimeUnit\":\"ns\""));
+    }
+
+    #[test]
+    fn perfetto_names_drain_thread_lanes() {
+        let mut d = CritDag::new();
+        d.node(CritNode {
+            label: "send-pre".into(),
+            host: 0,
+            lane: 0,
+            class: WorkClass::OnPath,
+            start: 0,
+            dur: 10,
+        });
+        d.node(CritNode {
+            label: "post-send/checksum".into(),
+            host: 0,
+            lane: 2,
+            class: WorkClass::Masked,
+            start: 20,
+            dur: 10,
+        });
+        let json = perfetto_trace(&[d]);
+        validate_trace_json(&json).expect("well-formed");
+        assert!(
+            json.contains("\"tid\":2,\"args\":{\"name\":\"drain thread 1\"}"),
+            "{json}"
+        );
+        // The two fixed lanes keep their names.
+        assert!(json.contains("\"name\":\"critical path\""), "{json}");
     }
 
     #[test]

@@ -63,12 +63,21 @@
 //!   [`LeakLedger`], and a Chrome/Perfetto trace-event exporter
 //!   ([`perfetto_trace`] / [`validate_trace_json`]);
 //! - [`timer`] — the shared `Instant` span-overhead calibration used
-//!   by both the bench harness and the cycle meters.
+//!   by both the bench harness and the cycle meters;
+//! - [`spsc`] — the bounded wait-free single-producer/single-consumer
+//!   ring ([`spsc::channel`]) that carries telemetry events (and drain
+//!   jobs) between threads without locks or silent loss;
+//! - [`domain`] — wait-free multi-core telemetry: per-thread
+//!   [`TelemetryDomain`]s with seqlock-published counters and frozen
+//!   epoch views, and the [`SnapshotCoordinator`] that merges them
+//!   into an epoch-consistent [`GlobalSnapshot`] on which the ledger
+//!   invariants are asserted (never on a torn view).
 //!
 //! pa-obs sits below every other crate in the workspace and has no
 //! dependencies, so any layer can emit events without cycles.
 
 pub mod critpath;
+pub mod domain;
 pub mod event;
 pub mod exemplar;
 pub mod histo;
@@ -80,6 +89,7 @@ pub mod rng;
 pub mod scope;
 pub mod sketch;
 pub mod snapshot;
+pub mod spsc;
 pub mod timer;
 pub mod timeseries;
 pub mod watchdog;
@@ -88,6 +98,10 @@ pub mod xray;
 pub use critpath::{
     perfetto_trace, validate_trace_json, CritDag, CritNode, LeakCause, LeakEntry, LeakLedger,
     MaskDomain, MaskRow, MaskingLedger, WorkClass,
+};
+pub use domain::{
+    price_meters, DomainCell, DomainCounter, DomainEvent, DomainEventKind, DomainView,
+    GlobalSnapshot, SnapshotCoordinator, TelemetryDomain,
 };
 pub use event::{DropCause, FieldRef, Invariant, Nanos, SlowCause, TraceEvent};
 pub use exemplar::{octave_of, Exemplar, ExemplarSet};

@@ -275,6 +275,18 @@ impl RejectLedger {
         self.counts.iter().all(|&c| c == 0)
     }
 
+    /// The growth since `earlier` (a copy of this ledger taken before
+    /// some window of work), per reason, saturating. Brackets around
+    /// disjoint windows partition the source ledger exactly — the
+    /// contract telemetry-domain shards ride on.
+    pub fn delta(&self, earlier: &RejectLedger) -> RejectLedger {
+        let mut d = RejectLedger::new();
+        for (i, slot) in d.counts.iter_mut().enumerate() {
+            *slot = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        d
+    }
+
     /// Records every nonzero reason under `scope` as
     /// `reject_<label>` in a metrics snapshot.
     pub fn record_into(&self, snapshot: &mut crate::MetricsSnapshot, scope: &str) {
@@ -388,6 +400,25 @@ mod tests {
         let text = l.to_string();
         assert!(text.contains("zero-cookie"), "{text}");
         assert!(!text.contains("stale-cookie"), "{text}");
+    }
+
+    #[test]
+    fn delta_brackets_partition_the_ledger() {
+        let mut l = RejectLedger::new();
+        let cp0 = l;
+        l.bump(RejectReason::UnknownCookie);
+        l.bump(RejectReason::ShortFrame);
+        let cp1 = l;
+        l.bump(RejectReason::UnknownCookie);
+        let d1 = cp1.delta(&cp0);
+        let d2 = l.delta(&cp1);
+        assert_eq!(d1.total(), 2);
+        assert_eq!(d2.get(RejectReason::UnknownCookie), 1);
+        assert_eq!(d2.total(), 1);
+        let mut merged = RejectLedger::new();
+        merged.merge(&d1);
+        merged.merge(&d2);
+        assert_eq!(merged, l, "disjoint brackets re-merge exactly");
     }
 
     #[test]

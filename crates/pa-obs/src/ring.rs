@@ -18,6 +18,10 @@ pub struct TraceRecord {
     pub at: Nanos,
     /// Connection label stamped by the ring (endpoint-assigned index).
     pub conn: u32,
+    /// Telemetry-domain label stamped by the ring (0 = the default,
+    /// single-threaded domain; see `pa_obs::domain`). Rendering is
+    /// unchanged so single-domain dumps stay byte-identical.
+    pub domain: u32,
     /// The event.
     pub event: TraceEvent,
 }
@@ -44,6 +48,7 @@ pub struct TraceRing {
     seq: u64,
     overwritten: u64,
     conn: u32,
+    domain: u32,
 }
 
 impl TraceRing {
@@ -57,12 +62,25 @@ impl TraceRing {
             seq: 0,
             overwritten: 0,
             conn: 0,
+            domain: 0,
         }
     }
 
     /// Stamps subsequent records with a connection label.
     pub fn set_conn(&mut self, conn: u32) {
         self.conn = conn;
+    }
+
+    /// Stamps subsequent records with a telemetry-domain label — set
+    /// when the ring's owner moves to a worker thread, so a merged
+    /// timeline shows which thread each hop ran on.
+    pub fn set_domain(&mut self, domain: u32) {
+        self.domain = domain;
+    }
+
+    /// The domain label currently stamped on new records.
+    pub fn domain(&self) -> u32 {
+        self.domain
     }
 
     /// Appends an event; never allocates once the ring has filled.
@@ -72,6 +90,7 @@ impl TraceRing {
             seq: self.seq,
             at,
             conn: self.conn,
+            domain: self.domain,
             event,
         };
         self.seq += 1;
@@ -207,6 +226,18 @@ mod tests {
         let d = r.dump(&|f| format!("{}:{}", f.class, f.index));
         assert!(d.contains("queued by=window"), "{d}");
         assert_eq!(d.lines().count(), 1);
+    }
+
+    #[test]
+    fn domain_label_stamps_subsequent_records() {
+        let mut r = TraceRing::new(4);
+        r.push(0, TraceEvent::FastSend);
+        r.set_domain(2);
+        r.push(1, TraceEvent::FastSend);
+        let recs = r.records();
+        assert_eq!(recs[0].domain, 0, "default domain");
+        assert_eq!(recs[1].domain, 2);
+        assert_eq!(r.domain(), 2);
     }
 
     #[test]

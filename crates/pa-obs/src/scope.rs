@@ -153,6 +153,15 @@ impl ScopeKey {
     pub fn is_dedicated(&self) -> bool {
         self.conn != Self::OVERFLOW
     }
+
+    /// The key routing everything to the overflow series — the right
+    /// target for a shard whose origin never registered a slot.
+    pub fn overflow() -> ScopeKey {
+        ScopeKey {
+            ep: Self::OVERFLOW,
+            conn: Self::OVERFLOW,
+        }
+    }
 }
 
 /// The bounded roll-up plane: cluster / endpoint / connection sketches
@@ -283,6 +292,33 @@ impl ScopePlane {
             self.conn_overflow.record_keyed(k, ex);
         } else {
             self.conns[key.conn as usize].1.record_keyed(k, ex);
+        }
+    }
+
+    /// Folds a whole sketch shard (e.g. a telemetry domain's
+    /// per-thread shard, see `pa_obs::domain`) into the plane at
+    /// `key`: the cluster and the routed endpoint/connection series
+    /// each absorb the shard with the exact canonical-form merge, so
+    /// [`ScopePlane::rollup_reconciles`] keeps holding with plain
+    /// `==`. The shard must share the plane's sketch shape
+    /// (`cfg.sketch_config()`). Exemplars do not travel with shards —
+    /// they stay with the recording thread's own reservoirs.
+    pub fn absorb_shard(&mut self, key: ScopeKey, shard: &QuantileSketch) {
+        if shard.is_empty() {
+            return;
+        }
+        self.records += shard.count();
+        self.cluster.sketch.merge(shard);
+        if key.ep == ScopeKey::OVERFLOW {
+            self.ep_overflow.sketch.merge(shard);
+        } else {
+            self.endpoints[key.ep as usize].1.sketch.merge(shard);
+        }
+        if key.conn == ScopeKey::OVERFLOW {
+            self.overflow_records += shard.count();
+            self.conn_overflow.sketch.merge(shard);
+        } else {
+            self.conns[key.conn as usize].1.sketch.merge(shard);
         }
     }
 
@@ -555,6 +591,45 @@ mod tests {
         }
         assert_eq!(plane.records(), 300);
         assert_eq!(plane.cluster().sketch().count(), 300);
+        assert!(plane.rollup_reconciles());
+    }
+
+    #[test]
+    fn shard_absorption_equals_inline_recording() {
+        let cfg = tiny();
+        // Plane A records every sample inline; plane B records half
+        // inline and absorbs the other half as a domain shard.
+        let mut inline = ScopePlane::new(cfg);
+        let mut sharded = ScopePlane::new(cfg);
+        let ki = inline.register("ep0", "conn0");
+        let ks = sharded.register("ep0", "conn0");
+        let mut shard = QuantileSketch::new(cfg.sketch_config());
+        for i in 0..200u64 {
+            let v = 1_000 + i * 13;
+            inline.record(ki, v, 0, 0, XrayTag::none());
+            if i % 2 == 0 {
+                sharded.record(ks, v, 0, 0, XrayTag::none());
+            } else {
+                shard.record(v);
+            }
+        }
+        sharded.absorb_shard(ks, &shard);
+        assert_eq!(sharded.records(), inline.records());
+        assert_eq!(sharded.cluster().sketch(), inline.cluster().sketch());
+        assert!(sharded.rollup_reconciles(), "roll-up still exact");
+    }
+
+    #[test]
+    fn overflow_shards_count_as_overflow_records() {
+        let cfg = tiny();
+        let mut plane = ScopePlane::new(cfg);
+        let mut shard = QuantileSketch::new(cfg.sketch_config());
+        for i in 0..10u64 {
+            shard.record(500 + i);
+        }
+        plane.absorb_shard(ScopeKey::overflow(), &shard);
+        assert_eq!(plane.records(), 10);
+        assert_eq!(plane.overflow_records(), 10);
         assert!(plane.rollup_reconciles());
     }
 

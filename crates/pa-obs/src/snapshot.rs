@@ -13,10 +13,17 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A point-in-time flattening of every counter in an endpoint.
+///
+/// Stored scope-first (`scope → name → value`) so lookups and
+/// accumulation can borrow `&str` keys: [`MetricsSnapshot::add`] and
+/// [`MetricsSnapshot::get`] allocate **only** when a scope or name is
+/// seen for the first time — which is what lets a
+/// [`TelemetryDomain`](crate::TelemetryDomain) fold stats deltas on
+/// every drain batch with a heap-silent steady state.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     at: Nanos,
-    entries: BTreeMap<(String, String), u64>,
+    entries: BTreeMap<String, BTreeMap<String, u64>>,
 }
 
 impl MetricsSnapshot {
@@ -33,39 +40,47 @@ impl MetricsSnapshot {
         self.at
     }
 
+    /// Returns the counter slot for `(scope, name)`, creating it at 0.
+    /// Allocates only when the scope or name is new.
+    fn slot(&mut self, scope: &str, name: &str) -> &mut u64 {
+        // Two-phase lookup keeps the warm path borrow-only; the
+        // entry-API shortcut would build owned keys on every call.
+        if !self.entries.contains_key(scope) {
+            self.entries.insert(scope.to_string(), BTreeMap::new());
+        }
+        let inner = self.entries.get_mut(scope).expect("just ensured");
+        if !inner.contains_key(name) {
+            inner.insert(name.to_string(), 0);
+        }
+        inner.get_mut(name).expect("just ensured")
+    }
+
     /// Records (or overwrites) one counter under `scope`.
     pub fn record(&mut self, scope: &str, name: &str, value: u64) {
-        self.entries
-            .insert((scope.to_string(), name.to_string()), value);
+        *self.slot(scope, name) = value;
     }
 
     /// Adds `value` to an existing counter (starting at 0).
     pub fn add(&mut self, scope: &str, name: &str, value: u64) {
-        *self
-            .entries
-            .entry((scope.to_string(), name.to_string()))
-            .or_insert(0) += value;
+        *self.slot(scope, name) += value;
     }
 
     /// Looks up one counter.
     pub fn get(&self, scope: &str, name: &str) -> Option<u64> {
-        self.entries
-            .get(&(scope.to_string(), name.to_string()))
-            .copied()
+        self.entries.get(scope)?.get(name).copied()
     }
 
     /// Sums `name` across every scope.
     pub fn total(&self, name: &str) -> u64 {
         self.entries
-            .iter()
-            .filter(|((_, n), _)| n == name)
-            .map(|(_, v)| v)
+            .values()
+            .filter_map(|inner| inner.get(name))
             .sum()
     }
 
     /// Number of registered counters.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.values().map(|inner| inner.len()).sum()
     }
 
     /// True if no counters are registered.
@@ -77,7 +92,7 @@ impl MetricsSnapshot {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str, u64)> {
         self.entries
             .iter()
-            .map(|((s, n), v)| (s.as_str(), n.as_str(), *v))
+            .flat_map(|(s, inner)| inner.iter().map(move |(n, v)| (s.as_str(), n.as_str(), *v)))
     }
 
     /// Counters that changed since `earlier`, as `self − earlier`
@@ -85,15 +100,11 @@ impl MetricsSnapshot {
     /// is stamped with this snapshot's time.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let mut out = MetricsSnapshot::new(self.at);
-        for ((scope, name), &v) in &self.entries {
-            let before = earlier
-                .entries
-                .get(&(scope.clone(), name.clone()))
-                .copied()
-                .unwrap_or(0);
+        for (scope, name, v) in self.iter() {
+            let before = earlier.get(scope, name).unwrap_or(0);
             let d = v.saturating_sub(before);
             if d != 0 {
-                out.entries.insert((scope.clone(), name.clone()), d);
+                out.record(scope, name, d);
             }
         }
         out
@@ -105,29 +116,25 @@ impl MetricsSnapshot {
         s.push_str(&format!(
             "metrics @ {} ns ({} counters)\n",
             self.at,
-            self.entries.len()
+            self.len()
         ));
         let name_w = self
-            .entries
-            .keys()
-            .map(|(_, n)| n.len())
+            .iter()
+            .map(|(_, n, _)| n.len())
             .max()
             .unwrap_or(4)
             .max("name".len());
         let val_w = self
-            .entries
-            .values()
-            .map(|v| v.to_string().len())
+            .iter()
+            .map(|(_, _, v)| v.to_string().len())
             .max()
             .unwrap_or(1)
             .max("value".len());
-        let mut last_scope: Option<&str> = None;
-        for ((scope, name), v) in &self.entries {
-            if last_scope != Some(scope.as_str()) {
-                s.push_str(&format!("  [{scope}]\n"));
-                last_scope = Some(scope.as_str());
+        for (scope, inner) in &self.entries {
+            s.push_str(&format!("  [{scope}]\n"));
+            for (name, v) in inner {
+                s.push_str(&format!("    {name:<name_w$}  {v:>val_w$}\n"));
             }
-            s.push_str(&format!("    {name:<name_w$}  {v:>val_w$}\n"));
         }
         s
     }
@@ -136,7 +143,7 @@ impl MetricsSnapshot {
     /// `{"at":N,"scope":"...","name":"...","value":N}`.
     pub fn to_json_lines(&self) -> String {
         let mut s = String::new();
-        for ((scope, name), v) in &self.entries {
+        for (scope, name, v) in self.iter() {
             s.push_str(&format!(
                 "{{\"at\":{},\"scope\":\"{}\",\"name\":\"{}\",\"value\":{}}}\n",
                 self.at,

@@ -128,6 +128,7 @@ pub struct FlightRecorder {
     samples: u64,
     dropped_points: u64,
     postmortem: Option<Postmortem>,
+    domain: u32,
 }
 
 /// Default cap on distinct series per recorder (see
@@ -157,7 +158,23 @@ impl FlightRecorder {
             samples: 0,
             dropped_points: 0,
             postmortem: None,
+            domain: 0,
         }
+    }
+
+    /// Labels this recorder with its owning telemetry domain (see
+    /// `pa_obs::domain`). A recorder is owned by exactly one thread;
+    /// overflow accounting therefore stays per-domain by construction —
+    /// the merged snapshot's global drop count is the *sum* of each
+    /// domain's [`FlightRecorder::dropped_points`], with no shared
+    /// counter to race on.
+    pub fn set_domain(&mut self, domain: u32) {
+        self.domain = domain;
+    }
+
+    /// The owning telemetry domain (0 = default single-threaded).
+    pub fn domain(&self) -> u32 {
+        self.domain
     }
 
     /// The sampling cadence.
@@ -294,6 +311,9 @@ impl FlightRecorder {
         );
         snap.record(scope, "points_overwritten", self.overwritten_points());
         snap.record(scope, "points_dropped", self.dropped_points);
+        if self.domain != 0 {
+            snap.record(scope, "domain", self.domain as u64);
+        }
         snap.record(scope, "mem_bytes", self.mem_bytes() as u64);
         snap.record(
             scope,

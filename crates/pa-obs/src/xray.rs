@@ -450,6 +450,36 @@ impl PhaseMeter {
     pub fn total_leaked_calls(&self) -> u64 {
         self.leaked_calls.iter().sum()
     }
+
+    /// The meter's growth since `earlier` (a copy of `self` taken
+    /// before some window of work): per-bucket saturating subtraction.
+    /// Brackets taken around disjoint windows partition the source
+    /// meter exactly — the contract `pa_obs::domain` shards ride on.
+    pub fn delta_since(&self, earlier: &PhaseMeter) -> PhaseMeter {
+        let mut d = PhaseMeter {
+            bias_ns: self.bias_ns,
+            ..PhaseMeter::default()
+        };
+        for i in 0..5 {
+            d.calls[i] = self.calls[i].saturating_sub(earlier.calls[i]);
+            d.cycle_ns[i] = self.cycle_ns[i].saturating_sub(earlier.cycle_ns[i]);
+            d.leaked_calls[i] = self.leaked_calls[i].saturating_sub(earlier.leaked_calls[i]);
+            d.leaked_cycle_ns[i] =
+                self.leaked_cycle_ns[i].saturating_sub(earlier.leaked_cycle_ns[i]);
+        }
+        d
+    }
+
+    /// Folds another meter (typically a [`delta_since`]
+    /// (PhaseMeter::delta_since) shard) into this one, bucket-wise.
+    pub fn absorb(&mut self, other: &PhaseMeter) {
+        for i in 0..5 {
+            self.calls[i] += other.calls[i];
+            self.cycle_ns[i] += other.cycle_ns[i];
+            self.leaked_calls[i] += other.leaked_calls[i];
+            self.leaked_cycle_ns[i] += other.leaked_cycle_ns[i];
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -901,6 +931,31 @@ mod tests {
         let charged = p.record_flagged(Phase::Tick, Some(40), true);
         assert_eq!(charged, 0);
         assert_eq!(p.total_leaked_calls(), 2);
+    }
+
+    #[test]
+    fn phase_meter_deltas_partition_and_absorb() {
+        let mut m = PhaseMeter::default();
+        let cp0 = m;
+        m.record_flagged(Phase::PreSend, Some(100), false);
+        m.record_flagged(Phase::PreSend, Some(200), true);
+        let cp1 = m;
+        m.record_flagged(Phase::PostSend, Some(300), false);
+        let d0 = m.delta_since(&cp0);
+        let d1 = cp1.delta_since(&cp0);
+        let d2 = m.delta_since(&cp1);
+        assert_eq!(d0.total_calls(), 3);
+        assert_eq!(d1.calls[Phase::PreSend as usize], 2);
+        assert_eq!(d1.leaked_calls[Phase::PreSend as usize], 1);
+        assert_eq!(d2.calls[Phase::PostSend as usize], 1);
+        // Disjoint brackets re-absorb into exactly the source meter.
+        let mut merged = PhaseMeter::default();
+        merged.absorb(&d1);
+        merged.absorb(&d2);
+        assert_eq!(merged.calls, m.calls);
+        assert_eq!(merged.cycle_ns, m.cycle_ns);
+        assert_eq!(merged.leaked_calls, m.leaked_calls);
+        assert_eq!(merged.leaked_cycle_ns, m.leaked_cycle_ns);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod churn;
 pub mod cost;
+pub mod drain;
 pub mod experiments;
 pub mod gc;
 pub mod metrics;
@@ -40,6 +41,10 @@ pub mod sim;
 
 pub use churn::{ChurnConfig, ChurnSim};
 pub use cost::{CostModel, Language};
+pub use drain::{
+    inline_echo_frames, DrainJob, DrainedConn, PostDrainWorker, ThreadedEcho, ThreadedEchoConfig,
+    ThreadedEchoReport,
+};
 pub use gc::{GcModel, GcPolicy};
 pub use metrics::{Series, Summary};
 pub use multi::ClusterSim;

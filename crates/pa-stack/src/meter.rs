@@ -8,31 +8,66 @@
 
 use pa_buf::Msg;
 use pa_core::{DeliverAction, InitCtx, Layer, LayerCtx, SendAction};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Shared counter block read by the application while the layer is
-/// owned by the connection.
+/// owned by the connection. Counters are relaxed atomics — `Layer:
+/// Send` means the owning connection may be driven from a worker
+/// thread (the post-drain ring) while the application thread reads the
+/// handle, and each counter is an independent monotonic total.
 #[derive(Debug, Default)]
 pub struct MeterCounters {
     /// Pre-send phases run (slow-path sends through this layer).
-    pub pre_sends: Cell<u64>,
+    pub pre_sends: AtomicU64,
     /// Post-send phases run (every sent frame).
-    pub post_sends: Cell<u64>,
+    pub post_sends: AtomicU64,
     /// Pre-deliver phases run (slow-path deliveries).
-    pub pre_delivers: Cell<u64>,
+    pub pre_delivers: AtomicU64,
     /// Post-deliver phases run (every received frame).
-    pub post_delivers: Cell<u64>,
+    pub post_delivers: AtomicU64,
     /// Bytes observed leaving (frame sizes at this layer).
-    pub bytes_out: Cell<u64>,
+    pub bytes_out: AtomicU64,
     /// Bytes observed arriving.
-    pub bytes_in: Cell<u64>,
+    pub bytes_in: AtomicU64,
+}
+
+impl MeterCounters {
+    /// Pre-send phases run.
+    pub fn pre_sends(&self) -> u64 {
+        self.pre_sends.load(Ordering::Relaxed)
+    }
+
+    /// Post-send phases run.
+    pub fn post_sends(&self) -> u64 {
+        self.post_sends.load(Ordering::Relaxed)
+    }
+
+    /// Pre-deliver phases run.
+    pub fn pre_delivers(&self) -> u64 {
+        self.pre_delivers.load(Ordering::Relaxed)
+    }
+
+    /// Post-deliver phases run.
+    pub fn post_delivers(&self) -> u64 {
+        self.post_delivers.load(Ordering::Relaxed)
+    }
+
+    /// Bytes observed leaving.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Bytes observed arriving.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
 }
 
 /// The meter layer.
 #[derive(Debug, Default)]
 pub struct MeterLayer {
-    counters: Rc<MeterCounters>,
+    counters: Arc<MeterCounters>,
     /// Busy-wait this long inside each post phase. The real layers'
     /// phases finish in nanoseconds, which makes wall-clock masking
     /// tests unreadable noise — a calibrated spin gives the cycle
@@ -43,7 +78,7 @@ pub struct MeterLayer {
 
 impl MeterLayer {
     /// Creates a meter and returns it with a handle to its counters.
-    pub fn new() -> (MeterLayer, Rc<MeterCounters>) {
+    pub fn new() -> (MeterLayer, Arc<MeterCounters>) {
         let layer = MeterLayer::default();
         let counters = layer.counters.clone();
         (layer, counters)
@@ -51,7 +86,7 @@ impl MeterLayer {
 
     /// A meter whose post phases busy-wait for `spin` — measurable
     /// post work for wall-clock masking/leak tests.
-    pub fn with_post_spin(spin: std::time::Duration) -> (MeterLayer, Rc<MeterCounters>) {
+    pub fn with_post_spin(spin: std::time::Duration) -> (MeterLayer, Arc<MeterCounters>) {
         let (mut layer, counters) = MeterLayer::new();
         layer.post_spin = spin;
         (layer, counters)
@@ -75,36 +110,28 @@ impl Layer for MeterLayer {
     fn init(&mut self, _ctx: &mut InitCtx<'_>) {}
 
     fn pre_send(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &mut Msg) -> SendAction {
-        self.counters
-            .pre_sends
-            .set(self.counters.pre_sends.get() + 1);
+        self.counters.pre_sends.fetch_add(1, Ordering::Relaxed);
         SendAction::Continue
     }
 
     fn post_send(&mut self, _ctx: &mut LayerCtx<'_>, msg: &Msg) {
-        self.counters
-            .post_sends
-            .set(self.counters.post_sends.get() + 1);
+        self.counters.post_sends.fetch_add(1, Ordering::Relaxed);
         self.counters
             .bytes_out
-            .set(self.counters.bytes_out.get() + msg.len() as u64);
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.spin();
     }
 
     fn pre_deliver(&mut self, _ctx: &mut LayerCtx<'_>, _msg: &mut Msg) -> DeliverAction {
-        self.counters
-            .pre_delivers
-            .set(self.counters.pre_delivers.get() + 1);
+        self.counters.pre_delivers.fetch_add(1, Ordering::Relaxed);
         DeliverAction::Continue
     }
 
     fn post_deliver(&mut self, _ctx: &mut LayerCtx<'_>, msg: &Msg) {
-        self.counters
-            .post_delivers
-            .set(self.counters.post_delivers.get() + 1);
+        self.counters.post_delivers.fetch_add(1, Ordering::Relaxed);
         self.counters
             .bytes_in
-            .set(self.counters.bytes_in.get() + msg.len() as u64);
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.spin();
     }
 }
@@ -115,7 +142,12 @@ mod tests {
     use pa_core::{Connection, ConnectionParams, PaConfig};
     use pa_wire::EndpointAddr;
 
-    fn pair() -> (Connection, Rc<MeterCounters>, Connection, Rc<MeterCounters>) {
+    fn pair() -> (
+        Connection,
+        Arc<MeterCounters>,
+        Connection,
+        Arc<MeterCounters>,
+    ) {
         let (ml_a, ca) = MeterLayer::new();
         let (ml_b, cb) = MeterLayer::new();
         let mk = |layer: MeterLayer, l: u64, p: u64, s: u64| {
@@ -143,10 +175,10 @@ mod tests {
             a.process_pending();
             b.process_pending();
         }
-        assert_eq!(ca.pre_sends.get(), 0, "all sends fast");
-        assert_eq!(ca.post_sends.get(), 5, "post always runs");
-        assert_eq!(cb.pre_delivers.get(), 0, "all deliveries fast");
-        assert_eq!(cb.post_delivers.get(), 5);
+        assert_eq!(ca.pre_sends(), 0, "all sends fast");
+        assert_eq!(ca.post_sends(), 5, "post always runs");
+        assert_eq!(cb.pre_delivers(), 0, "all deliveries fast");
+        assert_eq!(cb.post_delivers(), 5);
     }
 
     #[test]
@@ -157,12 +189,8 @@ mod tests {
         b.deliver_frame(f);
         a.process_pending();
         b.process_pending();
-        assert!(ca.bytes_out.get() >= 100);
-        assert_eq!(
-            ca.bytes_out.get(),
-            cb.bytes_in.get(),
-            "same frame image both sides"
-        );
+        assert!(ca.bytes_out() >= 100);
+        assert_eq!(ca.bytes_out(), cb.bytes_in(), "same frame image both sides");
     }
 
     #[test]
@@ -183,8 +211,36 @@ mod tests {
         )
         .unwrap();
         a.send(b"slow");
-        assert_eq!(c.pre_sends.get(), 1);
-        assert_eq!(c.post_sends.get(), 1);
+        assert_eq!(c.pre_sends(), 1);
+        assert_eq!(c.post_sends(), 1);
+    }
+
+    #[test]
+    fn counters_readable_while_the_layer_is_on_another_thread() {
+        let (ml, c) = MeterLayer::new();
+        let mut a = Connection::new(
+            vec![Box::new(ml)],
+            PaConfig::paper_default(),
+            ConnectionParams::new(
+                EndpointAddr::from_parts(1, 6),
+                EndpointAddr::from_parts(2, 6),
+                54,
+            ),
+        )
+        .unwrap();
+        // The connection (and the meter inside it) moves to a worker;
+        // the counter handle stays here and remains readable.
+        let t = std::thread::spawn(move || {
+            for _ in 0..3 {
+                a.send(b"threaded");
+                a.poll_transmit();
+                a.process_pending();
+            }
+            a
+        });
+        let a = t.join().unwrap();
+        drop(a);
+        assert_eq!(c.post_sends(), 3);
     }
 
     #[test]
@@ -204,7 +260,7 @@ mod tests {
         a.enable_cycle_meter();
         a.send(b"spin");
         a.process_pending();
-        assert_eq!(c.post_sends.get(), 1);
+        assert_eq!(c.post_sends(), 1);
         // Phase index 1 = post-send. The spin dominates any timer
         // bias, so the metered time is within a factor of the knob.
         let post_send_ns = a.phase_meters()[0].cycle_ns[1];

@@ -188,6 +188,165 @@ fn steady_state_fast_path_is_allocation_free() {
     assert!(send_fused.ops > 0 && recv_fused.ops > 0);
 }
 
+// ---------------------------------------------------------------------------
+// The threaded build: same zero, with the drain worker live
+// ---------------------------------------------------------------------------
+
+/// One round trip with every `process_pending` shipped to the drain
+/// thread. The four hot operations are measured exactly as in
+/// [`round_trip`]; the handoffs and the worker-side folds run between
+/// the measured windows (submit → recv is a barrier, so the drain
+/// thread is idle whenever a hot op is on the clock — a worker-side
+/// allocation in its steady state would still trip the whole-window
+/// assertion in the test below).
+#[allow(clippy::type_complexity)]
+fn threaded_round_trip(
+    worker: &mut pa::sim::PostDrainWorker,
+    app: &mut pa::obs::TelemetryDomain,
+    mut a: Box<Connection>,
+    mut b: Box<Connection>,
+    now: u64,
+    measure: bool,
+) -> (Box<Connection>, Box<Connection>, usize) {
+    let mut hot = 0usize;
+
+    let t0 = allocations();
+    let out = a.send(b"ping-msg");
+    if measure {
+        hot += allocations() - t0;
+        assert_eq!(out, SendOutcome::FastPath, "warm send left the fast path");
+    }
+    let f = a.poll_transmit().expect("request frame");
+
+    let t0 = allocations();
+    let out = b.deliver_frame(f);
+    if measure {
+        hot += allocations() - t0;
+        assert!(matches!(out, DeliverOutcome::Fast { msgs: 1 }));
+    }
+    let m = b.poll_delivery().expect("request delivered");
+
+    let t0 = allocations();
+    let out = b.send(m.as_slice());
+    if measure {
+        hot += allocations() - t0;
+        assert_eq!(out, SendOutcome::FastPath);
+    }
+    b.recycle(m);
+    let f = b.poll_transmit().expect("echo frame");
+
+    let t0 = allocations();
+    let out = a.deliver_frame(f);
+    if measure {
+        hot += allocations() - t0;
+        assert!(matches!(out, DeliverOutcome::Fast { msgs: 1 }));
+    }
+    let m = a.poll_delivery().expect("echo delivered");
+    a.recycle(m);
+
+    // Post phases drain on the worker thread; recv is the barrier that
+    // keeps the boxes round-tripping (no fresh Box per handoff).
+    a = match worker.submit(app, a, now) {
+        Ok(_) => worker.recv().expect("a returns").conn,
+        Err(mut c) => {
+            c.process_pending();
+            c
+        }
+    };
+    b = match worker.submit(app, b, now + 1) {
+        Ok(_) => worker.recv().expect("b returns").conn,
+        Err(mut c) => {
+            c.process_pending();
+            c
+        }
+    };
+    (a, b, hot)
+}
+
+#[test]
+fn threaded_steady_state_fast_path_is_allocation_free() {
+    use pa::obs::{SketchConfig, SnapshotCoordinator};
+    use pa::sim::{CostModel, PostDrainWorker};
+
+    let cfg = PaConfig::accelerated();
+    let mut coord = SnapshotCoordinator::new(SketchConfig::default_scope());
+    // Events drain only at collect, so the ring must hold the whole
+    // run: 2 batches/round x 4 events/batch over 564 rounds per side.
+    let mut app = coord.domain_with_capacity("app", 8192);
+    let drain = coord.domain_with_capacity("drain", 8192);
+    let layer_names: Vec<String> = StackSpec::paper()
+        .build()
+        .iter()
+        .map(|l| l.name().to_string())
+        .collect();
+    // The worker thread exists *before* any measured window: the
+    // counting allocator is process-global, so thread spawn, ring
+    // allocation, and domain setup must all happen during warm-up.
+    let mut worker = PostDrainWorker::spawn(drain, CostModel::paper_ml(layer_names), 4);
+    let mut a = Box::new(paper_conn(cfg, 1, 2, 0x9601));
+    let mut b = Box::new(paper_conn(cfg, 2, 1, 0x9602));
+
+    // Warm-up: pools grow, predictions settle, the worker's bracket
+    // buffer / name cache / fold rows all reach their steady shapes.
+    let mut now = 0u64;
+    for _ in 0..64 {
+        now += 10;
+        let (na, nb, _) = threaded_round_trip(&mut worker, &mut app, a, b, now, false);
+        a = na;
+        b = nb;
+    }
+
+    // Engine baseline: the same steady-state workload inline. The
+    // engine's own post path allocates (the window layer clones each
+    // data frame into its retransmission buffer); what the threaded
+    // build must prove is that the telemetry machinery — domains,
+    // rings, handoffs, worker folds — adds *zero* on top of it.
+    let mut ia = paper_conn(cfg, 1, 2, 0x9601);
+    let mut ib = paper_conn(cfg, 2, 1, 0x9602);
+    for _ in 0..64 {
+        round_trip(&mut ia, &mut ib, false);
+    }
+    let base0 = allocations();
+    for _ in 0..500 {
+        round_trip(&mut ia, &mut ib, false);
+    }
+    let baseline = allocations() - base0;
+
+    // Measured: the four hot ops stay heap-silent per operation, and
+    // the *whole* threaded window — hot ops, submits, recvs, and every
+    // worker-side fold on the drain thread — allocates exactly what
+    // the inline engine does and not one time more.
+    let window0 = allocations();
+    let mut hot = 0usize;
+    for _ in 0..500 {
+        now += 10;
+        let (na, nb, h) = threaded_round_trip(&mut worker, &mut app, a, b, now, true);
+        a = na;
+        b = nb;
+        hot += h;
+    }
+    let window = allocations() - window0;
+    assert_eq!(
+        hot, 0,
+        "threaded steady-state hot path allocated {hot} times over 2k messages"
+    );
+    assert_eq!(
+        window, baseline,
+        "cross-thread telemetry must add zero steady-state allocations \
+         (threaded window {window} vs inline engine baseline {baseline})"
+    );
+
+    // The worker really did the post work: collect the merged snapshot
+    // and check the drain domain carried the batches.
+    worker.shutdown();
+    let epoch = coord.advance();
+    app.publish();
+    let snap = coord.collect(epoch);
+    let d = snap.domains.iter().find(|d| d.label == "drain").unwrap();
+    assert!(d.counter(pa::obs::DomainCounter::DrainBatches) >= 2 * 564);
+    assert_eq!(snap.events_lost(), 0, "event ring must not overflow");
+}
+
 #[test]
 fn allocating_arm_allocates_where_the_pool_does_not() {
     // The comparison arm must actually exhibit the cost the pool
