@@ -131,6 +131,42 @@ pub enum DeliverOutcome {
     Dropped(RejectReason),
 }
 
+/// Per-outcome tally of one [`Connection::send_burst`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SendBurstReport {
+    /// Messages sent via the fast path.
+    pub fast: usize,
+    /// Messages sent via the layered slow path.
+    pub slow: usize,
+    /// Messages parked in the backlog (will pack/leave on a drain).
+    pub queued: usize,
+    /// Messages a layer rejected outright.
+    pub rejected: usize,
+}
+
+impl SendBurstReport {
+    /// Messages accepted in some form (everything but rejects).
+    pub fn accepted(&self) -> usize {
+        self.fast + self.slow + self.queued
+    }
+}
+
+/// Per-outcome tally of one [`Connection::deliver_burst`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeliverBurstReport {
+    /// Frames handed in.
+    pub frames: usize,
+    /// Frames that took the fast path.
+    pub fast_frames: usize,
+    /// Frames that took the layered slow path.
+    pub slow_frames: usize,
+    /// Frames dropped (each also counted in the reject ledgers).
+    pub dropped: usize,
+    /// Application messages delivered (can exceed frames when a packed
+    /// frame unpacks into several).
+    pub msgs: usize,
+}
+
 /// Why a frame was dropped by the PA itself — the fine-grained
 /// hostile-wire taxonomy shared with the demux and the network
 /// interfaces (historical name kept; see [`RejectReason`]).
@@ -1034,6 +1070,112 @@ impl Connection {
     /// Pops the next application message delivered by the stack, if any.
     pub fn poll_delivery(&mut self) -> Option<Msg> {
         self.deliveries.pop_front()
+    }
+
+    // ------------------------------------------------------------------
+    // Burst entry points (PR 9 batched pipeline)
+    //
+    // Each burst method runs the *identical* per-message inner logic in
+    // a loop — same outcomes, same wire bytes, same counters at every
+    // burst size — and amortizes only work that is invisible to the
+    // engine's ledgers: pool pre-provisioning and queue drains. That is
+    // what makes the burst=1 identity gate trivially true and lets the
+    // burst-boundary invariant tests assert exact `==` mid-burst.
+    // ------------------------------------------------------------------
+
+    /// Pre-provisions the buffer pool for a burst of `n` sends so every
+    /// in-burst take is a hit. A no-op for `n <= 1` (a burst of one is
+    /// therefore counter-identical to a bare [`Connection::send`]) and
+    /// with pooling off. Hosts that drive sends one call at a time
+    /// (rather than through [`Connection::send_burst`]) use this to get
+    /// the same amortization without building a slice of payloads.
+    pub fn prepare_burst(&mut self, n: usize) {
+        if self.config.pooling && n > 1 {
+            self.pool.refill_n(n);
+        }
+    }
+
+    /// Sends a whole burst of payloads, tallying the per-message
+    /// outcomes. With pooling on and a burst larger than one, the pool
+    /// is topped up once so every in-burst take is a hit (the refill is
+    /// skipped for a burst of one, which is therefore counter-identical
+    /// to a bare [`Connection::send`]).
+    pub fn send_burst(&mut self, payloads: &[&[u8]]) -> SendBurstReport {
+        self.prepare_burst(payloads.len());
+        let mut rep = SendBurstReport::default();
+        for p in payloads {
+            match self.send(p) {
+                SendOutcome::FastPath => rep.fast += 1,
+                SendOutcome::SlowPath => rep.slow += 1,
+                SendOutcome::Queued => rep.queued += 1,
+                SendOutcome::Rejected(_) => rep.rejected += 1,
+            }
+        }
+        rep
+    }
+
+    /// Delivers a whole burst of frames (draining `frames` front to
+    /// back), tallying the per-frame outcomes. Exactly equivalent to
+    /// calling [`Connection::deliver_frame`] in a loop.
+    pub fn deliver_burst(&mut self, frames: &mut Vec<Msg>) -> DeliverBurstReport {
+        let mut rep = DeliverBurstReport::default();
+        for frame in frames.drain(..) {
+            rep.frames += 1;
+            match self.deliver_frame(frame) {
+                DeliverOutcome::Fast { msgs } => {
+                    rep.fast_frames += 1;
+                    rep.msgs += msgs;
+                }
+                DeliverOutcome::Slow { msgs } => {
+                    rep.slow_frames += 1;
+                    rep.msgs += msgs;
+                }
+                DeliverOutcome::Dropped(_) => rep.dropped += 1,
+            }
+        }
+        rep
+    }
+
+    /// Drains up to `max` outgoing frames into `out` (caller-owned
+    /// scratch, reused across bursts for an allocation-free steady
+    /// state). Returns how many were appended.
+    pub fn poll_transmit_burst(&mut self, max: usize, out: &mut Vec<Msg>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.out.pop_front() {
+                Some(f) => {
+                    out.push(f);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Drains up to `max` delivered application messages into `out`.
+    /// Returns how many were appended.
+    pub fn poll_delivery_burst(&mut self, max: usize, out: &mut Vec<Msg>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.deliveries.pop_front() {
+                Some(m) => {
+                    out.push(m);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Returns a whole burst of finished buffers to the pool in one
+    /// call (§6 explicit recycling, amortized per burst). With pooling
+    /// off the buffers are simply dropped, like [`Connection::recycle`].
+    pub fn recycle_burst<I: IntoIterator<Item = Msg>>(&mut self, msgs: I) {
+        if self.config.pooling {
+            self.pool.recycle_burst(msgs);
+        }
     }
 
     // ------------------------------------------------------------------

@@ -46,11 +46,11 @@ pub mod stats;
 
 pub use config::{FilterBackend, PaConfig};
 pub use conn::{
-    Connection, ConnectionParams, DeliverOutcome, DropReason, PostWorkReport, SendOutcome,
-    SetupError,
+    Connection, ConnectionParams, DeliverBurstReport, DeliverOutcome, DropReason, PostWorkReport,
+    SendBurstReport, SendOutcome, SetupError,
 };
 pub use dissect::{dissect, FieldNames};
-pub use endpoint::{ConnHandle, Delivery, Endpoint};
+pub use endpoint::{BurstDemux, ConnHandle, Delivery, Endpoint};
 pub use handshake::{Greeting, GreetingError};
 pub use layer::{DeliverAction, InitCtx, Layer, LayerCtx, SendAction};
 pub use packing::PackInfo;

@@ -30,6 +30,7 @@ use pa_core::endpoint::{ConnHandle, Endpoint};
 use pa_core::Nanos;
 use pa_obs::rng::{Rng, SplitMix64};
 use pa_stack::StackSpec;
+use pa_unet::loopback::LoopbackNet;
 use pa_unet::netif::Netif;
 use pa_unet::udp::UdpNet;
 use pa_wire::EndpointAddr;
@@ -134,6 +135,12 @@ trait Leg {
     /// Blocks briefly when the path is asynchronous and nothing has
     /// arrived yet (no-op for the in-memory leg).
     fn settle(&mut self);
+    /// When `Some(k)`, arrived frames are demuxed through
+    /// [`Endpoint::from_network_burst`] in chunks of up to `k` instead
+    /// of one [`Endpoint::from_network`] call per frame.
+    fn burst_chunk(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// In-memory leg: push is delivery (the simulator transport).
@@ -177,6 +184,44 @@ impl UdpLeg {
             server,
             attacker,
         }
+    }
+}
+
+/// Burst-ingest leg: frames ride a [`LoopbackNet`], arrive through
+/// [`Netif::recv_burst`], and hit the server's demux through
+/// [`Endpoint::from_network_burst`] in chunks — the hostile-wire proof
+/// for PR 9's batched ingest path (run-cached cookie demux included).
+struct BurstLeg {
+    net: LoopbackNet,
+    server: EndpointAddr,
+    attacker: EndpointAddr,
+    chunk: usize,
+}
+
+impl BurstLeg {
+    fn new(chunk: usize) -> BurstLeg {
+        BurstLeg {
+            net: LoopbackNet::new(),
+            server: EndpointAddr::from_parts(10, 7),
+            attacker: EndpointAddr::from_parts(0xA77A, 7),
+            chunk: chunk.max(1),
+        }
+    }
+}
+
+impl Leg for BurstLeg {
+    fn push(&mut self, bytes: Vec<u8>, now: Nanos) {
+        self.net
+            .send(self.attacker, self.server, Msg::from_wire(bytes), now);
+    }
+    fn pull(&mut self, now: Nanos) -> Vec<Vec<u8>> {
+        let mut arrivals = Vec::new();
+        self.net.recv_burst(now, usize::MAX, &mut arrivals);
+        arrivals.into_iter().map(|a| a.frame.to_wire()).collect()
+    }
+    fn settle(&mut self) {}
+    fn burst_chunk(&self) -> Option<usize> {
+        Some(self.chunk)
     }
 }
 
@@ -409,6 +454,48 @@ pub fn run_udp_campaign(cfg: &FuzzConfig) -> CampaignReport {
     run_with_leg(cfg, UdpLeg::new())
 }
 
+/// Runs the campaign with arrivals pulled through the batched netif
+/// path ([`LoopbackNet::recv_burst`]) and demuxed through
+/// [`Endpoint::from_network_burst`] in chunks of up to `chunk` frames —
+/// the hostile-wire proof that burst ingestion is outcome-identical to
+/// the per-frame demux.
+pub fn run_burst_campaign(cfg: &FuzzConfig, chunk: usize) -> CampaignReport {
+    run_with_leg(cfg, BurstLeg::new(chunk))
+}
+
+/// Demuxes everything a leg delivered into the server endpoint.
+///
+/// With `chunk == None` (the per-frame legs) each frame goes through
+/// [`Endpoint::from_network`] exactly as the seed harness did. With
+/// `chunk == Some(k)` the frames are grouped into bursts of up to `k`
+/// and demuxed through [`Endpoint::from_network_burst`] — same
+/// injection notes, same count, so a burst campaign's totals must equal
+/// the per-frame campaign's for the same seed.
+fn ingest(world: &mut World, frames: Vec<Vec<u8>>, chunk: Option<usize>) -> u64 {
+    let n = frames.len() as u64;
+    match chunk {
+        None => {
+            for bytes in frames {
+                note_injection(&bytes);
+                world.server.from_network(Msg::from_wire(bytes));
+            }
+        }
+        Some(k) => {
+            let k = k.max(1);
+            let mut burst: Vec<Msg> = Vec::with_capacity(k);
+            for group in frames.chunks(k) {
+                burst.clear();
+                for bytes in group {
+                    note_injection(bytes);
+                    burst.push(Msg::from_wire(bytes.clone()));
+                }
+                world.server.from_network_burst(&mut burst);
+            }
+        }
+    }
+    n
+}
+
 fn run_with_leg(cfg: &FuzzConfig, mut leg: impl Leg) -> CampaignReport {
     let mut rng = SplitMix64::new(cfg.seed);
     let mut world = World::new(cfg.seed);
@@ -525,11 +612,8 @@ fn run_with_leg(cfg: &FuzzConfig, mut leg: impl Leg) -> CampaignReport {
         }
 
         // Everything that reached the server goes through the demux.
-        for bytes in leg.pull(world.now) {
-            note_injection(&bytes);
-            report.injected += 1;
-            world.server.from_network(Msg::from_wire(bytes));
-        }
+        let arrivals = leg.pull(world.now);
+        report.injected += ingest(&mut world, arrivals, leg.burst_chunk());
         world.server.process_all_pending();
         world.server.tick(world.now);
 
@@ -547,11 +631,8 @@ fn run_with_leg(cfg: &FuzzConfig, mut leg: impl Leg) -> CampaignReport {
         leg.push(f, world.now);
     }
     leg.settle();
-    for bytes in leg.pull(world.now) {
-        note_injection(&bytes);
-        report.injected += 1;
-        world.server.from_network(Msg::from_wire(bytes));
-    }
+    let arrivals = leg.pull(world.now);
+    report.injected += ingest(&mut world, arrivals, leg.burst_chunk());
     let (d, g, _) = world.drain_server(cfg.seed, cfg.iterations, corrupting_seen);
     report.delivered += d;
     report.garbled += g;
@@ -593,9 +674,7 @@ fn prove_liveness(
                 moved = true;
             }
         }
-        for bytes in leg.pull(world.now) {
-            note_injection(&bytes);
-            world.server.from_network(Msg::from_wire(bytes));
+        if ingest(world, leg.pull(world.now), leg.burst_chunk()) > 0 {
             moved = true;
         }
         world.server.process_all_pending();
@@ -639,6 +718,34 @@ mod tests {
         assert!(report.injected > 400, "{report}");
         assert!(report.delivered > 0, "{report}");
         assert!(report.mutated > 0, "{report}");
+    }
+
+    #[test]
+    fn burst_campaign_reconciles_and_recovers() {
+        let report = run_burst_campaign(&FuzzConfig::new(0xB0_57, 400), 32);
+        assert!(report.recovered, "{report}");
+        assert!(report.injected > 400, "{report}");
+        assert!(report.delivered > 0, "{report}");
+    }
+
+    #[test]
+    fn burst_ingest_is_outcome_identical_to_per_frame_demux() {
+        // Same seed, same storm — the only difference is arrivals being
+        // demuxed through from_network_burst in chunks instead of one
+        // from_network call per frame. Endpoint::from_network_burst is
+        // counter- and outcome-identical to the per-frame path, so every
+        // campaign total must match exactly, at any chunk size.
+        let cfg = FuzzConfig::new(0x600D_F00D, 300);
+        let direct = run_campaign(&cfg);
+        for chunk in [1usize, 7, 64] {
+            let burst = run_burst_campaign(&cfg, chunk);
+            assert_eq!(burst.injected, direct.injected, "chunk {chunk}");
+            assert_eq!(burst.delivered, direct.delivered, "chunk {chunk}");
+            assert_eq!(burst.garbled, direct.garbled, "chunk {chunk}");
+            assert_eq!(burst.demux_rejects, direct.demux_rejects, "chunk {chunk}");
+            assert_eq!(burst.conn_rejects, direct.conn_rejects, "chunk {chunk}");
+            assert_eq!(burst.recovered, direct.recovered, "chunk {chunk}");
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod mutate;
 pub use pa_obs::rng;
 
 pub use corpus::{regression_corpus, replay_corpus, CorpusEntry};
-pub use harness::{run_campaign, run_udp_campaign, CampaignReport, FuzzConfig};
+pub use harness::{run_burst_campaign, run_campaign, run_udp_campaign, CampaignReport, FuzzConfig};
 pub use mutate::{apply, draw_mutation, hexdump, Mutation};
 
 use std::cell::RefCell;

@@ -136,11 +136,16 @@ pub enum DomainCounter {
     RecorderDrops = 8,
     /// Views published.
     Publishes = 9,
+    /// Wire bursts processed (one bump per batched ingest/flush cycle —
+    /// `BurstFrames / Bursts` is the achieved batching factor).
+    Bursts = 10,
+    /// Frames carried by those bursts.
+    BurstFrames = 11,
 }
 
 impl DomainCounter {
     /// All counters, in slot order.
-    pub const ALL: [DomainCounter; 10] = [
+    pub const ALL: [DomainCounter; 12] = [
         DomainCounter::Records,
         DomainCounter::HandoffsOut,
         DomainCounter::HandoffsIn,
@@ -151,6 +156,8 @@ impl DomainCounter {
         DomainCounter::EventsRefused,
         DomainCounter::RecorderDrops,
         DomainCounter::Publishes,
+        DomainCounter::Bursts,
+        DomainCounter::BurstFrames,
     ];
 
     /// Number of counter slots.
@@ -169,6 +176,8 @@ impl DomainCounter {
             DomainCounter::EventsRefused => "events_refused",
             DomainCounter::RecorderDrops => "recorder_drops",
             DomainCounter::Publishes => "publishes",
+            DomainCounter::Bursts => "bursts",
+            DomainCounter::BurstFrames => "burst_frames",
         }
     }
 }

@@ -37,6 +37,7 @@ pub mod gc;
 pub mod metrics;
 pub mod multi;
 pub mod node;
+pub mod pipeline;
 pub mod sim;
 
 pub use churn::{ChurnConfig, ChurnSim};
@@ -50,6 +51,7 @@ pub use metrics::{Series, Summary};
 pub use multi::ClusterSim;
 pub use node::NodeSim;
 pub use node::{NodeEvent, PathHistos, PostSchedule};
+pub use pipeline::{per_packet_reference, BurstPipeline, PipelineConfig, PipelineReport};
 pub use sim::{AppBehavior, SimConfig, TimelineEvent, TwoNodeSim};
 
 /// Virtual time in nanoseconds.

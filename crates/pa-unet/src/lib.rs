@@ -17,11 +17,17 @@
 //! All three implement [`Netif`]; hosts drive them with explicit time,
 //! which is what makes every experiment in `pa-sim` reproducible.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the batched-syscall module (`mmsg`) is
+// the crate's single sanctioned unsafe island — hand-declared
+// `recvmmsg`/`sendmmsg` FFI, since the workspace links no external
+// crates. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod faults;
 pub mod loopback;
+#[cfg(target_os = "linux")]
+mod mmsg;
 pub mod netif;
 pub mod pcap;
 pub mod profile;

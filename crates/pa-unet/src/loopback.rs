@@ -82,4 +82,30 @@ mod tests {
         assert_eq!(a.to, ep(9));
         assert_eq!(net.next_arrival_at(), None);
     }
+
+    #[test]
+    fn burst_is_deterministic_ordered_and_partial() {
+        // The frame-burst API on loopback is fully deterministic:
+        // send_burst preserves order, recv_burst pops in order, stops
+        // at `max`, and respects arrival times (partial burst).
+        let mut net = LoopbackNet::new();
+        let mut frames: Vec<Msg> = (0u8..6).map(|i| Msg::from_payload(&[i])).collect();
+        assert_eq!(net.send_burst(ep(1), ep(2), &mut frames, 10), 6);
+        assert!(frames.is_empty());
+        net.send(ep(1), ep(2), Msg::from_payload(&[9]), 50);
+
+        let mut out = Vec::new();
+        assert_eq!(net.recv_burst(10, 4, &mut out), 4);
+        assert_eq!(
+            net.recv_burst(10, 4, &mut out),
+            2,
+            "partial: only 2 left at t=10"
+        );
+        let order: Vec<u8> = out.iter().map(|a| a.frame.as_slice()[0]).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5], "burst preserves send order");
+        assert_eq!(net.recv_burst(10, 4, &mut out), 0, "t=50 frame not ready");
+        assert_eq!(net.recv_burst(50, 4, &mut out), 1);
+        assert_eq!(out.last().unwrap().frame.as_slice(), &[9]);
+        assert_eq!(net.in_flight(), 0);
+    }
 }

@@ -36,4 +36,52 @@ pub trait Netif {
 
     /// Frames currently in flight.
     fn in_flight(&self) -> usize;
+
+    /// Injects a whole burst of frames from `from` to `to`, draining
+    /// `frames` front to back. Returns how many frames the interface
+    /// accepted onto the wire; refused frames (e.g. oversized datagrams
+    /// on a real socket) are still drained and accounted by the
+    /// implementation's reject ledger — one bad frame never blocks its
+    /// neighbors (partial-burst semantics).
+    ///
+    /// The default forwards each frame to [`Netif::send`], so every
+    /// implementation is burst-capable; `UdpNet` overrides this with
+    /// `sendmmsg` to amortize the syscall.
+    fn send_burst(
+        &mut self,
+        from: EndpointAddr,
+        to: EndpointAddr,
+        frames: &mut Vec<Msg>,
+        now: Nanos,
+    ) -> usize {
+        let n = frames.len();
+        for frame in frames.drain(..) {
+            self.send(from, to, frame, now);
+        }
+        n
+    }
+
+    /// Receives up to `max` frames whose arrival time is ≤ `now`,
+    /// appending them to `out` in arrival order. Returns how many were
+    /// appended; fewer than `max` (including zero) means the interface
+    /// had nothing more ready *at this instant* — a partial burst, not
+    /// an error. `out` is caller-owned scratch: reusing it across calls
+    /// keeps the burst path allocation-free once it has grown to the
+    /// high-water mark.
+    ///
+    /// The default forwards to [`Netif::poll_arrival`]; `UdpNet`
+    /// overrides this with `recvmmsg`.
+    fn recv_burst(&mut self, now: Nanos, max: usize, out: &mut Vec<Arrival>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.poll_arrival(now) {
+                Some(a) => {
+                    out.push(a);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }

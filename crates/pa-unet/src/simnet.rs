@@ -212,6 +212,40 @@ mod tests {
     }
 
     #[test]
+    fn burst_send_serializes_like_back_to_back_sends() {
+        // The frame-burst API on SimNet is deterministic: a burst is
+        // exactly a back-to-back send sequence (same line serialization,
+        // same FIFO order, same fault-injector decisions), and
+        // recv_burst releases only frames whose arrival time has passed.
+        let mk = || -> Vec<Msg> { (0u8..4).map(|i| Msg::from_payload(&[i; 64])).collect() };
+        let mut a = SimNet::atm();
+        let mut frames = mk();
+        assert_eq!(a.send_burst(ep(1), ep(2), &mut frames, 0), 4);
+        let mut b = SimNet::atm();
+        for f in mk() {
+            b.send(ep(1), ep(2), f, 0);
+        }
+        let mut burst_arrivals = Vec::new();
+        a.recv_burst(u64::MAX, 16, &mut burst_arrivals);
+        let mut loop_arrivals = Vec::new();
+        while let Some(arr) = b.poll_arrival(u64::MAX) {
+            loop_arrivals.push(arr);
+        }
+        assert_eq!(burst_arrivals, loop_arrivals, "burst == per-frame loop");
+        assert_eq!(burst_arrivals.len(), 4);
+
+        // Partial burst: at the first frame's arrival time, later
+        // frames are still serializing on the line.
+        let mut c = SimNet::atm();
+        let mut frames = mk();
+        c.send_burst(ep(1), ep(2), &mut frames, 0);
+        let first_at = c.next_arrival_at().unwrap();
+        let mut out = Vec::new();
+        assert_eq!(c.recv_burst(first_at, 16, &mut out), 1);
+        assert_eq!(c.in_flight(), 3);
+    }
+
+    #[test]
     fn next_arrival_supports_event_stepping() {
         let mut net = SimNet::atm();
         assert_eq!(net.next_arrival_at(), None);

@@ -422,6 +422,117 @@ fn round_trip_collect(a: &mut Connection, b: &mut Connection, frames: &mut Vec<V
     b.process_pending();
 }
 
+// ---------------------------------------------------------------------------
+// The burst arm: same zero, through the burst APIs
+// ---------------------------------------------------------------------------
+
+/// One burst-mode round: `send_burst` → `poll_transmit_burst` →
+/// `deliver_burst` → `poll_delivery_burst` → echo → recycle, all
+/// through caller-owned scratch. Returns the allocations the burst
+/// operations performed; post phases (and the §3.4 backlog pack they
+/// trigger) run between rounds, off the measured window, exactly like
+/// the per-packet arm.
+fn burst_round(
+    a: &mut Connection,
+    b: &mut Connection,
+    payloads: &[&[u8]],
+    wire: &mut Vec<pa::buf::Msg>,
+    msgs: &mut Vec<pa::buf::Msg>,
+) -> (usize, usize) {
+    let t0 = allocations();
+    let rep = a.send_burst(payloads);
+    assert_eq!(rep.rejected, 0, "burst send must not reject");
+    a.poll_transmit_burst(usize::MAX, wire);
+    b.deliver_burst(wire);
+    b.poll_delivery_burst(usize::MAX, msgs);
+    b.prepare_burst(msgs.len());
+    for m in msgs.drain(..) {
+        let _ = b.send(m.as_slice());
+        b.recycle(m);
+    }
+    b.poll_transmit_burst(usize::MAX, wire);
+    a.deliver_burst(wire);
+    a.poll_delivery_burst(usize::MAX, msgs);
+    let echoed = msgs.len();
+    a.recycle_burst(msgs.drain(..));
+    let hot = allocations() - t0;
+    a.process_pending();
+    b.process_pending();
+    (hot, echoed)
+}
+
+#[test]
+fn burst_steady_state_is_allocation_free_and_flux_reconciles() {
+    const BURST: usize = 8;
+    let cfg = PaConfig::accelerated();
+    let mut a = paper_conn(cfg, 1, 2, 0x9601);
+    let mut b = paper_conn(cfg, 2, 1, 0x9602);
+
+    // Caller-owned scratch: grown to the high-water mark during
+    // warm-up, then reused — the burst path never asks the allocator.
+    let mut wire: Vec<pa::buf::Msg> = Vec::new();
+    let mut msgs: Vec<pa::buf::Msg> = Vec::new();
+    let payloads: Vec<&[u8]> = vec![b"ping-msg"; BURST];
+
+    // Warm-up: pools refill to burst depth (`refill_n` populates
+    // `burst_refills`), scratch vectors reach capacity, predictions
+    // settle, the backlog queue reaches its steady shape.
+    let mut echoed = 0usize;
+    for _ in 0..64 {
+        echoed += burst_round(&mut a, &mut b, &payloads, &mut wire, &mut msgs).1;
+    }
+
+    let mut hot = 0usize;
+    const ROUNDS: usize = 512;
+    for _ in 0..ROUNDS {
+        let (h, e) = burst_round(&mut a, &mut b, &payloads, &mut wire, &mut msgs);
+        hot += h;
+        echoed += e;
+    }
+    assert_eq!(
+        hot,
+        0,
+        "steady-state burst path allocated {hot} times over {} messages",
+        ROUNDS * BURST
+    );
+    // The open loop really moved traffic (echoes may lag a round behind
+    // the offered bursts — posts drain queued echoes between rounds).
+    assert!(
+        echoed >= (64 + ROUNDS - 2) * BURST,
+        "burst rounds stalled: {echoed} echoes"
+    );
+
+    // Flux identity, per pool: every free-list buffer arrived through
+    // `put` (returns, minus the capped drops) or `refill_n`
+    // (burst_refills), every departure was a hit — so
+    // idle == returns + burst_refills - hits - capped, exactly. The
+    // `capped` term is live here: unpacked §3.4 bodies are donated
+    // returns with no matching take, so the sender's pool rides its
+    // retention cap in steady state.
+    for (name, c) in [("a", &a), ("b", &b)] {
+        let ps = c.pool_stats();
+        assert_eq!(
+            c.pool_idle() as u64,
+            ps.returns + ps.burst_refills - ps.hits - ps.capped,
+            "pool {name}: flux identity broke (returns {} refills {} hits {} capped {})",
+            ps.returns,
+            ps.burst_refills,
+            ps.hits,
+            ps.capped
+        );
+        let takes = ps.hits + ps.misses;
+        let rate = ps.hits as f64 / takes as f64;
+        assert!(
+            rate >= 0.99,
+            "pool {name}: hit rate {rate:.4} < 99% under burst refill"
+        );
+    }
+    // The burst pre-provisioning actually ran: at least one pool was
+    // topped up by refill_n rather than growing through misses.
+    let refills = a.pool_stats().burst_refills + b.pool_stats().burst_refills;
+    assert!(refills > 0, "refill_n never provisioned a buffer");
+}
+
 #[test]
 fn packed_backlog_delivery_reconciles_the_pools() {
     // Force sends to queue (post-serialization) so the backlog packs,
