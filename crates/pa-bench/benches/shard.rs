@@ -1,0 +1,205 @@
+//! Sharded-demux scaling: what a shard front costs per frame, and that
+//! the cost stays flat as the shard count grows.
+//!
+//! The sharded endpoint buys million-connection scale by splitting the
+//! cookie table: `shard_of(cookie)` is one SplitMix64 finalizer plus a
+//! mask, then the frame takes exactly the same one-probe demux inside
+//! its shard that the single endpoint takes. So the per-frame claim is
+//! twofold and both halves gate in CI as hardware-independent ratios:
+//!
+//! - **front overhead** — routing through a 1-shard front must price
+//!   within a small constant of the bare [`Endpoint`] (the front adds
+//!   one preamble peek and one hash mix, nothing O(conns)),
+//! - **flat scaling** — 64 shards must not cost more per frame than 1
+//!   shard on the same connection population (the probe is per-shard;
+//!   nothing on the fast path is O(shards)).
+//!
+//! The raw ns rows carry loose tolerances and only track the machine.
+//! Workload: an established population sending small cookie-only
+//! frames in a *shuffled* sweep (a sequential sweep hands the 1-shard
+//! arm prefetcher luck on its connection slab and fakes a scaling gap)
+//! through per-shard pools ([`ingest_wire`] in, [`recycle_delivery`]
+//! out), drained every 64 frames — the recycle loop at steady state.
+//!
+//! [`ingest_wire`]: pa_core::ShardedEndpoint::ingest_wire
+//! [`recycle_delivery`]: pa_core::ShardedEndpoint::recycle_delivery
+
+use pa_bench::{BenchReport, Better};
+use pa_buf::MsgPool;
+use pa_core::conn::{Connection, ConnectionParams, DeliverOutcome};
+use pa_core::endpoint::{Delivery, Endpoint};
+use pa_core::layer::NullLayer;
+use pa_core::shard::{ShardDelivery, ShardedEndpoint};
+use pa_core::PaConfig;
+use pa_wire::EndpointAddr;
+use std::hint::black_box;
+use std::time::Instant;
+
+const CONNS: usize = 1024;
+const DRAIN_EVERY: usize = 64;
+const REPS: usize = 24;
+
+fn conn(local: u64, peer: u64, seed: u64) -> Connection {
+    Connection::new(
+        vec![Box::new(NullLayer)],
+        PaConfig::paper_default(),
+        ConnectionParams::new(
+            EndpointAddr::from_parts(local, 1),
+            EndpointAddr::from_parts(peer, 1),
+            seed,
+        ),
+    )
+    .expect("single-layer stack builds")
+}
+
+/// Builds an established client fleet: returns the clients' first
+/// (ident-carrying) frames and one steady cookie-only frame each.
+fn client_frames() -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let mut idents = Vec::with_capacity(CONNS);
+    let mut steady = Vec::with_capacity(CONNS);
+    for i in 0..CONNS as u64 {
+        let mut c = conn(100 + i, 1, 2 * i + 1);
+        c.send(b"establish");
+        idents.push(c.poll_transmit().expect("first frame").to_wire());
+        c.process_pending();
+        c.send(b"steady-state frame payload bytes");
+        steady.push(c.poll_transmit().expect("steady frame").to_wire());
+        c.process_pending();
+    }
+    (idents, steady)
+}
+
+fn server_conns() -> impl Iterator<Item = Connection> {
+    (0..CONNS as u64).map(|i| conn(1, 100 + i, 2 * i + 2))
+}
+
+/// Steady-state per-frame cost through the bare endpoint (no front):
+/// pool take, demux, drain, recycle — the same loop shape the sharded
+/// arms run, minus the shard front.
+fn bench_endpoint(idents: &[Vec<u8>], steady: &[Vec<u8>]) -> f64 {
+    let mut ep = Endpoint::new();
+    let mut pool = MsgPool::with_defaults();
+    for c in server_conns() {
+        ep.add_connection(c);
+    }
+    for f in idents {
+        let out = ep.from_network(pool.take_with(f));
+        assert!(!matches!(out, DeliverOutcome::Dropped(_)), "{out:?}");
+    }
+    let mut scratch: Vec<Delivery> = Vec::with_capacity(DRAIN_EVERY);
+    let mut run = |timed: bool| -> f64 {
+        let t = Instant::now();
+        for (n, f) in steady.iter().enumerate() {
+            let out = ep.from_network(pool.take_with(f));
+            debug_assert!(!matches!(out, DeliverOutcome::Dropped(_)));
+            if (n + 1) % DRAIN_EVERY == 0 {
+                while ep.poll_delivery_burst(DRAIN_EVERY, &mut scratch) > 0 {
+                    for d in scratch.drain(..) {
+                        pool.put(black_box(d).msg);
+                    }
+                }
+            }
+        }
+        if timed {
+            t.elapsed().as_nanos() as f64 / steady.len() as f64
+        } else {
+            0.0
+        }
+    };
+    run(false);
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        best = best.min(run(true));
+    }
+    best
+}
+
+/// The same loop through a sharded front with `shards` shards.
+fn bench_sharded(shards: usize, idents: &[Vec<u8>], steady: &[Vec<u8>]) -> f64 {
+    let mut ep = ShardedEndpoint::new(shards);
+    for c in server_conns() {
+        ep.add_connection(c);
+    }
+    for f in idents {
+        let out = ep.ingest_wire(f);
+        assert!(!matches!(out, DeliverOutcome::Dropped(_)), "{out:?}");
+    }
+    let mut scratch: Vec<ShardDelivery> = Vec::with_capacity(DRAIN_EVERY);
+    let mut run = |timed: bool| -> f64 {
+        let t = Instant::now();
+        for (n, f) in steady.iter().enumerate() {
+            let out = ep.ingest_wire(f);
+            debug_assert!(!matches!(out, DeliverOutcome::Dropped(_)));
+            if (n + 1) % DRAIN_EVERY == 0 {
+                ep.drain_deliveries(&mut scratch);
+                for d in scratch.drain(..) {
+                    ep.recycle_delivery(black_box(d));
+                }
+            }
+        }
+        if timed {
+            t.elapsed().as_nanos() as f64 / steady.len() as f64
+        } else {
+            0.0
+        }
+    };
+    run(false);
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        best = best.min(run(true));
+    }
+    assert!(ep.demux_balanced(), "bench broke the conservation law");
+    best
+}
+
+fn main() {
+    println!("sharded demux scaling ({CONNS} connections, steady cookie frames)");
+    println!("{}", "-".repeat(100));
+
+    let (idents, mut steady) = client_frames();
+    // Fixed pseudo-random sweep order: every arm pays the same
+    // cache-cold connection access, none gets sequential-slab luck.
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for i in (1..steady.len()).rev() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        steady.swap(i, (x % (i as u64 + 1)) as usize);
+    }
+    let bare = bench_endpoint(&idents, &steady);
+    println!("{:<44} {bare:>8.1} ns/frame", "endpoint/bare");
+    let mut by_shards = Vec::new();
+    for shards in [1usize, 8, 64] {
+        let ns = bench_sharded(shards, &idents, &steady);
+        println!("{:<44} {ns:>8.1} ns/frame", format!("sharded/{shards}"));
+        by_shards.push(ns);
+    }
+
+    let front_ratio = by_shards[0] / bare;
+    let scaling_ratio = by_shards[2] / by_shards[0];
+    println!(
+        "{:<44} {front_ratio:>8.3}",
+        "front_overhead_ratio (1 shard / bare)"
+    );
+    println!(
+        "{:<44} {scaling_ratio:>8.3}",
+        "shard_scaling_ratio (64 / 1 shards)"
+    );
+
+    // Raw ns rows track the machine (loose tol); the two ratio rows
+    // are the hardware-independent gates: the front must stay within a
+    // small constant of the bare endpoint, and 64 shards must cost no
+    // more per frame than 1. Authoritative tolerances live in the
+    // committed baseline.
+    let mut report = BenchReport::new("shard");
+    report
+        .push_tol("demux_bare_ns", bare, Better::Lower, 1.5)
+        .push_tol("demux_shard1_ns", by_shards[0], Better::Lower, 1.5)
+        .push_tol("demux_shard8_ns", by_shards[1], Better::Lower, 1.5)
+        .push_tol("demux_shard64_ns", by_shards[2], Better::Lower, 1.5)
+        .push_tol("front_overhead_ratio", front_ratio, Better::Lower, 0.35)
+        .push_tol("shard_scaling_ratio", scaling_ratio, Better::Lower, 0.25);
+    if !pa_bench::emit_and_compare(&report) {
+        std::process::exit(1);
+    }
+}

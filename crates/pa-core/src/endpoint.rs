@@ -1,17 +1,109 @@
 //! A multi-connection endpoint: the per-host object that owns
 //! connections, routes incoming frames (Figure 2's "Router"), and
 //! multiplexes outgoing frames toward the network interface.
+//!
+//! Churn-scale lifecycle (the part the paper's two-node experiments
+//! never needed): connections live in generation-stamped slots, so a
+//! [`ConnHandle`] held across [`Endpoint::remove_connection`] and slot
+//! reuse can never silently address the wrong connection — a mismatched
+//! generation is a counted error, not a misroute. Teardown folds the
+//! departing connection's [`crate::ConnStats`] into a retired
+//! accumulator so endpoint-wide totals stay exact across any amount of
+//! churn, admission is budgetable (accept storms defer instead of
+//! stampeding the table), and [`Endpoint::tick`] evicts idle
+//! connections under a configurable timeout.
 
 use crate::conn::{Connection, DeliverOutcome, DropReason, SendOutcome};
-use crate::router::{ConnKey, CookieLookup, Router};
+use crate::router::{ConnKey, CookieLookup, ExtractedRoute, Router};
 use crate::Nanos;
 use pa_buf::Msg;
 use pa_obs::{RejectLedger, RejectReason};
-use pa_wire::{Class, EndpointAddr, Preamble};
+use pa_wire::{EndpointAddr, Preamble};
 
-/// Handle to a connection within an [`Endpoint`].
+/// Handle to a connection within an [`Endpoint`]: a slot index stamped
+/// with the slot's generation at admit time. Slot reuse after
+/// [`Endpoint::remove_connection`] bumps the generation, so handles
+/// held across a removal go *stale* — they are refused (counted in
+/// [`LifecycleStats::stale_handle_rejects`]) instead of silently
+/// addressing whichever connection recycled the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ConnHandle(pub usize);
+pub struct ConnHandle {
+    slot: u32,
+    generation: u32,
+}
+
+impl ConnHandle {
+    /// The slot index (stable while this handle is live; reused after
+    /// removal, which is why the generation exists).
+    pub fn slot(&self) -> usize {
+        self.slot as usize
+    }
+
+    /// The generation this handle was minted under.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+/// The error for operations through a stale [`ConnHandle`] (its slot
+/// was freed, and possibly reused, since the handle was minted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleHandle;
+
+impl std::fmt::Display for StaleHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("stale connection handle (slot freed or reused)")
+    }
+}
+
+impl std::error::Error for StaleHandle {}
+
+/// Why [`Endpoint::try_accept`] refused a connection. The connection is
+/// handed back so the caller can retry after the condition clears.
+#[derive(Debug)]
+pub enum AdmitError {
+    /// The live-connection cap is reached; retry after removals.
+    TableFull(Connection),
+    /// This tick's accept budget is spent; retry next tick. This is the
+    /// accept-storm valve: a flash crowd is admitted at a bounded rate
+    /// instead of stampeding the table in one tick.
+    Deferred(Connection),
+}
+
+impl AdmitError {
+    /// Recovers the refused connection for a later retry.
+    pub fn into_connection(self) -> Connection {
+        match self {
+            AdmitError::TableFull(c) | AdmitError::Deferred(c) => c,
+        }
+    }
+}
+
+/// Connection-lifecycle counters. `admitted == live + removed` always
+/// (migrations count on both sides), and `removed` includes the
+/// idle-evicted.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// Connections admitted (including migrations in).
+    pub admitted: u64,
+    /// Connections removed (including idle evictions and migrations
+    /// out).
+    pub removed: u64,
+    /// Removals initiated by the idle-timeout sweep in
+    /// [`Endpoint::tick`].
+    pub evicted_idle: u64,
+    /// Connections migrated out to another demux shard.
+    pub migrated_out: u64,
+    /// Connections adopted from another demux shard.
+    pub migrated_in: u64,
+    /// [`Endpoint::try_accept`] refusals due to the live cap.
+    pub admission_denied: u64,
+    /// [`Endpoint::try_accept`] refusals due to the per-tick budget.
+    pub admission_deferred: u64,
+    /// Operations refused because the handle's generation did not match
+    /// its slot (the misroute the generational handles exist to stop).
+    pub stale_handle_rejects: u64,
+}
 
 /// An application message delivered by some connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,7 +133,7 @@ pub struct BurstDemux {
 }
 
 impl BurstDemux {
-    fn tally(&mut self, outcome: &DeliverOutcome) {
+    pub(crate) fn tally(&mut self, outcome: &DeliverOutcome) {
         match outcome {
             DeliverOutcome::Fast { msgs } | DeliverOutcome::Slow { msgs } => {
                 self.msgs += *msgs as u64;
@@ -49,12 +141,35 @@ impl BurstDemux {
             DeliverOutcome::Dropped(_) => self.dropped += 1,
         }
     }
+
+    /// Folds another burst report into this one (per-shard reports sum
+    /// to the global one).
+    pub fn merge(&mut self, other: &BurstDemux) {
+        self.frames += other.frames;
+        self.routed += other.routed;
+        self.dropped += other.dropped;
+        self.msgs += other.msgs;
+        self.run_lookups += other.run_lookups;
+    }
+}
+
+/// One connection slot: the generation stamps handles, `last_active`
+/// drives idle eviction.
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    conn: Option<Connection>,
+    last_active: Nanos,
 }
 
 /// A host endpoint: connection table + router.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Endpoint {
-    conns: Vec<Connection>,
+    conns: Vec<Slot>,
+    /// Freed slot indices awaiting reuse.
+    free: Vec<u32>,
+    /// Live connections (slots minus free minus never-used).
+    live: usize,
     router: Router,
     /// Frames handed to [`Endpoint::from_network`].
     frames_seen: u64,
@@ -68,6 +183,47 @@ pub struct Endpoint {
     /// Scratch for [`Endpoint::from_network_burst`] cookie segments —
     /// kept on the endpoint so steady-state bursts allocate nothing.
     burst_scratch: Vec<(Preamble, Msg)>,
+    /// Scratch for the idle-eviction sweep.
+    evict_scratch: Vec<ConnHandle>,
+    /// Virtual clock, advanced by [`Endpoint::tick`]; stamps
+    /// `last_active`.
+    clock: Nanos,
+    /// Evict connections idle strictly longer than this, if set.
+    idle_timeout: Option<Nanos>,
+    /// Refuse [`Endpoint::try_accept`] past this many live connections.
+    max_live: Option<usize>,
+    /// Per-tick [`Endpoint::try_accept`] budget (accept-storm valve).
+    accept_budget: Option<u32>,
+    accepts_this_tick: u32,
+    /// Lifecycle accounting.
+    lifecycle: LifecycleStats,
+    /// `ConnStats` of removed connections, folded positionally
+    /// (`ConnStats::fields()` order) so endpoint totals stay exact
+    /// across churn.
+    retired_stats: [u64; crate::ConnStats::FIELD_COUNT],
+}
+
+impl Default for Endpoint {
+    fn default() -> Self {
+        Endpoint {
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            router: Router::new(),
+            frames_seen: 0,
+            routed: 0,
+            rejects: RejectLedger::default(),
+            burst_scratch: Vec::new(),
+            evict_scratch: Vec::new(),
+            clock: 0,
+            idle_timeout: None,
+            max_live: None,
+            accept_budget: None,
+            accepts_this_tick: 0,
+            lifecycle: LifecycleStats::default(),
+            retired_stats: [0; crate::ConnStats::FIELD_COUNT],
+        }
+    }
 }
 
 impl Endpoint {
@@ -76,34 +232,223 @@ impl Endpoint {
         Self::default()
     }
 
-    /// Adds a connection; registers its expected peer identification
-    /// with the router.
-    pub fn add_connection(&mut self, conn: Connection) -> ConnHandle {
-        let key = ConnKey(self.conns.len());
-        self.router
-            .register_ident(conn.expected_ident().to_vec(), key);
-        self.conns.push(conn);
-        ConnHandle(key.0)
+    /// Evict connections idle strictly longer than `timeout` on each
+    /// [`Endpoint::tick`] (`None` disables the sweep). Activity is a
+    /// routed inbound frame or an application send.
+    pub fn set_idle_timeout(&mut self, timeout: Option<Nanos>) {
+        self.idle_timeout = timeout;
     }
 
-    /// Number of connections.
+    /// Caps live connections for [`Endpoint::try_accept`] (`None` =
+    /// uncapped). [`Endpoint::add_connection`] is not subject to the
+    /// cap — it is the trusted local path.
+    pub fn set_max_live(&mut self, max: Option<usize>) {
+        self.max_live = max;
+    }
+
+    /// Caps [`Endpoint::try_accept`] admissions per tick (`None` =
+    /// unbudgeted).
+    pub fn set_accept_budget(&mut self, budget: Option<u32>) {
+        self.accept_budget = budget;
+    }
+
+    fn admit(&mut self, conn: Connection) -> ConnHandle {
+        let idx = match self.free.pop() {
+            Some(i) => i as usize,
+            None => {
+                self.conns.push(Slot {
+                    generation: 0,
+                    conn: None,
+                    last_active: 0,
+                });
+                self.conns.len() - 1
+            }
+        };
+        self.router
+            .register_ident(conn.expected_ident().to_vec(), ConnKey(idx));
+        let clock = self.clock;
+        let slot = &mut self.conns[idx];
+        slot.conn = Some(conn);
+        slot.last_active = clock;
+        self.live += 1;
+        self.lifecycle.admitted += 1;
+        ConnHandle {
+            slot: idx as u32,
+            generation: slot.generation,
+        }
+    }
+
+    /// Adds a connection; registers its expected peer identification
+    /// with the router. Freed slots are reused (under a fresh
+    /// generation) before the table grows.
+    pub fn add_connection(&mut self, conn: Connection) -> ConnHandle {
+        self.admit(conn)
+    }
+
+    /// Admission-controlled accept: refuses past the live cap
+    /// ([`AdmitError::TableFull`]) or this tick's budget
+    /// ([`AdmitError::Deferred`]), handing the connection back for a
+    /// retry. Both refusals are counted.
+    // The Err variant carries the refused Connection back on purpose —
+    // a denied accept must not destroy the connection.
+    #[allow(clippy::result_large_err)]
+    pub fn try_accept(&mut self, conn: Connection) -> Result<ConnHandle, AdmitError> {
+        if let Some(max) = self.max_live {
+            if self.live >= max {
+                self.lifecycle.admission_denied += 1;
+                return Err(AdmitError::TableFull(conn));
+            }
+        }
+        if let Some(budget) = self.accept_budget {
+            if self.accepts_this_tick >= budget {
+                self.lifecycle.admission_deferred += 1;
+                return Err(AdmitError::Deferred(conn));
+            }
+        }
+        self.accepts_this_tick += 1;
+        Ok(self.admit(conn))
+    }
+
+    /// Removes a connection: clears its router entries (O(its own
+    /// entries) — reverse-indexed, no map scans), folds its stats into
+    /// the retired accumulator so endpoint totals stay exact, frees the
+    /// slot under a bumped generation, and returns the connection for
+    /// draining. A stale handle is a counted error.
+    pub fn remove_connection(&mut self, h: ConnHandle) -> Result<Connection, StaleHandle> {
+        let idx = h.slot as usize;
+        let ok = matches!(self.conns.get(idx),
+            Some(s) if s.generation == h.generation && s.conn.is_some());
+        if !ok {
+            self.lifecycle.stale_handle_rejects += 1;
+            return Err(StaleHandle);
+        }
+        self.router.remove(ConnKey(idx));
+        let slot = &mut self.conns[idx];
+        let conn = slot.conn.take().expect("checked live above");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(idx as u32);
+        self.live -= 1;
+        self.lifecycle.removed += 1;
+        for (acc, (_, v)) in self.retired_stats.iter_mut().zip(conn.stats().fields()) {
+            *acc += v;
+        }
+        Ok(conn)
+    }
+
+    /// Extracts a connection for migration to another demux shard: the
+    /// router keeps its retired and live cookies as *tombstones* (they
+    /// hash here, so replays must still be refused here), the slot is
+    /// freed, and the connection travels with its stats — nothing is
+    /// folded into the retired accumulator, because the connection
+    /// still exists (globally, totals stay exact when shard ledgers are
+    /// summed).
+    pub fn extract_connection(
+        &mut self,
+        h: ConnHandle,
+    ) -> Result<(Connection, ExtractedRoute), StaleHandle> {
+        let idx = h.slot as usize;
+        let ok = matches!(self.conns.get(idx),
+            Some(s) if s.generation == h.generation && s.conn.is_some());
+        if !ok {
+            self.lifecycle.stale_handle_rejects += 1;
+            return Err(StaleHandle);
+        }
+        let route = self.router.extract(ConnKey(idx));
+        let slot = &mut self.conns[idx];
+        let conn = slot.conn.take().expect("checked live above");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(idx as u32);
+        self.live -= 1;
+        self.lifecycle.migrated_out += 1;
+        Ok((conn, route))
+    }
+
+    /// Adopts a connection migrated from another demux shard. Its ident
+    /// registers here; its *next* verified ident frame binds the new
+    /// cookie (the old cookie stays tombstoned where it hashes).
+    pub fn adopt_connection(&mut self, conn: Connection) -> ConnHandle {
+        self.lifecycle.migrated_in += 1;
+        self.admit(conn)
+    }
+
+    /// Number of live connections.
     pub fn connection_count(&self) -> usize {
+        self.live
+    }
+
+    /// Number of slots ever allocated (live + free).
+    pub fn slot_count(&self) -> usize {
         self.conns.len()
     }
 
-    /// Access a connection.
-    pub fn conn(&self, h: ConnHandle) -> &Connection {
-        &self.conns[h.0]
+    /// The live handle occupying `slot`, if any.
+    pub fn handle_at(&self, slot: usize) -> Option<ConnHandle> {
+        let s = self.conns.get(slot)?;
+        s.conn.as_ref()?;
+        Some(ConnHandle {
+            slot: slot as u32,
+            generation: s.generation,
+        })
     }
 
-    /// Mutable access to a connection.
+    /// Iterates the handles of all live connections, slot order.
+    pub fn handles(&self) -> impl Iterator<Item = ConnHandle> + '_ {
+        self.conns.iter().enumerate().filter_map(|(i, s)| {
+            s.conn.as_ref().map(|_| ConnHandle {
+                slot: i as u32,
+                generation: s.generation,
+            })
+        })
+    }
+
+    /// Access a connection through a live handle (`None` if stale).
+    pub fn try_conn(&self, h: ConnHandle) -> Option<&Connection> {
+        let s = self.conns.get(h.slot as usize)?;
+        if s.generation != h.generation {
+            return None;
+        }
+        s.conn.as_ref()
+    }
+
+    /// Mutable access through a live handle; a stale handle is counted
+    /// and refused.
+    pub fn try_conn_mut(&mut self, h: ConnHandle) -> Result<&mut Connection, StaleHandle> {
+        let ok = matches!(self.conns.get(h.slot as usize),
+            Some(s) if s.generation == h.generation && s.conn.is_some());
+        if !ok {
+            self.lifecycle.stale_handle_rejects += 1;
+            return Err(StaleHandle);
+        }
+        Ok(self.conns[h.slot as usize]
+            .conn
+            .as_mut()
+            .expect("checked live above"))
+    }
+
+    /// Access a connection. Panics on a stale handle — detection, never
+    /// misrouting; use [`Endpoint::try_conn`] to probe.
+    pub fn conn(&self, h: ConnHandle) -> &Connection {
+        self.try_conn(h).expect("stale ConnHandle")
+    }
+
+    /// Mutable access to a connection. Panics on a stale handle.
     pub fn conn_mut(&mut self, h: ConnHandle) -> &mut Connection {
-        &mut self.conns[h.0]
+        self.try_conn_mut(h).expect("stale ConnHandle")
     }
 
     /// The router (statistics).
     pub fn router(&self) -> &Router {
         &self.router
+    }
+
+    /// Mutable router access (shard migration plumbing).
+    pub(crate) fn router_mut(&mut self) -> &mut Router {
+        &mut self.router
+    }
+
+    /// Lifecycle counters.
+    pub fn lifecycle(&self) -> &LifecycleStats {
+        &self.lifecycle
     }
 
     /// The demux-level reject ledger: frames refused before any
@@ -131,9 +476,39 @@ impl Endpoint {
         DeliverOutcome::Dropped(reason)
     }
 
-    /// Sends `payload` on connection `h`.
+    /// Sends `payload` on connection `h`. Panics on a stale handle.
     pub fn send(&mut self, h: ConnHandle, payload: &[u8]) -> SendOutcome {
-        self.conns[h.0].send(payload)
+        self.try_send(h, payload).expect("stale ConnHandle")
+    }
+
+    /// Sends `payload` on connection `h`; a stale handle is counted and
+    /// refused instead of panicking.
+    pub fn try_send(&mut self, h: ConnHandle, payload: &[u8]) -> Result<SendOutcome, StaleHandle> {
+        let ok = matches!(self.conns.get(h.slot as usize),
+            Some(s) if s.generation == h.generation && s.conn.is_some());
+        if !ok {
+            self.lifecycle.stale_handle_rejects += 1;
+            return Err(StaleHandle);
+        }
+        let clock = self.clock;
+        let slot = &mut self.conns[h.slot as usize];
+        slot.last_active = clock;
+        Ok(slot
+            .conn
+            .as_mut()
+            .expect("checked live above")
+            .send(payload))
+    }
+
+    /// The live connection behind a router key (the router never holds
+    /// keys for freed slots).
+    fn routed_conn_mut(&mut self, key: ConnKey) -> &mut Connection {
+        let clock = self.clock;
+        let slot = &mut self.conns[key.0];
+        slot.last_active = clock;
+        slot.conn
+            .as_mut()
+            .expect("router key must name a live slot")
     }
 
     /// Routes and processes one frame from the network.
@@ -156,6 +531,14 @@ impl Endpoint {
         self.route_preambled(preamble, frame)
     }
 
+    /// Shard entry point: one pre-validated frame (preamble popped,
+    /// zero-cookie refused at the shard front) handed to this shard's
+    /// demux, counted in this shard's `frames_seen`.
+    pub(crate) fn ingest_preambled(&mut self, preamble: Preamble, frame: Msg) -> DeliverOutcome {
+        self.frames_seen += 1;
+        self.route_preambled(preamble, frame)
+    }
+
     /// The demux body shared by the per-frame and burst entry points:
     /// everything [`Endpoint::from_network`] does after the preamble has
     /// been popped and the zero-cookie forgery check has passed.
@@ -163,23 +546,11 @@ impl Endpoint {
         let key = if preamble.conn_ident_present {
             // Ident length depends on the connection's layout; all
             // connections of one endpoint share a stack shape in
-            // practice, but we must not assume it — probe by ident
-            // prefix per connection layout. Identifications start with
-            // the engine's fixed-size fields, so the practical approach
-            // is: try each registered ident length (they are recorded in
-            // the router keyed by full bytes). We take the first
-            // connection whose ident length fits and matches.
-            let mut found = None;
-            for (idx, conn) in self.conns.iter().enumerate() {
-                let len = conn.layout().class_len(Class::ConnId);
-                if let Some(candidate) = frame.get(0, len) {
-                    if candidate == conn.expected_ident() {
-                        found = Some((ConnKey(idx), len));
-                        break;
-                    }
-                }
-            }
-            match found {
+            // practice, but we must not assume it. The router keeps the
+            // set of registered ident lengths, so the probe is one map
+            // lookup per distinct length — O(1) in practice — instead
+            // of a scan over every connection.
+            match self.router.probe_ident_prefix(frame.as_slice()) {
                 Some((key, len)) => {
                     // A cookie already bound to a *different* live
                     // connection must not be re-bound on the say-so of
@@ -205,13 +576,8 @@ impl Endpoint {
                     // The frame *claimed* an ident; if it is even too
                     // short to carry any registered one, call it
                     // truncated rather than foreign.
-                    let min_ident = self
-                        .conns
-                        .iter()
-                        .map(|c| c.layout().class_len(Class::ConnId))
-                        .min()
-                        .unwrap_or(0);
-                    if frame.len() < min_ident {
+                    let min_ident = self.router.min_ident_len();
+                    if min_ident != usize::MAX && frame.len() < min_ident {
                         return self.reject(DropReason::TruncatedIdent);
                     }
                     return self.reject(DropReason::ForeignIdent);
@@ -225,7 +591,7 @@ impl Endpoint {
             }
         };
         self.routed += 1;
-        let outcome = self.conns[key.0].handle_routed(preamble, frame);
+        let outcome = self.routed_conn_mut(key).handle_routed(preamble, frame);
         // Bind the cookie only after the connection has *verified* the
         // frame (checksum, sequencing, header checks). Binding first
         // would let any frame that merely replays a public ident squat
@@ -236,7 +602,7 @@ impl Endpoint {
             // Keep the connection's own peer-cookie record in sync so
             // its standalone `deliver_frame` path agrees with the
             // router.
-            self.conns[key.0].note_peer_cookie(preamble.cookie);
+            self.routed_conn_mut(key).note_peer_cookie(preamble.cookie);
         }
         outcome
     }
@@ -302,6 +668,23 @@ impl Endpoint {
         report
     }
 
+    /// Shard entry point for a segment of pre-validated cookie-only
+    /// frames: counts them in this shard's `frames_seen` and demuxes
+    /// them as sorted runs, exactly like the burst path.
+    pub(crate) fn ingest_cookie_segment(
+        &mut self,
+        seg: &mut Vec<(Preamble, Msg)>,
+        report: &mut BurstDemux,
+    ) {
+        self.frames_seen += seg.len() as u64;
+        self.flush_cookie_segment(seg, report);
+    }
+
+    /// Frames that demuxed to a connection.
+    pub fn routed_frames(&self) -> u64 {
+        self.routed
+    }
+
     /// Demuxes one segment of cookie-only frames as sorted runs: one
     /// router probe per distinct cookie, per-frame counter bumps, and
     /// per-connection arrival order preserved by the stable sort.
@@ -335,7 +718,7 @@ impl Endpoint {
             let outcome = match lookup {
                 CookieLookup::Hit(key) => {
                     self.routed += 1;
-                    self.conns[key.0].handle_routed(preamble, frame)
+                    self.routed_conn_mut(key).handle_routed(preamble, frame)
                 }
                 CookieLookup::Stale(_) => self.reject(DropReason::StaleCookie),
                 CookieLookup::Unknown => self.reject(DropReason::UnknownCookie),
@@ -352,7 +735,10 @@ impl Endpoint {
     /// [`Endpoint::poll_transmit`] calls would produce.
     pub fn poll_transmit_burst(&mut self, max: usize, out: &mut Vec<(EndpointAddr, Msg)>) -> usize {
         let mut n = 0;
-        for conn in &mut self.conns {
+        for slot in &mut self.conns {
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
             let peer = conn.peer_addr();
             while n < max {
                 match conn.poll_transmit() {
@@ -374,12 +760,19 @@ impl Endpoint {
     /// connections into `out`. Returns how many were appended.
     pub fn poll_delivery_burst(&mut self, max: usize, out: &mut Vec<Delivery>) -> usize {
         let mut n = 0;
-        for (i, conn) in self.conns.iter_mut().enumerate() {
+        for (i, slot) in self.conns.iter_mut().enumerate() {
+            let generation = slot.generation;
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
             while n < max {
                 match conn.poll_delivery() {
                     Some(msg) => {
                         out.push(Delivery {
-                            conn: ConnHandle(i),
+                            conn: ConnHandle {
+                                slot: i as u32,
+                                generation,
+                            },
                             msg,
                         });
                         n += 1;
@@ -397,7 +790,10 @@ impl Endpoint {
     /// Pops the next outgoing frame from any connection, along with its
     /// destination.
     pub fn poll_transmit(&mut self) -> Option<(EndpointAddr, Msg)> {
-        for conn in &mut self.conns {
+        for slot in &mut self.conns {
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
             if let Some(frame) = conn.poll_transmit() {
                 return Some((conn.peer_addr(), frame));
             }
@@ -407,10 +803,17 @@ impl Endpoint {
 
     /// Pops the next delivered application message from any connection.
     pub fn poll_delivery(&mut self) -> Option<Delivery> {
-        for (i, conn) in self.conns.iter_mut().enumerate() {
+        for (i, slot) in self.conns.iter_mut().enumerate() {
+            let generation = slot.generation;
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
             if let Some(msg) = conn.poll_delivery() {
                 return Some(Delivery {
-                    conn: ConnHandle(i),
+                    conn: ConnHandle {
+                        slot: i as u32,
+                        generation,
+                    },
                     msg,
                 });
             }
@@ -420,7 +823,10 @@ impl Endpoint {
 
     /// Runs deferred post-processing on every connection.
     pub fn process_all_pending(&mut self) {
-        for conn in &mut self.conns {
+        for slot in &mut self.conns {
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
             while conn.has_pending() || conn.backlog_len() > 0 {
                 let report = conn.process_pending();
                 if report.is_empty() {
@@ -430,22 +836,51 @@ impl Endpoint {
         }
     }
 
-    /// Advances time on every connection.
+    /// Advances time: per-connection timers first, then the idle sweep
+    /// (connections inactive strictly longer than the idle timeout are
+    /// evicted and counted), and the per-tick accept budget resets.
     pub fn tick(&mut self, now: Nanos) {
-        for conn in &mut self.conns {
-            conn.tick(now);
+        self.clock = now;
+        self.accepts_this_tick = 0;
+        for slot in &mut self.conns {
+            if let Some(conn) = slot.conn.as_mut() {
+                conn.tick(now);
+            }
+        }
+        if let Some(timeout) = self.idle_timeout {
+            let mut evict = std::mem::take(&mut self.evict_scratch);
+            evict.clear();
+            for (i, slot) in self.conns.iter().enumerate() {
+                if slot.conn.is_some() && now.saturating_sub(slot.last_active) > timeout {
+                    evict.push(ConnHandle {
+                        slot: i as u32,
+                        generation: slot.generation,
+                    });
+                }
+            }
+            for h in evict.drain(..) {
+                if self.remove_connection(h).is_ok() {
+                    self.lifecycle.evicted_idle += 1;
+                }
+            }
+            self.evict_scratch = evict;
         }
     }
 
     /// Captures every counter this endpoint can see into one unified
     /// [`pa_obs::MetricsSnapshot`]: each connection's [`ConnStats`]
     /// under scope `conn<N>`, the router's demux counters under
-    /// `router`, and cross-connection totals under `endpoint`. Snapshot
-    /// twice and call [`pa_obs::MetricsSnapshot::delta`] to see what one
-    /// phase of a run did.
+    /// `router`, and cross-connection totals under `endpoint` (live
+    /// connections plus the retired accumulator, so churn never loses a
+    /// count). Snapshot twice and call
+    /// [`pa_obs::MetricsSnapshot::delta`] to see what one phase of a
+    /// run did.
     pub fn metrics_snapshot(&self, at: Nanos) -> pa_obs::MetricsSnapshot {
         let mut snap = pa_obs::MetricsSnapshot::new(at);
-        for (i, conn) in self.conns.iter().enumerate() {
+        for (i, slot) in self.conns.iter().enumerate() {
+            let Some(conn) = slot.conn.as_ref() else {
+                continue;
+            };
             let scope = format!("conn{i}");
             conn.stats().record_into(&mut snap, &scope);
             // Buffer-pool economics (§6 recycling) and fused-filter
@@ -484,17 +919,49 @@ impl Endpoint {
         );
         snap.record("router", "stale_cookies", self.router.stale_count() as u64);
         snap.record("router", "ident_bindings", self.router.ident_count() as u64);
+        snap.record("router", "stale_retired", self.router.stale_stats.retired);
+        snap.record("router", "stale_revived", self.router.stale_stats.revived);
+        snap.record("router", "stale_evicted", self.router.stale_stats.evicted);
+        snap.record("router", "stale_removed", self.router.stale_stats.removed);
+        snap.record(
+            "router",
+            "stale_tombstones",
+            self.router.tombstone_count() as u64,
+        );
         // Demux-level accounting: frames refused before any connection
         // saw them, scoped apart from the per-connection ledgers.
         snap.record("demux", "frames_seen", self.frames_seen);
         snap.record("demux", "routed", self.routed);
         self.rejects.record_into(&mut snap, "demux");
+        // Lifecycle accounting (scoped under "demux" to keep the
+        // "endpoint" scope an exact positional sum of ConnStats fields).
+        snap.record("demux", "conns_live", self.live as u64);
+        snap.record("demux", "conns_admitted", self.lifecycle.admitted);
+        snap.record("demux", "conns_removed", self.lifecycle.removed);
+        snap.record("demux", "conns_evicted_idle", self.lifecycle.evicted_idle);
+        snap.record("demux", "conns_migrated_out", self.lifecycle.migrated_out);
+        snap.record("demux", "conns_migrated_in", self.lifecycle.migrated_in);
+        snap.record("demux", "admission_denied", self.lifecycle.admission_denied);
+        snap.record(
+            "demux",
+            "admission_deferred",
+            self.lifecycle.admission_deferred,
+        );
+        snap.record(
+            "demux",
+            "stale_handle_rejects",
+            self.lifecycle.stale_handle_rejects,
+        );
         // Cross-connection totals, accumulated positionally
-        // (`ConnStats::fields()` order is the contract).
-        let mut sums = [0u64; crate::ConnStats::FIELD_COUNT];
-        for conn in &self.conns {
-            for (slot, (_, v)) in sums.iter_mut().zip(conn.stats().fields()) {
-                *slot += v;
+        // (`ConnStats::fields()` order is the contract), seeded with
+        // the retired accumulator so removed connections still count.
+        let mut sums = self.retired_stats;
+        for slot in &self.conns {
+            let Some(conn) = slot.conn.as_ref() else {
+                continue;
+            };
+            for (acc, (_, v)) in sums.iter_mut().zip(conn.stats().fields()) {
+                *acc += v;
             }
         }
         let names = crate::ConnStats::default().fields();
@@ -861,7 +1328,7 @@ mod tests {
         assert_eq!(server_b.rejects().total(), server_a.rejects().total());
         // Per-connection stats identical.
         for i in 0..2 {
-            let h = ConnHandle(i);
+            let h = server_a.handle_at(i).unwrap();
             assert_eq!(
                 server_b.conn(h).stats(),
                 server_a.conn(h).stats(),
@@ -932,7 +1399,168 @@ mod tests {
             got.push((d.conn, d.msg.to_wire()));
         }
         got.sort();
-        assert_eq!(got[0], (ConnHandle(0), b"from one".to_vec()));
-        assert_eq!(got[1], (ConnHandle(1), b"from two".to_vec()));
+        assert_eq!(got[0], (server.handle_at(0).unwrap(), b"from one".to_vec()));
+        assert_eq!(got[1], (server.handle_at(1).unwrap(), b"from two".to_vec()));
+    }
+
+    /// Regression (lifecycle satellite): a handle held across removal
+    /// and slot reuse must NOT address the connection that recycled the
+    /// slot. Pre-fix, `ConnHandle` was a raw index and the stale handle
+    /// silently reached the new tenant.
+    #[test]
+    fn stale_handle_across_slot_reuse_is_refused_not_misrouted() {
+        let mut server = Endpoint::new();
+        let h_old = server.add_connection(null_conn(10, 1, 100));
+        assert_eq!(server.connection_count(), 1);
+        let removed = server.remove_connection(h_old).unwrap();
+        assert_eq!(removed.peer_addr(), EndpointAddr::from_parts(1, 1));
+        assert_eq!(server.connection_count(), 0);
+
+        // The slot is reused by a different peer's connection.
+        let h_new = server.add_connection(null_conn(10, 2, 200));
+        assert_eq!(h_new.slot(), h_old.slot(), "slot is recycled");
+        assert_ne!(h_new, h_old, "but the handle is not");
+
+        // Every access path refuses the stale handle.
+        assert!(server.try_conn(h_old).is_none());
+        assert_eq!(server.try_conn_mut(h_old).unwrap_err(), StaleHandle);
+        assert_eq!(server.try_send(h_old, b"late write"), Err(StaleHandle));
+        assert_eq!(server.remove_connection(h_old).unwrap_err(), StaleHandle);
+        assert_eq!(server.lifecycle().stale_handle_rejects, 3);
+        // The new tenant is untouched and reachable through its own
+        // handle.
+        assert_eq!(
+            server.conn(h_new).peer_addr(),
+            EndpointAddr::from_parts(2, 1)
+        );
+        assert_eq!(server.lifecycle().admitted, 2);
+        assert_eq!(server.lifecycle().removed, 1);
+    }
+
+    #[test]
+    fn double_remove_is_an_error_and_router_entries_are_gone() {
+        let mut server = Endpoint::new();
+        let mut c1 = Endpoint::new();
+        let h1 = c1.add_connection(null_conn(1, 10, 101));
+        let hs = server.add_connection(null_conn(10, 1, 100));
+
+        // Establish so a cookie binds.
+        c1.send(h1, b"hello");
+        let (_, f) = c1.poll_transmit().unwrap();
+        server.from_network(f);
+        let cookie = c1.conn(h1).local_cookie();
+        assert!(matches!(
+            server.router().demux_cookie_peek(cookie),
+            CookieLookup::Hit(_)
+        ));
+
+        server.remove_connection(hs).unwrap();
+        assert_eq!(server.remove_connection(hs).unwrap_err(), StaleHandle);
+        assert_eq!(server.router().cookie_count(), 0);
+        assert_eq!(server.router().ident_count(), 0);
+        // Post-removal traffic on the dead cookie is a counted unknown.
+        c1.conn_mut(h1).process_pending();
+        c1.send(h1, b"ghost");
+        let (_, f) = c1.poll_transmit().unwrap();
+        assert_eq!(
+            server.from_network(f),
+            DeliverOutcome::Dropped(DropReason::UnknownCookie)
+        );
+        assert!(server.demux_balanced());
+    }
+
+    /// Endpoint totals must be exact across churn: removing a
+    /// connection folds its stats into the retired accumulator instead
+    /// of dropping them.
+    #[test]
+    fn endpoint_totals_survive_removal() {
+        let mut server = Endpoint::new();
+        let mut c1 = Endpoint::new();
+        let h1 = c1.add_connection(null_conn(1, 10, 101));
+        let hs = server.add_connection(null_conn(10, 1, 100));
+
+        for i in 0..3u8 {
+            c1.send(h1, &[i; 4]);
+            while let Some((_, f)) = c1.poll_transmit() {
+                server.from_network(f);
+            }
+            c1.conn_mut(h1).process_pending();
+        }
+        let frames_in_before = server.conn(hs).stats().frames_in;
+        assert!(frames_in_before > 0);
+        server.remove_connection(hs).unwrap();
+        let snap = server.metrics_snapshot(0);
+        assert_eq!(
+            snap.get("endpoint", "frames_in"),
+            Some(frames_in_before),
+            "retired stats keep counting in endpoint totals"
+        );
+        assert_eq!(snap.get("demux", "conns_removed"), Some(1));
+    }
+
+    #[test]
+    fn idle_eviction_is_driven_from_tick() {
+        let mut server = Endpoint::new();
+        server.set_idle_timeout(Some(1_000));
+        let ha = server.add_connection(null_conn(10, 1, 100));
+        let hb = server.add_connection(null_conn(10, 2, 200));
+
+        // Both admitted at clock 0. A stays active; B goes idle.
+        server.tick(600); // idle 600 each: both survive
+        assert_eq!(server.connection_count(), 2);
+        server.send(ha, b"keepalive"); // a.last_active = 600
+        server.tick(1_500); // b idle 1500 > 1000: evicted; a idle 900
+        assert!(server.try_conn(hb).is_none(), "idle conn evicted");
+        assert!(server.try_conn(ha).is_some(), "active conn survives");
+        assert_eq!(server.lifecycle().evicted_idle, 1);
+        assert_eq!(server.lifecycle().removed, 1);
+
+        // Steady activity keeps surviving sweeps forever.
+        for t in 0..5u64 {
+            server.send(ha, b"steady");
+            server.tick(1_500 + (t + 1) * 900);
+        }
+        assert!(server.try_conn(ha).is_some());
+        assert_eq!(
+            server.lifecycle().admitted,
+            server.connection_count() as u64 + server.lifecycle().removed
+        );
+    }
+
+    #[test]
+    fn accept_storm_is_bounded_by_budget_and_cap() {
+        let mut server = Endpoint::new();
+        server.set_max_live(Some(3));
+        server.set_accept_budget(Some(2));
+
+        // Tick 1: budget admits 2 of the storm.
+        let mut deferred = Vec::new();
+        for peer in 1..=4u64 {
+            match server.try_accept(null_conn(10, peer, peer)) {
+                Ok(_) => {}
+                Err(e) => deferred.push(e.into_connection()),
+            }
+        }
+        assert_eq!(server.connection_count(), 2);
+        assert_eq!(server.lifecycle().admission_deferred, 2);
+
+        // Tick 2: budget refreshes; the cap stops the 4th.
+        server.tick(1);
+        let mut denied = 0;
+        for conn in deferred {
+            if matches!(server.try_accept(conn), Err(AdmitError::TableFull(_))) {
+                denied += 1;
+            }
+        }
+        assert_eq!(server.connection_count(), 3);
+        assert_eq!(denied, 1);
+        assert_eq!(server.lifecycle().admission_denied, 1);
+
+        // Removal frees capacity for the next tick's retry.
+        let h = server.handle_at(0).unwrap();
+        server.remove_connection(h).unwrap();
+        server.tick(2);
+        assert!(server.try_accept(null_conn(10, 9, 9)).is_ok());
+        assert_eq!(server.connection_count(), 3);
     }
 }

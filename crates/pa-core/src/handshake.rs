@@ -44,6 +44,12 @@ pub enum GreetingError {
     /// expects (wrong peer, wrong epoch, or mismatched stack
     /// fingerprint).
     IdentMismatch,
+    /// The identification does not fit the blob's 16-bit length field.
+    /// Refused at encode time: silently truncating the length would
+    /// emit a blob whose decoded ident differs from the sender's —
+    /// an `IdentMismatch` (or worse, a collision) manufactured out of
+    /// thin air on the receiving side.
+    OversizedIdent,
 }
 
 impl fmt::Display for GreetingError {
@@ -57,6 +63,9 @@ impl fmt::Display for GreetingError {
                     "peer identification mismatch (wrong peer, epoch, or stack)"
                 )
             }
+            GreetingError::OversizedIdent => {
+                write!(f, "identification exceeds the 16-bit greeting length field")
+            }
         }
     }
 }
@@ -65,13 +74,19 @@ impl std::error::Error for GreetingError {}
 
 impl Greeting {
     /// Serializes: magic, cookie, ident length, ident bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// Total: an identification longer than the 16-bit length field
+    /// can carry is refused ([`GreetingError::OversizedIdent`]) rather
+    /// than truncated — `len as u16` would wrap, and the blob would
+    /// decode to a *different* ident than the one exported.
+    pub fn encode(&self) -> Result<Vec<u8>, GreetingError> {
+        let len = u16::try_from(self.ident.len()).map_err(|_| GreetingError::OversizedIdent)?;
         let mut out = Vec::with_capacity(4 + 8 + 2 + self.ident.len());
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&self.cookie.raw().to_be_bytes());
-        out.extend_from_slice(&(self.ident.len() as u16).to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
         out.extend_from_slice(&self.ident);
-        out
+        Ok(out)
     }
 
     /// Deserializes a greeting blob.
@@ -155,7 +170,22 @@ mod tests {
     fn greeting_roundtrips() {
         let (a, _) = pair();
         let g = a.export_greeting();
-        assert_eq!(Greeting::decode(&g.encode()).unwrap(), g);
+        assert_eq!(Greeting::decode(&g.encode().unwrap()).unwrap(), g);
+    }
+
+    #[test]
+    fn ident_at_the_length_field_boundary() {
+        let (a, _) = pair();
+        // 65535 bytes: exactly fits the u16 length field.
+        let mut g = a.export_greeting();
+        g.ident = vec![0xAB; u16::MAX as usize];
+        let blob = g.encode().unwrap();
+        assert_eq!(Greeting::decode(&blob).unwrap(), g);
+        // 65536 bytes: one past. Pre-fix, `len as u16` wrapped to 0 and
+        // the blob decoded to an *empty* ident — a silently different
+        // identity. Now it is a total error.
+        g.ident.push(0xAB);
+        assert_eq!(g.encode(), Err(GreetingError::OversizedIdent));
     }
 
     #[test]
@@ -166,7 +196,7 @@ mod tests {
             Err(GreetingError::BadMagic)
         );
         let (a, _) = pair();
-        let mut e = a.export_greeting().encode();
+        let mut e = a.export_greeting().encode().unwrap();
         e.truncate(e.len() - 1);
         assert_eq!(Greeting::decode(&e), Err(GreetingError::Truncated));
     }

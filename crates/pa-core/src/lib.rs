@@ -42,6 +42,7 @@ pub mod layer;
 pub mod packing;
 pub mod predict;
 pub mod router;
+pub mod shard;
 pub mod stats;
 
 pub use config::{FilterBackend, PaConfig};
@@ -50,7 +51,9 @@ pub use conn::{
     SendBurstReport, SendOutcome, SetupError,
 };
 pub use dissect::{dissect, FieldNames};
-pub use endpoint::{BurstDemux, ConnHandle, Delivery, Endpoint};
+pub use endpoint::{
+    AdmitError, BurstDemux, ConnHandle, Delivery, Endpoint, LifecycleStats, StaleHandle,
+};
 pub use handshake::{Greeting, GreetingError};
 pub use layer::{DeliverAction, InitCtx, Layer, LayerCtx, SendAction};
 pub use packing::PackInfo;
@@ -61,6 +64,7 @@ pub use predict::{DisableHold, Prediction};
 // `pa-obs` directly stays optional.
 pub use pa_obs::DisableReason;
 pub use router::Router;
+pub use shard::{ShardDelivery, ShardFrontStats, ShardHandle, ShardedEndpoint};
 pub use stats::ConnStats;
 
 /// Virtual or real time in nanoseconds, as supplied by the host.

@@ -14,6 +14,10 @@
 //!   asserting after *every* injection that the demux and delivery
 //!   ledgers reconcile exactly, no payload crosses connections, and
 //!   the connections still pass traffic after the storm,
+//! - [`churn`] — a seeded connection-lifecycle storm against the
+//!   sharded demux: bind / traffic / re-key / remove cycles (optionally
+//!   under mutation) asserting the router maps, stale ledgers, and
+//!   buffer pools reconcile exactly and return to baseline,
 //! - [`corpus`] — the committed regression corpus: every hostile input
 //!   shape a fuzz campaign has flushed out, replayed as a test.
 //!
@@ -25,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod corpus;
 pub mod harness;
 pub mod mutate;
@@ -38,6 +43,7 @@ pub mod mutate;
 /// corpus and is a breaking change, not a refactor.
 pub use pa_obs::rng;
 
+pub use churn::{run_churn_campaign, ChurnConfig, ChurnReport};
 pub use corpus::{regression_corpus, replay_corpus, CorpusEntry};
 pub use harness::{run_burst_campaign, run_campaign, run_udp_campaign, CampaignReport, FuzzConfig};
 pub use mutate::{apply, draw_mutation, hexdump, Mutation};

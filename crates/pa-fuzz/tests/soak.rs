@@ -74,3 +74,21 @@ fn two_node_sim_fault_soak_reconciles_and_recovers() {
         assert!(s.rejects_reconcile(), "node {i} after recovery: {s}");
     }
 }
+
+/// Lifecycle soak: the churn campaign in hostile mode — ~50k seeded
+/// bind / traffic / re-key / remove cycles with one frame in five
+/// mutated in flight. The demux conservation law, stale ledgers, and
+/// pool baselines must hold at every checkpoint *while the population
+/// itself churns*, and the final teardown must still empty the router.
+#[test]
+fn hostile_churn_soak_reconciles_through_lifecycle_storm() {
+    use pa_fuzz::churn::{run_churn_campaign, ChurnConfig};
+
+    let mut cfg = ChurnConfig::new(0x50A_BC4E4, 50_000);
+    cfg.mutate_ratio = 0.2;
+    let report = run_churn_campaign(&cfg);
+    assert!(report.mutated > 3_000, "{report}");
+    assert_eq!(report.removed, report.admitted, "{report}");
+    assert_eq!(report.stale_replays, report.rekeys, "{report}");
+    assert!(report.delivered > 10_000, "{report}");
+}

@@ -33,6 +33,7 @@ pub mod churn;
 pub mod cost;
 pub mod drain;
 pub mod experiments;
+pub mod flash;
 pub mod gc;
 pub mod metrics;
 pub mod multi;
@@ -46,6 +47,7 @@ pub use drain::{
     inline_echo_frames, DrainJob, DrainedConn, PostDrainWorker, ThreadedEcho, ThreadedEchoConfig,
     ThreadedEchoReport,
 };
+pub use flash::{FlashConfig, FlashCrowd, FlashReport};
 pub use gc::{GcModel, GcPolicy};
 pub use metrics::{Series, Summary};
 pub use multi::ClusterSim;

@@ -78,9 +78,10 @@ fn shuttle(
         for (i, m) in [marker(0), marker(1)].iter().enumerate() {
             if payload.starts_with(m) {
                 assert_eq!(
-                    d.conn.0, i,
+                    d.conn.slot(),
+                    i,
                     "CROSS-CONNECTION DELIVERY: client {i}'s payload arrived on conn {}",
-                    d.conn.0
+                    d.conn.slot()
                 );
                 delivered[i] += 1;
             }
@@ -119,7 +120,7 @@ fn forged_spliced_and_stale_frames_are_exactly_accounted() {
     let mut captured: [Vec<Vec<u8>>; 2] = [Vec::new(), Vec::new()];
     let mut delivered = [0u64; 2];
     let mut now = 0u64;
-    let handle = pa::core::endpoint::ConnHandle(0);
+    let handle = clients[0].handle_at(0).unwrap();
 
     // Warm-up: both clients push marked traffic until the server has
     // learned both cookies and plenty of cookie-only frames are in the
@@ -155,11 +156,11 @@ fn forged_spliced_and_stale_frames_are_exactly_accounted() {
     ];
     let server_cookies = [
         server
-            .conn(pa::core::endpoint::ConnHandle(0))
+            .conn(server.handle_at(0).unwrap())
             .local_cookie()
             .raw(),
         server
-            .conn(pa::core::endpoint::ConnHandle(1))
+            .conn(server.handle_at(1).unwrap())
             .local_cookie()
             .raw(),
     ];
@@ -255,7 +256,7 @@ fn forged_spliced_and_stale_frames_are_exactly_accounted() {
     );
     assert!(server.demux_balanced());
     for i in 0..2 {
-        let stats = server.conn(pa::core::endpoint::ConnHandle(i)).stats();
+        let stats = server.conn(server.handle_at(i).unwrap()).stats();
         assert!(stats.delivery_balanced(), "conn {i}: {stats}");
         assert!(stats.rejects_reconcile(), "conn {i}: {stats}");
     }
@@ -281,4 +282,28 @@ fn forged_spliced_and_stale_frames_are_exactly_accounted() {
         delivered[0] > before[0] && delivered[1] > before[1],
         "both connections must still pass traffic after the storm"
     );
+}
+
+/// The lifecycle counterpart of the storm above: ~50k seeded
+/// bind / traffic / re-key / remove cycles against a sharded demux in
+/// surgical mode (zero mutation — every op has one exact expected
+/// outcome). Asserts the router maps track the live population at
+/// every checkpoint, every retired-cookie replay is refused as stale,
+/// the shard buffer pools return to their retained baseline, and the
+/// final teardown pays every map entry back.
+#[test]
+fn churn_50k_cycles_router_and_pools_return_to_baseline() {
+    use pa::fuzz::churn::{run_churn_campaign, ChurnConfig};
+
+    let report = run_churn_campaign(&ChurnConfig::new(0xAD_5EED_2026, 50_000));
+    assert_eq!(report.cycles, 50_000, "{report}");
+    assert_eq!(report.removed, report.admitted, "{report}");
+    assert_eq!(report.stale_replays, report.rekeys, "{report}");
+    assert_eq!(report.garbled, 0, "surgical churn never garbles: {report}");
+    assert!(report.rekeys > 1_000, "re-key pressure too low: {report}");
+    assert!(
+        report.admitted > 2_000,
+        "population churn too low: {report}"
+    );
+    assert!(report.delivered > 10_000, "{report}");
 }

@@ -171,7 +171,7 @@ fn fault_storm_through_the_burst_path_keeps_every_ledger_balanced() {
         deliveries.clear();
         server.poll_delivery_burst(usize::MAX, &mut deliveries);
         for d in deliveries.drain(..) {
-            delivered[d.conn.0].push(d.msg.as_slice().to_vec());
+            delivered[d.conn.slot()].push(d.msg.as_slice().to_vec());
         }
         let want = (SEND_ROUNDS * BURST as u64) as usize;
         if delivered[0].len() == want && delivered[1].len() == want {

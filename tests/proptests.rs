@@ -360,7 +360,7 @@ fn full_deliver_path_is_total_over_arbitrary_bytes() {
         assert!(ep.demux_balanced(), "case {case}");
     }
     ep.process_all_pending();
-    let h = pa::core::endpoint::ConnHandle(0);
+    let h = ep.handle_at(0).unwrap();
     assert!(ep.conn(h).stats().delivery_balanced());
     assert!(ep.conn(h).stats().rejects_reconcile());
 }
