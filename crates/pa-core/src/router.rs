@@ -61,6 +61,11 @@ pub enum CookieLookup {
 struct StaleEntry {
     key: ConnKey,
     owned: bool,
+    /// For tombstones, the push sequence of the matching FIFO entry
+    /// (FIFO entries are lazily deleted: a revive only drops the map
+    /// entry, so a FIFO entry is live iff its seq still matches). Zero
+    /// for owned entries — FIFO seqs start at one.
+    seq: u64,
 }
 
 /// Everything the router gives back when a connection is extracted for
@@ -118,8 +123,18 @@ pub struct Router {
     /// Reverse of the owned part of `stale_cookies`: each connection's
     /// retired cookies, oldest first (the eviction order).
     stale_of: HashMap<usize, VecDeque<u64>>,
-    /// Orphaned stale cookies (connection migrated away), oldest first.
-    tombstones: VecDeque<u64>,
+    /// Orphaned stale cookies (connection migrated away), oldest first,
+    /// tagged with their push seq. Entries whose cookie was since
+    /// revived stay behind as *dead* weight (a revive must not scan the
+    /// FIFO — an adversary re-binding tombstoned cookies would make the
+    /// ident slow path O(cap)); they are skipped when they reach the
+    /// front and purged in bulk once they outnumber the live entries.
+    tombstones: VecDeque<(u64, u64)>,
+    /// Monotonic FIFO push counter (disambiguates a re-tombstoned
+    /// cookie from its own dead entry).
+    tombstone_seq: u64,
+    /// Live tombstones (FIFO entries whose seq still matches the map).
+    tombstone_live: usize,
     /// Max retired cookies kept per connection.
     stale_cap: usize,
     /// Max tombstones kept router-wide.
@@ -147,6 +162,8 @@ impl Default for Router {
             ident_lens: BTreeMap::new(),
             stale_of: HashMap::new(),
             tombstones: VecDeque::new(),
+            tombstone_seq: 0,
+            tombstone_live: 0,
             stale_cap: Router::DEFAULT_STALE_CAP,
             tombstone_cap: Router::DEFAULT_TOMBSTONE_CAP,
             stale_stats: StaleStats::default(),
@@ -182,7 +199,9 @@ impl Router {
         self.stale_cap
     }
 
-    /// Sets the router-wide tombstone cap.
+    /// Sets the router-wide tombstone cap. Reviving a tombstoned cookie
+    /// stays amortized O(1) regardless of the cap (the FIFO is lazily
+    /// deleted), so large caps cost memory, not demux time.
     pub fn set_tombstone_cap(&mut self, cap: usize) {
         self.tombstone_cap = cap;
         self.enforce_tombstone_cap();
@@ -212,7 +231,7 @@ impl Router {
     }
 
     /// Removes `raw` from the stale set, fixing whichever reverse index
-    /// holds it. Returns true if an entry existed.
+    /// holds it. Returns the entry if one existed.
     fn drop_stale(&mut self, raw: u64) -> Option<StaleEntry> {
         let entry = self.stale_cookies.remove(&raw)?;
         if entry.owned {
@@ -223,17 +242,40 @@ impl Router {
                 }
             }
         } else {
-            self.tombstones.retain(|&c| c != raw);
+            // Lazy deletion: the FIFO entry is now dead (its seq no
+            // longer matches the map) and will be skipped at the front
+            // or purged by compaction. Scanning the whole FIFO here
+            // would make every revive-bind O(tombstone cap).
+            self.tombstone_live -= 1;
+            self.compact_tombstones();
         }
         Some(entry)
+    }
+
+    /// Purges dead FIFO entries in bulk once they outnumber the live
+    /// ones (and the FIFO is big enough to matter). Amortized O(1) per
+    /// revive: a purge costs O(len) only after ≥ len/2 revives.
+    fn compact_tombstones(&mut self) {
+        if self.tombstones.len() < 64 || self.tombstones.len() < self.tombstone_live * 2 {
+            return;
+        }
+        let stale = &self.stale_cookies;
+        self.tombstones
+            .retain(|&(raw, seq)| matches!(stale.get(&raw), Some(e) if !e.owned && e.seq == seq));
     }
 
     /// Retires `raw` as an owned stale of `key`, evicting the oldest
     /// retired cookie past the per-connection cap.
     fn retire_owned(&mut self, raw: u64, key: ConnKey) {
         self.stale_stats.retired += 1;
-        self.stale_cookies
-            .insert(raw, StaleEntry { key, owned: true });
+        self.stale_cookies.insert(
+            raw,
+            StaleEntry {
+                key,
+                owned: true,
+                seq: 0,
+            },
+        );
         let dq = self.stale_of.entry(key.0).or_default();
         dq.push_back(raw);
         while dq.len() > self.stale_cap {
@@ -246,17 +288,36 @@ impl Router {
     /// Retires `raw` as a tombstone (its connection migrated away).
     fn retire_tombstone(&mut self, raw: u64, key: ConnKey) {
         self.stale_stats.retired += 1;
-        self.stale_cookies
-            .insert(raw, StaleEntry { key, owned: false });
-        self.tombstones.push_back(raw);
+        self.tombstone_seq += 1;
+        let seq = self.tombstone_seq;
+        self.stale_cookies.insert(
+            raw,
+            StaleEntry {
+                key,
+                owned: false,
+                seq,
+            },
+        );
+        self.tombstones.push_back((raw, seq));
+        self.tombstone_live += 1;
         self.enforce_tombstone_cap();
     }
 
     fn enforce_tombstone_cap(&mut self) {
-        while self.tombstones.len() > self.tombstone_cap {
-            let oldest = self.tombstones.pop_front().expect("len > cap");
-            self.stale_cookies.remove(&oldest);
-            self.stale_stats.evicted += 1;
+        while self.tombstone_live > self.tombstone_cap {
+            // Every live tombstone has a FIFO entry, so live > cap ≥ 0
+            // implies the FIFO is non-empty.
+            let (raw, seq) = self.tombstones.pop_front().expect("live > cap");
+            match self.stale_cookies.get(&raw) {
+                Some(e) if !e.owned && e.seq == seq => {
+                    self.stale_cookies.remove(&raw);
+                    self.stale_stats.evicted += 1;
+                    self.tombstone_live -= 1;
+                }
+                // Dead entry — the cookie was revived (and possibly
+                // re-tombstoned under a newer seq) since this push.
+                _ => {}
+            }
         }
     }
 
@@ -399,12 +460,16 @@ impl Router {
         // route worth refusing longest.
         if let Some(dq) = self.stale_of.remove(&key.0) {
             for raw in dq {
+                self.tombstone_seq += 1;
+                let seq = self.tombstone_seq;
                 // Already counted as retired when it entered the stale
                 // set; flip ownership without re-counting.
                 if let Some(e) = self.stale_cookies.get_mut(&raw) {
                     e.owned = false;
+                    e.seq = seq;
+                    self.tombstones.push_back((raw, seq));
+                    self.tombstone_live += 1;
                 }
-                self.tombstones.push_back(raw);
             }
             self.enforce_tombstone_cap();
         }
@@ -429,7 +494,7 @@ impl Router {
 
     /// Number of tombstoned stale cookies (connection migrated away).
     pub fn tombstone_count(&self) -> usize {
-        self.tombstones.len()
+        self.tombstone_live
     }
 
     /// Number of registered identifications.
@@ -725,6 +790,88 @@ mod tests {
             CookieLookup::Hit(ConnKey(9))
         );
         assert_eq!(r.tombstone_count(), 0);
+        assert!(r.stale_ledger_reconciles());
+    }
+
+    /// Revive-then-re-tombstone churn on the same cookie: the revive
+    /// leaves a dead FIFO entry behind (lazy deletion — no O(cap)
+    /// scan), and cap enforcement must skip it rather than confuse it
+    /// with the fresh tombstone of the same raw, keeping the ledger
+    /// exact and the eviction order oldest-live-first.
+    #[test]
+    fn tombstone_revive_rebind_churn_stays_exact() {
+        let mut r = Router::new();
+        r.set_tombstone_cap(2);
+        for i in 0..3u64 {
+            let key = ConnKey(i as usize);
+            r.bind_cookie(Cookie::from_raw(100 + i), key);
+            r.extract(key);
+        }
+        assert_eq!(r.tombstone_count(), 2, "oldest evicted past the cap");
+        assert!(r.stale_ledger_reconciles());
+
+        // Revive a tombstoned cookie: only the map entry goes.
+        r.bind_cookie(Cookie::from_raw(102), ConnKey(7));
+        assert_eq!(r.tombstone_count(), 1);
+        assert!(r.stale_ledger_reconciles());
+
+        // Re-tombstone the same raw, then push more tombstones: the
+        // dead duplicate near the front must be skipped, not double
+        // counted, and must not shield younger live entries.
+        r.extract(ConnKey(7)); // 102 tombstoned again, fresh seq
+        assert_eq!(r.tombstone_count(), 2);
+        r.bind_cookie(Cookie::from_raw(200), ConnKey(8));
+        r.extract(ConnKey(8)); // cap pops: evicts 101 (oldest live)
+        assert_eq!(r.tombstone_count(), 2);
+        assert_eq!(
+            r.demux_cookie_peek(Cookie::from_raw(101)),
+            CookieLookup::Unknown,
+            "oldest live tombstone evicted"
+        );
+        assert_eq!(
+            r.demux_cookie_peek(Cookie::from_raw(102)),
+            CookieLookup::Stale(ConnKey(7)),
+            "re-tombstoned cookie survives its own dead FIFO entry"
+        );
+        assert!(r.stale_ledger_reconciles());
+
+        // One more: the cap pop now lands on 102's dead entry first
+        // and must skip it without touching the live re-tombstone.
+        r.bind_cookie(Cookie::from_raw(300), ConnKey(9));
+        r.extract(ConnKey(9));
+        assert_eq!(r.tombstone_count(), 2);
+        assert_eq!(
+            r.demux_cookie_peek(Cookie::from_raw(102)),
+            CookieLookup::Unknown,
+            "102's live entry is older than 200/300, so it evicts"
+        );
+        assert_eq!(
+            r.demux_cookie_peek(Cookie::from_raw(200)),
+            CookieLookup::Stale(ConnKey(8))
+        );
+        assert_eq!(
+            r.demux_cookie_peek(Cookie::from_raw(300)),
+            CookieLookup::Stale(ConnKey(9))
+        );
+        assert!(r.stale_ledger_reconciles());
+    }
+
+    /// Heavy revive churn with the cap never binding: dead FIFO entries
+    /// must be compacted away, not accumulate one per revive.
+    #[test]
+    fn tombstone_fifo_compacts_under_revive_churn() {
+        let mut r = Router::new();
+        for i in 0..10_000u64 {
+            let key = ConnKey(i as usize);
+            r.bind_cookie(Cookie::from_raw(500), key);
+            r.extract(key); // tombstones 500 … then the next bind revives it
+        }
+        assert_eq!(r.tombstone_count(), 1);
+        assert!(
+            r.tombstones.len() <= 64,
+            "dead FIFO entries must be purged, got {}",
+            r.tombstones.len()
+        );
         assert!(r.stale_ledger_reconciles());
     }
 

@@ -557,6 +557,13 @@ impl ShardedEndpoint {
             }
         }
         for (si, seg) in segs.iter_mut().enumerate() {
+            if seg.is_empty() {
+                continue;
+            }
+            // Dirty before ingesting, exactly like the mid-burst flush:
+            // a cookie-only burst (the steady state) must leave its
+            // deliveries findable by the next drain.
+            self.mark_dirty(si);
             self.shards[si]
                 .endpoint
                 .ingest_cookie_segment(seg, &mut report);
@@ -867,6 +874,49 @@ mod tests {
         assert_eq!(drain(&mut burst), drain(&mut per_frame));
         // The run amortization still applies within shards.
         assert!(report.run_lookups < report.frames - 3, "{report:?}");
+    }
+
+    /// The steady-state burst: nothing but cookie frames. The final
+    /// segment flush must dirty the shards it ingests into, or the
+    /// routed deliveries are stranded until some unrelated event
+    /// happens to re-dirty the shard (regression: the mid-burst ident
+    /// flush dirtied, the end-of-burst flush did not).
+    #[test]
+    fn cookie_only_burst_deliveries_drain() {
+        let mut server = ShardedEndpoint::new(4);
+        server.add_connection(null_conn(10, 1, 100));
+        let (mut c, hc) = client(1);
+
+        // Establish per-frame and drain, so no shard is left dirty.
+        c.send(hc, b"establish");
+        let (_, f) = c.poll_transmit().unwrap();
+        server.from_network(f);
+        c.conn_mut(hc).process_pending();
+        let mut out = Vec::new();
+        server.drain_deliveries(&mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+
+        // A burst of only cookie frames — no ident frame to pre-dirty
+        // anything.
+        let mut msgs = Vec::new();
+        for round in 0..3u8 {
+            c.send(hc, &[round; 8]);
+            while let Some((_, f)) = c.poll_transmit() {
+                msgs.push(f);
+            }
+            c.conn_mut(hc).process_pending();
+        }
+        let sent = msgs.len();
+        let report = server.from_network_burst(&mut msgs);
+        assert_eq!(report.routed, sent as u64);
+
+        let drained = server.drain_deliveries(&mut out);
+        assert_eq!(
+            drained, sent,
+            "cookie-only burst deliveries must surface on the next drain"
+        );
+        assert!(server.demux_balanced());
     }
 
     #[test]
